@@ -1,0 +1,189 @@
+// M1 — microbenchmarks (google-benchmark) for the primitives every
+// experiment leans on: crypto, sealed channels, Modbus codecs, Prime
+// message signing/verification and eligibility computation, MANA
+// scoring, and the simulation kernel itself.
+#include <benchmark/benchmark.h>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/keyring.hpp"
+#include "crypto/sha256.hpp"
+#include "mana/kmeans.hpp"
+#include "modbus/pdu.hpp"
+#include "prime/messages.hpp"
+#include "scada/topology.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+
+using namespace spire;
+
+namespace {
+
+util::Bytes make_payload(std::size_t size) {
+  util::Bytes data(size);
+  sim::Rng rng(1);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.next());
+  return data;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  const util::Bytes data = make_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::sha256(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(65536);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const util::Bytes data = make_payload(static_cast<std::size_t>(state.range(0)));
+  crypto::Keyring keyring("bench");
+  const auto key = keyring.derive("mac");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_ChaCha20Xor(benchmark::State& state) {
+  const util::Bytes data = make_payload(static_cast<std::size_t>(state.range(0)));
+  crypto::ChaChaKey key{};
+  crypto::ChaChaNonce nonce{};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::chacha20_xor(key, nonce, 1, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ChaCha20Xor)->Arg(256)->Arg(4096);
+
+void BM_SecureChannelRoundTrip(benchmark::State& state) {
+  crypto::Keyring keyring("bench");
+  crypto::SecureChannel sender(keyring.link_key("a", "b"));
+  crypto::SecureChannel receiver(keyring.link_key("a", "b"));
+  const util::Bytes data = make_payload(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const auto sealed = sender.seal(data);
+    benchmark::DoNotOptimize(receiver.open(sealed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SecureChannelRoundTrip)->Arg(256)->Arg(1400);
+
+void BM_ModbusRequestRoundTrip(benchmark::State& state) {
+  const modbus::Request request =
+      modbus::ReadBitsRequest{modbus::FunctionCode::kReadCoils, 0, 128};
+  for (auto _ : state) {
+    const auto bytes = modbus::encode_request(request);
+    benchmark::DoNotOptimize(modbus::decode_request(bytes));
+  }
+}
+BENCHMARK(BM_ModbusRequestRoundTrip);
+
+void BM_PrimeEnvelopeSignVerify(benchmark::State& state) {
+  crypto::Keyring keyring("bench");
+  crypto::Signer signer("prime/0", keyring.identity_key("prime/0"));
+  crypto::Verifier verifier;
+  verifier.add_identity("prime/0", keyring.identity_key("prime/0"));
+  const util::Bytes body = make_payload(200);
+  for (auto _ : state) {
+    const auto env =
+        prime::Envelope::make(prime::MsgType::kPoRequest, signer, body);
+    benchmark::DoNotOptimize(env.verify(verifier));
+  }
+}
+BENCHMARK(BM_PrimeEnvelopeSignVerify);
+
+prime::PrePrepare make_preprepare(std::uint32_t n) {
+  crypto::Keyring keyring("bench");
+  prime::PrePrepare pp;
+  pp.leader = 0;
+  pp.view = 3;
+  pp.order_seq = 1000;
+  for (std::uint32_t j = 0; j < n; ++j) {
+    prime::PoAru aru;
+    aru.replica = j;
+    aru.aru_seq = 500;
+    aru.aru.assign(n, 1000 + j);
+    crypto::Signer signer(prime::replica_identity(j),
+                          keyring.identity_key(prime::replica_identity(j)));
+    aru.sign(signer);
+    pp.rows.push_back(aru);
+  }
+  return pp;
+}
+
+void BM_PrePrepareDigest(benchmark::State& state) {
+  const auto pp = make_preprepare(static_cast<std::uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pp.digest());
+  }
+}
+BENCHMARK(BM_PrePrepareDigest)->Arg(4)->Arg(6)->Arg(10);
+
+void BM_MatrixEligibility(benchmark::State& state) {
+  // Mirrors Replica::eligibility: quorum-th largest per column.
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const auto pp = make_preprepare(n);
+  const std::uint32_t quorum = 2 * ((n - 1) / 3) + 1;
+  std::vector<std::uint64_t> column(n);
+  for (auto _ : state) {
+    std::vector<std::uint64_t> result(n, 0);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      for (std::uint32_t j = 0; j < n; ++j) {
+        column[j] = pp.rows[j] ? pp.rows[j]->aru[i] : 0;
+      }
+      std::sort(column.begin(), column.end(), std::greater<>());
+      result[i] = column[quorum - 1];
+    }
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_MatrixEligibility)->Arg(4)->Arg(6)->Arg(10);
+
+void BM_TopologySerializeDigest(benchmark::State& state) {
+  scada::TopologyState topo(scada::ScenarioSpec::power_plant());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.digest());
+  }
+}
+BENCHMARK(BM_TopologySerializeDigest);
+
+void BM_KMeansScore(benchmark::State& state) {
+  sim::Rng rng(3);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<double> p(10);
+    for (auto& v : p) v = rng.normal(0, 1);
+    points.push_back(std::move(p));
+  }
+  const auto model = mana::kmeans_fit(points, 4, rng);
+  const auto probe = points[17];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.nearest_distance(probe));
+  }
+}
+BENCHMARK(BM_KMeansScore);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int counter = 0;
+    std::function<void()> tick = [&] {
+      if (++counter < 10000) sim.schedule_after(10, tick);
+    };
+    sim.schedule_after(10, tick);
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+// Experiment E7 — §V, last day (end-to-end reaction time measurement).
+//
+// The plant engineers' measurement device periodically flipped a
+// breaker and used two optical sensors to time when each system's HMI
+// screen reflected the change. We reproduce the rig: Spire (plant
+// configuration, n=6, f=1, k=1) and the commercial primary-backup
+// system each manage their own PLC; the "device" actuates the breaker
+// locally at both PLCs in the same instant and display observers
+// timestamp each HMI's redraw.
+//
+// Paper result: Spire met the plant's timing requirements and
+// reflected changes FASTER than the commercial system.
+#include "bench_util.hpp"
+#include "scada/commercial.hpp"
+#include "scada/deployment.hpp"
+
+using namespace spire;
+
+int main() {
+  bench::quiet_logs();
+  bench::print_header(
+      "E7", "§V (measurement device)",
+      "Breaker flip -> HMI update: Spire meets the plant's timing "
+      "requirement and beats the commercial system's reaction time");
+
+  sim::Simulator sim;
+
+  // --- Spire, plant configuration ------------------------------------------
+  scada::DeploymentConfig config;
+  config.f = 1;
+  config.k = 1;  // six replicas, as deployed in the plant
+  config.scenario = scada::ScenarioSpec::power_plant();
+  config.cycler_interval = 0;
+  scada::SpireDeployment spire_sys(sim, config);
+  spire_sys.start();
+  auto recovery = spire_sys.make_recovery(
+      prime::RecoveryConfig{20 * sim::kSecond, 1 * sim::kSecond});
+  recovery->start();  // recoveries keep running during the measurement
+
+  // --- commercial system on its own network --------------------------------
+  net::Network commercial_net(sim);
+  net::Switch& ops = commercial_net.add_switch({.name = "commercial-ops"});
+  auto add = [&](const char* name, std::uint8_t last, std::uint32_t mac) -> net::Host& {
+    net::Host& h = commercial_net.add_host(name);
+    h.add_interface(net::MacAddress::from_id(mac),
+                    net::IpAddress::make(10, 30, 0, last), 24);
+    commercial_net.connect(h, 0, ops);
+    return h;
+  };
+  net::Host& cm1 = add("cm1", 1, 1);
+  net::Host& cm2 = add("cm2", 2, 2);
+  net::Host& chmi_host = add("chmi", 3, 3);
+  net::Host& cplc_host = add("cplc", 10, 4);
+  plc::Plc commercial_plc(
+      sim, cplc_host, "plc-plant",
+      {{"B10-1", false, 40 * sim::kMillisecond},
+       {"B57", false, 40 * sim::kMillisecond},
+       {"B56", false, 40 * sim::kMillisecond}},
+      sim::Rng(77));
+  scada::CommercialMasterConfig mc;
+  mc.devices = {{"plc-plant", cplc_host.ip(), 3}};
+  mc.is_primary = true;
+  mc.peer_ip = cm2.ip();
+  scada::CommercialMaster cprimary(sim, cm1, mc);
+  mc.is_primary = false;
+  mc.peer_ip = cm1.ip();
+  scada::CommercialMaster cbackup(sim, cm2, mc);
+  scada::CommercialHmiConfig hc;
+  hc.primary_ip = cm1.ip();
+  hc.backup_ip = cm2.ip();
+  scada::CommercialHmi chmi(sim, chmi_host, hc);
+  cprimary.start();
+  cbackup.start();
+  chmi.start();
+
+  sim.run_until(5 * sim::kSecond);  // both systems at steady state
+
+  // --- the measurement rig ---------------------------------------------------
+  // "We adapted the HMI to include a large box that changed from black
+  // to white based on the breaker state": the display observers are the
+  // photo sensors.
+  sim::Time spire_seen = 0, commercial_seen = 0;
+  spire_sys.hmi(0).set_display_observer(
+      [&](const std::string& device, std::size_t index, bool, sim::Time at) {
+        if (device == "plc-plant" && index == 0 && spire_seen == 0) {
+          spire_seen = at;
+        }
+      });
+  chmi.set_display_observer(
+      [&](const std::string& device, std::size_t index, bool, sim::Time at) {
+        if (device == "plc-plant" && index == 0 && commercial_seen == 0) {
+          commercial_seen = at;
+        }
+      });
+
+  std::vector<double> spire_ms, commercial_ms;
+  bool state = false;
+  const int kTrials = 40;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    state = !state;
+    spire_seen = commercial_seen = 0;
+    const sim::Time flipped = sim.now();
+    spire_sys.flip_breaker_at_plc("plc-plant", 0, state);
+    commercial_plc.actuate_breaker_locally(0, state);
+
+    const sim::Time deadline = flipped + 10 * sim::kSecond;
+    while (sim.now() < deadline && (spire_seen == 0 || commercial_seen == 0)) {
+      sim.run_until(sim.now() + 5 * sim::kMillisecond);
+    }
+    if (spire_seen > 0) {
+      spire_ms.push_back(static_cast<double>(spire_seen - flipped) /
+                         sim::kMillisecond);
+    }
+    if (commercial_seen > 0) {
+      commercial_ms.push_back(static_cast<double>(commercial_seen - flipped) /
+                              sim::kMillisecond);
+    }
+    sim.run_until(sim.now() + 1500 * sim::kMillisecond);  // device period
+  }
+  recovery->stop();
+
+  const auto spire_stats = bench::latency_stats(spire_ms);
+  const auto commercial_stats = bench::latency_stats(commercial_ms);
+
+  bench::Table table({"system", "min", "median", "p90", "max", "mean",
+                      "samples", "meets req (<3s)"});
+  auto row = [&](const char* name, const bench::LatencyStats& s) {
+    table.row({name, bench::fmt_ms(s.min_ms), bench::fmt_ms(s.median_ms),
+               bench::fmt_ms(s.p90_ms), bench::fmt_ms(s.max_ms),
+               bench::fmt_ms(s.mean_ms), std::to_string(s.samples),
+               s.max_ms < 3000.0 ? "yes" : "NO"});
+  };
+  row("Spire (n=6, f=1, k=1, recoveries active)", spire_stats);
+  row("commercial (primary-backup, 1s polls)", commercial_stats);
+  table.print();
+
+  std::printf("\nBreaker flip -> HMI path, Spire: actuation physics (~40ms) "
+              "+ proxy poll (<=200ms) + Prime ordering + f+1 HMI voting.\n");
+  std::printf("Breaker flip -> HMI path, commercial: actuation + master poll "
+              "(<=1s) + HMI poll (<=1s).\n");
+
+  const bool shape =
+      spire_stats.samples == static_cast<std::size_t>(kTrials) &&
+      commercial_stats.samples == static_cast<std::size_t>(kTrials) &&
+      spire_stats.median_ms < commercial_stats.median_ms &&
+      spire_stats.max_ms < 2000.0;
+  std::printf("\nShape check vs paper: both systems report every change; "
+              "Spire meets the timing requirement and is faster than the "
+              "commercial system: %s\n",
+              shape ? "HOLDS" : "VIOLATED");
+  return shape ? 0 : 1;
+}

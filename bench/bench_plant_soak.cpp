@@ -1,0 +1,145 @@
+// Experiment E6 — §V (power-plant continuous test deployment).
+//
+// "Spire and MANA were continuously deployed without interruption or
+// adverse effects on the plant systems for six days", with six diverse
+// replicas, proactive recovery, the real 3-breaker topology plus 16
+// emulated PLCs, and HMIs in three plant locations.
+//
+// Time substitution (DESIGN.md §3): the six wall-clock days scale to
+// five simulated minutes with proportionally scaled recovery periods —
+// the system still crosses every recovery boundary many times, which is
+// what the soak actually exercises. Measured invariants:
+//   * zero missed breaker transitions on every HMI,
+//   * the HMI version advances throughout (no blackout window),
+//   * proactive recovery cycles through all replicas repeatedly,
+//   * replica application states stay byte-identical.
+#include <map>
+
+#include "bench_util.hpp"
+#include "scada/deployment.hpp"
+
+using namespace spire;
+
+int main() {
+  bench::quiet_logs();
+  bench::print_header(
+      "E6", "§V (six-day deployment)",
+      "Spire runs continuously under workload with proactive recovery and "
+      "three HMIs, with no interruption of SCADA service");
+
+  sim::Simulator sim;
+  scada::DeploymentConfig config;
+  config.f = 1;
+  config.k = 1;
+  config.scenario = scada::ScenarioSpec::power_plant();
+  config.cycler_interval = 1 * sim::kSecond;
+  config.hmi_count = 3;  // three locations throughout the plant
+  scada::SpireDeployment spire_sys(sim, config);
+
+  // Per-HMI transition tracking against field ground truth.
+  std::map<std::pair<std::string, std::size_t>, int> field_transitions;
+  std::vector<std::map<std::pair<std::string, std::size_t>, int>> hmi_transitions(
+      config.hmi_count);
+  for (const auto& device : config.scenario.devices) {
+    const std::string name = device.name;
+    spire_sys.plc(name).breakers().add_observer(
+        [&, name](std::size_t index, bool, sim::Time) {
+          field_transitions[{name, index}]++;
+        });
+  }
+  for (std::size_t j = 0; j < config.hmi_count; ++j) {
+    spire_sys.hmi(j).set_display_observer(
+        [&, j](const std::string& device, std::size_t index, bool, sim::Time) {
+          hmi_transitions[j][{device, index}]++;
+        });
+  }
+
+  spire_sys.start();
+  auto recovery = spire_sys.make_recovery(
+      prime::RecoveryConfig{15 * sim::kSecond, 1 * sim::kSecond});
+  sim.run_until(3 * sim::kSecond);
+  recovery->start();
+
+  // The soak: 5 simulated minutes standing in for 6 days, sampled every
+  // 10 s to find the largest HMI staleness window.
+  const sim::Time soak = 5 * sim::kMinute;
+  const sim::Time soak_end = sim.now() + soak;
+  std::vector<std::uint64_t> version_samples;
+  sim::Time max_stale_window = 0;
+  sim::Time stale_since = sim.now();
+  std::uint64_t last_version = spire_sys.hmi(0).displayed_version();
+  while (sim.now() < soak_end) {
+    sim.run_until(sim.now() + 10 * sim::kSecond);
+    const std::uint64_t v = spire_sys.hmi(0).displayed_version();
+    version_samples.push_back(v);
+    if (v != last_version) {
+      last_version = v;
+      stale_since = sim.now();
+    } else {
+      max_stale_window = std::max(max_stale_window, sim.now() - stale_since);
+    }
+  }
+
+  // Settle, then tally.
+  spire_sys.cycler()->stop();
+  recovery->stop();
+  sim.run_until(sim.now() + 8 * sim::kSecond);
+
+  int total_field = 0;
+  std::vector<int> missed(config.hmi_count, 0);
+  for (const auto& [key, count] : field_transitions) {
+    total_field += count;
+    for (std::size_t j = 0; j < config.hmi_count; ++j) {
+      missed[j] += std::max(0, count - hmi_transitions[j][key]);
+    }
+  }
+
+  // Replica state agreement at the end.
+  std::map<crypto::Digest, int> digests;
+  int live = 0;
+  for (std::uint32_t i = 0; i < spire_sys.n(); ++i) {
+    if (!spire_sys.replica(i).running() || spire_sys.replica(i).recovering()) {
+      continue;
+    }
+    ++live;
+    ++digests[spire_sys.master(i).state().digest()];
+  }
+  int max_agree = 0;
+  for (const auto& [digest, count] : digests) {
+    max_agree = std::max(max_agree, count);
+  }
+
+  bench::Table table({"metric", "measured", "paper expectation"});
+  table.row({"soak length (simulated)",
+             std::to_string(soak / sim::kMinute) + " min (scaled 6 days)",
+             "6 days continuous"});
+  table.row({"breaker transitions in the field", std::to_string(total_field),
+             "continuous cycling workload"});
+  for (std::size_t j = 0; j < config.hmi_count; ++j) {
+    table.row({"HMI " + std::to_string(j) + " missed transitions",
+               std::to_string(missed[j]), "0 (no interruption)"});
+  }
+  table.row({"largest HMI staleness window",
+             std::to_string(max_stale_window / sim::kSecond) + " s",
+             "none beyond normal update cadence"});
+  table.row({"proactive recoveries completed",
+             std::to_string(recovery->recoveries_completed()),
+             "periodic rejuvenation of all replicas"});
+  table.row({"live replicas with byte-identical state",
+             std::to_string(max_agree) + "/" + std::to_string(live),
+             "all (consistent replication)"});
+  table.print();
+
+  bool shape = recovery->recoveries_completed() >= 2 * spire_sys.n() &&
+               max_agree == live && live >= 5 && total_field > 200 &&
+               max_stale_window <= 20 * sim::kSecond;
+  for (std::size_t j = 0; j < config.hmi_count; ++j) {
+    shape = shape && missed[j] == 0;
+  }
+  std::printf("\nShape check vs paper: uninterrupted operation across the "
+              "scaled soak, through %llu proactive recoveries, with all "
+              "three HMIs tracking perfectly: %s\n",
+              static_cast<unsigned long long>(recovery->recoveries_completed()),
+              shape ? "HOLDS" : "VIOLATED");
+  return shape ? 0 : 1;
+}

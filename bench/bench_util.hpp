@@ -1,0 +1,96 @@
+// Shared helpers for the experiment benches: aligned table printing,
+// latency statistics, and a standard header that ties each binary back
+// to the paper artifact it reproduces (see DESIGN.md §4).
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/log.hpp"
+
+namespace spire::bench {
+
+inline void print_header(const std::string& experiment_id,
+                         const std::string& paper_artifact,
+                         const std::string& claim) {
+  std::printf("==============================================================\n");
+  std::printf("Experiment %s — reproduces %s\n", experiment_id.c_str(),
+              paper_artifact.c_str());
+  std::printf("Paper claim: %s\n", claim.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Row-oriented table with a fixed column layout.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void row(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+      for (const auto& r : rows_) {
+        if (c < r.size()) widths[c] = std::max(widths[c], r[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      std::printf("|");
+      for (std::size_t c = 0; c < columns_.size(); ++c) {
+        const std::string& cell = c < cells.size() ? cells[c] : std::string();
+        std::printf(" %-*s |", static_cast<int>(widths[c]), cell.c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::printf("|");
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      std::printf("%s|", std::string(widths[c] + 2, '-').c_str());
+    }
+    std::printf("\n");
+    for (const auto& r : rows_) print_row(r);
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+struct LatencyStats {
+  double min_ms = 0, median_ms = 0, p90_ms = 0, max_ms = 0, mean_ms = 0;
+  std::size_t samples = 0;
+};
+
+inline LatencyStats latency_stats(std::vector<double> samples_ms) {
+  LatencyStats s;
+  s.samples = samples_ms.size();
+  if (samples_ms.empty()) return s;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  s.min_ms = samples_ms.front();
+  s.max_ms = samples_ms.back();
+  s.median_ms = samples_ms[samples_ms.size() / 2];
+  s.p90_ms = samples_ms[samples_ms.size() * 9 / 10];
+  double sum = 0;
+  for (const double v : samples_ms) sum += v;
+  s.mean_ms = sum / static_cast<double>(samples_ms.size());
+  return s;
+}
+
+inline std::string fmt_ms(double ms) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f ms", ms);
+  return buf;
+}
+
+inline std::string fmt_count(std::uint64_t v) { return std::to_string(v); }
+
+inline void quiet_logs() {
+  util::LogConfig::instance().level = util::LogLevel::kOff;
+}
+
+}  // namespace spire::bench

@@ -1,0 +1,93 @@
+// MANA monitoring demo: trains the analyzer on the live deployment's
+// traffic, then streams the situational-awareness board while a
+// scripted intruder works through reconnaissance, poisoning, and
+// flooding — the operator's-eye view the paper argues is essential
+// even when intrusion tolerance is masking the attacks (§III-C).
+#include <cstdio>
+
+#include "attack/attacker.hpp"
+#include "mana/mana.hpp"
+#include "scada/deployment.hpp"
+
+using namespace spire;
+
+int main() {
+  util::LogConfig::instance().level = util::LogLevel::kOff;
+  std::printf("== MANA monitor demo (paper SII / SIII-C) ==\n");
+
+  sim::Simulator sim;
+  scada::DeploymentConfig config;
+  config.f = 1;
+  config.k = 0;
+  config.scenario = scada::ScenarioSpec::red_team();
+  config.cycler_interval = 1 * sim::kSecond;
+  scada::SpireDeployment spire_sys(sim, config);
+
+  mana::ManaConfig mana_config;
+  mana_config.network = "operations-spire";
+  mana::Mana ids(mana_config);
+
+  spire_sys.start();
+  sim.run_until(5 * sim::kSecond);
+  spire_sys.external_switch().add_tap(
+      "operations-spire", [&](const net::PcapRecord& r) { ids.on_capture(r); });
+
+  std::printf("capturing baseline traffic (out-of-band tap, passive)...\n");
+  sim.run_until(sim.now() + 45 * sim::kSecond);
+  ids.flush_until(sim.now());
+  ids.finish_training();
+  std::printf("model trained; anomaly threshold calibrated to %.2f\n",
+              ids.threshold());
+
+  // Live alert stream.
+  std::size_t printed = 0;
+  auto drain_alerts = [&] {
+    ids.flush_until(sim.now());
+    for (; printed < ids.alerts().size(); ++printed) {
+      const auto& alert = ids.alerts()[printed];
+      std::printf("  [%7.1fs] %-20s score=%.1f  %s\n",
+                  static_cast<double>(alert.at) / sim::kSecond,
+                  std::string(mana::to_string(alert.kind)).c_str(), alert.score,
+                  alert.detail.c_str());
+    }
+  };
+
+  std::printf("\nmonitoring... (benign window)\n");
+  sim.run_until(sim.now() + 20 * sim::kSecond);
+  drain_alerts();
+  std::printf("  (%zu windows scored, %zu anomalous)\n", ids.windows_scored(),
+              ids.windows_anomalous());
+
+  net::Host& rogue = spire_sys.network().add_host("intruder");
+  rogue.add_interface(net::MacAddress::from_id(0xBAD),
+                      net::IpAddress::make(10, 2, 0, 66), 24);
+  spire_sys.network().connect(rogue, 0, spire_sys.external_switch());
+  attack::Attacker attacker(sim, rogue);
+
+  std::printf("\nintruder: port sweep of the SCADA master replicas\n");
+  attacker.port_scan(spire_sys.replica_host(0).ip(1), 8100, 8500,
+                     2 * sim::kMillisecond);
+  sim.run_until(sim.now() + 5 * sim::kSecond);
+  drain_alerts();
+
+  std::printf("\nintruder: gratuitous ARP claiming a replica's address\n");
+  attacker.arp_poison(spire_sys.network().host("hmi0").ip(0),
+                      spire_sys.network().host("hmi0").mac(0),
+                      spire_sys.replica_host(0).ip(1), 10);
+  sim.run_until(sim.now() + 5 * sim::kSecond);
+  drain_alerts();
+
+  std::printf("\nintruder: traffic flood at a replica\n");
+  attacker.dos_flood(spire_sys.replica_host(0).ip(1),
+                     spire_sys.replica_host(0).mac(1), 8200, 5000,
+                     3 * sim::kSecond, 1200);
+  sim.run_until(sim.now() + 6 * sim::kSecond);
+  drain_alerts();
+
+  std::printf("\nboard summary: %zu alerts, %zu/%zu anomalous windows\n",
+              ids.alerts().size(), ids.windows_anomalous(),
+              ids.windows_scored());
+  const bool ok = ids.alerts().size() >= 3;
+  std::printf("%s\n", ok ? "MANA MONITOR DEMO OK" : "MANA MONITOR DEMO FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,214 @@
+#include "attack/attacker.hpp"
+
+namespace spire::attack {
+
+Attacker::Attacker(sim::Simulator& sim, net::Host& host, std::size_t iface)
+    : sim_(sim), host_(host), iface_(iface), log_("attack." + host.name()) {
+  host_.set_compromised(true);
+  host_.set_promiscuous(iface_, true);
+}
+
+void Attacker::port_scan(net::IpAddress target, std::uint16_t first_port,
+                         std::uint16_t last_port, sim::Time pace) {
+  sim::Time when = 0;
+  for (std::uint32_t port = first_port; port <= last_port; ++port) {
+    when += pace;
+    sim_.schedule_after(when, [this, target, port] {
+      ++stats_.probes_sent;
+      host_.send_udp(target, static_cast<std::uint16_t>(port), attack_port_,
+                     util::to_bytes("probe"));
+    });
+  }
+  log_.info("port scan of ", target.str(), " ports ", first_port, "-",
+            last_port);
+}
+
+void Attacker::arp_poison(net::IpAddress victim_ip, net::MacAddress victim_mac,
+                          net::IpAddress impersonated_ip, int count,
+                          sim::Time interval) {
+  log_.info("ARP poisoning ", victim_ip.str(), ": claiming ",
+            impersonated_ip.str());
+  for (int i = 0; i < count; ++i) {
+    sim_.schedule_after(interval * static_cast<sim::Time>(i),
+                        [this, victim_ip, victim_mac, impersonated_ip] {
+      ++stats_.arp_poisons_sent;
+      net::ArpPacket reply;
+      reply.op = net::ArpOp::kReply;
+      reply.sender_mac = host_.mac(iface_);  // the lie
+      reply.sender_ip = impersonated_ip;
+      reply.target_mac = victim_mac;
+      reply.target_ip = victim_ip;
+      net::EthernetFrame frame{host_.mac(iface_), victim_mac,
+                               net::EtherType::kArp, reply.encode()};
+      host_.send_frame_raw(iface_, frame);
+    });
+  }
+}
+
+void Attacker::start_mitm(TamperFn tamper) {
+  tamper_ = std::move(tamper);
+  host_.set_packet_interceptor(
+      [this](std::size_t iface, const net::Datagram& dgram) {
+        (void)iface;
+        ++stats_.mitm_intercepted;
+        if (!tamper_) {
+          forward_intercepted(dgram);
+          return true;
+        }
+        const auto result = tamper_(dgram);
+        if (!result) return true;  // dropped
+        if (result->payload != dgram.payload) ++stats_.mitm_tampered;
+        forward_intercepted(*result);
+        return true;
+      });
+}
+
+void Attacker::stop_mitm() {
+  tamper_ = nullptr;
+  host_.set_packet_interceptor(nullptr);
+}
+
+void Attacker::forward_intercepted(const net::Datagram& dgram) {
+  // Forward to the true destination. The attacker knows the real MAC
+  // (it observed it, or can resolve it while the victims cannot see the
+  // side conversation).
+  const auto mac = host_.arp_lookup(dgram.dst_ip);
+  if (!mac) {
+    // Resolve by re-sending through the normal stack (src stays forged
+    // at IP level because we re-encode the datagram as-is).
+    net::EthernetFrame frame{host_.mac(iface_), net::MacAddress::broadcast(),
+                             net::EtherType::kIpv4, dgram.encode()};
+    host_.send_frame_raw(iface_, frame);
+    return;
+  }
+  net::EthernetFrame frame{host_.mac(iface_), *mac, net::EtherType::kIpv4,
+                           dgram.encode()};
+  host_.send_frame_raw(iface_, frame);
+}
+
+void Attacker::ip_spoof_burst(net::IpAddress fake_src_ip,
+                              net::MacAddress fake_src_mac,
+                              net::IpAddress dst_ip, net::MacAddress dst_mac,
+                              std::uint16_t dst_port, int count) {
+  log_.info("IP spoofing burst as ", fake_src_ip.str(), " toward ",
+            dst_ip.str(), ":", dst_port);
+  for (int i = 0; i < count; ++i) {
+    ++stats_.spoofed_frames_sent;
+    net::Datagram dgram;
+    dgram.src_ip = fake_src_ip;
+    dgram.dst_ip = dst_ip;
+    dgram.src_port = attack_port_;
+    dgram.dst_port = dst_port;
+    dgram.payload = util::to_bytes("spoofed");
+    net::EthernetFrame frame{fake_src_mac, dst_mac, net::EtherType::kIpv4,
+                             dgram.encode()};
+    host_.send_frame_raw(iface_, frame);
+  }
+}
+
+void Attacker::dos_flood(net::IpAddress dst_ip, net::MacAddress dst_mac,
+                         std::uint16_t dst_port, std::uint32_t pps,
+                         sim::Time duration, std::size_t payload_size) {
+  log_.info("DoS flood toward ", dst_ip.str(), ":", dst_port, " at ", pps,
+            " pps for ", duration / sim::kMillisecond, "ms");
+  const sim::Time gap = sim::kSecond / std::max<std::uint32_t>(1, pps);
+  const std::uint64_t total = duration / std::max<sim::Time>(1, gap);
+  for (std::uint64_t i = 0; i < total; ++i) {
+    sim_.schedule_after(gap * i, [this, dst_ip, dst_mac, dst_port,
+                                  payload_size] {
+      ++stats_.dos_frames_sent;
+      net::Datagram dgram;
+      dgram.src_ip = host_.ip(iface_);
+      dgram.dst_ip = dst_ip;
+      dgram.src_port = attack_port_;
+      dgram.dst_port = dst_port;
+      dgram.payload.assign(payload_size, 0xDD);
+      net::EthernetFrame frame{host_.mac(iface_), dst_mac,
+                               net::EtherType::kIpv4, dgram.encode()};
+      host_.send_frame_raw(iface_, frame);
+    });
+  }
+}
+
+void Attacker::plc_dump_config(
+    net::IpAddress plc_ip,
+    std::function<void(std::optional<plc::PlcConfig>)> done, sim::Time timeout) {
+  pending_dump_ = std::move(done);
+  host_.bind_udp(attack_port_, [this](const net::Datagram& dgram) {
+    if (!pending_dump_) return;
+    try {
+      util::ByteReader r(dgram.payload);
+      const auto op = static_cast<plc::MaintenanceOp>(r.u8());
+      if (op != plc::MaintenanceOp::kDumpConfig) return;
+      const auto blob = r.blob();
+      auto handler = std::move(pending_dump_);
+      pending_dump_ = nullptr;
+      sim_.cancel(dump_timeout_);
+      handler(plc::PlcConfig::decode(blob));
+    } catch (const util::SerializationError&) {
+    }
+  });
+
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(plc::MaintenanceOp::kDumpConfig));
+  const bool sent =
+      host_.send_udp(plc_ip, plc::kMaintenancePort, attack_port_, w.take());
+  log_.info("PLC config dump request to ", plc_ip.str(),
+            sent ? "" : " (egress blocked)");
+
+  dump_timeout_ = sim_.schedule_after(timeout, [this] {
+    if (!pending_dump_) return;
+    auto handler = std::move(pending_dump_);
+    pending_dump_ = nullptr;
+    handler(std::nullopt);
+  });
+}
+
+void Attacker::plc_upload_config(net::IpAddress plc_ip,
+                                 const std::string& password,
+                                 plc::PlcConfig config) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(plc::MaintenanceOp::kUploadConfig));
+  w.str(password);
+  w.blob(config.encode());
+  host_.send_udp(plc_ip, plc::kMaintenancePort, attack_port_, w.take());
+  log_.info("PLC config upload to ", plc_ip.str());
+}
+
+void Attacker::plc_direct_write(net::IpAddress plc_ip, std::uint16_t breaker,
+                                bool close) {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(plc::MaintenanceOp::kDirectCoilWrite));
+  w.u16(breaker);
+  w.boolean(close);
+  host_.send_udp(plc_ip, plc::kMaintenancePort, attack_port_, w.take());
+}
+
+EscalationResult try_privilege_escalation(const net::Host& target) {
+  const net::OsProfile& os = target.os();
+  if (!os.patched_kernel) return EscalationResult::kRootViaKernelExploit;
+  if (!os.patched_sshd) return EscalationResult::kRootViaSshd;
+  return EscalationResult::kFailedPatchedOs;
+}
+
+std::string_view to_string(EscalationResult result) {
+  switch (result) {
+    case EscalationResult::kRootViaKernelExploit: return "root-via-kernel-exploit";
+    case EscalationResult::kRootViaSshd: return "root-via-sshd-exploit";
+    case EscalationResult::kFailedPatchedOs: return "failed-patched-os";
+  }
+  return "?";
+}
+
+Exploit craft_exploit_against(const prime::Replica& replica) {
+  return Exploit{replica.variant()};
+}
+
+bool apply_exploit(prime::Replica& replica, const Exploit& exploit,
+                   prime::ReplicaBehavior on_success_behavior) {
+  if (replica.variant() != exploit.target_variant) return false;
+  replica.set_behavior(on_success_behavior);
+  return true;
+}
+
+}  // namespace spire::attack

@@ -1,0 +1,126 @@
+// Red-team attack framework (paper §IV).
+//
+// An Attacker drives a host it controls and replays the attacks the
+// Sandia red team used, as primitives the experiment benches compose:
+//   * port scans and IP-spoofed traffic,
+//   * ARP poisoning and full man-in-the-middle interception,
+//   * denial-of-service traffic bursts,
+//   * PLC maintenance-protocol abuse (memory dump -> config upload ->
+//     direct breaker control),
+//   * privilege-escalation attempts against the host OS profile
+//     (dirtycow-class kernel bugs, sshd CVEs),
+//   * diversity-aware replica exploits (an exploit is crafted against
+//     one MultiCompiler variant and only works on that variant).
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "plc/plc.hpp"
+#include "prime/replica.hpp"
+#include "sim/simulator.hpp"
+#include "util/log.hpp"
+
+namespace spire::attack {
+
+struct AttackStats {
+  std::uint64_t probes_sent = 0;
+  std::uint64_t arp_poisons_sent = 0;
+  std::uint64_t spoofed_frames_sent = 0;
+  std::uint64_t dos_frames_sent = 0;
+  std::uint64_t mitm_intercepted = 0;
+  std::uint64_t mitm_tampered = 0;
+};
+
+class Attacker {
+ public:
+  Attacker(sim::Simulator& sim, net::Host& host, std::size_t iface = 0);
+
+  // ---- reconnaissance ------------------------------------------------------
+  /// UDP port sweep of `target` over [first_port, last_port], paced.
+  void port_scan(net::IpAddress target, std::uint16_t first_port,
+                 std::uint16_t last_port, sim::Time pace = 500);
+
+  // ---- layer-2 attacks -----------------------------------------------------
+  /// Sends `count` gratuitous ARP replies to `victim`, claiming
+  /// `impersonated_ip` lives at this attacker's MAC.
+  void arp_poison(net::IpAddress victim_ip, net::MacAddress victim_mac,
+                  net::IpAddress impersonated_ip, int count = 3,
+                  sim::Time interval = 50 * sim::kMillisecond);
+
+  /// Installs a man-in-the-middle on traffic that ARP poisoning steers
+  /// to this host: `tamper` may modify the datagram (return the
+  /// modified copy), drop it (nullopt), or pass it through unchanged.
+  /// The attacker re-resolves the true destination and forwards.
+  using TamperFn =
+      std::function<std::optional<net::Datagram>(const net::Datagram&)>;
+  void start_mitm(TamperFn tamper);
+  void stop_mitm();
+
+  /// Frames with a forged source IP/MAC.
+  void ip_spoof_burst(net::IpAddress fake_src_ip, net::MacAddress fake_src_mac,
+                      net::IpAddress dst_ip, net::MacAddress dst_mac,
+                      std::uint16_t dst_port, int count);
+
+  /// Traffic flood toward a target at `pps` for `duration`.
+  void dos_flood(net::IpAddress dst_ip, net::MacAddress dst_mac,
+                 std::uint16_t dst_port, std::uint32_t pps, sim::Time duration,
+                 std::size_t payload_size = 1000);
+
+  // ---- PLC maintenance abuse ------------------------------------------------
+  /// Issues a memory/config dump; `on_config` fires with the parsed
+  /// config (the step that leaked the password in the red-team test).
+  void plc_dump_config(net::IpAddress plc_ip,
+                       std::function<void(std::optional<plc::PlcConfig>)> done,
+                       sim::Time timeout = 500 * sim::kMillisecond);
+  /// Uploads a config using `password`; enables direct control.
+  void plc_upload_config(net::IpAddress plc_ip, const std::string& password,
+                         plc::PlcConfig config);
+  void plc_direct_write(net::IpAddress plc_ip, std::uint16_t breaker,
+                        bool close);
+
+  [[nodiscard]] const AttackStats& stats() const { return stats_; }
+  [[nodiscard]] net::Host& host() { return host_; }
+
+ private:
+  void forward_intercepted(const net::Datagram& dgram);
+
+  sim::Simulator& sim_;
+  net::Host& host_;
+  std::size_t iface_;
+  util::Logger log_;
+  std::uint16_t attack_port_ = 47000;
+  AttackStats stats_;
+  TamperFn tamper_;
+  std::function<void(std::optional<plc::PlcConfig>)> pending_dump_;
+  sim::EventId dump_timeout_ = 0;
+};
+
+// ---- host / replica compromise models ---------------------------------------
+
+enum class EscalationResult {
+  kRootViaKernelExploit,  ///< dirtycow-class shared-memory bug
+  kRootViaSshd,
+  kFailedPatchedOs,
+};
+
+[[nodiscard]] EscalationResult try_privilege_escalation(const net::Host& target);
+[[nodiscard]] std::string_view to_string(EscalationResult result);
+
+/// A crafted exploit binds to the diversity variant it was developed
+/// against (the MultiCompiler property, DESIGN.md §3).
+struct Exploit {
+  std::uint64_t target_variant = 0;
+};
+
+[[nodiscard]] Exploit craft_exploit_against(const prime::Replica& replica);
+
+/// Attempts the exploit: succeeds (installing `on_success_behavior`)
+/// only if the replica currently runs the targeted variant.
+bool apply_exploit(prime::Replica& replica, const Exploit& exploit,
+                   prime::ReplicaBehavior on_success_behavior);
+
+}  // namespace spire::attack

@@ -1,0 +1,76 @@
+#include "crypto/chacha20.hpp"
+
+namespace spire::crypto {
+
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) {
+  a += b; d ^= a; d = rotl(d, 16);
+  c += d; b ^= c; b = rotl(b, 12);
+  a += b; d ^= a; d = rotl(d, 8);
+  c += d; b ^= c; b = rotl(b, 7);
+}
+
+std::uint32_t load32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                            std::uint32_t counter,
+                                            const ChaChaNonce& nonce) {
+  std::array<std::uint32_t, 16> state = {
+      0x61707865, 0x3320646e, 0x79622d32, 0x6b206574,
+      load32_le(key.data() + 0),  load32_le(key.data() + 4),
+      load32_le(key.data() + 8),  load32_le(key.data() + 12),
+      load32_le(key.data() + 16), load32_le(key.data() + 20),
+      load32_le(key.data() + 24), load32_le(key.data() + 28),
+      counter,
+      load32_le(nonce.data() + 0), load32_le(nonce.data() + 4),
+      load32_le(nonce.data() + 8)};
+
+  std::array<std::uint32_t, 16> working = state;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(working[0], working[4], working[8], working[12]);
+    quarter_round(working[1], working[5], working[9], working[13]);
+    quarter_round(working[2], working[6], working[10], working[14]);
+    quarter_round(working[3], working[7], working[11], working[15]);
+    quarter_round(working[0], working[5], working[10], working[15]);
+    quarter_round(working[1], working[6], working[11], working[12]);
+    quarter_round(working[2], working[7], working[8], working[13]);
+    quarter_round(working[3], working[4], working[9], working[14]);
+  }
+
+  std::array<std::uint8_t, 64> out{};
+  for (std::size_t i = 0; i < 16; ++i) {
+    const std::uint32_t v = working[i] + state[i];
+    out[4 * i] = static_cast<std::uint8_t>(v);
+    out[4 * i + 1] = static_cast<std::uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(v >> 24);
+  }
+  return out;
+}
+
+util::Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                         std::uint32_t counter,
+                         std::span<const std::uint8_t> data) {
+  util::Bytes out(data.begin(), data.end());
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    const auto keystream = chacha20_block(key, counter++, nonce);
+    const std::size_t n = std::min<std::size_t>(64, out.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= keystream[i];
+    offset += n;
+  }
+  return out;
+}
+
+}  // namespace spire::crypto

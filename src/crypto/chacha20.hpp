@@ -1,0 +1,29 @@
+// ChaCha20 stream cipher (RFC 8439 block function), validated against
+// the RFC test vector. Provides the link encryption that Spines runs
+// in intrusion-tolerant mode — the encryption that defeated the red
+// team's modified-daemon attack in the paper (§IV-B).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace spire::crypto {
+
+using ChaChaKey = std::array<std::uint8_t, 32>;
+using ChaChaNonce = std::array<std::uint8_t, 12>;
+
+/// Computes one 64-byte ChaCha20 keystream block (RFC 8439 §2.3).
+[[nodiscard]] std::array<std::uint8_t, 64> chacha20_block(
+    const ChaChaKey& key, std::uint32_t counter, const ChaChaNonce& nonce);
+
+/// XORs `data` with the keystream starting at block `counter`.
+/// Encryption and decryption are the same operation.
+[[nodiscard]] util::Bytes chacha20_xor(const ChaChaKey& key,
+                                       const ChaChaNonce& nonce,
+                                       std::uint32_t counter,
+                                       std::span<const std::uint8_t> data);
+
+}  // namespace spire::crypto

@@ -1,0 +1,24 @@
+// HMAC-SHA256 (RFC 2104), validated against RFC 4231 test vectors.
+//
+// Used for (a) per-hop link authentication in the Spines overlay and
+// (b) per-sender message authenticators that stand in for the RSA
+// signatures used by the real Prime/Spires deployment (see DESIGN.md
+// §3 for why the substitution preserves the protocol behaviour).
+#pragma once
+
+#include <span>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace spire::crypto {
+
+/// HMAC-SHA256 over `data` with `key`.
+[[nodiscard]] Digest hmac_sha256(std::span<const std::uint8_t> key,
+                                 std::span<const std::uint8_t> data);
+
+/// Constant-time-ish digest comparison (the simulation has no timing
+/// side channels, but we keep the idiom).
+[[nodiscard]] bool digest_equal(const Digest& a, const Digest& b);
+
+}  // namespace spire::crypto

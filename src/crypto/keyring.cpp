@@ -1,0 +1,111 @@
+#include "crypto/keyring.hpp"
+
+#include <algorithm>
+
+namespace spire::crypto {
+
+namespace {
+
+SymmetricKey digest_to_key(const Digest& d) {
+  SymmetricKey k{};
+  std::copy(d.begin(), d.end(), k.begin());
+  return k;
+}
+
+util::Bytes key_span(std::string_view s) { return util::to_bytes(s); }
+
+}  // namespace
+
+Keyring::Keyring(std::string_view master_seed) {
+  master_ = digest_to_key(sha256(master_seed));
+}
+
+SymmetricKey Keyring::derive(std::string_view label) const {
+  const util::Bytes label_bytes = key_span(label);
+  return digest_to_key(hmac_sha256(master_, label_bytes));
+}
+
+SymmetricKey Keyring::identity_key(std::string_view identity) const {
+  return derive("identity:" + std::string(identity));
+}
+
+SymmetricKey Keyring::link_key(std::string_view endpoint_a,
+                               std::string_view endpoint_b) const {
+  std::string lo(endpoint_a);
+  std::string hi(endpoint_b);
+  if (hi < lo) std::swap(lo, hi);
+  return derive("link:" + lo + "|" + hi);
+}
+
+Signature Signer::sign(std::span<const std::uint8_t> message) const {
+  Signature s;
+  s.mac = hmac_sha256(key_, message);
+  return s;
+}
+
+void Verifier::add_identity(std::string identity, SymmetricKey key) {
+  keys_.insert_or_assign(std::move(identity), key);
+}
+
+bool Verifier::knows(std::string_view identity) const {
+  return keys_.find(identity) != keys_.end();
+}
+
+bool Verifier::verify(std::string_view identity,
+                      std::span<const std::uint8_t> message,
+                      const Signature& sig) const {
+  const auto it = keys_.find(identity);
+  if (it == keys_.end()) return false;
+  const Digest expected = hmac_sha256(it->second, message);
+  return digest_equal(expected, sig.mac);
+}
+
+SecureChannel::SecureChannel(SymmetricKey key) {
+  // Domain-separate the encryption and MAC keys from the link key.
+  enc_key_ = digest_to_key(hmac_sha256(key, util::to_bytes("enc")));
+  mac_key_ = digest_to_key(hmac_sha256(key, util::to_bytes("mac")));
+}
+
+util::Bytes SecureChannel::seal(std::span<const std::uint8_t> plaintext) {
+  const std::uint64_t nonce_counter = next_nonce_++;
+  ChaChaNonce nonce{};
+  for (int i = 0; i < 8; ++i) {
+    nonce[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(nonce_counter >> (56 - 8 * i));
+  }
+  ChaChaKey ck{};
+  std::copy(enc_key_.begin(), enc_key_.end(), ck.begin());
+  util::Bytes ciphertext = chacha20_xor(ck, nonce, 1, plaintext);
+
+  util::ByteWriter w;
+  w.u64(nonce_counter);
+  w.raw(ciphertext);
+  const Digest tag = hmac_sha256(mac_key_, w.bytes());
+  w.raw(std::span<const std::uint8_t>(tag.data(), tag.size()));
+  return w.take();
+}
+
+std::optional<util::Bytes> SecureChannel::open(
+    std::span<const std::uint8_t> sealed) const {
+  if (sealed.size() < kOverhead) return std::nullopt;
+  const std::size_t body_len = sealed.size() - 32;
+  const Digest tag = hmac_sha256(mac_key_, sealed.subspan(0, body_len));
+  Digest provided{};
+  std::copy(sealed.begin() + static_cast<std::ptrdiff_t>(body_len),
+            sealed.end(), provided.begin());
+  if (!digest_equal(tag, provided)) return std::nullopt;
+
+  util::ByteReader r(sealed.subspan(0, body_len));
+  const std::uint64_t nonce_counter = r.u64();
+  ChaChaNonce nonce{};
+  for (int i = 0; i < 8; ++i) {
+    nonce[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(nonce_counter >> (56 - 8 * i));
+  }
+  ChaChaKey ck{};
+  std::copy(enc_key_.begin(), enc_key_.end(), ck.begin());
+  const auto ct = r.rest();
+  return chacha20_xor(ck, nonce, 1, ct);
+}
+
+}  // namespace spire::crypto

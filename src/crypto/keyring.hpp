@@ -1,0 +1,118 @@
+// Key management and message authentication for the reproduction.
+//
+// The real Spire deployment uses RSA signatures for Prime protocol
+// messages and pre-shared keys for Spines link authentication and
+// encryption. Here a trusted-dealer Keyring derives every key
+// deterministically from a master seed, and "signatures" are
+// HMAC-SHA256 authenticators under a per-sender key that all verifiers
+// hold (DESIGN.md §3 documents this substitution). The attack
+// framework honours the resulting rule: a compromised component can
+// only authenticate messages as identities whose signing keys it
+// actually holds.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace spire::crypto {
+
+using SymmetricKey = std::array<std::uint8_t, 32>;
+
+/// A per-sender message authenticator (signature substitute).
+struct Signature {
+  Digest mac{};
+
+  bool operator==(const Signature&) const = default;
+
+  void encode(util::ByteWriter& w) const {
+    w.raw(std::span<const std::uint8_t>(mac.data(), mac.size()));
+  }
+  static Signature decode(util::ByteReader& r) {
+    Signature s;
+    const auto raw = r.raw(s.mac.size());
+    std::copy(raw.begin(), raw.end(), s.mac.begin());
+    return s;
+  }
+};
+
+/// Derives all system keys from one master seed. In deployment terms
+/// this plays the role of the offline provisioning step that installs
+/// key material on each Spire component before it is fielded.
+class Keyring {
+ public:
+  explicit Keyring(std::string_view master_seed);
+
+  /// Per-identity signing/verification key ("replica/3", "hmi/0", ...).
+  [[nodiscard]] SymmetricKey identity_key(std::string_view identity) const;
+
+  /// Symmetric key for an overlay link, independent of direction.
+  [[nodiscard]] SymmetricKey link_key(std::string_view endpoint_a,
+                                      std::string_view endpoint_b) const;
+
+  /// Arbitrary labelled key (session keys, network-wide group keys).
+  [[nodiscard]] SymmetricKey derive(std::string_view label) const;
+
+ private:
+  SymmetricKey master_{};
+};
+
+/// Signs messages as one identity.
+class Signer {
+ public:
+  Signer(std::string identity, SymmetricKey key)
+      : identity_(std::move(identity)), key_(key) {}
+
+  [[nodiscard]] const std::string& identity() const { return identity_; }
+  [[nodiscard]] Signature sign(std::span<const std::uint8_t> message) const;
+
+ private:
+  std::string identity_;
+  SymmetricKey key_;
+};
+
+/// Verifies authenticators from a set of known identities.
+class Verifier {
+ public:
+  void add_identity(std::string identity, SymmetricKey key);
+  [[nodiscard]] bool knows(std::string_view identity) const;
+  [[nodiscard]] bool verify(std::string_view identity,
+                            std::span<const std::uint8_t> message,
+                            const Signature& sig) const;
+
+ private:
+  std::map<std::string, SymmetricKey, std::less<>> keys_;
+};
+
+/// Authenticated encryption for overlay links:
+/// wire format = u64 nonce-counter || ciphertext || 32-byte HMAC tag.
+/// The tag covers the nonce and the ciphertext (encrypt-then-MAC).
+class SecureChannel {
+ public:
+  explicit SecureChannel(SymmetricKey key);
+
+  /// Encrypts and authenticates. Each call consumes one nonce.
+  [[nodiscard]] util::Bytes seal(std::span<const std::uint8_t> plaintext);
+
+  /// Verifies and decrypts; nullopt on any tampering or truncation.
+  [[nodiscard]] std::optional<util::Bytes> open(
+      std::span<const std::uint8_t> sealed) const;
+
+  static constexpr std::size_t kOverhead = 8 + 32;
+
+ private:
+  SymmetricKey enc_key_{};
+  SymmetricKey mac_key_{};
+  std::uint64_t next_nonce_ = 1;
+};
+
+}  // namespace spire::crypto

@@ -1,0 +1,52 @@
+// SHA-256 (FIPS 180-4), implemented from scratch and validated against
+// the NIST test vectors in tests/crypto_test.cpp.
+//
+// Digests are the integrity primitive for everything above: HMAC link
+// authentication in Spines, per-sender message authenticators in Prime,
+// application state digests in the SCADA state-transfer protocol.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace spire::crypto {
+
+using Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256();
+
+  void update(std::span<const std::uint8_t> data);
+  void update(std::string_view s) {
+    update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+  }
+
+  /// Finalizes and returns the digest. The context must not be reused
+  /// afterwards without reset().
+  [[nodiscard]] Digest finish();
+
+  void reset();
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, 64> buffer_{};
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bits_ = 0;
+};
+
+/// One-shot digest.
+[[nodiscard]] Digest sha256(std::span<const std::uint8_t> data);
+[[nodiscard]] Digest sha256(std::string_view s);
+
+/// Truncated digest as u64 (for hash tables / fingerprints, not security).
+[[nodiscard]] std::uint64_t digest_prefix64(const Digest& d);
+
+}  // namespace spire::crypto

@@ -1,0 +1,226 @@
+#include "dnp3/app.hpp"
+
+namespace spire::dnp3 {
+
+namespace {
+
+// Object header constants used by this subset.
+constexpr std::uint8_t kGroupBinaryInput = 1;    // var 2: with flags
+constexpr std::uint8_t kGroupBinaryOutput = 10;  // var 2: status w/ flags
+constexpr std::uint8_t kGroupCrob = 12;          // var 1
+constexpr std::uint8_t kGroupAnalogInput = 30;   // var 2: 16-bit w/ flag
+constexpr std::uint8_t kGroupClass = 60;         // var 1: class 0
+constexpr std::uint8_t kQualifierAll = 0x06;         // no range (requests)
+constexpr std::uint8_t kQualifierStartStop8 = 0x00;  // 1-byte start/stop
+constexpr std::uint8_t kQualifierCountIndex8 = 0x17; // 1B count + 1B index
+
+void put_u16_le(util::Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32_le(util::Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint8_t flag_byte(bool state, bool online) {
+  return static_cast<std::uint8_t>((state ? 0x80 : 0) | (online ? 0x01 : 0));
+}
+
+void put_crob(util::Bytes& out, const Crob& crob) {
+  out.push_back(kGroupCrob);
+  out.push_back(1);  // variation
+  out.push_back(kQualifierCountIndex8);
+  out.push_back(1);  // count
+  out.push_back(static_cast<std::uint8_t>(crob.index & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(crob.code));
+  out.push_back(crob.count);
+  put_u32_le(out, crob.on_time_ms);
+  put_u32_le(out, crob.off_time_ms);
+  out.push_back(crob.status);
+}
+
+/// Reader with explicit failure state (DNP3 objects are positional).
+struct Cursor {
+  std::span<const std::uint8_t> data;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    if (pos + 1 > data.size()) {
+      ok = false;
+      return 0;
+    }
+    return data[pos++];
+  }
+  std::uint16_t u16_le() {
+    const std::uint8_t lo = u8();
+    return static_cast<std::uint16_t>(lo | (u8() << 8));
+  }
+  std::uint32_t u32_le() {
+    const std::uint16_t lo = u16_le();
+    return static_cast<std::uint32_t>(lo) |
+           (static_cast<std::uint32_t>(u16_le()) << 16);
+  }
+  [[nodiscard]] bool done() const { return pos == data.size(); }
+};
+
+std::optional<Crob> read_crob(Cursor& c) {
+  if (c.u8() != kQualifierCountIndex8) return std::nullopt;
+  if (c.u8() != 1) return std::nullopt;  // single-control subset
+  Crob crob;
+  crob.index = c.u8();
+  const std::uint8_t code = c.u8();
+  if (code != static_cast<std::uint8_t>(ControlCode::kLatchOn) &&
+      code != static_cast<std::uint8_t>(ControlCode::kLatchOff)) {
+    return std::nullopt;
+  }
+  crob.code = static_cast<ControlCode>(code);
+  crob.count = c.u8();
+  crob.on_time_ms = c.u32_le();
+  crob.off_time_ms = c.u32_le();
+  crob.status = c.u8();
+  if (!c.ok) return std::nullopt;
+  return crob;
+}
+
+}  // namespace
+
+util::Bytes AppRequest::encode() const {
+  util::Bytes out;
+  out.push_back(control.encode());
+  out.push_back(static_cast<std::uint8_t>(function));
+  if (function == AppFunction::kRead && class0_poll) {
+    out.push_back(kGroupClass);
+    out.push_back(1);  // variation: class 0 data
+    out.push_back(kQualifierAll);
+  } else if (function == AppFunction::kDirectOperate && crob) {
+    put_crob(out, *crob);
+  }
+  return out;
+}
+
+std::optional<AppRequest> AppRequest::decode(
+    std::span<const std::uint8_t> data) {
+  Cursor c{data};
+  AppRequest req;
+  req.control = AppControl::decode(c.u8());
+  const std::uint8_t function = c.u8();
+  if (!c.ok) return std::nullopt;
+  switch (function) {
+    case static_cast<std::uint8_t>(AppFunction::kRead): {
+      req.function = AppFunction::kRead;
+      if (c.u8() != kGroupClass || c.u8() != 1 || c.u8() != kQualifierAll ||
+          !c.ok || !c.done()) {
+        return std::nullopt;
+      }
+      req.class0_poll = true;
+      return req;
+    }
+    case static_cast<std::uint8_t>(AppFunction::kDirectOperate): {
+      req.function = AppFunction::kDirectOperate;
+      if (c.u8() != kGroupCrob || c.u8() != 1) return std::nullopt;
+      req.crob = read_crob(c);
+      if (!req.crob || !c.done()) return std::nullopt;
+      return req;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+util::Bytes AppResponse::encode() const {
+  util::Bytes out;
+  out.push_back(control.encode());
+  out.push_back(static_cast<std::uint8_t>(AppFunction::kResponse));
+  put_u16_le(out, iin.encode());
+
+  if (!binary_inputs.empty()) {
+    out.push_back(kGroupBinaryInput);
+    out.push_back(2);
+    out.push_back(kQualifierStartStop8);
+    out.push_back(0);
+    out.push_back(static_cast<std::uint8_t>(binary_inputs.size() - 1));
+    for (const auto& p : binary_inputs) {
+      out.push_back(flag_byte(p.state, p.online));
+    }
+  }
+  if (!binary_output_status.empty()) {
+    out.push_back(kGroupBinaryOutput);
+    out.push_back(2);
+    out.push_back(kQualifierStartStop8);
+    out.push_back(0);
+    out.push_back(static_cast<std::uint8_t>(binary_output_status.size() - 1));
+    for (const auto& p : binary_output_status) {
+      out.push_back(flag_byte(p.state, p.online));
+    }
+  }
+  if (!analog_inputs.empty()) {
+    out.push_back(kGroupAnalogInput);
+    out.push_back(2);
+    out.push_back(kQualifierStartStop8);
+    out.push_back(0);
+    out.push_back(static_cast<std::uint8_t>(analog_inputs.size() - 1));
+    for (const auto& p : analog_inputs) {
+      out.push_back(p.online ? 0x01 : 0x00);
+      put_u16_le(out, static_cast<std::uint16_t>(p.value));
+    }
+  }
+  if (crob_echo) put_crob(out, *crob_echo);
+  return out;
+}
+
+std::optional<AppResponse> AppResponse::decode(
+    std::span<const std::uint8_t> data) {
+  Cursor c{data};
+  AppResponse resp;
+  resp.control = AppControl::decode(c.u8());
+  if (c.u8() != static_cast<std::uint8_t>(AppFunction::kResponse)) {
+    return std::nullopt;
+  }
+  resp.iin = Iin::decode(c.u16_le());
+  if (!c.ok) return std::nullopt;
+
+  while (c.ok && !c.done()) {
+    const std::uint8_t group = c.u8();
+    const std::uint8_t variation = c.u8();
+    if (group == kGroupCrob && variation == 1) {
+      resp.crob_echo = read_crob(c);
+      if (!resp.crob_echo) return std::nullopt;
+      continue;
+    }
+    if (c.u8() != kQualifierStartStop8) return std::nullopt;
+    const std::uint8_t start = c.u8();
+    const std::uint8_t stop = c.u8();
+    if (!c.ok || stop < start) return std::nullopt;
+    const std::size_t count = static_cast<std::size_t>(stop - start) + 1;
+
+    if (group == kGroupBinaryInput && variation == 2) {
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint8_t flags = c.u8();
+        resp.binary_inputs.push_back(
+            BinaryPoint{(flags & 0x80) != 0, (flags & 0x01) != 0});
+      }
+    } else if (group == kGroupBinaryOutput && variation == 2) {
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint8_t flags = c.u8();
+        resp.binary_output_status.push_back(
+            BinaryPoint{(flags & 0x80) != 0, (flags & 0x01) != 0});
+      }
+    } else if (group == kGroupAnalogInput && variation == 2) {
+      for (std::size_t i = 0; i < count; ++i) {
+        const std::uint8_t flags = c.u8();
+        const auto value = static_cast<std::int16_t>(c.u16_le());
+        resp.analog_inputs.push_back(AnalogPoint{value, (flags & 0x01) != 0});
+      }
+    } else {
+      return std::nullopt;  // unknown object in this subset
+    }
+  }
+  if (!c.ok) return std::nullopt;
+  return resp;
+}
+
+}  // namespace spire::dnp3

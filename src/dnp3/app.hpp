@@ -1,0 +1,104 @@
+// DNP3 application layer (IEEE 1815 §4/§5): the request/response
+// fragments a SCADA master exchanges with an RTU outstation. The
+// subset implemented is what grid RTU polling actually uses:
+//   * class-0 integrity poll (READ of group 60 var 1),
+//   * binary inputs with flags (g1v2) and binary output status (g10v2),
+//   * 16-bit analog inputs with flag (g30v2),
+//   * control relay output block (CROB, g12v1) via DIRECT_OPERATE.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace spire::dnp3 {
+
+enum class AppFunction : std::uint8_t {
+  kRead = 0x01,
+  kDirectOperate = 0x05,
+  kResponse = 0x81,
+};
+
+/// Application control octet (single-fragment: FIR|FIN always set).
+struct AppControl {
+  std::uint8_t sequence = 0;  ///< 0..15
+  bool confirm = false;
+
+  [[nodiscard]] std::uint8_t encode() const {
+    return static_cast<std::uint8_t>(0x80 | 0x40 | (confirm ? 0x20 : 0) |
+                                     (sequence & 0x0F));
+  }
+  static AppControl decode(std::uint8_t octet) {
+    return AppControl{static_cast<std::uint8_t>(octet & 0x0F),
+                      (octet & 0x20) != 0};
+  }
+};
+
+/// Internal indications (IIN1 high bits we model).
+struct Iin {
+  bool device_restart = false;
+  bool no_func_code_support = false;
+
+  [[nodiscard]] std::uint16_t encode() const {
+    std::uint16_t v = 0;
+    if (device_restart) v |= 0x0080;       // IIN1.7
+    if (no_func_code_support) v |= 0x0100; // IIN2.0
+    return v;
+  }
+  static Iin decode(std::uint16_t v) {
+    return Iin{(v & 0x0080) != 0, (v & 0x0100) != 0};
+  }
+};
+
+/// CROB — control relay output block (g12v1).
+enum class ControlCode : std::uint8_t {
+  kLatchOn = 0x03,
+  kLatchOff = 0x04,
+};
+
+struct Crob {
+  std::uint16_t index = 0;  ///< output point
+  ControlCode code = ControlCode::kLatchOn;
+  std::uint8_t count = 1;
+  std::uint32_t on_time_ms = 0;
+  std::uint32_t off_time_ms = 0;
+  std::uint8_t status = 0;  ///< 0 = success in responses
+};
+
+struct BinaryPoint {
+  bool state = false;
+  bool online = true;
+};
+
+struct AnalogPoint {
+  std::int16_t value = 0;
+  bool online = true;
+};
+
+/// Decoded request fragment.
+struct AppRequest {
+  AppControl control;
+  AppFunction function = AppFunction::kRead;
+  bool class0_poll = false;       ///< READ of g60v1, qualifier 0x06
+  std::optional<Crob> crob;       ///< DIRECT_OPERATE payload
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<AppRequest> decode(std::span<const std::uint8_t> data);
+};
+
+/// Decoded response fragment.
+struct AppResponse {
+  AppControl control;
+  Iin iin;
+  std::vector<BinaryPoint> binary_inputs;          // g1v2
+  std::vector<BinaryPoint> binary_output_status;   // g10v2
+  std::vector<AnalogPoint> analog_inputs;          // g30v2
+  std::optional<Crob> crob_echo;                   // g12v1 status echo
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<AppResponse> decode(std::span<const std::uint8_t> data);
+};
+
+}  // namespace spire::dnp3

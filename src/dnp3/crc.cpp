@@ -1,0 +1,41 @@
+#include "dnp3/crc.hpp"
+
+#include <array>
+
+namespace spire::dnp3 {
+
+namespace {
+
+// Reflected form of polynomial 0x3D65.
+constexpr std::uint16_t kPolyReflected = 0xA6BC;
+
+std::array<std::uint16_t, 256> make_table() {
+  std::array<std::uint16_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint16_t crc = static_cast<std::uint16_t>(i);
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? static_cast<std::uint16_t>((crc >> 1) ^ kPolyReflected)
+                      : static_cast<std::uint16_t>(crc >> 1);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<std::uint16_t, 256>& table() {
+  static const std::array<std::uint16_t, 256> kTable = make_table();
+  return kTable;
+}
+
+}  // namespace
+
+std::uint16_t crc_dnp(std::span<const std::uint8_t> data) {
+  std::uint16_t crc = 0;
+  for (const std::uint8_t byte : data) {
+    crc = static_cast<std::uint16_t>((crc >> 8) ^
+                                     table()[(crc ^ byte) & 0xFF]);
+  }
+  return crc;
+}
+
+}  // namespace spire::dnp3

@@ -1,0 +1,21 @@
+// CRC-DNP (IEEE 1815 data-link CRC): polynomial x^16 + x^13 + x^12 +
+// x^11 + x^10 + x^8 + x^6 + x^5 + x^2 + 1, LSB-first, transmitted
+// complemented, little-endian. Every DNP3 link-layer header and each
+// 16-octet user-data block carries one.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace spire::dnp3 {
+
+/// Raw (un-complemented) CRC over `data`.
+[[nodiscard]] std::uint16_t crc_dnp(std::span<const std::uint8_t> data);
+
+/// The on-wire value (complemented).
+[[nodiscard]] inline std::uint16_t crc_dnp_wire(
+    std::span<const std::uint8_t> data) {
+  return static_cast<std::uint16_t>(~crc_dnp(data));
+}
+
+}  // namespace spire::dnp3

@@ -1,0 +1,112 @@
+#include "dnp3/endpoint.hpp"
+
+namespace spire::dnp3 {
+
+std::optional<util::Bytes> Outstation::handle(
+    std::span<const std::uint8_t> data) {
+  const auto unwrapped = unwrap_fragment(data);
+  if (!unwrapped) return std::nullopt;
+  if (unwrapped->frame.destination != address_) return std::nullopt;
+  const auto request = AppRequest::decode(unwrapped->app_fragment);
+
+  AppResponse response;
+  response.iin.device_restart = restarted_;
+
+  if (!request) {
+    // Well-framed but unsupported application request: IIN2.0.
+    response.iin.no_func_code_support = true;
+  } else {
+    response.control.sequence = request->control.sequence;
+    if (request->function == AppFunction::kRead && request->class0_poll) {
+      response.binary_inputs = points_.binary_inputs;
+      response.binary_output_status = points_.binary_output_status;
+      response.analog_inputs = points_.analog_inputs;
+    } else if (request->function == AppFunction::kDirectOperate &&
+               request->crob) {
+      Crob echo = *request->crob;
+      echo.status = on_operate_
+                        ? on_operate_(echo.index,
+                                      echo.code == ControlCode::kLatchOn)
+                        : 4 /*NOT_SUPPORTED*/;
+      response.crob_echo = echo;
+    } else {
+      response.iin.no_func_code_support = true;
+    }
+  }
+
+  ++served_;
+  restarted_ = false;
+  return wrap_fragment(unwrapped->frame.source, address_,
+                       unwrapped->transport.sequence, response.encode(),
+                       /*dir_master_to_outstation=*/false);
+}
+
+Master::Master(sim::Simulator& sim, std::string name,
+               std::uint16_t master_address, std::uint16_t outstation_address,
+               SendFn send)
+    : sim_(sim),
+      log_("dnp3.master." + std::move(name)),
+      master_address_(master_address),
+      outstation_address_(outstation_address),
+      send_(std::move(send)) {}
+
+void Master::send_request(AppRequest request, ResponseHandler handler,
+                          sim::Time timeout) {
+  const std::uint8_t seq = next_app_seq_;
+  next_app_seq_ = static_cast<std::uint8_t>((next_app_seq_ + 1) & 0x0F);
+  request.control.sequence = seq;
+
+  Pending pending;
+  pending.handler = std::move(handler);
+  pending.timeout_event = sim_.schedule_after(timeout, [this, seq] {
+    const auto it = pending_.find(seq);
+    if (it == pending_.end()) return;
+    auto handler = std::move(it->second.handler);
+    pending_.erase(it);
+    ++timeouts_;
+    log_.debug("request seq ", static_cast<int>(seq), " timed out");
+    handler(std::nullopt);
+  });
+  pending_.emplace(seq, std::move(pending));
+
+  const std::uint8_t transport_seq = next_transport_seq_;
+  next_transport_seq_ = static_cast<std::uint8_t>((next_transport_seq_ + 1) & 0x3F);
+  send_(wrap_fragment(outstation_address_, master_address_, transport_seq,
+                      request.encode(), /*dir_master_to_outstation=*/true));
+}
+
+void Master::integrity_poll(ResponseHandler handler, sim::Time timeout) {
+  AppRequest request;
+  request.function = AppFunction::kRead;
+  request.class0_poll = true;
+  send_request(std::move(request), std::move(handler), timeout);
+}
+
+void Master::direct_operate(std::uint16_t index, bool close,
+                            ResponseHandler handler, sim::Time timeout) {
+  AppRequest request;
+  request.function = AppFunction::kDirectOperate;
+  Crob crob;
+  crob.index = index;
+  crob.code = close ? ControlCode::kLatchOn : ControlCode::kLatchOff;
+  request.crob = crob;
+  send_request(std::move(request), std::move(handler), timeout);
+}
+
+void Master::on_data(std::span<const std::uint8_t> data) {
+  const auto unwrapped = unwrap_fragment(data);
+  if (!unwrapped) return;
+  if (unwrapped->frame.destination != master_address_) return;
+  if (unwrapped->frame.source != outstation_address_) return;
+  const auto response = AppResponse::decode(unwrapped->app_fragment);
+  if (!response) return;
+
+  const auto it = pending_.find(response->control.sequence);
+  if (it == pending_.end()) return;  // late or unsolicited
+  sim_.cancel(it->second.timeout_event);
+  auto handler = std::move(it->second.handler);
+  pending_.erase(it);
+  handler(*response);
+}
+
+}  // namespace spire::dnp3

@@ -1,0 +1,109 @@
+#include "dnp3/framing.hpp"
+
+#include "dnp3/crc.hpp"
+
+namespace spire::dnp3 {
+
+namespace {
+constexpr std::uint8_t kStart1 = 0x05;
+constexpr std::uint8_t kStart2 = 0x64;
+constexpr std::size_t kBlock = 16;
+
+void put_u16_le(util::Bytes& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+}  // namespace
+
+util::Bytes LinkFrame::encode() const {
+  util::Bytes out;
+  out.push_back(kStart1);
+  out.push_back(kStart2);
+  // LEN counts CTRL + DEST + SRC + user data (not CRCs, not start).
+  out.push_back(static_cast<std::uint8_t>(5 + user_data.size()));
+  std::uint8_t control = static_cast<std::uint8_t>(function);
+  if (dir) control |= 0x80;
+  if (prm) control |= 0x40;
+  out.push_back(control);
+  put_u16_le(out, destination);
+  put_u16_le(out, source);
+  const std::uint16_t header_crc = crc_dnp_wire(
+      std::span<const std::uint8_t>(out.data(), out.size()));
+  put_u16_le(out, header_crc);
+
+  for (std::size_t offset = 0; offset < user_data.size(); offset += kBlock) {
+    const std::size_t n = std::min(kBlock, user_data.size() - offset);
+    const std::span<const std::uint8_t> block(user_data.data() + offset, n);
+    out.insert(out.end(), block.begin(), block.end());
+    put_u16_le(out, crc_dnp_wire(block));
+  }
+  return out;
+}
+
+std::optional<LinkFrame> LinkFrame::decode(std::span<const std::uint8_t> data) {
+  if (data.size() < 10) return std::nullopt;
+  if (data[0] != kStart1 || data[1] != kStart2) return std::nullopt;
+  const std::uint8_t length = data[2];
+  if (length < 5) return std::nullopt;
+
+  const std::uint16_t header_crc =
+      static_cast<std::uint16_t>(data[8] | (data[9] << 8));
+  if (crc_dnp_wire(data.subspan(0, 8)) != header_crc) return std::nullopt;
+
+  LinkFrame frame;
+  const std::uint8_t control = data[3];
+  frame.dir = (control & 0x80) != 0;
+  frame.prm = (control & 0x40) != 0;
+  frame.function = static_cast<LinkFunction>(control & 0x0F);
+  frame.destination = static_cast<std::uint16_t>(data[4] | (data[5] << 8));
+  frame.source = static_cast<std::uint16_t>(data[6] | (data[7] << 8));
+
+  const std::size_t user_len = static_cast<std::size_t>(length) - 5;
+  std::size_t pos = 10;
+  std::size_t remaining = user_len;
+  while (remaining > 0) {
+    const std::size_t n = std::min(kBlock, remaining);
+    if (pos + n + 2 > data.size()) return std::nullopt;
+    const std::span<const std::uint8_t> block = data.subspan(pos, n);
+    const std::uint16_t crc =
+        static_cast<std::uint16_t>(data[pos + n] | (data[pos + n + 1] << 8));
+    if (crc_dnp_wire(block) != crc) return std::nullopt;
+    frame.user_data.insert(frame.user_data.end(), block.begin(), block.end());
+    pos += n + 2;
+    remaining -= n;
+  }
+  if (pos != data.size()) return std::nullopt;
+  return frame;
+}
+
+util::Bytes wrap_fragment(std::uint16_t destination, std::uint16_t source,
+                          std::uint8_t transport_seq,
+                          const util::Bytes& app_fragment,
+                          bool dir_master_to_outstation) {
+  LinkFrame frame;
+  frame.dir = dir_master_to_outstation;
+  frame.destination = destination;
+  frame.source = source;
+  frame.user_data.push_back(
+      TransportHeader{true, true, static_cast<std::uint8_t>(transport_seq & 0x3F)}
+          .encode());
+  frame.user_data.insert(frame.user_data.end(), app_fragment.begin(),
+                         app_fragment.end());
+  return frame.encode();
+}
+
+std::optional<Unwrapped> unwrap_fragment(std::span<const std::uint8_t> data) {
+  auto frame = LinkFrame::decode(data);
+  if (!frame || frame->user_data.empty()) return std::nullopt;
+  Unwrapped out;
+  out.transport = TransportHeader::decode(frame->user_data.front());
+  if (!out.transport.fir || !out.transport.fin) {
+    return std::nullopt;  // multi-segment fragments not used here
+  }
+  out.app_fragment.assign(frame->user_data.begin() + 1,
+                          frame->user_data.end());
+  out.frame = std::move(*frame);
+  return out;
+}
+
+}  // namespace spire::dnp3

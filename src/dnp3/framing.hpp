@@ -1,0 +1,68 @@
+// DNP3 data-link framing (IEEE 1815 §9) and the one-octet transport
+// function (§8): 0x0564 start, length, control, 16-bit destination and
+// source addresses, CRC on the header and on every 16-octet data block.
+// This reproduction carries whole application fragments in a single
+// transport segment (FIR|FIN set), which is how short SCADA polls and
+// controls travel in practice.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "util/bytes.hpp"
+
+namespace spire::dnp3 {
+
+/// Link-layer function codes used here (primary frames).
+enum class LinkFunction : std::uint8_t {
+  kUnconfirmedUserData = 4,
+};
+
+struct LinkFrame {
+  bool dir = true;       ///< master-to-outstation when true
+  bool prm = true;       ///< primary frame
+  LinkFunction function = LinkFunction::kUnconfirmedUserData;
+  std::uint16_t destination = 0;
+  std::uint16_t source = 0;
+  util::Bytes user_data;  ///< transport segment
+
+  /// Encodes with header CRC and per-block CRCs.
+  [[nodiscard]] util::Bytes encode() const;
+
+  /// Decodes and verifies every CRC; nullopt on any corruption.
+  static std::optional<LinkFrame> decode(std::span<const std::uint8_t> data);
+};
+
+/// Transport header (single-segment fragments).
+struct TransportHeader {
+  bool fin = true;
+  bool fir = true;
+  std::uint8_t sequence = 0;  ///< 0..63
+
+  [[nodiscard]] std::uint8_t encode() const {
+    return static_cast<std::uint8_t>((fin ? 0x80 : 0) | (fir ? 0x40 : 0) |
+                                     (sequence & 0x3F));
+  }
+  static TransportHeader decode(std::uint8_t octet) {
+    return TransportHeader{(octet & 0x80) != 0, (octet & 0x40) != 0,
+                           static_cast<std::uint8_t>(octet & 0x3F)};
+  }
+};
+
+/// Wraps an application fragment for the wire (link + transport).
+[[nodiscard]] util::Bytes wrap_fragment(std::uint16_t destination,
+                                        std::uint16_t source,
+                                        std::uint8_t transport_seq,
+                                        const util::Bytes& app_fragment,
+                                        bool dir_master_to_outstation);
+
+/// Unwraps a wire datagram back to (frame, application fragment).
+struct Unwrapped {
+  LinkFrame frame;
+  TransportHeader transport;
+  util::Bytes app_fragment;
+};
+[[nodiscard]] std::optional<Unwrapped> unwrap_fragment(
+    std::span<const std::uint8_t> data);
+
+}  // namespace spire::dnp3

@@ -1,0 +1,109 @@
+#include "mana/features.hpp"
+
+#include <cmath>
+
+namespace spire::mana {
+
+const std::vector<std::string>& WindowFeatures::names() {
+  static const std::vector<std::string> kNames = {
+      "frames",        "bytes",         "mean_size",   "stddev_size",
+      "arp_requests",  "arp_replies",   "broadcast",   "unique_src_macs",
+      "unique_flows",  "max_ports_per_src"};
+  return kNames;
+}
+
+FeatureExtractor::FeatureExtractor(sim::Time window, WindowSink sink)
+    : window_(window), sink_(std::move(sink)) {}
+
+void FeatureExtractor::roll_to(sim::Time t) {
+  if (!started_) {
+    current_start_ = t - (t % window_);
+    started_ = true;
+    return;
+  }
+  while (t >= current_start_ + window_) {
+    emit();
+    current_start_ += window_;
+  }
+}
+
+void FeatureExtractor::ingest(const net::PcapRecord& record) {
+  roll_to(record.time);
+
+  const auto& frame = record.frame;
+  ++frames_;
+  const double size = static_cast<double>(frame.wire_size());
+  bytes_ += frame.wire_size();
+  size_sum_ += size;
+  size_sq_sum_ += size * size;
+  if (frame.dst.is_broadcast()) ++broadcast_;
+  src_macs_.insert(frame.src);
+
+  if (frame.ethertype == net::EtherType::kArp) {
+    if (const auto arp = net::ArpPacket::decode(frame.payload)) {
+      if (arp->op == net::ArpOp::kRequest) {
+        ++arp_requests_;
+      } else {
+        ++arp_replies_;
+      }
+    }
+  } else if (frame.ethertype == net::EtherType::kIpv4) {
+    if (const auto dgram = net::Datagram::decode(frame.payload)) {
+      auto mac_key = [](const net::MacAddress& m) {
+        std::uint64_t v = 0;
+        for (auto b : m.bytes) v = (v << 8) | b;
+        return v;
+      };
+      flows_.insert(std::make_pair(mac_key(frame.src), mac_key(frame.dst)));
+      dst_ports_per_src_[dgram->src_ip.value].insert(dgram->dst_port);
+    }
+  }
+}
+
+void FeatureExtractor::flush_until(sim::Time now) {
+  if (!started_) return;
+  while (now >= current_start_ + window_) {
+    emit();
+    current_start_ += window_;
+  }
+}
+
+void FeatureExtractor::emit() {
+  WindowFeatures out;
+  out.window_start = current_start_;
+  out.window_end = current_start_ + window_;
+
+  const double n = static_cast<double>(frames_);
+  const double mean = frames_ ? size_sum_ / n : 0.0;
+  const double variance =
+      frames_ ? std::max(0.0, size_sq_sum_ / n - mean * mean) : 0.0;
+  std::size_t max_ports = 0;
+  for (const auto& [src, ports] : dst_ports_per_src_) {
+    max_ports = std::max(max_ports, ports.size());
+  }
+
+  out.values = {static_cast<double>(frames_),
+                static_cast<double>(bytes_),
+                mean,
+                std::sqrt(variance),
+                static_cast<double>(arp_requests_),
+                static_cast<double>(arp_replies_),
+                static_cast<double>(broadcast_),
+                static_cast<double>(src_macs_.size()),
+                static_cast<double>(flows_.size()),
+                static_cast<double>(max_ports)};
+  sink_(out);
+
+  frames_ = 0;
+  bytes_ = 0;
+  size_sum_ = 0;
+  size_sq_sum_ = 0;
+  arp_requests_ = 0;
+  arp_replies_ = 0;
+  broadcast_ = 0;
+  src_macs_.clear();
+  flows_.clear();
+  dst_ports_per_src_.clear();
+}
+
+}  // namespace spire::mana

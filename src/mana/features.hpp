@@ -1,0 +1,68 @@
+// MANA feature extraction (paper §II, §III-C).
+//
+// MANA consumes a passive packet capture and turns it into fixed-width
+// windowed feature vectors for machine-learning evaluation. The
+// features are protocol-agnostic on purpose: SCADA networks are full of
+// proprietary and (in Spire's case) encrypted protocols, so MANA looks
+// at traffic *shape* — volumes, sizes, fan-out, ARP behaviour — rather
+// than payload contents.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/pcap.hpp"
+#include "sim/simulator.hpp"
+
+namespace spire::mana {
+
+/// One analysis window's feature vector.
+struct WindowFeatures {
+  sim::Time window_start = 0;
+  sim::Time window_end = 0;
+  std::vector<double> values;
+
+  static const std::vector<std::string>& names();
+  static constexpr std::size_t kDim = 10;
+};
+
+/// Streams PcapRecords into windowed features.
+class FeatureExtractor {
+ public:
+  using WindowSink = std::function<void(const WindowFeatures&)>;
+
+  FeatureExtractor(sim::Time window, WindowSink sink);
+
+  void ingest(const net::PcapRecord& record);
+  /// Closes the current window if `now` has passed its end (call
+  /// periodically so quiet networks still emit windows).
+  void flush_until(sim::Time now);
+
+ private:
+  void emit();
+  void roll_to(sim::Time t);
+
+  sim::Time window_;
+  WindowSink sink_;
+  sim::Time current_start_ = 0;
+  bool started_ = false;
+
+  // Accumulators for the current window.
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+  double size_sum_ = 0;
+  double size_sq_sum_ = 0;
+  std::uint64_t arp_requests_ = 0;
+  std::uint64_t arp_replies_ = 0;
+  std::uint64_t broadcast_ = 0;
+  std::set<net::MacAddress> src_macs_;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> flows_;  ///< (src,dst) keys
+  std::map<std::uint32_t, std::set<std::uint16_t>> dst_ports_per_src_;
+};
+
+}  // namespace spire::mana

@@ -1,0 +1,100 @@
+#include "mana/kmeans.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace spire::mana {
+
+namespace {
+
+double sq_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double sum = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+}  // namespace
+
+double KMeansModel::nearest_distance(const std::vector<double>& point) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& c : centroids) best = std::min(best, sq_distance(point, c));
+  return std::sqrt(best);
+}
+
+std::size_t KMeansModel::nearest_centroid(
+    const std::vector<double>& point) const {
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_index = 0;
+  for (std::size_t i = 0; i < centroids.size(); ++i) {
+    const double d = sq_distance(point, centroids[i]);
+    if (d < best) {
+      best = d;
+      best_index = i;
+    }
+  }
+  return best_index;
+}
+
+KMeansModel kmeans_fit(const std::vector<std::vector<double>>& points,
+                       std::size_t k, sim::Rng& rng, int max_iterations) {
+  if (points.empty()) throw std::invalid_argument("kmeans: no training data");
+  k = std::max<std::size_t>(1, std::min(k, points.size()));
+
+  KMeansModel model;
+  // k-means++ seeding.
+  model.centroids.push_back(
+      points[rng.uniform(0, points.size() - 1)]);
+  while (model.centroids.size() < k) {
+    std::vector<double> weights(points.size());
+    double total = 0;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : model.centroids) {
+        best = std::min(best, sq_distance(points[i], c));
+      }
+      weights[i] = best;
+      total += best;
+    }
+    if (total <= 0) break;  // all remaining points coincide with centroids
+    double pick = rng.uniform01() * total;
+    std::size_t chosen = points.size() - 1;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      pick -= weights[i];
+      if (pick <= 0) {
+        chosen = i;
+        break;
+      }
+    }
+    model.centroids.push_back(points[chosen]);
+  }
+
+  // Lloyd iterations.
+  const std::size_t dim = points.front().size();
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    std::vector<std::vector<double>> sums(model.centroids.size(),
+                                          std::vector<double>(dim, 0.0));
+    std::vector<std::size_t> counts(model.centroids.size(), 0);
+    for (const auto& p : points) {
+      const std::size_t c = model.nearest_centroid(p);
+      ++counts[c];
+      for (std::size_t d = 0; d < dim; ++d) sums[c][d] += p[d];
+    }
+    bool moved = false;
+    for (std::size_t c = 0; c < model.centroids.size(); ++c) {
+      if (counts[c] == 0) continue;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const double next = sums[c][d] / static_cast<double>(counts[c]);
+        if (std::abs(next - model.centroids[c][d]) > 1e-12) moved = true;
+        model.centroids[c][d] = next;
+      }
+    }
+    if (!moved) break;
+  }
+  return model;
+}
+
+}  // namespace spire::mana

@@ -1,0 +1,28 @@
+// k-means clustering (k-means++ init, Lloyd iterations) — the
+// unsupervised model MANA trains on baseline traffic. Deterministic
+// given the Rng seed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace spire::mana {
+
+struct KMeansModel {
+  std::vector<std::vector<double>> centroids;
+
+  /// Distance from `point` to the nearest centroid (Euclidean).
+  [[nodiscard]] double nearest_distance(const std::vector<double>& point) const;
+  [[nodiscard]] std::size_t nearest_centroid(
+      const std::vector<double>& point) const;
+};
+
+/// Fits k-means on `points`; `k` is clamped to the number of distinct
+/// points available.
+[[nodiscard]] KMeansModel kmeans_fit(const std::vector<std::vector<double>>& points,
+                                     std::size_t k, sim::Rng& rng,
+                                     int max_iterations = 50);
+
+}  // namespace spire::mana

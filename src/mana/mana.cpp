@@ -1,0 +1,161 @@
+#include "mana/mana.hpp"
+
+#include <cmath>
+
+namespace spire::mana {
+
+std::string_view to_string(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kAnomalousWindow: return "anomalous-window";
+    case AlertKind::kArpBindingChange: return "arp-binding-change";
+    case AlertKind::kPortScan: return "port-scan";
+    case AlertKind::kTrafficFlood: return "traffic-flood";
+  }
+  return "?";
+}
+
+Mana::Mana(ManaConfig config)
+    : config_(std::move(config)),
+      log_("mana." + config_.network),
+      rng_(config_.seed),
+      extractor_(config_.window,
+                 [this](const WindowFeatures& f) { on_window(f); }) {}
+
+void Mana::on_capture(const net::PcapRecord& record) {
+  // ARP watch runs on raw frames so it can attribute MITM attempts to a
+  // specific binding flip, independent of the windowed model.
+  if (record.frame.ethertype == net::EtherType::kArp) {
+    if (const auto arp = net::ArpPacket::decode(record.frame.payload)) {
+      const auto it = arp_bindings_.find(arp->sender_ip.value);
+      if (it == arp_bindings_.end()) {
+        if (!trained()) {
+          arp_bindings_[arp->sender_ip.value] = arp->sender_mac;
+        } else if (arp->op == net::ArpOp::kReply) {
+          // A binding never seen in training, asserted via a reply: on
+          // a statically-configured SCADA network this is itself a
+          // poisoning signature.
+          raise(AlertKind::kArpBindingChange,
+                "new binding " + arp->sender_ip.str() + " -> " +
+                    arp->sender_mac.str() + " never seen in baseline",
+                0, record.time);
+        }
+      } else if (it->second != arp->sender_mac) {
+        if (trained()) {
+          raise(AlertKind::kArpBindingChange,
+                arp->sender_ip.str() + " moved from " + it->second.str() +
+                    " to " + arp->sender_mac.str(),
+                0, record.time);
+        } else {
+          it->second = arp->sender_mac;  // churn during training: re-learn
+        }
+      }
+    }
+  }
+  extractor_.ingest(record);
+}
+
+void Mana::flush_until(sim::Time now) { extractor_.flush_until(now); }
+
+void Mana::on_window(const WindowFeatures& features) {
+  if (!trained()) {
+    training_windows_.push_back(features.values);
+    max_training_frames_ = std::max(max_training_frames_, features.values[0]);
+    return;
+  }
+
+  ++windows_scored_;
+  const std::vector<double> normalized = normalize(features.values);
+  const double distance = model_->nearest_distance(normalized);
+  if (distance > threshold_) {
+    ++windows_anomalous_;
+    // Attribute the anomaly to the most deviant feature for the
+    // operator board.
+    std::size_t worst = 0;
+    for (std::size_t i = 1; i < normalized.size(); ++i) {
+      if (std::abs(normalized[i]) > std::abs(normalized[worst])) worst = i;
+    }
+    raise(AlertKind::kAnomalousWindow,
+          "dominant feature: " + WindowFeatures::names()[worst],
+          threshold_ > 0 ? distance / threshold_ : distance,
+          features.window_end);
+  }
+
+  const double ports = features.values[9];
+  if (ports >= static_cast<double>(config_.port_scan_threshold)) {
+    raise(AlertKind::kPortScan,
+          std::to_string(static_cast<int>(ports)) + " distinct ports probed",
+          ports / static_cast<double>(config_.port_scan_threshold),
+          features.window_end);
+  }
+  if (max_training_frames_ > 0 &&
+      features.values[0] > max_training_frames_ * config_.flood_multiplier) {
+    raise(AlertKind::kTrafficFlood,
+          std::to_string(static_cast<std::uint64_t>(features.values[0])) +
+              " frames in window (baseline max " +
+              std::to_string(static_cast<std::uint64_t>(max_training_frames_)) +
+              ")",
+          features.values[0] / max_training_frames_, features.window_end);
+  }
+}
+
+std::vector<double> Mana::normalize(const std::vector<double>& raw) const {
+  std::vector<double> out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    out[i] = (raw[i] - mean_[i]) / stddev_[i];
+  }
+  return out;
+}
+
+void Mana::finish_training() {
+  if (training_windows_.empty()) {
+    throw std::runtime_error("mana: no training windows captured");
+  }
+  const std::size_t dim = training_windows_.front().size();
+  mean_.assign(dim, 0.0);
+  stddev_.assign(dim, 0.0);
+  for (const auto& w : training_windows_) {
+    for (std::size_t i = 0; i < dim; ++i) mean_[i] += w[i];
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    mean_[i] /= static_cast<double>(training_windows_.size());
+  }
+  for (const auto& w : training_windows_) {
+    for (std::size_t i = 0; i < dim; ++i) {
+      const double d = w[i] - mean_[i];
+      stddev_[i] += d * d;
+    }
+  }
+  for (std::size_t i = 0; i < dim; ++i) {
+    stddev_[i] =
+        std::sqrt(stddev_[i] / static_cast<double>(training_windows_.size()));
+    if (stddev_[i] < 1e-9) stddev_[i] = 1.0;  // constant feature
+  }
+
+  std::vector<std::vector<double>> normalized;
+  normalized.reserve(training_windows_.size());
+  for (const auto& w : training_windows_) normalized.push_back(normalize(w));
+
+  model_ = kmeans_fit(normalized, config_.clusters, rng_);
+  double max_distance = 0;
+  for (const auto& w : normalized) {
+    max_distance = std::max(max_distance, model_->nearest_distance(w));
+  }
+  threshold_ = std::max(1e-6, max_distance) * config_.threshold_slack;
+  log_.info("trained on ", training_windows_.size(), " windows; threshold ",
+            threshold_);
+  training_windows_.clear();
+}
+
+void Mana::raise(AlertKind kind, std::string detail, double score,
+                 sim::Time at) {
+  // Collapse repeats of the same alert kind within one window period.
+  const auto last = last_raised_.find(kind);
+  if (last != last_raised_.end() && at - last->second < config_.window) {
+    return;
+  }
+  last_raised_[kind] = at;
+  alerts_.push_back(Alert{at, config_.network, kind, std::move(detail), score});
+  log_.warn("ALERT ", to_string(kind), ": ", alerts_.back().detail);
+}
+
+}  // namespace spire::mana

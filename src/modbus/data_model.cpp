@@ -1,0 +1,96 @@
+#include "modbus/data_model.hpp"
+
+namespace spire::modbus {
+
+DataModel::DataModel(std::size_t coils, std::size_t discrete_inputs,
+                     std::size_t holding_registers, std::size_t input_registers)
+    : coils_(coils, false),
+      discrete_inputs_(discrete_inputs, false),
+      holding_(holding_registers, 0),
+      input_(input_registers, 0) {}
+
+Response DataModel::execute(const Request& request) {
+  return std::visit(
+      [this](const auto& req) -> Response {
+        using T = std::decay_t<decltype(req)>;
+        if constexpr (std::is_same_v<T, ReadBitsRequest>) {
+          const bool is_coils = req.fc == FunctionCode::kReadCoils;
+          const auto& bank = is_coils ? coils_ : discrete_inputs_;
+          if (req.quantity == 0 || req.quantity > 2000) {
+            return ExceptionResponse{req.fc, ExceptionCode::kIllegalDataValue};
+          }
+          if (static_cast<std::size_t>(req.start) + req.quantity > bank.size()) {
+            return ExceptionResponse{req.fc, ExceptionCode::kIllegalDataAddress};
+          }
+          ReadBitsResponse resp;
+          resp.fc = req.fc;
+          resp.values.assign(bank.begin() + req.start,
+                             bank.begin() + req.start + req.quantity);
+          return resp;
+        } else if constexpr (std::is_same_v<T, ReadRegistersRequest>) {
+          const bool is_holding = req.fc == FunctionCode::kReadHoldingRegisters;
+          const auto& bank = is_holding ? holding_ : input_;
+          if (req.quantity == 0 || req.quantity > 125) {
+            return ExceptionResponse{req.fc, ExceptionCode::kIllegalDataValue};
+          }
+          if (static_cast<std::size_t>(req.start) + req.quantity > bank.size()) {
+            return ExceptionResponse{req.fc, ExceptionCode::kIllegalDataAddress};
+          }
+          ReadRegistersResponse resp;
+          resp.fc = req.fc;
+          resp.values.assign(bank.begin() + req.start,
+                             bank.begin() + req.start + req.quantity);
+          return resp;
+        } else if constexpr (std::is_same_v<T, WriteSingleCoilRequest>) {
+          if (req.address >= coils_.size()) {
+            return ExceptionResponse{FunctionCode::kWriteSingleCoil,
+                                     ExceptionCode::kIllegalDataAddress};
+          }
+          coils_[req.address] = req.value;
+          return WriteSingleCoilResponse{req.address, req.value};
+        } else if constexpr (std::is_same_v<T, WriteSingleRegisterRequest>) {
+          if (req.address >= holding_.size()) {
+            return ExceptionResponse{FunctionCode::kWriteSingleRegister,
+                                     ExceptionCode::kIllegalDataAddress};
+          }
+          holding_[req.address] = req.value;
+          return WriteSingleRegisterResponse{req.address, req.value};
+        } else if constexpr (std::is_same_v<T, WriteMultipleCoilsRequest>) {
+          if (req.values.empty() || req.values.size() > 1968) {
+            return ExceptionResponse{FunctionCode::kWriteMultipleCoils,
+                                     ExceptionCode::kIllegalDataValue};
+          }
+          if (static_cast<std::size_t>(req.start) + req.values.size() >
+              coils_.size()) {
+            return ExceptionResponse{FunctionCode::kWriteMultipleCoils,
+                                     ExceptionCode::kIllegalDataAddress};
+          }
+          for (std::size_t i = 0; i < req.values.size(); ++i) {
+            coils_[req.start + i] = req.values[i];
+          }
+          return WriteMultipleResponse{FunctionCode::kWriteMultipleCoils,
+                                       req.start,
+                                       static_cast<std::uint16_t>(req.values.size())};
+        } else {
+          static_assert(std::is_same_v<T, WriteMultipleRegistersRequest>);
+          if (req.values.empty() || req.values.size() > 123) {
+            return ExceptionResponse{FunctionCode::kWriteMultipleRegisters,
+                                     ExceptionCode::kIllegalDataValue};
+          }
+          if (static_cast<std::size_t>(req.start) + req.values.size() >
+              holding_.size()) {
+            return ExceptionResponse{FunctionCode::kWriteMultipleRegisters,
+                                     ExceptionCode::kIllegalDataAddress};
+          }
+          for (std::size_t i = 0; i < req.values.size(); ++i) {
+            holding_[req.start + i] = req.values[i];
+          }
+          return WriteMultipleResponse{
+              FunctionCode::kWriteMultipleRegisters, req.start,
+              static_cast<std::uint16_t>(req.values.size())};
+        }
+      },
+      request);
+}
+
+}  // namespace spire::modbus

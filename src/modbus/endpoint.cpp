@@ -1,0 +1,64 @@
+#include "modbus/endpoint.hpp"
+
+namespace spire::modbus {
+
+std::optional<util::Bytes> Server::handle(
+    std::span<const std::uint8_t> request_bytes) {
+  const auto adu = Adu::decode(request_bytes);
+  if (!adu) return std::nullopt;
+  const auto request = decode_request(adu->pdu);
+  if (!request) {
+    // Unknown function code: Modbus answers with IllegalFunction.
+    Adu resp_adu;
+    resp_adu.transaction_id = adu->transaction_id;
+    resp_adu.unit_id = adu->unit_id;
+    resp_adu.pdu = encode_response(ExceptionResponse{
+        static_cast<FunctionCode>(adu->pdu.front() & 0x7F),
+        ExceptionCode::kIllegalFunction});
+    return resp_adu.encode();
+  }
+  ++served_;
+  Adu resp_adu;
+  resp_adu.transaction_id = adu->transaction_id;
+  resp_adu.unit_id = adu->unit_id;
+  resp_adu.pdu = encode_response(model_.execute(*request));
+  return resp_adu.encode();
+}
+
+Client::Client(sim::Simulator& sim, std::string name, SendFn send)
+    : sim_(sim), log_("modbus.client." + std::move(name)), send_(std::move(send)) {}
+
+void Client::request(const Request& req, ResponseHandler on_response,
+                     sim::Time timeout) {
+  const std::uint16_t txn = next_txn_++;
+  Adu adu;
+  adu.transaction_id = txn;
+  adu.pdu = encode_request(req);
+
+  Pending pending;
+  pending.handler = std::move(on_response);
+  pending.timeout_event = sim_.schedule_after(timeout, [this, txn] {
+    const auto it = pending_.find(txn);
+    if (it == pending_.end()) return;
+    auto handler = std::move(it->second.handler);
+    pending_.erase(it);
+    ++timeouts_;
+    log_.debug("request ", txn, " timed out");
+    handler(std::nullopt);
+  });
+  pending_.emplace(txn, std::move(pending));
+  send_(adu.encode());
+}
+
+void Client::on_data(std::span<const std::uint8_t> data) {
+  const auto adu = Adu::decode(data);
+  if (!adu) return;
+  const auto it = pending_.find(adu->transaction_id);
+  if (it == pending_.end()) return;  // late or unsolicited
+  sim_.cancel(it->second.timeout_event);
+  auto handler = std::move(it->second.handler);
+  pending_.erase(it);
+  handler(decode_response(adu->pdu));
+}
+
+}  // namespace spire::modbus

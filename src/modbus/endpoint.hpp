@@ -1,0 +1,74 @@
+// Modbus/TCP server and client endpoints.
+//
+// The server wraps a DataModel and turns request ADUs into response
+// ADUs; the client issues requests with transaction-id matching and
+// per-request timeouts. Both are transport-agnostic: callers provide a
+// send function and feed received bytes in, so the same code runs over
+// the emulated network (commercial baseline, proxy↔PLC cable) and in
+// unit tests with a loopback.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "modbus/data_model.hpp"
+#include "sim/simulator.hpp"
+#include "util/log.hpp"
+
+namespace spire::modbus {
+
+/// Standard Modbus/TCP port.
+constexpr std::uint16_t kModbusPort = 502;
+
+class Server {
+ public:
+  explicit Server(DataModel& model) : model_(model) {}
+
+  /// Processes one request ADU; returns the response ADU bytes, or
+  /// nullopt if the input is not a well-formed request (real servers
+  /// drop such frames silently).
+  [[nodiscard]] std::optional<util::Bytes> handle(
+      std::span<const std::uint8_t> request_bytes);
+
+  [[nodiscard]] std::uint64_t requests_served() const { return served_; }
+
+ private:
+  DataModel& model_;
+  std::uint64_t served_ = 0;
+};
+
+/// Asynchronous Modbus client.
+class Client {
+ public:
+  using SendFn = std::function<void(const util::Bytes&)>;
+  using ResponseHandler = std::function<void(std::optional<Response>)>;
+
+  Client(sim::Simulator& sim, std::string name, SendFn send);
+
+  /// Issues a request; `on_response` fires with the decoded response or
+  /// nullopt on timeout.
+  void request(const Request& req, ResponseHandler on_response,
+               sim::Time timeout = 200 * sim::kMillisecond);
+
+  /// Feed bytes received from the transport.
+  void on_data(std::span<const std::uint8_t> data);
+
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+
+ private:
+  sim::Simulator& sim_;
+  util::Logger log_;
+  SendFn send_;
+  std::uint16_t next_txn_ = 1;
+  struct Pending {
+    ResponseHandler handler;
+    sim::EventId timeout_event = 0;
+  };
+  std::map<std::uint16_t, Pending> pending_;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace spire::modbus

@@ -1,0 +1,269 @@
+#include "modbus/pdu.hpp"
+
+namespace spire::modbus {
+
+namespace {
+
+void pack_bits(util::ByteWriter& w, const std::vector<bool>& bits) {
+  const std::size_t byte_count = (bits.size() + 7) / 8;
+  w.u8(static_cast<std::uint8_t>(byte_count));
+  for (std::size_t b = 0; b < byte_count; ++b) {
+    std::uint8_t value = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::size_t idx = b * 8 + i;
+      if (idx < bits.size() && bits[idx]) value |= static_cast<std::uint8_t>(1u << i);
+    }
+    w.u8(value);
+  }
+}
+
+std::optional<std::vector<bool>> unpack_bits(util::ByteReader& r,
+                                             std::size_t count) {
+  const std::uint8_t byte_count = r.u8();
+  if (byte_count != (count + 7) / 8) return std::nullopt;
+  std::vector<bool> bits(count);
+  for (std::size_t b = 0; b < byte_count; ++b) {
+    const std::uint8_t value = r.u8();
+    for (std::size_t i = 0; i < 8; ++i) {
+      const std::size_t idx = b * 8 + i;
+      if (idx < count) bits[idx] = (value >> i) & 1;
+    }
+  }
+  return bits;
+}
+
+}  // namespace
+
+util::Bytes Adu::encode() const {
+  util::ByteWriter w;
+  w.u16(transaction_id);
+  w.u16(0);  // protocol id: always 0 for Modbus
+  w.u16(static_cast<std::uint16_t>(pdu.size() + 1));  // length incl. unit id
+  w.u8(unit_id);
+  w.raw(pdu);
+  return w.take();
+}
+
+std::optional<Adu> Adu::decode(std::span<const std::uint8_t> data) {
+  try {
+    util::ByteReader r(data);
+    Adu adu;
+    adu.transaction_id = r.u16();
+    const std::uint16_t protocol = r.u16();
+    if (protocol != 0) return std::nullopt;
+    const std::uint16_t length = r.u16();
+    if (length < 2 || length != r.remaining()) return std::nullopt;
+    adu.unit_id = r.u8();
+    adu.pdu = r.raw(r.remaining());
+    if (adu.pdu.empty()) return std::nullopt;
+    return adu;
+  } catch (const util::SerializationError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes encode_request(const Request& request) {
+  util::ByteWriter w;
+  std::visit(
+      [&w](const auto& req) {
+        using T = std::decay_t<decltype(req)>;
+        if constexpr (std::is_same_v<T, ReadBitsRequest> ||
+                      std::is_same_v<T, ReadRegistersRequest>) {
+          w.u8(static_cast<std::uint8_t>(req.fc));
+          w.u16(req.start);
+          w.u16(req.quantity);
+        } else if constexpr (std::is_same_v<T, WriteSingleCoilRequest>) {
+          w.u8(static_cast<std::uint8_t>(FunctionCode::kWriteSingleCoil));
+          w.u16(req.address);
+          w.u16(req.value ? 0xFF00 : 0x0000);
+        } else if constexpr (std::is_same_v<T, WriteSingleRegisterRequest>) {
+          w.u8(static_cast<std::uint8_t>(FunctionCode::kWriteSingleRegister));
+          w.u16(req.address);
+          w.u16(req.value);
+        } else if constexpr (std::is_same_v<T, WriteMultipleCoilsRequest>) {
+          w.u8(static_cast<std::uint8_t>(FunctionCode::kWriteMultipleCoils));
+          w.u16(req.start);
+          w.u16(static_cast<std::uint16_t>(req.values.size()));
+          pack_bits(w, req.values);
+        } else if constexpr (std::is_same_v<T, WriteMultipleRegistersRequest>) {
+          w.u8(static_cast<std::uint8_t>(FunctionCode::kWriteMultipleRegisters));
+          w.u16(req.start);
+          w.u16(static_cast<std::uint16_t>(req.values.size()));
+          w.u8(static_cast<std::uint8_t>(req.values.size() * 2));
+          for (auto v : req.values) w.u16(v);
+        }
+      },
+      request);
+  return w.take();
+}
+
+std::optional<Request> decode_request(std::span<const std::uint8_t> pdu) {
+  try {
+    util::ByteReader r(pdu);
+    const auto fc = static_cast<FunctionCode>(r.u8());
+    switch (fc) {
+      case FunctionCode::kReadCoils:
+      case FunctionCode::kReadDiscreteInputs: {
+        ReadBitsRequest req;
+        req.fc = fc;
+        req.start = r.u16();
+        req.quantity = r.u16();
+        r.expect_done();
+        return req;
+      }
+      case FunctionCode::kReadHoldingRegisters:
+      case FunctionCode::kReadInputRegisters: {
+        ReadRegistersRequest req;
+        req.fc = fc;
+        req.start = r.u16();
+        req.quantity = r.u16();
+        r.expect_done();
+        return req;
+      }
+      case FunctionCode::kWriteSingleCoil: {
+        WriteSingleCoilRequest req;
+        req.address = r.u16();
+        const std::uint16_t v = r.u16();
+        if (v != 0xFF00 && v != 0x0000) return std::nullopt;
+        req.value = v == 0xFF00;
+        r.expect_done();
+        return req;
+      }
+      case FunctionCode::kWriteSingleRegister: {
+        WriteSingleRegisterRequest req;
+        req.address = r.u16();
+        req.value = r.u16();
+        r.expect_done();
+        return req;
+      }
+      case FunctionCode::kWriteMultipleCoils: {
+        WriteMultipleCoilsRequest req;
+        req.start = r.u16();
+        const std::uint16_t quantity = r.u16();
+        auto bits = unpack_bits(r, quantity);
+        if (!bits) return std::nullopt;
+        req.values = std::move(*bits);
+        r.expect_done();
+        return req;
+      }
+      case FunctionCode::kWriteMultipleRegisters: {
+        WriteMultipleRegistersRequest req;
+        req.start = r.u16();
+        const std::uint16_t quantity = r.u16();
+        const std::uint8_t byte_count = r.u8();
+        if (byte_count != quantity * 2) return std::nullopt;
+        req.values.reserve(quantity);
+        for (std::uint16_t i = 0; i < quantity; ++i) req.values.push_back(r.u16());
+        r.expect_done();
+        return req;
+      }
+    }
+    return std::nullopt;
+  } catch (const util::SerializationError&) {
+    return std::nullopt;
+  }
+}
+
+util::Bytes encode_response(const Response& response) {
+  util::ByteWriter w;
+  std::visit(
+      [&w](const auto& resp) {
+        using T = std::decay_t<decltype(resp)>;
+        if constexpr (std::is_same_v<T, ReadBitsResponse>) {
+          w.u8(static_cast<std::uint8_t>(resp.fc));
+          pack_bits(w, resp.values);
+        } else if constexpr (std::is_same_v<T, ReadRegistersResponse>) {
+          w.u8(static_cast<std::uint8_t>(resp.fc));
+          w.u8(static_cast<std::uint8_t>(resp.values.size() * 2));
+          for (auto v : resp.values) w.u16(v);
+        } else if constexpr (std::is_same_v<T, WriteSingleCoilResponse>) {
+          w.u8(static_cast<std::uint8_t>(FunctionCode::kWriteSingleCoil));
+          w.u16(resp.address);
+          w.u16(resp.value ? 0xFF00 : 0x0000);
+        } else if constexpr (std::is_same_v<T, WriteSingleRegisterResponse>) {
+          w.u8(static_cast<std::uint8_t>(FunctionCode::kWriteSingleRegister));
+          w.u16(resp.address);
+          w.u16(resp.value);
+        } else if constexpr (std::is_same_v<T, WriteMultipleResponse>) {
+          w.u8(static_cast<std::uint8_t>(resp.fc));
+          w.u16(resp.start);
+          w.u16(resp.quantity);
+        } else if constexpr (std::is_same_v<T, ExceptionResponse>) {
+          w.u8(static_cast<std::uint8_t>(static_cast<std::uint8_t>(resp.fc) | 0x80));
+          w.u8(static_cast<std::uint8_t>(resp.code));
+        }
+      },
+      response);
+  return w.take();
+}
+
+std::optional<Response> decode_response(std::span<const std::uint8_t> pdu) {
+  try {
+    util::ByteReader r(pdu);
+    const std::uint8_t raw_fc = r.u8();
+    if (raw_fc & 0x80) {
+      ExceptionResponse resp;
+      resp.fc = static_cast<FunctionCode>(raw_fc & 0x7F);
+      resp.code = static_cast<ExceptionCode>(r.u8());
+      r.expect_done();
+      return resp;
+    }
+    const auto fc = static_cast<FunctionCode>(raw_fc);
+    switch (fc) {
+      case FunctionCode::kReadCoils:
+      case FunctionCode::kReadDiscreteInputs: {
+        ReadBitsResponse resp;
+        resp.fc = fc;
+        const std::uint8_t byte_count = r.u8();
+        std::vector<bool> bits(static_cast<std::size_t>(byte_count) * 8);
+        for (std::size_t b = 0; b < byte_count; ++b) {
+          const std::uint8_t value = r.u8();
+          for (std::size_t i = 0; i < 8; ++i) bits[b * 8 + i] = (value >> i) & 1;
+        }
+        resp.values = std::move(bits);
+        r.expect_done();
+        return resp;
+      }
+      case FunctionCode::kReadHoldingRegisters:
+      case FunctionCode::kReadInputRegisters: {
+        ReadRegistersResponse resp;
+        resp.fc = fc;
+        const std::uint8_t byte_count = r.u8();
+        if (byte_count % 2 != 0) return std::nullopt;
+        resp.values.reserve(byte_count / 2);
+        for (std::size_t i = 0; i < byte_count / 2u; ++i) resp.values.push_back(r.u16());
+        r.expect_done();
+        return resp;
+      }
+      case FunctionCode::kWriteSingleCoil: {
+        WriteSingleCoilResponse resp;
+        resp.address = r.u16();
+        const std::uint16_t v = r.u16();
+        resp.value = v == 0xFF00;
+        r.expect_done();
+        return resp;
+      }
+      case FunctionCode::kWriteSingleRegister: {
+        WriteSingleRegisterResponse resp;
+        resp.address = r.u16();
+        resp.value = r.u16();
+        r.expect_done();
+        return resp;
+      }
+      case FunctionCode::kWriteMultipleCoils:
+      case FunctionCode::kWriteMultipleRegisters: {
+        WriteMultipleResponse resp;
+        resp.fc = fc;
+        resp.start = r.u16();
+        resp.quantity = r.u16();
+        r.expect_done();
+        return resp;
+      }
+    }
+    return std::nullopt;
+  } catch (const util::SerializationError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace spire::modbus

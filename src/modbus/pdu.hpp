@@ -1,0 +1,136 @@
+// Modbus/TCP protocol data units (MBAP header + PDU), per the Modbus
+// Application Protocol Specification V1.1b3.
+//
+// This is the insecure-by-design industrial protocol the paper keeps
+// off the network: in Spire it runs only across the direct cable
+// between a PLC and its proxy (§II), while the commercial baseline
+// speaks it straight over the operations switch — which is how the red
+// team dumped and rewrote the PLC configuration (§IV-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace spire::modbus {
+
+/// Modbus function codes implemented by this stack.
+enum class FunctionCode : std::uint8_t {
+  kReadCoils = 0x01,
+  kReadDiscreteInputs = 0x02,
+  kReadHoldingRegisters = 0x03,
+  kReadInputRegisters = 0x04,
+  kWriteSingleCoil = 0x05,
+  kWriteSingleRegister = 0x06,
+  kWriteMultipleCoils = 0x0F,
+  kWriteMultipleRegisters = 0x10,
+};
+
+enum class ExceptionCode : std::uint8_t {
+  kIllegalFunction = 0x01,
+  kIllegalDataAddress = 0x02,
+  kIllegalDataValue = 0x03,
+  kServerDeviceFailure = 0x04,
+};
+
+// ---- request PDUs ---------------------------------------------------------
+
+struct ReadBitsRequest {  // coils (0x01) or discrete inputs (0x02)
+  FunctionCode fc = FunctionCode::kReadCoils;
+  std::uint16_t start = 0;
+  std::uint16_t quantity = 0;
+};
+
+struct ReadRegistersRequest {  // holding (0x03) or input (0x04)
+  FunctionCode fc = FunctionCode::kReadHoldingRegisters;
+  std::uint16_t start = 0;
+  std::uint16_t quantity = 0;
+};
+
+struct WriteSingleCoilRequest {
+  std::uint16_t address = 0;
+  bool value = false;  // encoded as 0xFF00 / 0x0000
+};
+
+struct WriteSingleRegisterRequest {
+  std::uint16_t address = 0;
+  std::uint16_t value = 0;
+};
+
+struct WriteMultipleCoilsRequest {
+  std::uint16_t start = 0;
+  std::vector<bool> values;
+};
+
+struct WriteMultipleRegistersRequest {
+  std::uint16_t start = 0;
+  std::vector<std::uint16_t> values;
+};
+
+using Request =
+    std::variant<ReadBitsRequest, ReadRegistersRequest, WriteSingleCoilRequest,
+                 WriteSingleRegisterRequest, WriteMultipleCoilsRequest,
+                 WriteMultipleRegistersRequest>;
+
+// ---- response PDUs --------------------------------------------------------
+
+struct ReadBitsResponse {
+  FunctionCode fc = FunctionCode::kReadCoils;
+  std::vector<bool> values;
+};
+
+struct ReadRegistersResponse {
+  FunctionCode fc = FunctionCode::kReadHoldingRegisters;
+  std::vector<std::uint16_t> values;
+};
+
+struct WriteSingleCoilResponse {
+  std::uint16_t address = 0;
+  bool value = false;
+};
+
+struct WriteSingleRegisterResponse {
+  std::uint16_t address = 0;
+  std::uint16_t value = 0;
+};
+
+struct WriteMultipleResponse {  // 0x0F and 0x10 echo start/quantity
+  FunctionCode fc = FunctionCode::kWriteMultipleCoils;
+  std::uint16_t start = 0;
+  std::uint16_t quantity = 0;
+};
+
+struct ExceptionResponse {
+  FunctionCode fc = FunctionCode::kReadCoils;  ///< original function
+  ExceptionCode code = ExceptionCode::kIllegalFunction;
+};
+
+using Response =
+    std::variant<ReadBitsResponse, ReadRegistersResponse,
+                 WriteSingleCoilResponse, WriteSingleRegisterResponse,
+                 WriteMultipleResponse, ExceptionResponse>;
+
+// ---- MBAP framing ---------------------------------------------------------
+
+/// A complete Modbus/TCP application data unit.
+struct Adu {
+  std::uint16_t transaction_id = 0;
+  std::uint8_t unit_id = 1;
+  util::Bytes pdu;  ///< function code + data
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<Adu> decode(std::span<const std::uint8_t> data);
+};
+
+/// PDU codecs. Decoding returns nullopt on malformed input.
+[[nodiscard]] util::Bytes encode_request(const Request& request);
+[[nodiscard]] std::optional<Request> decode_request(
+    std::span<const std::uint8_t> pdu);
+[[nodiscard]] util::Bytes encode_response(const Response& response);
+[[nodiscard]] std::optional<Response> decode_response(
+    std::span<const std::uint8_t> pdu);
+
+}  // namespace spire::modbus

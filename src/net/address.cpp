@@ -1,0 +1,25 @@
+#include "net/address.hpp"
+
+#include <cstdio>
+
+namespace spire::net {
+
+std::string MacAddress::str() const {
+  char buf[18];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x", bytes[0],
+                bytes[1], bytes[2], bytes[3], bytes[4], bytes[5]);
+  return buf;
+}
+
+std::string IpAddress::str() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", (value >> 24) & 0xFF,
+                (value >> 16) & 0xFF, (value >> 8) & 0xFF, value & 0xFF);
+  return buf;
+}
+
+std::string Endpoint::str() const {
+  return ip.str() + ":" + std::to_string(port);
+}
+
+}  // namespace spire::net

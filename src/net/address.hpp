@@ -1,0 +1,83 @@
+// L2/L3 addressing for the emulated network.
+//
+// The red-team experiment (paper §IV) is largely a story about
+// addresses: ARP poisoning remaps IP→MAC, IP spoofing forges source
+// addresses, static MAC↔IP and MAC↔switch-port mappings pin them down.
+// These types make those attacks and defenses first-class.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace spire::net {
+
+/// 48-bit Ethernet MAC address.
+struct MacAddress {
+  std::array<std::uint8_t, 6> bytes{};
+
+  auto operator<=>(const MacAddress&) const = default;
+
+  [[nodiscard]] bool is_broadcast() const {
+    for (auto b : bytes) {
+      if (b != 0xFF) return false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] std::string str() const;
+
+  static MacAddress broadcast() {
+    MacAddress m;
+    m.bytes.fill(0xFF);
+    return m;
+  }
+
+  /// Deterministic locally-administered MAC from a small integer id.
+  static MacAddress from_id(std::uint32_t id) {
+    MacAddress m;
+    m.bytes = {0x02, 0x00, static_cast<std::uint8_t>(id >> 24),
+               static_cast<std::uint8_t>(id >> 16),
+               static_cast<std::uint8_t>(id >> 8),
+               static_cast<std::uint8_t>(id)};
+    return m;
+  }
+};
+
+/// IPv4 address (the deployments disabled IPv6; so do we).
+struct IpAddress {
+  std::uint32_t value = 0;
+
+  auto operator<=>(const IpAddress&) const = default;
+
+  [[nodiscard]] std::string str() const;
+
+  static constexpr IpAddress any() { return IpAddress{0}; }
+
+  static constexpr IpAddress make(std::uint8_t a, std::uint8_t b,
+                                  std::uint8_t c, std::uint8_t d) {
+    return IpAddress{(static_cast<std::uint32_t>(a) << 24) |
+                     (static_cast<std::uint32_t>(b) << 16) |
+                     (static_cast<std::uint32_t>(c) << 8) |
+                     static_cast<std::uint32_t>(d)};
+  }
+
+  [[nodiscard]] bool same_subnet(IpAddress other, int prefix_len) const {
+    if (prefix_len <= 0) return true;
+    const std::uint32_t mask =
+        prefix_len >= 32 ? 0xFFFFFFFFu : ~((1u << (32 - prefix_len)) - 1);
+    return (value & mask) == (other.value & mask);
+  }
+};
+
+/// UDP-style endpoint.
+struct Endpoint {
+  IpAddress ip;
+  std::uint16_t port = 0;
+
+  auto operator<=>(const Endpoint&) const = default;
+  [[nodiscard]] std::string str() const;
+};
+
+}  // namespace spire::net

@@ -1,0 +1,50 @@
+// Network builder: owns hosts, switches, and cables, and wires NICs to
+// switch ports (or to each other for the direct PLC↔proxy cable that
+// §III-B calls out as a defense).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/host.hpp"
+#include "net/switch.hpp"
+#include "sim/simulator.hpp"
+
+namespace spire::net {
+
+class Network {
+ public:
+  explicit Network(sim::Simulator& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  Host& add_host(std::string name);
+  Switch& add_switch(SwitchConfig config);
+
+  /// Connects host interface `iface` to a new port on `sw`; returns the
+  /// port id. If the switch uses static port binding, also binds the
+  /// NIC's MAC to the new port.
+  PortId connect(Host& host, std::size_t iface, Switch& sw);
+
+  /// Point-to-point cable between two NICs with a fixed latency. This
+  /// bypasses any switch — no other device can observe or inject.
+  void cable(Host& a, std::size_t iface_a, Host& b, std::size_t iface_b,
+             sim::Time latency = 20);
+
+  [[nodiscard]] sim::Simulator& sim() { return sim_; }
+  [[nodiscard]] const std::vector<std::unique_ptr<Host>>& hosts() const {
+    return hosts_;
+  }
+
+  /// Finds a host by name; throws std::out_of_range if absent.
+  Host& host(std::string_view name);
+
+ private:
+  sim::Simulator& sim_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+};
+
+}  // namespace spire::net

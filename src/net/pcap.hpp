@@ -1,0 +1,28 @@
+// Passive packet-capture taps.
+//
+// MANA only ever sees the network through these (paper §III-C: the IDS
+// was approved precisely because it is out-of-band and non-invasive).
+// A tap is a switch port mirror: it receives copies of every frame and
+// can never inject anything.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "net/frame.hpp"
+#include "sim/simulator.hpp"
+
+namespace spire::net {
+
+/// One mirrored frame with capture metadata.
+struct PcapRecord {
+  sim::Time time = 0;
+  std::string network;  ///< capture-point label, e.g. "enterprise".
+  EthernetFrame frame;
+};
+
+/// Anything that consumes mirrored traffic (MANA, test recorders).
+using PcapSink = std::function<void(const PcapRecord&)>;
+
+}  // namespace spire::net

@@ -1,0 +1,32 @@
+#include "plc/breaker.hpp"
+
+namespace spire::plc {
+
+BreakerBank::BreakerBank(sim::Simulator& sim, std::vector<BreakerSpec> specs)
+    : sim_(sim) {
+  breakers_.reserve(specs.size());
+  for (auto& spec : specs) {
+    Breaker b;
+    b.commanded_closed = spec.initially_closed;
+    b.actual_closed = spec.initially_closed;
+    b.spec = std::move(spec);
+    breakers_.push_back(std::move(b));
+  }
+}
+
+void BreakerBank::command(std::size_t i, bool close) {
+  Breaker& b = breakers_.at(i);
+  if (b.commanded_closed == close) return;
+  b.commanded_closed = close;
+  if (b.pending != 0) sim_.cancel(b.pending);
+  b.pending = sim_.schedule_after(b.spec.actuation_delay, [this, i, close] {
+    Breaker& br = breakers_[i];
+    br.pending = 0;
+    if (br.actual_closed == close) return;
+    br.actual_closed = close;
+    ++transitions_;
+    for (const auto& obs : observers_) obs(i, close, sim_.now());
+  });
+}
+
+}  // namespace spire::plc

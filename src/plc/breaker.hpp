@@ -1,0 +1,68 @@
+// Physical process model: a bank of circuit breakers.
+//
+// This is the "ground truth" the paper leans on in §III-A — the state
+// of the field devices is the real state of the power system, which is
+// what lets Spire rebuild SCADA-master state from the PLCs after an
+// assumption breach. Breakers actuate with a mechanical delay, so a
+// commanded flip becomes visible in the PLC's inputs only after the
+// (simulated) physics happen.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace spire::plc {
+
+struct BreakerSpec {
+  std::string name;
+  bool initially_closed = false;
+  sim::Time actuation_delay = 40 * sim::kMillisecond;
+};
+
+/// Fired whenever a breaker's physical position changes.
+using BreakerObserver =
+    std::function<void(std::size_t index, bool closed, sim::Time at)>;
+
+class BreakerBank {
+ public:
+  BreakerBank(sim::Simulator& sim, std::vector<BreakerSpec> specs);
+
+  [[nodiscard]] std::size_t size() const { return breakers_.size(); }
+  [[nodiscard]] const std::string& name(std::size_t i) const {
+    return breakers_.at(i).spec.name;
+  }
+
+  /// Commands breaker `i` to open/close; the physical position changes
+  /// after the actuation delay. Re-commands supersede pending motion.
+  void command(std::size_t i, bool close);
+
+  [[nodiscard]] bool commanded(std::size_t i) const {
+    return breakers_.at(i).commanded_closed;
+  }
+  [[nodiscard]] bool closed(std::size_t i) const {
+    return breakers_.at(i).actual_closed;
+  }
+
+  void add_observer(BreakerObserver obs) { observers_.push_back(std::move(obs)); }
+
+  [[nodiscard]] std::uint64_t transitions() const { return transitions_; }
+
+ private:
+  struct Breaker {
+    BreakerSpec spec;
+    bool commanded_closed = false;
+    bool actual_closed = false;
+    sim::EventId pending = 0;
+  };
+
+  sim::Simulator& sim_;
+  std::vector<Breaker> breakers_;
+  std::vector<BreakerObserver> observers_;
+  std::uint64_t transitions_ = 0;
+};
+
+}  // namespace spire::plc

@@ -1,0 +1,24 @@
+// Common interface over field devices (Modbus PLCs, DNP3 RTUs): the
+// ground-truth surface that benches, the measurement rig, and the
+// ground-truth-recovery story interact with.
+#pragma once
+
+#include <string>
+
+#include "plc/breaker.hpp"
+
+namespace spire::plc {
+
+class FieldDevice {
+ public:
+  virtual ~FieldDevice() = default;
+
+  [[nodiscard]] virtual const std::string& name() const = 0;
+  [[nodiscard]] virtual BreakerBank& breakers() = 0;
+  [[nodiscard]] virtual const BreakerBank& breakers() const = 0;
+
+  /// Physical/local actuation (switchgear-side), bypassing SCADA.
+  virtual void actuate_breaker_locally(std::size_t index, bool close) = 0;
+};
+
+}  // namespace spire::plc

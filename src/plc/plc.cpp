@@ -1,0 +1,162 @@
+#include "plc/plc.hpp"
+
+namespace spire::plc {
+
+util::Bytes PlcConfig::encode() const {
+  util::ByteWriter w;
+  w.str(device_name);
+  w.str(firmware);
+  w.str(maintenance_password);
+  w.u16(breaker_count);
+  w.boolean(direct_control_enabled);
+  return w.take();
+}
+
+std::optional<PlcConfig> PlcConfig::decode(std::span<const std::uint8_t> data) {
+  try {
+    util::ByteReader r(data);
+    PlcConfig c;
+    c.device_name = r.str();
+    c.firmware = r.str();
+    c.maintenance_password = r.str();
+    c.breaker_count = r.u16();
+    c.direct_control_enabled = r.boolean();
+    r.expect_done();
+    return c;
+  } catch (const util::SerializationError&) {
+    return std::nullopt;
+  }
+}
+
+Plc::Plc(sim::Simulator& sim, net::Host& host, std::string name,
+         std::vector<BreakerSpec> breaker_specs, sim::Rng rng,
+         sim::Time scan_interval)
+    : sim_(sim),
+      host_(host),
+      name_(std::move(name)),
+      log_("plc." + name_),
+      breakers_(sim, std::move(breaker_specs)),
+      // Coils command breakers; discrete inputs mirror positions; input
+      // registers carry one synthetic current measurement per breaker
+      // plus a device status word.
+      model_(breakers_.size(), breakers_.size(), 16, breakers_.size() + 1),
+      server_(model_),
+      rng_(rng),
+      scan_interval_(scan_interval) {
+  config_.device_name = name_;
+  config_.breaker_count = static_cast<std::uint16_t>(breakers_.size());
+  original_config_ = config_;
+
+  // Initialize coils to the commanded state so the first scan does not
+  // spuriously open everything.
+  for (std::size_t i = 0; i < breakers_.size(); ++i) {
+    model_.set_coil(i, breakers_.commanded(i));
+    model_.set_discrete_input(i, breakers_.closed(i));
+  }
+
+  host_.bind_udp(modbus::kModbusPort, [this](const net::Datagram& d) {
+    handle_modbus(d);
+  });
+  host_.bind_udp(kMaintenancePort, [this](const net::Datagram& d) {
+    handle_maintenance(d);
+  });
+
+  sim_.schedule_after(scan_interval_, [this] { scan(); });
+}
+
+void Plc::scan() {
+  ++stats_.scans;
+
+  // Coils -> breaker commands (unless a tampered config has put the
+  // device in direct-control mode, in which case ladder logic is
+  // bypassed and only maintenance writes move the breakers).
+  if (!config_.direct_control_enabled) {
+    for (std::size_t i = 0; i < breakers_.size(); ++i) {
+      breakers_.command(i, model_.coil(i));
+    }
+  }
+
+  // Physical positions -> discrete inputs; synthetic measurements ->
+  // input registers (load current ~480A when closed, leakage when open,
+  // with sensor noise — gives MANA realistic, slightly varying values).
+  for (std::size_t i = 0; i < breakers_.size(); ++i) {
+    const bool closed = breakers_.closed(i);
+    model_.set_discrete_input(i, closed);
+    const double amps = closed ? rng_.normal(480.0, 6.0) : rng_.normal(0.5, 0.2);
+    model_.set_input_register(i, static_cast<std::uint16_t>(
+                                     std::max(0.0, amps) * 10.0));
+  }
+  model_.set_input_register(breakers_.size(),
+                            static_cast<std::uint16_t>(stats_.scans & 0xFFFF));
+
+  sim_.schedule_after(scan_interval_, [this] { scan(); });
+}
+
+void Plc::handle_modbus(const net::Datagram& dgram) {
+  ++stats_.modbus_requests;
+  const auto response = server_.handle(dgram.payload);
+  if (!response) return;
+  host_.send_udp(dgram.src_ip, dgram.src_port, modbus::kModbusPort, *response);
+}
+
+void Plc::handle_maintenance(const net::Datagram& dgram) {
+  try {
+    util::ByteReader r(dgram.payload);
+    const auto op = static_cast<MaintenanceOp>(r.u8());
+    switch (op) {
+      case MaintenanceOp::kDumpConfig: {
+        // No authentication: this is the real-world weakness that let
+        // the red team pull the PLC's memory within hours (§IV-B).
+        ++stats_.config_dumps;
+        log_.warn("maintenance config dump served to ", dgram.src_ip.str());
+        util::ByteWriter w;
+        w.u8(static_cast<std::uint8_t>(MaintenanceOp::kDumpConfig));
+        w.blob(config_.encode());
+        host_.send_udp(dgram.src_ip, dgram.src_port, kMaintenancePort, w.take());
+        return;
+      }
+      case MaintenanceOp::kUploadConfig: {
+        const std::string password = r.str();
+        const auto blob = r.blob();
+        const auto new_config = PlcConfig::decode(blob);
+        if (password != config_.maintenance_password || !new_config) {
+          ++stats_.config_uploads_rejected;
+          return;
+        }
+        ++stats_.config_uploads_accepted;
+        config_ = *new_config;
+        config_tampered_ =
+            config_.direct_control_enabled !=
+                original_config_.direct_control_enabled ||
+            config_.firmware != original_config_.firmware;
+        log_.warn("maintenance config upload accepted from ",
+                  dgram.src_ip.str(), config_tampered_ ? " (TAMPERED)" : "");
+        return;
+      }
+      case MaintenanceOp::kDirectCoilWrite: {
+        const std::uint16_t address = r.u16();
+        const bool value = r.boolean();
+        if (!config_.direct_control_enabled ||
+            address >= breakers_.size()) {
+          ++stats_.direct_writes_rejected;
+          return;
+        }
+        ++stats_.direct_writes_accepted;
+        model_.set_coil(address, value);
+        breakers_.command(address, value);
+        log_.warn("direct coil write: breaker ", address, " <- ",
+                  value ? "CLOSE" : "OPEN");
+        return;
+      }
+    }
+  } catch (const util::SerializationError&) {
+    // Malformed maintenance traffic is dropped, as on the real device.
+  }
+}
+
+void Plc::actuate_breaker_locally(std::size_t index, bool close) {
+  model_.set_coil(index, close);
+  breakers_.command(index, close);
+}
+
+}  // namespace spire::plc

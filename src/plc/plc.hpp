@@ -1,0 +1,105 @@
+// Emulated PLC (OpenPLC-style), per DESIGN.md §3.
+//
+// The device runs a periodic scan cycle: coils written over Modbus are
+// treated as breaker open/close commands, the physical breaker
+// positions are copied back into the discrete inputs, and synthetic
+// current measurements into the input registers. It also exposes the
+// deliberately insecure vendor "maintenance" service (UDP 5007) whose
+// unauthenticated memory dump and password-protected config upload
+// reproduce the red team's takeover path against the commercial system
+// (paper §IV-B): dump the config to learn the password, then upload a
+// modified config to gain direct control.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "modbus/endpoint.hpp"
+#include "net/host.hpp"
+#include "plc/breaker.hpp"
+#include "plc/field_device.hpp"
+#include "sim/rng.hpp"
+#include "sim/simulator.hpp"
+#include "util/log.hpp"
+
+namespace spire::plc {
+
+/// Vendor maintenance service port (proprietary, plaintext).
+constexpr std::uint16_t kMaintenancePort = 5007;
+
+enum class MaintenanceOp : std::uint8_t {
+  kDumpConfig = 1,
+  kUploadConfig = 2,
+  kDirectCoilWrite = 3,
+};
+
+/// The PLC's persistent configuration — what the red team dumped and
+/// rewrote on the commercial system's PLC.
+struct PlcConfig {
+  std::string device_name = "plc";
+  std::string firmware = "ladderos-2.4.1";
+  std::string maintenance_password = "factory-default";
+  std::uint16_t breaker_count = 0;
+  /// When true, MaintenanceOp::kDirectCoilWrite bypasses the scan logic
+  /// entirely. Legit firmware ships with this off; the red team's
+  /// uploaded config turns it on.
+  bool direct_control_enabled = false;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<PlcConfig> decode(std::span<const std::uint8_t> data);
+};
+
+struct PlcStats {
+  std::uint64_t scans = 0;
+  std::uint64_t modbus_requests = 0;
+  std::uint64_t config_dumps = 0;
+  std::uint64_t config_uploads_accepted = 0;
+  std::uint64_t config_uploads_rejected = 0;
+  std::uint64_t direct_writes_accepted = 0;
+  std::uint64_t direct_writes_rejected = 0;
+};
+
+class Plc : public FieldDevice {
+ public:
+  /// Binds the Modbus server and maintenance service on `host` and
+  /// starts the scan cycle. `host` must already have an interface.
+  Plc(sim::Simulator& sim, net::Host& host, std::string name,
+      std::vector<BreakerSpec> breakers, sim::Rng rng,
+      sim::Time scan_interval = 10 * sim::kMillisecond);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] BreakerBank& breakers() override { return breakers_; }
+  [[nodiscard]] const BreakerBank& breakers() const override {
+    return breakers_;
+  }
+  [[nodiscard]] modbus::DataModel& data_model() { return model_; }
+  [[nodiscard]] const PlcConfig& config() const { return config_; }
+  [[nodiscard]] const PlcStats& stats() const { return stats_; }
+  [[nodiscard]] bool config_tampered() const { return config_tampered_; }
+
+  /// Physical/local breaker actuation (e.g. the plant measurement
+  /// device flipping a breaker at the switchgear, not via SCADA).
+  void actuate_breaker_locally(std::size_t index, bool close) override;
+
+ private:
+  void scan();
+  void handle_modbus(const net::Datagram& dgram);
+  void handle_maintenance(const net::Datagram& dgram);
+
+  sim::Simulator& sim_;
+  net::Host& host_;
+  std::string name_;
+  util::Logger log_;
+  BreakerBank breakers_;
+  modbus::DataModel model_;
+  modbus::Server server_;
+  PlcConfig config_;
+  PlcConfig original_config_;
+  bool config_tampered_ = false;
+  sim::Rng rng_;
+  sim::Time scan_interval_;
+  PlcStats stats_;
+};
+
+}  // namespace spire::plc

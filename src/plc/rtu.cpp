@@ -1,0 +1,63 @@
+#include "plc/rtu.hpp"
+
+namespace spire::plc {
+
+Rtu::Rtu(sim::Simulator& sim, net::Host& host, std::string name,
+         std::vector<BreakerSpec> breaker_specs, sim::Rng rng,
+         sim::Time scan_interval, std::uint16_t dnp3_address)
+    : sim_(sim),
+      host_(host),
+      name_(std::move(name)),
+      log_("rtu." + name_),
+      breakers_(sim, std::move(breaker_specs)),
+      outstation_(dnp3_address, points_,
+                  [this](std::uint16_t index, bool close) -> std::uint8_t {
+                    if (index >= breakers_.size()) {
+                      ++stats_.operates_rejected;
+                      return 4;  // NOT_SUPPORTED
+                    }
+                    ++stats_.operates_accepted;
+                    breakers_.command(index, close);
+                    return 0;  // SUCCESS
+                  }),
+      rng_(rng),
+      scan_interval_(scan_interval) {
+  points_.binary_inputs.resize(breakers_.size());
+  points_.binary_output_status.resize(breakers_.size());
+  points_.analog_inputs.resize(breakers_.size());
+  for (std::size_t i = 0; i < breakers_.size(); ++i) {
+    points_.binary_inputs[i] = {breakers_.closed(i), true};
+    points_.binary_output_status[i] = {breakers_.commanded(i), true};
+  }
+
+  host_.bind_udp(dnp3::kDnp3Port,
+                 [this](const net::Datagram& d) { handle_dnp3(d); });
+  sim_.schedule_after(scan_interval_, [this] { scan(); });
+}
+
+void Rtu::scan() {
+  ++stats_.scans;
+  for (std::size_t i = 0; i < breakers_.size(); ++i) {
+    const bool closed = breakers_.closed(i);
+    points_.binary_inputs[i] = {closed, true};
+    points_.binary_output_status[i] = {breakers_.commanded(i), true};
+    const double amps =
+        closed ? rng_.normal(480.0, 6.0) : rng_.normal(0.5, 0.2);
+    points_.analog_inputs[i] = {
+        static_cast<std::int16_t>(std::max(0.0, amps) * 10.0), true};
+  }
+  sim_.schedule_after(scan_interval_, [this] { scan(); });
+}
+
+void Rtu::handle_dnp3(const net::Datagram& dgram) {
+  ++stats_.dnp3_requests;
+  const auto response = outstation_.handle(dgram.payload);
+  if (!response) return;
+  host_.send_udp(dgram.src_ip, dgram.src_port, dnp3::kDnp3Port, *response);
+}
+
+void Rtu::actuate_breaker_locally(std::size_t index, bool close) {
+  breakers_.command(index, close);
+}
+
+}  // namespace spire::plc

@@ -1,0 +1,58 @@
+// Emulated RTU: the DNP3-speaking cousin of the Modbus PLC (paper §II
+// lists both as the field devices Spire proxies). The RTU runs the
+// same breaker physics and scan cycle but exposes a DNP3 outstation:
+// class-0 integrity polls return binary inputs (actual positions),
+// binary output status (commanded positions) and 16-bit analog inputs
+// (synthetic load currents); CROB direct-operates command the breakers.
+#pragma once
+
+#include <string>
+
+#include "dnp3/endpoint.hpp"
+#include "net/host.hpp"
+#include "plc/field_device.hpp"
+#include "sim/rng.hpp"
+
+namespace spire::plc {
+
+struct RtuStats {
+  std::uint64_t scans = 0;
+  std::uint64_t dnp3_requests = 0;
+  std::uint64_t operates_accepted = 0;
+  std::uint64_t operates_rejected = 0;
+};
+
+class Rtu : public FieldDevice {
+ public:
+  Rtu(sim::Simulator& sim, net::Host& host, std::string name,
+      std::vector<BreakerSpec> breaker_specs, sim::Rng rng,
+      sim::Time scan_interval = 10 * sim::kMillisecond,
+      std::uint16_t dnp3_address = 1);
+
+  [[nodiscard]] const std::string& name() const override { return name_; }
+  [[nodiscard]] BreakerBank& breakers() override { return breakers_; }
+  [[nodiscard]] const BreakerBank& breakers() const override {
+    return breakers_;
+  }
+  void actuate_breaker_locally(std::size_t index, bool close) override;
+
+  [[nodiscard]] const RtuStats& stats() const { return stats_; }
+  [[nodiscard]] const dnp3::PointDatabase& points() const { return points_; }
+
+ private:
+  void scan();
+  void handle_dnp3(const net::Datagram& dgram);
+
+  sim::Simulator& sim_;
+  net::Host& host_;
+  std::string name_;
+  util::Logger log_;
+  BreakerBank breakers_;
+  dnp3::PointDatabase points_;
+  dnp3::Outstation outstation_;
+  sim::Rng rng_;
+  sim::Time scan_interval_;
+  RtuStats stats_;
+};
+
+}  // namespace spire::plc

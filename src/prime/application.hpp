@@ -1,0 +1,44 @@
+// Replicated application interface.
+//
+// Prime orders ClientUpdates; the application applies them and owns the
+// application-level state. Per the paper's key design point (§III-A),
+// catch-up after partitions or proactive recovery is NOT done by
+// replaying the replication log: the replication layer *signals* the
+// application, which then restores from a peer snapshot — or, in the
+// SCADA case, can rebuild ground truth by polling field devices.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "prime/messages.hpp"
+
+namespace spire::prime {
+
+struct ExecutionInfo {
+  std::uint64_t order_seq = 0;   ///< matrix seq that made it eligible
+  ReplicaId origin = 0;          ///< preordering replica
+  std::uint64_t po_seq = 0;
+};
+
+class Application {
+ public:
+  virtual ~Application() = default;
+
+  /// Applies one ordered, deduplicated client update.
+  virtual void apply(const ClientUpdate& update, const ExecutionInfo& info) = 0;
+
+  /// Serializes the full application state.
+  [[nodiscard]] virtual util::Bytes snapshot() const = 0;
+
+  /// Replaces the application state from a snapshot (state transfer).
+  virtual void restore(std::span<const std::uint8_t> blob) = 0;
+
+  /// Signal from the replication layer (paper §III-A): an
+  /// application-level state transfer just completed, so application
+  /// state may have jumped arbitrarily (e.g. the HMI must re-render,
+  /// pending commands must be discarded).
+  virtual void on_state_transfer() {}
+};
+
+}  // namespace spire::prime

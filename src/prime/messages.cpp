@@ -1,0 +1,546 @@
+#include "prime/messages.hpp"
+
+namespace spire::prime {
+
+namespace {
+
+template <typename T>
+std::optional<T> guarded(std::span<const std::uint8_t> data,
+                         T (*parse)(util::ByteReader&)) {
+  try {
+    util::ByteReader r(data);
+    T value = parse(r);
+    r.expect_done();
+    return value;
+  } catch (const util::SerializationError&) {
+    return std::nullopt;
+  }
+}
+
+void put_digest(util::ByteWriter& w, const crypto::Digest& d) {
+  w.raw(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+crypto::Digest get_digest(util::ByteReader& r) {
+  crypto::Digest d{};
+  const auto raw = r.raw(d.size());
+  std::copy(raw.begin(), raw.end(), d.begin());
+  return d;
+}
+
+}  // namespace
+
+std::string replica_identity(ReplicaId id) {
+  return "prime/" + std::to_string(id);
+}
+
+// ---- Envelope --------------------------------------------------------------
+
+util::Bytes Envelope::signed_bytes() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.str(sender);
+  w.blob(body);
+  return w.take();
+}
+
+util::Bytes Envelope::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.str(sender);
+  w.blob(body);
+  signature.encode(w);
+  return w.take();
+}
+
+std::optional<Envelope> Envelope::decode(std::span<const std::uint8_t> data) {
+  return guarded<Envelope>(data, [](util::ByteReader& r) {
+    Envelope e;
+    const std::uint8_t t = r.u8();
+    if (t < 1 || t > 18) throw util::SerializationError("bad msg type");
+    e.type = static_cast<MsgType>(t);
+    e.sender = r.str();
+    e.body = r.blob();
+    e.signature = crypto::Signature::decode(r);
+    return e;
+  });
+}
+
+Envelope Envelope::make(MsgType type, const crypto::Signer& signer,
+                        util::Bytes body) {
+  Envelope e;
+  e.type = type;
+  e.sender = signer.identity();
+  e.body = std::move(body);
+  e.signature = signer.sign(e.signed_bytes());
+  return e;
+}
+
+bool Envelope::verify(const crypto::Verifier& verifier) const {
+  return verifier.verify(sender, signed_bytes(), signature);
+}
+
+// ---- ClientUpdate ----------------------------------------------------------
+
+util::Bytes ClientUpdate::signed_bytes() const {
+  util::ByteWriter w;
+  w.str(client);
+  w.u64(client_seq);
+  w.blob(payload);
+  return w.take();
+}
+
+void ClientUpdate::sign(const crypto::Signer& signer) {
+  client_sig = signer.sign(signed_bytes());
+}
+
+bool ClientUpdate::verify(const crypto::Verifier& verifier) const {
+  return verifier.verify(client, signed_bytes(), client_sig);
+}
+
+void ClientUpdate::encode(util::ByteWriter& w) const {
+  w.str(client);
+  w.u64(client_seq);
+  w.blob(payload);
+  client_sig.encode(w);
+}
+
+ClientUpdate ClientUpdate::decode(util::ByteReader& r) {
+  ClientUpdate u;
+  u.client = r.str();
+  u.client_seq = r.u64();
+  u.payload = r.blob();
+  u.client_sig = crypto::Signature::decode(r);
+  return u;
+}
+
+// ---- PoRequest -------------------------------------------------------------
+
+util::Bytes PoRequest::encode() const {
+  util::ByteWriter w;
+  w.u32(origin);
+  w.u64(po_seq);
+  w.u32(static_cast<std::uint32_t>(updates.size()));
+  for (const auto& u : updates) u.encode(w);
+  return w.take();
+}
+
+std::optional<PoRequest> PoRequest::decode(std::span<const std::uint8_t> data) {
+  return guarded<PoRequest>(data, [](util::ByteReader& r) {
+    PoRequest p;
+    p.origin = r.u32();
+    p.po_seq = r.u64();
+    const std::uint32_t n = r.u32();
+    if (n > 65536) throw util::SerializationError("absurd batch size");
+    p.updates.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) p.updates.push_back(ClientUpdate::decode(r));
+    return p;
+  });
+}
+
+// ---- PoAru -----------------------------------------------------------------
+
+util::Bytes PoAru::signed_bytes() const {
+  util::ByteWriter w;
+  w.u32(replica);
+  w.u64(aru_seq);
+  w.u32(static_cast<std::uint32_t>(aru.size()));
+  for (auto v : aru) w.u64(v);
+  return w.take();
+}
+
+void PoAru::sign(const crypto::Signer& signer) {
+  sig = signer.sign(signed_bytes());
+}
+
+bool PoAru::verify_embedded(const crypto::Verifier& verifier,
+                            const std::string& identity) const {
+  return verifier.verify(identity, signed_bytes(), sig);
+}
+
+void PoAru::encode(util::ByteWriter& w) const {
+  w.u32(replica);
+  w.u64(aru_seq);
+  w.u32(static_cast<std::uint32_t>(aru.size()));
+  for (auto v : aru) w.u64(v);
+  sig.encode(w);
+}
+
+PoAru PoAru::decode(util::ByteReader& r) {
+  PoAru p;
+  p.replica = r.u32();
+  p.aru_seq = r.u64();
+  const std::uint32_t n = r.u32();
+  if (n > 4096) throw util::SerializationError("absurd aru width");
+  p.aru.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) p.aru.push_back(r.u64());
+  p.sig = crypto::Signature::decode(r);
+  return p;
+}
+
+util::Bytes PoAru::encode_standalone() const {
+  util::ByteWriter w;
+  encode(w);
+  return w.take();
+}
+
+std::optional<PoAru> PoAru::decode_standalone(
+    std::span<const std::uint8_t> data) {
+  return guarded<PoAru>(data, [](util::ByteReader& r) { return PoAru::decode(r); });
+}
+
+// ---- PrePrepare ------------------------------------------------------------
+
+util::Bytes PrePrepare::encode() const {
+  util::ByteWriter w;
+  w.u32(leader);
+  w.u64(view);
+  w.u64(order_seq);
+  w.u32(static_cast<std::uint32_t>(rows.size()));
+  for (const auto& row : rows) {
+    w.boolean(row.has_value());
+    if (row) row->encode(w);
+  }
+  return w.take();
+}
+
+std::optional<PrePrepare> PrePrepare::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<PrePrepare>(data, [](util::ByteReader& r) {
+    PrePrepare p;
+    p.leader = r.u32();
+    p.view = r.u64();
+    p.order_seq = r.u64();
+    const std::uint32_t n = r.u32();
+    if (n > 4096) throw util::SerializationError("absurd matrix size");
+    p.rows.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (r.boolean()) {
+        p.rows.push_back(PoAru::decode(r));
+      } else {
+        p.rows.push_back(std::nullopt);
+      }
+    }
+    return p;
+  });
+}
+
+crypto::Digest PrePrepare::digest() const { return crypto::sha256(encode()); }
+
+// ---- PrepareOrCommit -------------------------------------------------------
+
+util::Bytes PrepareOrCommit::encode() const {
+  util::ByteWriter w;
+  w.u32(replica);
+  w.u64(view);
+  w.u64(order_seq);
+  put_digest(w, preprepare_digest);
+  return w.take();
+}
+
+std::optional<PrepareOrCommit> PrepareOrCommit::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<PrepareOrCommit>(data, [](util::ByteReader& r) {
+    PrepareOrCommit p;
+    p.replica = r.u32();
+    p.view = r.u64();
+    p.order_seq = r.u64();
+    p.preprepare_digest = get_digest(r);
+    return p;
+  });
+}
+
+// ---- view change -----------------------------------------------------------
+
+util::Bytes NewLeader::encode() const {
+  util::ByteWriter w;
+  w.u32(replica);
+  w.u64(proposed_view);
+  return w.take();
+}
+
+std::optional<NewLeader> NewLeader::decode(std::span<const std::uint8_t> data) {
+  return guarded<NewLeader>(data, [](util::ByteReader& r) {
+    NewLeader n;
+    n.replica = r.u32();
+    n.proposed_view = r.u64();
+    return n;
+  });
+}
+
+void PreparedProof::encode(util::ByteWriter& w) const {
+  w.u64(order_seq);
+  w.blob(preprepare_envelope);
+  w.u32(static_cast<std::uint32_t>(prepare_envelopes.size()));
+  for (const auto& p : prepare_envelopes) w.blob(p);
+}
+
+PreparedProof PreparedProof::decode(util::ByteReader& r) {
+  PreparedProof proof;
+  proof.order_seq = r.u64();
+  proof.preprepare_envelope = r.blob();
+  const std::uint32_t n = r.u32();
+  if (n > 256) throw util::SerializationError("absurd prepare count");
+  proof.prepare_envelopes.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) proof.prepare_envelopes.push_back(r.blob());
+  return proof;
+}
+
+util::Bytes ViewState::signed_bytes() const {
+  util::ByteWriter w;
+  w.u32(replica);
+  w.u64(view);
+  w.u64(max_prepared);
+  w.u64(max_committed);
+  w.u32(static_cast<std::uint32_t>(prepared.size()));
+  for (const auto& proof : prepared) proof.encode(w);
+  return w.take();
+}
+
+void ViewState::sign(const crypto::Signer& signer) {
+  sig = signer.sign(signed_bytes());
+}
+
+bool ViewState::verify_embedded(const crypto::Verifier& verifier,
+                                const std::string& identity) const {
+  return verifier.verify(identity, signed_bytes(), sig);
+}
+
+void ViewState::encode(util::ByteWriter& w) const {
+  w.u32(replica);
+  w.u64(view);
+  w.u64(max_prepared);
+  w.u64(max_committed);
+  w.u32(static_cast<std::uint32_t>(prepared.size()));
+  for (const auto& proof : prepared) proof.encode(w);
+  sig.encode(w);
+}
+
+ViewState ViewState::decode(util::ByteReader& r) {
+  ViewState v;
+  v.replica = r.u32();
+  v.view = r.u64();
+  v.max_prepared = r.u64();
+  v.max_committed = r.u64();
+  const std::uint32_t n = r.u32();
+  if (n > 64) throw util::SerializationError("absurd proof count");
+  v.prepared.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    v.prepared.push_back(PreparedProof::decode(r));
+  }
+  v.sig = crypto::Signature::decode(r);
+  return v;
+}
+
+util::Bytes NewView::encode() const {
+  util::ByteWriter w;
+  w.u32(leader);
+  w.u64(view);
+  w.u64(start_seq);
+  w.u32(static_cast<std::uint32_t>(justification.size()));
+  for (const auto& vs : justification) vs.encode(w);
+  return w.take();
+}
+
+std::optional<NewView> NewView::decode(std::span<const std::uint8_t> data) {
+  return guarded<NewView>(data, [](util::ByteReader& r) {
+    NewView n;
+    n.leader = r.u32();
+    n.view = r.u64();
+    n.start_seq = r.u64();
+    const std::uint32_t count = r.u32();
+    if (count > 4096) throw util::SerializationError("absurd justification");
+    n.justification.reserve(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      n.justification.push_back(ViewState::decode(r));
+    }
+    return n;
+  });
+}
+
+// ---- reconciliation / state transfer ---------------------------------------
+
+util::Bytes PoReqFetch::encode() const {
+  util::ByteWriter w;
+  w.u32(origin);
+  w.u64(po_seq);
+  return w.take();
+}
+
+std::optional<PoReqFetch> PoReqFetch::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<PoReqFetch>(data, [](util::ByteReader& r) {
+    PoReqFetch f;
+    f.origin = r.u32();
+    f.po_seq = r.u64();
+    return f;
+  });
+}
+
+util::Bytes PoReqResp::encode() const {
+  util::ByteWriter w;
+  w.u32(origin);
+  w.u64(po_seq);
+  w.blob(envelope);
+  return w.take();
+}
+
+std::optional<PoReqResp> PoReqResp::decode(std::span<const std::uint8_t> data) {
+  return guarded<PoReqResp>(data, [](util::ByteReader& r) {
+    PoReqResp p;
+    p.origin = r.u32();
+    p.po_seq = r.u64();
+    p.envelope = r.blob();
+    return p;
+  });
+}
+
+util::Bytes StateReq::encode() const {
+  util::ByteWriter w;
+  w.u64(nonce);
+  return w.take();
+}
+
+std::optional<StateReq> StateReq::decode(std::span<const std::uint8_t> data) {
+  return guarded<StateReq>(data, [](util::ByteReader& r) {
+    StateReq s;
+    s.nonce = r.u64();
+    return s;
+  });
+}
+
+util::Bytes StateResp::encode() const {
+  util::ByteWriter w;
+  w.u64(nonce);
+  w.u64(view);
+  w.u64(applied_seq);
+  put_digest(w, snapshot_digest);
+  return w.take();
+}
+
+std::optional<StateResp> StateResp::decode(std::span<const std::uint8_t> data) {
+  return guarded<StateResp>(data, [](util::ByteReader& r) {
+    StateResp s;
+    s.nonce = r.u64();
+    s.view = r.u64();
+    s.applied_seq = r.u64();
+    s.snapshot_digest = get_digest(r);
+    return s;
+  });
+}
+
+util::Bytes SnapshotReq::encode() const {
+  util::ByteWriter w;
+  w.u64(nonce);
+  w.u64(applied_seq);
+  return w.take();
+}
+
+std::optional<SnapshotReq> SnapshotReq::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<SnapshotReq>(data, [](util::ByteReader& r) {
+    SnapshotReq s;
+    s.nonce = r.u64();
+    s.applied_seq = r.u64();
+    return s;
+  });
+}
+
+util::Bytes SnapshotResp::encode() const {
+  util::ByteWriter w;
+  w.u64(nonce);
+  w.u64(applied_seq);
+  w.blob(blob);
+  return w.take();
+}
+
+std::optional<SnapshotResp> SnapshotResp::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<SnapshotResp>(data, [](util::ByteReader& r) {
+    SnapshotResp s;
+    s.nonce = r.u64();
+    s.applied_seq = r.u64();
+    s.blob = r.blob();
+    return s;
+  });
+}
+
+util::Bytes CommitCertReq::encode() const {
+  util::ByteWriter w;
+  w.u64(order_seq);
+  return w.take();
+}
+
+std::optional<CommitCertReq> CommitCertReq::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<CommitCertReq>(data, [](util::ByteReader& r) {
+    CommitCertReq c;
+    c.order_seq = r.u64();
+    return c;
+  });
+}
+
+util::Bytes CommitCertResp::encode() const {
+  util::ByteWriter w;
+  w.u64(order_seq);
+  w.blob(preprepare_envelope);
+  w.u32(static_cast<std::uint32_t>(commit_envelopes.size()));
+  for (const auto& c : commit_envelopes) w.blob(c);
+  return w.take();
+}
+
+std::optional<CommitCertResp> CommitCertResp::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<CommitCertResp>(data, [](util::ByteReader& r) {
+    CommitCertResp c;
+    c.order_seq = r.u64();
+    c.preprepare_envelope = r.blob();
+    const std::uint32_t n = r.u32();
+    if (n > 4096) throw util::SerializationError("absurd commit count");
+    c.commit_envelopes.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) c.commit_envelopes.push_back(r.blob());
+    return c;
+  });
+}
+
+// ---- Checkpoint ------------------------------------------------------------
+
+util::Bytes Checkpoint::signed_bytes() const {
+  util::ByteWriter w;
+  w.u32(replica);
+  w.u64(applied_seq);
+  put_digest(w, snapshot_digest);
+  return w.take();
+}
+
+void Checkpoint::sign(const crypto::Signer& signer) {
+  sig = signer.sign(signed_bytes());
+}
+
+bool Checkpoint::verify_embedded(const crypto::Verifier& verifier,
+                                 const std::string& identity) const {
+  return verifier.verify(identity, signed_bytes(), sig);
+}
+
+util::Bytes Checkpoint::encode() const {
+  util::ByteWriter w;
+  w.u32(replica);
+  w.u64(applied_seq);
+  put_digest(w, snapshot_digest);
+  sig.encode(w);
+  return w.take();
+}
+
+std::optional<Checkpoint> Checkpoint::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<Checkpoint>(data, [](util::ByteReader& r) {
+    Checkpoint c;
+    c.replica = r.u32();
+    c.applied_seq = r.u64();
+    c.snapshot_digest = get_digest(r);
+    c.sig = crypto::Signature::decode(r);
+    return c;
+  });
+}
+
+}  // namespace spire::prime

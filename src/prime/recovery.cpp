@@ -1,0 +1,36 @@
+#include "prime/recovery.hpp"
+
+namespace spire::prime {
+
+ProactiveRecovery::ProactiveRecovery(sim::Simulator& sim,
+                                     std::vector<Replica*> replicas,
+                                     RecoveryConfig config)
+    : sim_(sim), replicas_(std::move(replicas)), config_(config) {}
+
+void ProactiveRecovery::start() {
+  if (running_) return;
+  running_ = true;
+  sim_.schedule_after(config_.period, [this] { tick(); });
+}
+
+void ProactiveRecovery::stop() { running_ = false; }
+
+void ProactiveRecovery::tick() {
+  if (!running_) return;
+  // Descending order: with leader = view mod n, ascending order would
+  // take down the *current* leader on every single step (each view
+  // change hands leadership to the next recovery target). Descending
+  // hits the leader at most once per cycle, as in a real deployment.
+  Replica* target = replicas_[replicas_.size() - 1 - next_];
+  next_ = (next_ + 1) % replicas_.size();
+
+  target->shutdown();
+  sim_.schedule_after(config_.downtime, [this, target] {
+    if (!running_) return;
+    target->recover();
+    ++completed_;
+  });
+  sim_.schedule_after(config_.period, [this] { tick(); });
+}
+
+}  // namespace spire::prime

@@ -1,0 +1,51 @@
+// Proactive recovery scheduler (paper §II).
+//
+// Periodically takes one replica down, wipes it, restarts it with a
+// fresh diversity variant, and waits for its application-level state
+// transfer to finish before moving to the next — so at most k replicas
+// are ever recovering simultaneously, the regime n = 3f + 2k + 1 is
+// sized for. With f = 1, k = 1 this is the six-replica configuration
+// used in the power-plant deployment (§V).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "prime/replica.hpp"
+#include "sim/simulator.hpp"
+
+namespace spire::prime {
+
+struct RecoveryConfig {
+  /// Time between the start of consecutive recoveries.
+  sim::Time period = 30 * sim::kSecond;
+  /// How long a replica stays down before it begins rejoining (reimage
+  /// + restart time on real hardware).
+  sim::Time downtime = 2 * sim::kSecond;
+};
+
+class ProactiveRecovery {
+ public:
+  ProactiveRecovery(sim::Simulator& sim, std::vector<Replica*> replicas,
+                    RecoveryConfig config);
+
+  /// Begins the rejuvenation cycle (round-robin over replicas).
+  void start();
+  void stop();
+
+  [[nodiscard]] std::uint64_t recoveries_completed() const {
+    return completed_;
+  }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  std::vector<Replica*> replicas_;
+  RecoveryConfig config_;
+  bool running_ = false;
+  std::size_t next_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace spire::prime

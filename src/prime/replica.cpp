@@ -1,0 +1,1339 @@
+#include "prime/replica.hpp"
+
+#include <algorithm>
+
+namespace spire::prime {
+
+namespace {
+constexpr int kStateTransferFallbackAttempts = 100;  // ~5 s of retries
+constexpr std::uint64_t kSlotRetention = 1024;
+}  // namespace
+
+Replica::Replica(sim::Simulator& sim, ReplicaId id, PrimeConfig config,
+                 const crypto::Keyring& keyring, Application& app,
+                 std::unique_ptr<ReplicaTransport> transport, sim::Rng rng)
+    : sim_(sim),
+      id_(id),
+      config_(std::move(config)),
+      keyring_(keyring),
+      signer_(replica_identity(id), keyring.identity_key(replica_identity(id))),
+      app_(app),
+      transport_(std::move(transport)),
+      rng_(rng),
+      log_("prime." + std::to_string(id)) {
+  for (ReplicaId r = 0; r < config_.n(); ++r) {
+    verifier_.add_identity(replica_identity(r),
+                           keyring.identity_key(replica_identity(r)));
+  }
+  for (const auto& client : config_.client_identities) {
+    verifier_.add_identity(client, keyring.identity_key(client));
+  }
+  recv_aru_.assign(config_.n(), 0);
+  exec_aru_.assign(config_.n(), 0);
+  latest_aru_.assign(config_.n(), std::nullopt);
+}
+
+void Replica::start() {
+  running_ = true;
+  recovering_ = false;
+  variant_ = rng_.next();
+  // start() is a *fresh-world* boot: every replica begins it together
+  // (initial deployment, or the full-system restart of a ground-truth
+  // rebuild), so the monotonic counters reset consistently with the
+  // peers' wiped PO stores. recover() — a single replica rejoining a
+  // live system — deliberately preserves them instead.
+  next_po_seq_ = 1;
+  my_aru_seq_ = 0;
+  if (!started_once_) {
+    started_once_ = true;
+    initial_app_snapshot_ = app_.snapshot();
+  } else {
+    // Restart from a clean image: the application state is wiped too
+    // (a SCADA master rebuilds it from field-device reports, §III-A).
+    app_.restore(initial_app_snapshot_);
+  }
+  // Checkpoint 0 = the deterministic initial state; it anchors recovery
+  // for replicas that rejoin before the first periodic checkpoint.
+  checkpoint_blobs_[0] = snapshot_bundle();
+  arm_timers();
+}
+
+void Replica::shutdown() {
+  running_ = false;
+  recovering_ = false;
+  ++epoch_;  // orphan all scheduled timers
+
+  // Volatile state is lost on takedown, as with a real proactive
+  // recovery that wipes the machine.
+  pending_batch_.clear();
+  last_batched_.clear();
+  preorder_buffer_.clear();
+  preorder_stall_.clear();
+  po_store_.clear();
+  recv_aru_.assign(config_.n(), 0);
+  latest_aru_.assign(config_.n(), std::nullopt);
+  turnaround_.clear();
+  // next_po_seq_ and my_aru_seq_ deliberately survive the wipe: they
+  // model secure-hardware-backed monotonic counters (as proactive
+  // recovery systems keep for exactly this reason). Reusing PO sequence
+  // numbers after rejuvenation would collide with the old requests
+  // still stored at peers, silently losing the new ones.
+  view_ = 0;
+  next_order_seq_ = 1;
+  view_start_.clear();
+  slots_.clear();
+  applied_seq_ = 0;
+  highest_committed_ = 0;
+  cert_attempts_.clear();
+  exec_aru_.assign(config_.n(), 0);
+  executed_clients_.clear();
+  new_leader_votes_.clear();
+  collected_view_states_.clear();
+  new_view_sent_ = false;
+  expected_rows_.clear();
+  reproposal_top_ = 0;
+  reproposal_view_ = 0;
+  checkpoint_blobs_.clear();
+  checkpoint_votes_.clear();
+  stable_checkpoint_.reset();
+  state_resps_.clear();
+  chosen_state_.reset();
+  outstanding_fetches_.clear();
+  outstanding_cert_fetches_.clear();
+  last_suspected_view_ = 0;
+}
+
+void Replica::recover() {
+  shutdown();
+  ++epoch_;
+  running_ = true;
+  recovering_ = true;
+  variant_ = rng_.next();  // fresh diversity variant (MultiCompiler stand-in)
+  state_nonce_ = rng_.next();
+  behavior_ = ReplicaBehavior::kCorrect;  // clean code image
+  log_.info("recovering with new variant ", variant_);
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_after(1, [this, epoch] { recovery_tick(epoch); });
+}
+
+bool Replica::acting_crashed() const {
+  return behavior_ == ReplicaBehavior::kCrashed;
+}
+
+void Replica::arm_timers() {
+  const std::uint64_t epoch = epoch_;
+  last_leader_activity_ = sim_.now();
+  sim_.schedule_after(config_.po_request_interval,
+                      [this, epoch] { po_flush_tick(epoch); });
+  sim_.schedule_after(config_.po_aru_interval,
+                      [this, epoch] { po_aru_tick(epoch); });
+  sim_.schedule_after(config_.preprepare_interval,
+                      [this, epoch] { preprepare_tick(epoch); });
+  sim_.schedule_after(config_.suspect_timeout / 4,
+                      [this, epoch] { suspect_tick(epoch); });
+  sim_.schedule_after(config_.recon_interval,
+                      [this, epoch] { recon_tick(epoch); });
+}
+
+void Replica::send_envelope(MsgType type, util::Bytes body,
+                            std::optional<ReplicaId> to) {
+  if (!running_ || acting_crashed()) return;
+  const Envelope env = Envelope::make(type, signer_, std::move(body));
+  const util::Bytes bytes = env.encode();
+  if (to) {
+    if (*to == id_) {
+      on_message(bytes);
+    } else {
+      transport_->send(*to, bytes);
+    }
+  } else {
+    transport_->broadcast(bytes);
+    on_message(bytes);  // uniform self-delivery
+  }
+}
+
+void Replica::on_message(const util::Bytes& envelope_bytes) {
+  if (!running_ || acting_crashed()) return;
+  const auto env = Envelope::decode(envelope_bytes);
+  if (!env) return;
+  if (!env->verify(verifier_)) {
+    ++stats_.dropped_bad_signature;
+    return;
+  }
+
+  if (recovering_) {
+    // A recovering replica has no state to contribute; it only listens
+    // for the state-transfer replies it solicited.
+    switch (env->type) {
+      case MsgType::kStateResp: handle_state_resp(*env); return;
+      case MsgType::kSnapshotResp: handle_snapshot_resp(*env); return;
+      default: return;
+    }
+  }
+
+  switch (env->type) {
+    case MsgType::kClientUpdate: handle_client_update(*env); break;
+    case MsgType::kPoRequest: handle_po_request(*env); break;
+    case MsgType::kPoAru: handle_po_aru(*env); break;
+    case MsgType::kPrePrepare: handle_preprepare(*env); break;
+    case MsgType::kPrepare: handle_prepare_or_commit(*env, false); break;
+    case MsgType::kCommit: handle_prepare_or_commit(*env, true); break;
+    case MsgType::kNewLeader: handle_new_leader(*env); break;
+    case MsgType::kViewState: handle_view_state(*env); break;
+    case MsgType::kNewView: handle_new_view(*env); break;
+    case MsgType::kPoReqFetch: handle_po_fetch(*env); break;
+    case MsgType::kPoReqResp: handle_po_resp(*env); break;
+    case MsgType::kStateReq: handle_state_req(*env); break;
+    case MsgType::kStateResp: break;   // not recovering: ignore
+    case MsgType::kSnapshotReq: handle_snapshot_req(*env); break;
+    case MsgType::kSnapshotResp: break;
+    case MsgType::kCommitCertReq: handle_cert_req(*env); break;
+    case MsgType::kCommitCertResp: handle_cert_resp(*env); break;
+    case MsgType::kCheckpoint: handle_checkpoint(*env); break;
+  }
+}
+
+// ---- preordering ------------------------------------------------------------
+
+void Replica::handle_client_update(const Envelope& env) {
+  util::ByteReader r(env.body);
+  ClientUpdate update;
+  try {
+    update = ClientUpdate::decode(r);
+    r.expect_done();
+  } catch (const util::SerializationError&) {
+    return;
+  }
+  if (update.client != env.sender) return;
+  if (!verifier_.knows(update.client)) {
+    ++stats_.dropped_unknown_client;
+    return;
+  }
+  if (!update.verify(verifier_)) {
+    ++stats_.dropped_bad_signature;
+    return;
+  }
+
+  // Responsible-set preordering: clients broadcast to all replicas, but
+  // only the f+k+1 replicas deterministically assigned to this client
+  // preorder its updates — enough that at least one is correct and live
+  // even with f intrusions and k concurrent recoveries, without n-fold
+  // duplication. Execution-level dedup makes any overlap harmless.
+  const std::uint64_t h =
+      crypto::digest_prefix64(crypto::sha256(update.client));
+  const auto primary = static_cast<ReplicaId>(h % config_.n());
+  const std::uint32_t offset = (config_.n() + id_ - primary) % config_.n();
+  if (offset > config_.f + config_.k) return;
+
+  enqueue_for_preorder(std::move(update));
+}
+
+void Replica::enqueue_for_preorder(ClientUpdate update) {
+  // Each origin must emit a client's updates with contiguous, increasing
+  // client_seq (the execution layer's in-order dedup depends on it), so
+  // out-of-order arrivals are parked until their predecessor is batched
+  // here or executed via another origin.
+  auto& last = last_batched_[update.client];
+  const auto executed = executed_clients_.find(update.client);
+  if (executed != executed_clients_.end()) {
+    last = std::max(last, executed->second);
+  }
+  if (update.client_seq <= last) return;  // stale or already handled
+
+  auto& parked = preorder_buffer_[update.client];
+  if (update.client_seq > last + 1) {
+    if (parked.size() < 1024) {
+      parked.emplace(update.client_seq, std::move(update));
+    }
+    return;
+  }
+
+  pending_batch_.push_back(update);
+  last = update.client_seq;
+  // Drain any parked successors that are now contiguous.
+  auto it = parked.begin();
+  while (it != parked.end() && it->first == last + 1) {
+    pending_batch_.push_back(std::move(it->second));
+    last = it->first;
+    it = parked.erase(it);
+  }
+  while (!parked.empty() && parked.begin()->first <= last) {
+    parked.erase(parked.begin());
+  }
+}
+
+void Replica::drain_preorder_buffer() {
+  constexpr int kStallJumpTicks = 100;  // ~1s at the default flush rate
+  for (auto client_it = preorder_buffer_.begin();
+       client_it != preorder_buffer_.end();) {
+    auto& parked = client_it->second;
+    auto& last = last_batched_[client_it->first];
+    const auto executed = executed_clients_.find(client_it->first);
+    if (executed != executed_clients_.end()) {
+      last = std::max(last, executed->second);
+    }
+    bool progressed = false;
+    while (!parked.empty() && parked.begin()->first <= last) {
+      parked.erase(parked.begin());
+      progressed = true;
+    }
+    auto& stall = preorder_stall_[client_it->first];
+    if (!parked.empty() && ++stall > kStallJumpTicks) {
+      // Predecessors are never coming (e.g. the whole system restarted
+      // while the client session kept counting): jump forward.
+      last = parked.begin()->first - 1;
+      log_.info("preorder jump for ", client_it->first, " to seq ",
+                parked.begin()->first);
+    }
+    while (!parked.empty() && parked.begin()->first == last + 1) {
+      pending_batch_.push_back(std::move(parked.begin()->second));
+      last = parked.begin()->first;
+      parked.erase(parked.begin());
+      progressed = true;
+    }
+    if (progressed) stall = 0;
+    if (parked.empty()) {
+      preorder_stall_.erase(client_it->first);
+      client_it = preorder_buffer_.erase(client_it);
+    } else {
+      ++client_it;
+    }
+  }
+}
+
+void Replica::po_flush_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || !running_) return;
+  drain_preorder_buffer();
+  if (!pending_batch_.empty()) {
+    PoRequest req;
+    req.origin = id_;
+    req.po_seq = next_po_seq_++;
+    req.updates = std::move(pending_batch_);
+    pending_batch_.clear();
+    ++stats_.po_requests_sent;
+    send_envelope(MsgType::kPoRequest, req.encode());
+  }
+  sim_.schedule_after(config_.po_request_interval,
+                      [this, epoch] { po_flush_tick(epoch); });
+}
+
+void Replica::handle_po_request(const Envelope& env) {
+  const auto req = PoRequest::decode(env.body);
+  if (!req) return;
+  if (env.sender != replica_identity(req->origin)) return;
+  store_po_request(env, *req);
+}
+
+void Replica::store_po_request(const Envelope& env, const PoRequest& req) {
+  const auto key = std::make_pair(req.origin, req.po_seq);
+  if (po_store_.count(key)) return;
+  // Client updates inside a PO-Request carry their own client
+  // signatures; verify them here once so execution can trust the store.
+  for (const auto& update : req.updates) {
+    if (!verifier_.knows(update.client) || !update.verify(verifier_)) {
+      ++stats_.dropped_bad_signature;
+      return;
+    }
+  }
+  po_store_.emplace(key, StoredPoRequest{req, env.encode()});
+  outstanding_fetches_.erase(key);
+
+  auto& aru = recv_aru_[req.origin];
+  while (po_store_.count(std::make_pair(req.origin, aru + 1))) ++aru;
+
+  try_apply();
+}
+
+void Replica::po_aru_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || !running_) return;
+  PoAru aru;
+  aru.replica = id_;
+  aru.aru_seq = ++my_aru_seq_;
+  aru.aru = recv_aru_;
+  aru.sign(signer_);
+  turnaround_.emplace_back(sim_.now(), aru.aru_seq);
+  send_envelope(MsgType::kPoAru, aru.encode_standalone());
+  sim_.schedule_after(config_.po_aru_interval,
+                      [this, epoch] { po_aru_tick(epoch); });
+}
+
+void Replica::handle_po_aru(const Envelope& env) {
+  const auto aru = PoAru::decode_standalone(env.body);
+  if (!aru || aru->aru.size() != config_.n()) return;
+  if (env.sender != replica_identity(aru->replica)) return;
+  if (!aru->verify_embedded(verifier_, env.sender)) {
+    ++stats_.dropped_bad_signature;
+    return;
+  }
+  auto& latest = latest_aru_[aru->replica];
+  if (!latest || aru->aru_seq > latest->aru_seq) latest = *aru;
+
+  // PO-ARU-driven reconciliation: a peer acknowledging PO-Requests we
+  // never received (lost to a partition or drops) tells us exactly what
+  // to fetch. Bounded lookahead keeps this cheap.
+  for (ReplicaId i = 0; i < config_.n(); ++i) {
+    const std::uint64_t theirs = aru->aru[i];
+    const std::uint64_t mine = recv_aru_[i];
+    if (theirs <= mine) continue;
+    const std::uint64_t until = std::min(theirs, mine + 8);
+    for (std::uint64_t s = mine + 1; s <= until; ++s) {
+      if (!po_store_.count(std::make_pair(i, s))) {
+        outstanding_fetches_.insert(std::make_pair(i, s));
+      }
+    }
+  }
+}
+
+// ---- ordering ---------------------------------------------------------------
+
+void Replica::preprepare_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || !running_) return;
+  sim_.schedule_after(config_.preprepare_interval,
+                      [this, epoch] { preprepare_tick(epoch); });
+  if (!is_leader()) return;
+  if (behavior_ == ReplicaBehavior::kSilentLeader) return;
+  if (view_start_.count(view_) && next_order_seq_ < view_start_[view_]) {
+    next_order_seq_ = view_start_[view_];
+  }
+  if (next_order_seq_ > highest_committed_ + config_.ordering_window) return;
+
+  PrePrepare pp;
+  pp.leader = id_;
+  pp.view = view_;
+  pp.order_seq = next_order_seq_;
+  if (behavior_ == ReplicaBehavior::kStaleLeader) {
+    // Delay attack: structurally valid Pre-Prepares whose matrix never
+    // reflects fresh PO-ARUs, so no new updates become eligible.
+    pp.rows.assign(config_.n(), std::nullopt);
+  } else {
+    pp.rows = latest_aru_;
+  }
+
+  // Skip redundant proposals when idle, but heartbeat often enough that
+  // correct replicas never suspect a healthy leader.
+  crypto::Digest matrix_digest{};
+  {
+    util::ByteWriter w;
+    for (const auto& row : pp.rows) {
+      w.boolean(row.has_value());
+      if (row) w.u64(row->aru_seq);
+    }
+    matrix_digest = crypto::sha256(w.bytes());
+  }
+  const bool fresh = matrix_digest != last_matrix_digest_;
+  const bool heartbeat_due =
+      sim_.now() - last_preprepare_sent_ >= config_.leader_heartbeat;
+  if (!fresh && !heartbeat_due) return;
+  last_matrix_digest_ = matrix_digest;
+  last_preprepare_sent_ = sim_.now();
+
+  ++next_order_seq_;
+  ++stats_.preprepares_sent;
+  send_envelope(MsgType::kPrePrepare, pp.encode());
+}
+
+void Replica::handle_preprepare(const Envelope& env) {
+  const auto pp = PrePrepare::decode(env.body);
+  if (!pp) return;
+  if (env.sender != replica_identity(pp->leader)) return;
+  if (pp->view != view_ || pp->leader != leader_of(view_)) return;
+  if (pp->order_seq <= applied_seq_) return;
+  if (pp->order_seq > applied_seq_ + (1u << 20)) return;  // absurd horizon
+  const auto start_it = view_start_.find(view_);
+  if (start_it != view_start_.end() && pp->order_seq < start_it->second) return;
+  if (pp->rows.size() != config_.n()) return;
+  for (ReplicaId r = 0; r < config_.n(); ++r) {
+    const auto& row = pp->rows[r];
+    if (!row) continue;
+    if (row->replica != r || row->aru.size() != config_.n() ||
+        !row->verify_embedded(verifier_, replica_identity(r))) {
+      // Malformed matrix from the leader: treat as misbehavior.
+      suspect(view_ + 1);
+      return;
+    }
+  }
+
+  // Re-proposal constraint: in a view installed by a NewView, the
+  // leading slots must carry exactly the proven matrices (or an empty
+  // no-op matrix for holes) — a leader proposing anything else for
+  // them is misbehaving.
+  if (reproposal_view_ == view_ && pp->order_seq <= reproposal_top_) {
+    const auto expected = expected_rows_.find(pp->order_seq);
+    const crypto::Digest required =
+        expected != expected_rows_.end()
+            ? expected->second
+            : rows_digest(std::vector<std::optional<PoAru>>(config_.n(),
+                                                            std::nullopt));
+    if (rows_digest(pp->rows) != required) {
+      log_.warn("leader deviated from re-proposal constraints at seq ",
+                pp->order_seq, "; suspecting");
+      suspect(view_ + 1);
+      return;
+    }
+  }
+
+  OrderSlot& slot = slots_[pp->order_seq];
+  const crypto::Digest digest = pp->digest();
+  if (slot.committed) {
+    // Final: a re-proposal in a later view changes nothing we did.
+    last_leader_activity_ = sim_.now();
+    return;
+  }
+  if (slot.preprepare) {
+    if (slot.view == pp->view) {
+      if (slot.digest != digest) {
+        // Equivocation: two conflicting proposals for the same slot.
+        log_.warn("conflicting pre-prepares for seq ", pp->order_seq,
+                  " in view ", view_, "; suspecting leader");
+        suspect(view_ + 1);
+      } else {
+        last_leader_activity_ = sim_.now();
+      }
+      return;
+    }
+    if (slot.view > pp->view) return;
+    // Newer view supersedes an abandoned proposal.
+    slot = OrderSlot{};
+  }
+
+  slot.preprepare = *pp;
+  slot.preprepare_envelope = env.encode();
+  slot.digest = digest;
+  slot.view = pp->view;
+  last_leader_activity_ = sim_.now();
+
+  // Turnaround check bookkeeping: our row being reflected clears the
+  // pending PO-ARUs it covers.
+  if (const auto& my_row = pp->rows[id_]) {
+    while (!turnaround_.empty() &&
+           turnaround_.front().second <= my_row->aru_seq) {
+      turnaround_.pop_front();
+    }
+  }
+
+  PrepareOrCommit prepare;
+  prepare.replica = id_;
+  prepare.view = pp->view;
+  prepare.order_seq = pp->order_seq;
+  prepare.preprepare_digest = digest;
+  send_envelope(MsgType::kPrepare, prepare.encode());
+
+  try_commit(pp->order_seq);
+}
+
+void Replica::handle_prepare_or_commit(const Envelope& env, bool is_commit) {
+  const auto msg = PrepareOrCommit::decode(env.body);
+  if (!msg) return;
+  if (env.sender != replica_identity(msg->replica)) return;
+  if (msg->order_seq <= applied_seq_) return;
+  if (msg->order_seq > applied_seq_ + (1u << 20)) return;  // absurd horizon
+
+  OrderSlot& slot = slots_[msg->order_seq];
+  auto& table = is_commit ? slot.commits : slot.prepares;
+  const auto entry = std::make_pair(msg->view, msg->preprepare_digest);
+  const auto it = table.find(msg->replica);
+  if (it == table.end() || it->second.first < msg->view) {
+    table[msg->replica] = entry;
+    if (is_commit) {
+      slot.commit_envelopes[msg->replica] = env.encode();
+    } else {
+      // Kept to assemble prepared proofs for view changes.
+      slot.prepare_envelopes[msg->replica] = env.encode();
+    }
+  }
+  try_commit(msg->order_seq);
+}
+
+void Replica::try_commit(std::uint64_t seq) {
+  const auto slot_it = slots_.find(seq);
+  if (slot_it == slots_.end()) return;
+  OrderSlot& slot = slot_it->second;
+  if (!slot.preprepare) return;
+
+  const auto count_matching = [&](const auto& table) {
+    std::uint32_t count = 0;
+    for (const auto& [replica, entry] : table) {
+      if (entry.first == slot.view && entry.second == slot.digest) ++count;
+    }
+    return count;
+  };
+
+  if (!slot.prepared && count_matching(slot.prepares) >= config_.quorum()) {
+    slot.prepared = true;
+  }
+  if (slot.prepared && !slot.sent_commit) {
+    slot.sent_commit = true;
+    PrepareOrCommit commit;
+    commit.replica = id_;
+    commit.view = slot.view;
+    commit.order_seq = seq;
+    commit.preprepare_digest = slot.digest;
+    send_envelope(MsgType::kCommit, commit.encode());
+    // send_envelope self-delivers, which may re-enter try_commit and
+    // complete the slot; re-check before falling through.
+    if (slots_.find(seq) == slots_.end()) return;
+  }
+  if (!slot.committed && count_matching(slot.commits) >= config_.quorum()) {
+    slot.committed = true;
+    highest_committed_ = std::max(highest_committed_, seq);
+    try_apply();
+  }
+}
+
+// ---- execution ---------------------------------------------------------------
+
+std::vector<std::uint64_t> Replica::eligibility(const PrePrepare& pp) const {
+  const std::uint32_t n = config_.n();
+  std::vector<std::uint64_t> result(n, 0);
+  std::vector<std::uint64_t> column(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    for (std::uint32_t j = 0; j < n; ++j) {
+      column[j] = pp.rows[j] ? pp.rows[j]->aru[i] : 0;
+    }
+    std::sort(column.begin(), column.end(), std::greater<>());
+    // The quorum-th largest claim: at least f+k+1 correct replicas have
+    // preordered through this sequence, so it is recoverable.
+    result[i] = column[config_.quorum() - 1];
+  }
+  return result;
+}
+
+bool Replica::can_apply(std::uint64_t seq,
+                        std::set<std::pair<ReplicaId, std::uint64_t>>* missing) {
+  const OrderSlot& slot = slots_.at(seq);
+  const auto elig = eligibility(*slot.preprepare);
+  bool ok = true;
+  for (ReplicaId i = 0; i < config_.n(); ++i) {
+    for (std::uint64_t s = exec_aru_[i] + 1; s <= elig[i]; ++s) {
+      if (!po_store_.count(std::make_pair(i, s))) {
+        ok = false;
+        if (missing) missing->insert(std::make_pair(i, s));
+      }
+    }
+  }
+  return ok;
+}
+
+void Replica::try_apply() {
+  while (true) {
+    const std::uint64_t next = applied_seq_ + 1;
+    const auto slot_it = slots_.find(next);
+    const bool have_committed =
+        slot_it != slots_.end() && slot_it->second.committed;
+
+    if (have_committed) {
+      std::set<std::pair<ReplicaId, std::uint64_t>> missing;
+      if (can_apply(next, &missing)) {
+        apply_matrix(next);
+        continue;
+      }
+      // Reconciliation: fetch the PO-Requests the matrix made eligible
+      // but we never received (recon_tick drives retransmission).
+      outstanding_fetches_.insert(missing.begin(), missing.end());
+      return;
+    }
+
+    // Not committed locally. Slots below the current view's start were
+    // applied by a correct replica (start is derived from applied_seq
+    // reports), and pipeline gaps below later commits will resolve via
+    // leader retransmission — in both cases the certificate is
+    // fetchable, so we never skip (skipping a slot someone executed
+    // would fork the execution order). A gap stuck long enough that
+    // peers must have pruned it falls back to a full state transfer.
+    const auto start_it = view_start_.find(view_);
+    const bool behind = highest_committed_ > next ||
+                        (start_it != view_start_.end() &&
+                         next < start_it->second);
+    if (behind) {
+      if (cert_attempts_[next] > kStateTransferFallbackAttempts) {
+        begin_state_transfer();
+        return;
+      }
+      outstanding_cert_fetches_.insert(next);
+    }
+    return;
+  }
+}
+
+void Replica::apply_matrix(std::uint64_t seq) {
+  OrderSlot& slot = slots_.at(seq);
+  const auto elig = eligibility(*slot.preprepare);
+
+  for (ReplicaId i = 0; i < config_.n(); ++i) {
+    for (std::uint64_t s = exec_aru_[i] + 1; s <= elig[i]; ++s) {
+      const auto& stored = po_store_.at(std::make_pair(i, s));
+      for (const auto& update : stored.request.updates) {
+        auto& executed = executed_clients_[update.client];
+        if (update.client_seq <= executed) continue;  // cross-origin dup
+        executed = update.client_seq;
+        ++stats_.updates_executed;
+        const ExecutionInfo info{seq, i, s};
+        app_.apply(update, info);
+        if (observer_) observer_(update, info);
+      }
+    }
+    exec_aru_[i] = std::max(exec_aru_[i], elig[i]);
+  }
+
+  applied_seq_ = seq;
+  ++stats_.matrices_applied;
+  outstanding_cert_fetches_.erase(seq);
+  cert_attempts_.erase(seq);
+  maybe_checkpoint();
+
+  // Retention: keep a window of slots and PO-Requests to serve
+  // reconciliation and catch-up, prune the rest.
+  while (!slots_.empty() &&
+         slots_.begin()->first + kSlotRetention < applied_seq_) {
+    slots_.erase(slots_.begin());
+  }
+  for (ReplicaId i = 0; i < config_.n(); ++i) {
+    while (true) {
+      const auto it = po_store_.lower_bound(std::make_pair(i, 0));
+      if (it == po_store_.end() || it->first.first != i) break;
+      if (it->first.second + kSlotRetention >= exec_aru_[i]) break;
+      po_store_.erase(it);
+    }
+  }
+}
+
+void Replica::maybe_checkpoint() {
+  if (applied_seq_ % config_.checkpoint_interval != 0) return;
+  util::Bytes blob = snapshot_bundle();
+  Checkpoint cp;
+  cp.replica = id_;
+  cp.applied_seq = applied_seq_;
+  cp.snapshot_digest = crypto::sha256(blob);
+  cp.sign(signer_);
+  checkpoint_blobs_[applied_seq_] = std::move(blob);
+  while (checkpoint_blobs_.size() > 3) {
+    checkpoint_blobs_.erase(checkpoint_blobs_.begin());
+  }
+
+  send_envelope(MsgType::kCheckpoint, cp.encode());
+}
+
+void Replica::handle_checkpoint(const Envelope& env) {
+  const auto cp = Checkpoint::decode(env.body);
+  if (!cp) return;
+  if (env.sender != replica_identity(cp->replica)) return;
+  if (!cp->verify_embedded(verifier_, env.sender)) return;
+
+  auto& votes = checkpoint_votes_[cp->applied_seq];
+  votes[cp->replica] = std::make_pair(cp->snapshot_digest, env.encode());
+
+  std::uint32_t matching = 0;
+  for (const auto& [replica, vote] : votes) {
+    if (vote.first == cp->snapshot_digest) ++matching;
+  }
+  if (matching >= config_.f + 1 &&
+      (!stable_checkpoint_ || cp->applied_seq > stable_checkpoint_->seq)) {
+    stable_checkpoint_ = StableCheckpoint{cp->applied_seq, cp->snapshot_digest};
+    ++stats_.checkpoints_stable;
+    while (!checkpoint_votes_.empty() &&
+           checkpoint_votes_.begin()->first < cp->applied_seq) {
+      checkpoint_votes_.erase(checkpoint_votes_.begin());
+    }
+  }
+}
+
+// ---- suspect / view change ---------------------------------------------------
+
+void Replica::suspect_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || !running_) return;
+  sim_.schedule_after(config_.suspect_timeout / 4,
+                      [this, epoch] { suspect_tick(epoch); });
+  if (acting_crashed()) return;
+
+  if (!is_leader()) {
+    if (sim_.now() - last_leader_activity_ > config_.suspect_timeout) {
+      log_.debug("leader of view ", view_, " silent; suspecting");
+      suspect(view_ + 1);
+      return;
+    }
+  }
+  // Turnaround bound (delay-attack defense): our PO-ARU must appear in
+  // the leader's matrices within the bound.
+  if (!is_leader() && !turnaround_.empty() &&
+      sim_.now() - turnaround_.front().first > config_.turnaround_bound) {
+    log_.debug("leader of view ", view_, " not reflecting our PO-ARUs; suspecting");
+    suspect(view_ + 1);
+  }
+}
+
+void Replica::suspect(std::uint64_t proposed_view) {
+  if (proposed_view <= view_) return;
+  if (last_suspected_view_ >= proposed_view) return;
+  last_suspected_view_ = proposed_view;
+  NewLeader msg;
+  msg.replica = id_;
+  msg.proposed_view = proposed_view;
+  send_envelope(MsgType::kNewLeader, msg.encode());
+}
+
+void Replica::handle_new_leader(const Envelope& env) {
+  const auto msg = NewLeader::decode(env.body);
+  if (!msg) return;
+  if (env.sender != replica_identity(msg->replica)) return;
+  if (msg->proposed_view <= view_) return;
+
+  auto& votes = new_leader_votes_[msg->proposed_view];
+  votes.insert(msg->replica);
+  if (votes.size() >= config_.quorum()) {
+    enter_view(msg->proposed_view);
+  } else if (votes.size() >= config_.f + 1) {
+    // f+1 suspicions cannot all be Byzantine: join the view change so
+    // it converges even if we have not timed out locally yet.
+    suspect(msg->proposed_view);
+  }
+}
+
+void Replica::enter_view(std::uint64_t view) {
+  if (view <= view_) return;
+  view_ = view;
+  ++stats_.view_changes;
+  log_.info("entering view ", view, " (leader ", leader_of(view), ")");
+  last_leader_activity_ = sim_.now();
+  turnaround_.clear();
+  collected_view_states_.clear();
+  new_view_sent_ = false;
+  while (!new_leader_votes_.empty() &&
+         new_leader_votes_.begin()->first <= view) {
+    new_leader_votes_.erase(new_leader_votes_.begin());
+  }
+
+  ViewState vs;
+  vs.replica = id_;
+  vs.view = view;
+  // Applied (contiguously executed) position: the quorum maximum of
+  // these defines what the new view may start past.
+  vs.max_committed = applied_seq_;
+  std::uint64_t max_prepared = 0;
+  for (const auto& [seq, slot] : slots_) {
+    if (!slot.prepared) continue;
+    max_prepared = std::max(max_prepared, seq);
+    if (slot.committed || seq <= applied_seq_ || vs.prepared.size() >= 32) {
+      continue;
+    }
+    // Assemble the self-certifying prepared proof for this slot.
+    PreparedProof proof;
+    proof.order_seq = seq;
+    proof.preprepare_envelope = slot.preprepare_envelope;
+    for (const auto& [replica, entry] : slot.prepares) {
+      if (entry.first != slot.view || entry.second != slot.digest) continue;
+      const auto env_it = slot.prepare_envelopes.find(replica);
+      if (env_it != slot.prepare_envelopes.end()) {
+        proof.prepare_envelopes.push_back(env_it->second);
+      }
+    }
+    if (proof.prepare_envelopes.size() >= config_.quorum()) {
+      vs.prepared.push_back(std::move(proof));
+    }
+  }
+  vs.max_prepared = max_prepared;
+  vs.sign(signer_);
+
+  if (leader_of(view) == id_) {
+    collected_view_states_[id_] = vs;
+    maybe_send_new_view();
+  } else {
+    util::ByteWriter w;
+    vs.encode(w);
+    send_envelope(MsgType::kViewState, w.take(), leader_of(view));
+  }
+}
+
+void Replica::handle_view_state(const Envelope& env) {
+  util::ByteReader r(env.body);
+  ViewState vs;
+  try {
+    vs = ViewState::decode(r);
+    r.expect_done();
+  } catch (const util::SerializationError&) {
+    return;
+  }
+  if (env.sender != replica_identity(vs.replica)) return;
+  if (vs.view != view_ || leader_of(view_) != id_) return;
+  if (!vs.verify_embedded(verifier_, env.sender)) return;
+  collected_view_states_[vs.replica] = vs;
+  maybe_send_new_view();
+}
+
+void Replica::maybe_send_new_view() {
+  if (new_view_sent_ || collected_view_states_.size() < config_.quorum()) return;
+  new_view_sent_ = true;
+
+  NewView nv;
+  nv.leader = id_;
+  nv.view = view_;
+  std::uint64_t max_applied = 0;
+  for (const auto& [replica, vs] : collected_view_states_) {
+    max_applied = std::max(max_applied, vs.max_committed);
+    nv.justification.push_back(vs);
+  }
+  nv.start_seq = max_applied + 1;
+  // The self-delivery of this NewView installs the re-proposal
+  // constraints and emits the re-proposals (handle_new_view).
+  send_envelope(MsgType::kNewView, nv.encode());
+}
+
+crypto::Digest Replica::rows_digest(
+    const std::vector<std::optional<PoAru>>& rows) {
+  util::ByteWriter w;
+  for (const auto& row : rows) {
+    w.boolean(row.has_value());
+    if (row) row->encode(w);
+  }
+  return crypto::sha256(w.bytes());
+}
+
+std::optional<PrePrepare> Replica::verify_prepared_proof(
+    const PreparedProof& proof) const {
+  const auto env = Envelope::decode(proof.preprepare_envelope);
+  if (!env || env->type != MsgType::kPrePrepare || !env->verify(verifier_)) {
+    return std::nullopt;
+  }
+  const auto pp = PrePrepare::decode(env->body);
+  if (!pp || pp->order_seq != proof.order_seq) return std::nullopt;
+  if (env->sender != replica_identity(pp->leader) ||
+      pp->leader != leader_of(pp->view)) {
+    return std::nullopt;
+  }
+  if (pp->rows.size() != config_.n()) return std::nullopt;
+  for (ReplicaId r = 0; r < config_.n(); ++r) {
+    const auto& row = pp->rows[r];
+    if (!row) continue;
+    if (row->replica != r || row->aru.size() != config_.n() ||
+        !row->verify_embedded(verifier_, replica_identity(r))) {
+      return std::nullopt;
+    }
+  }
+  const crypto::Digest digest = pp->digest();
+  std::set<ReplicaId> senders;
+  for (const auto& prepare_bytes : proof.prepare_envelopes) {
+    const auto prepare_env = Envelope::decode(prepare_bytes);
+    if (!prepare_env || prepare_env->type != MsgType::kPrepare ||
+        !prepare_env->verify(verifier_)) {
+      continue;
+    }
+    const auto prepare = PrepareOrCommit::decode(prepare_env->body);
+    if (!prepare || prepare->order_seq != proof.order_seq ||
+        prepare->view != pp->view || prepare->preprepare_digest != digest) {
+      continue;
+    }
+    if (prepare_env->sender != replica_identity(prepare->replica)) continue;
+    senders.insert(prepare->replica);
+  }
+  if (senders.size() < config_.quorum()) return std::nullopt;
+  return pp;
+}
+
+void Replica::handle_new_view(const Envelope& env) {
+  const auto nv = NewView::decode(env.body);
+  if (!nv) return;
+  if (nv->view < view_) return;
+  if (env.sender != replica_identity(nv->leader)) return;
+  if (leader_of(nv->view) != nv->leader) return;
+  if (nv->justification.size() < config_.quorum()) return;
+
+  std::uint64_t max_applied = 0;
+  std::set<ReplicaId> distinct;
+  for (const auto& vs : nv->justification) {
+    if (vs.view != nv->view) return;
+    if (!vs.verify_embedded(verifier_, replica_identity(vs.replica))) return;
+    distinct.insert(vs.replica);
+    max_applied = std::max(max_applied, vs.max_committed);
+  }
+  if (distinct.size() < config_.quorum()) return;
+  if (nv->start_seq != max_applied + 1) return;
+
+  // Gather the prepared proofs at or above start: any slot that might
+  // have committed anywhere is guaranteed (quorum intersection) to be
+  // proven by some correct justifier; the highest old view wins.
+  std::map<std::uint64_t, std::pair<std::uint64_t, PrePrepare>> chosen;
+  for (const auto& vs : nv->justification) {
+    for (const auto& proof : vs.prepared) {
+      if (proof.order_seq < nv->start_seq) continue;
+      const auto pp = verify_prepared_proof(proof);
+      if (!pp) continue;  // Byzantine garbage: ignore
+      const auto it = chosen.find(proof.order_seq);
+      if (it == chosen.end() || pp->view > it->second.first) {
+        chosen[proof.order_seq] = std::make_pair(pp->view, *pp);
+      }
+    }
+  }
+
+  if (nv->view > view_) {
+    view_ = nv->view;
+    ++stats_.view_changes;
+    turnaround_.clear();
+  }
+  view_start_[nv->view] = nv->start_seq;
+  last_leader_activity_ = sim_.now();
+
+  reproposal_view_ = nv->view;
+  reproposal_top_ = chosen.empty() ? nv->start_seq - 1 : chosen.rbegin()->first;
+  expected_rows_.clear();
+  for (const auto& [seq, viewed_pp] : chosen) {
+    expected_rows_[seq] = rows_digest(viewed_pp.second.rows);
+  }
+
+  if (leader_of(view_) == id_) {
+    next_order_seq_ =
+        std::max({next_order_seq_, nv->start_seq, reproposal_top_ + 1});
+    // Emit the re-proposals immediately: proven matrices verbatim,
+    // no-op (empty) matrices for the holes between them.
+    for (std::uint64_t seq = nv->start_seq; seq <= reproposal_top_; ++seq) {
+      PrePrepare pp;
+      pp.leader = id_;
+      pp.view = view_;
+      pp.order_seq = seq;
+      const auto it = chosen.find(seq);
+      if (it != chosen.end()) {
+        pp.rows = it->second.second.rows;
+      } else {
+        pp.rows.assign(config_.n(), std::nullopt);
+      }
+      ++stats_.preprepares_sent;
+      send_envelope(MsgType::kPrePrepare, pp.encode());
+    }
+  }
+  try_apply();
+}
+
+// ---- reconciliation -----------------------------------------------------------
+
+void Replica::recon_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || !running_) return;
+  sim_.schedule_after(config_.recon_interval,
+                      [this, epoch] { recon_tick(epoch); });
+  if (acting_crashed()) return;
+
+  for (const auto& [origin, po_seq] : outstanding_fetches_) {
+    PoReqFetch fetch;
+    fetch.origin = origin;
+    fetch.po_seq = po_seq;
+    ++stats_.fetches_sent;
+    send_envelope(MsgType::kPoReqFetch, fetch.encode());
+  }
+
+  // Catch-up lookahead: when the commit stream is far ahead of our
+  // applied point (post-partition or post-recovery), fetch a window of
+  // certificates per tick instead of one.
+  std::set<std::uint64_t> cert_wanted = outstanding_cert_fetches_;
+  if (highest_committed_ > applied_seq_) {
+    const std::uint64_t until =
+        std::min(highest_committed_, applied_seq_ + 32);
+    for (std::uint64_t seq = applied_seq_ + 1; seq <= until; ++seq) {
+      const auto it = slots_.find(seq);
+      if (it == slots_.end() || !it->second.committed) cert_wanted.insert(seq);
+    }
+  }
+  for (const auto seq : cert_wanted) {
+    CommitCertReq req;
+    req.order_seq = seq;
+    ++cert_attempts_[seq];
+    send_envelope(MsgType::kCommitCertReq, req.encode());
+  }
+  if (!cert_wanted.empty()) try_apply();
+
+  // Ordering retransmission: under message loss a slot could otherwise
+  // be stranded with no quorum ever assembling anywhere (deployments
+  // get this from Spines reliability; the engine must not depend on
+  // it). Re-announce our contribution to the lowest in-flight slots.
+  for (std::uint64_t seq = applied_seq_ + 1; seq <= applied_seq_ + 8; ++seq) {
+    const auto it = slots_.find(seq);
+    if (it == slots_.end()) continue;
+    OrderSlot& slot = it->second;
+    if (!slot.preprepare || slot.committed || slot.view != view_) continue;
+    if (is_leader() && !slot.preprepare_envelope.empty()) {
+      transport_->broadcast(slot.preprepare_envelope);
+    }
+    PrepareOrCommit prepare;
+    prepare.replica = id_;
+    prepare.view = slot.view;
+    prepare.order_seq = seq;
+    prepare.preprepare_digest = slot.digest;
+    send_envelope(MsgType::kPrepare, prepare.encode());
+    if (slot.sent_commit) {
+      PrepareOrCommit commit = prepare;
+      send_envelope(MsgType::kCommit, commit.encode());
+    }
+  }
+}
+
+void Replica::handle_po_fetch(const Envelope& env) {
+  const auto fetch = PoReqFetch::decode(env.body);
+  if (!fetch) return;
+  const auto it = po_store_.find(std::make_pair(fetch->origin, fetch->po_seq));
+  if (it == po_store_.end()) return;
+  // Find the requester's replica id to respond directly.
+  for (ReplicaId r = 0; r < config_.n(); ++r) {
+    if (env.sender == replica_identity(r)) {
+      PoReqResp resp;
+      resp.origin = fetch->origin;
+      resp.po_seq = fetch->po_seq;
+      resp.envelope = it->second.envelope;
+      send_envelope(MsgType::kPoReqResp, resp.encode(), r);
+      return;
+    }
+  }
+}
+
+void Replica::handle_po_resp(const Envelope& env) {
+  const auto resp = PoReqResp::decode(env.body);
+  if (!resp) return;
+  const auto inner = Envelope::decode(resp->envelope);
+  if (!inner || inner->type != MsgType::kPoRequest) return;
+  if (!inner->verify(verifier_)) return;
+  const auto req = PoRequest::decode(inner->body);
+  if (!req) return;
+  if (inner->sender != replica_identity(req->origin)) return;
+  store_po_request(*inner, *req);
+}
+
+void Replica::handle_cert_req(const Envelope& env) {
+  const auto req = CommitCertReq::decode(env.body);
+  if (!req) return;
+  const auto slot_it = slots_.find(req->order_seq);
+  if (slot_it == slots_.end() || !slot_it->second.committed) return;
+  const OrderSlot& slot = slot_it->second;
+
+  CommitCertResp resp;
+  resp.order_seq = req->order_seq;
+  resp.preprepare_envelope = slot.preprepare_envelope;
+  for (const auto& [replica, entry] : slot.commits) {
+    if (entry.first == slot.view && entry.second == slot.digest) {
+      const auto env_it = slot.commit_envelopes.find(replica);
+      if (env_it != slot.commit_envelopes.end()) {
+        resp.commit_envelopes.push_back(env_it->second);
+      }
+    }
+  }
+  if (resp.commit_envelopes.size() < config_.quorum()) return;
+
+  for (ReplicaId r = 0; r < config_.n(); ++r) {
+    if (env.sender == replica_identity(r)) {
+      send_envelope(MsgType::kCommitCertResp, resp.encode(), r);
+      return;
+    }
+  }
+}
+
+void Replica::handle_cert_resp(const Envelope& env) {
+  const auto resp = CommitCertResp::decode(env.body);
+  if (!resp) return;
+  if (resp->order_seq <= applied_seq_) return;
+
+  const auto pp_env = Envelope::decode(resp->preprepare_envelope);
+  if (!pp_env || pp_env->type != MsgType::kPrePrepare ||
+      !pp_env->verify(verifier_)) {
+    return;
+  }
+  const auto pp = PrePrepare::decode(pp_env->body);
+  if (!pp || pp->order_seq != resp->order_seq) return;
+  if (pp_env->sender != replica_identity(pp->leader)) return;
+  if (pp->rows.size() != config_.n()) return;
+  for (ReplicaId r = 0; r < config_.n(); ++r) {
+    const auto& row = pp->rows[r];
+    if (!row) continue;
+    if (row->replica != r || row->aru.size() != config_.n() ||
+        !row->verify_embedded(verifier_, replica_identity(r))) {
+      return;
+    }
+  }
+  const crypto::Digest digest = pp->digest();
+
+  std::set<ReplicaId> committers;
+  for (const auto& commit_bytes : resp->commit_envelopes) {
+    const auto commit_env = Envelope::decode(commit_bytes);
+    if (!commit_env || commit_env->type != MsgType::kCommit ||
+        !commit_env->verify(verifier_)) {
+      continue;
+    }
+    const auto commit = PrepareOrCommit::decode(commit_env->body);
+    if (!commit || commit->order_seq != resp->order_seq) continue;
+    if (commit_env->sender != replica_identity(commit->replica)) continue;
+    if (commit->view != pp->view || commit->preprepare_digest != digest) continue;
+    committers.insert(commit->replica);
+  }
+  if (committers.size() < config_.quorum()) return;
+
+  OrderSlot& slot = slots_[resp->order_seq];
+  slot.preprepare = *pp;
+  slot.preprepare_envelope = resp->preprepare_envelope;
+  slot.digest = digest;
+  slot.view = pp->view;
+  slot.prepared = true;
+  slot.committed = true;
+  highest_committed_ = std::max(highest_committed_, resp->order_seq);
+  try_apply();
+}
+
+// ---- state transfer (paper §III-A) --------------------------------------------
+
+util::Bytes Replica::snapshot_bundle() const {
+  util::ByteWriter w;
+  w.u32(config_.n());
+  for (const auto v : exec_aru_) w.u64(v);
+  w.u32(static_cast<std::uint32_t>(executed_clients_.size()));
+  for (const auto& [client, seq] : executed_clients_) {
+    w.str(client);
+    w.u64(seq);
+  }
+  w.blob(app_.snapshot());
+  return w.take();
+}
+
+void Replica::install_bundle(std::uint64_t applied_seq,
+                             std::span<const std::uint8_t> blob) {
+  util::ByteReader r(blob);
+  const std::uint32_t n = r.u32();
+  if (n != config_.n()) throw util::SerializationError("bundle width mismatch");
+  exec_aru_.assign(n, 0);
+  for (std::uint32_t i = 0; i < n; ++i) exec_aru_[i] = r.u64();
+  executed_clients_.clear();
+  const std::uint32_t clients = r.u32();
+  for (std::uint32_t i = 0; i < clients; ++i) {
+    const std::string client = r.str();
+    executed_clients_[client] = r.u64();
+  }
+  const util::Bytes app_blob = r.blob();
+  r.expect_done();
+  app_.restore(app_blob);
+  applied_seq_ = applied_seq;
+  highest_committed_ = std::max(highest_committed_, applied_seq);
+  // Receipt cursors start from the execution state: everything at or
+  // below exec_aru is already reflected in the restored snapshot, so
+  // acknowledging it is sound and keeps our PO-ARUs meaningful.
+  for (ReplicaId i = 0; i < config_.n(); ++i) {
+    recv_aru_[i] = std::max(recv_aru_[i], exec_aru_[i]);
+  }
+}
+
+void Replica::begin_state_transfer() {
+  // A gap in the committed order that peers can no longer serve (their
+  // retention window moved on, or we were out too long): rebuild from a
+  // checkpoint exactly as a proactive recovery would (§III-A).
+  log_.warn("ordering gap unrecoverable from peers; rejoining via state "
+            "transfer");
+  recover();
+}
+
+void Replica::recovery_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || !running_ || !recovering_) return;
+  StateReq req;
+  req.nonce = state_nonce_;
+  send_envelope(MsgType::kStateReq, req.encode());
+  sim_.schedule_after(config_.state_retry_interval,
+                      [this, epoch] { recovery_tick(epoch); });
+}
+
+void Replica::handle_state_req(const Envelope& env) {
+  const auto req = StateReq::decode(env.body);
+  if (!req) return;
+
+  // Serve the latest checkpoint we can hand over as a stable blob.
+  StateResp resp;
+  resp.nonce = req->nonce;
+  resp.view = view_;
+  if (stable_checkpoint_ && checkpoint_blobs_.count(stable_checkpoint_->seq)) {
+    resp.applied_seq = stable_checkpoint_->seq;
+    resp.snapshot_digest = stable_checkpoint_->digest;
+  } else if (!checkpoint_blobs_.empty()) {
+    const auto& [seq, blob] = *checkpoint_blobs_.rbegin();
+    resp.applied_seq = seq;
+    resp.snapshot_digest = crypto::sha256(blob);
+  } else {
+    return;
+  }
+
+  for (ReplicaId r = 0; r < config_.n(); ++r) {
+    if (env.sender == replica_identity(r)) {
+      send_envelope(MsgType::kStateResp, resp.encode(), r);
+      return;
+    }
+  }
+}
+
+void Replica::handle_state_resp(const Envelope& env) {
+  if (!recovering_ || chosen_state_) return;
+  const auto resp = StateResp::decode(env.body);
+  if (!resp || resp->nonce != state_nonce_) return;
+  ReplicaId sender_id = config_.n();
+  for (ReplicaId r = 0; r < config_.n(); ++r) {
+    if (env.sender == replica_identity(r)) sender_id = r;
+  }
+  if (sender_id == config_.n()) return;
+  state_resps_[sender_id] = *resp;
+
+  // f+1 matching (applied_seq, digest) pairs vouch for a state at least
+  // one correct replica holds.
+  std::map<std::pair<std::uint64_t, crypto::Digest>, std::uint32_t> tally;
+  for (const auto& [replica, r] : state_resps_) {
+    ++tally[std::make_pair(r.applied_seq, r.snapshot_digest)];
+  }
+  for (const auto& [key, count] : tally) {
+    if (count < config_.f + 1) continue;
+    if (chosen_state_ && key.first <= chosen_state_->applied_seq) continue;
+    StateResp chosen;
+    chosen.applied_seq = key.first;
+    chosen.snapshot_digest = key.second;
+    // Adopt the (f+1)-th largest reported view: at least one correct
+    // replica is at or above it.
+    std::vector<std::uint64_t> views;
+    for (const auto& [replica, r] : state_resps_) views.push_back(r.view);
+    std::sort(views.begin(), views.end(), std::greater<>());
+    chosen.view = views[std::min<std::size_t>(config_.f, views.size() - 1)];
+    chosen_state_ = chosen;
+
+    SnapshotReq sreq;
+    sreq.nonce = state_nonce_;
+    sreq.applied_seq = chosen.applied_seq;
+    send_envelope(MsgType::kSnapshotReq, sreq.encode());
+  }
+}
+
+void Replica::handle_snapshot_req(const Envelope& env) {
+  const auto req = SnapshotReq::decode(env.body);
+  if (!req) return;
+  const auto blob_it = checkpoint_blobs_.find(req->applied_seq);
+  if (blob_it == checkpoint_blobs_.end()) return;
+
+  SnapshotResp resp;
+  resp.nonce = req->nonce;
+  resp.applied_seq = req->applied_seq;
+  resp.blob = blob_it->second;
+  for (ReplicaId r = 0; r < config_.n(); ++r) {
+    if (env.sender == replica_identity(r)) {
+      send_envelope(MsgType::kSnapshotResp, resp.encode(), r);
+      return;
+    }
+  }
+}
+
+void Replica::handle_snapshot_resp(const Envelope& env) {
+  if (!recovering_ || !chosen_state_) return;
+  const auto resp = SnapshotResp::decode(env.body);
+  if (!resp || resp->nonce != state_nonce_) return;
+  if (resp->applied_seq != chosen_state_->applied_seq) return;
+  if (crypto::sha256(resp->blob) != chosen_state_->snapshot_digest) return;
+
+  try {
+    install_bundle(resp->applied_seq, resp->blob);
+  } catch (const util::SerializationError&) {
+    return;
+  }
+  view_ = chosen_state_->view;
+  recovering_ = false;
+  ++stats_.state_transfers;
+  state_resps_.clear();
+  chosen_state_.reset();
+  checkpoint_blobs_[applied_seq_] = snapshot_bundle();
+  log_.info("state transfer complete: applied_seq ", applied_seq_, ", view ",
+            view_);
+  app_.on_state_transfer();
+  arm_timers();
+}
+
+}  // namespace spire::prime

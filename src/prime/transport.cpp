@@ -1,0 +1,28 @@
+#include "prime/transport.hpp"
+
+namespace spire::prime {
+
+class LoopbackFabric::Handle : public ReplicaTransport {
+ public:
+  Handle(LoopbackFabric& fabric, ReplicaId id) : fabric_(fabric), id_(id) {}
+
+  void send(ReplicaId to, const util::Bytes& envelope) override {
+    fabric_.deliver(id_, to, envelope);
+  }
+
+  void broadcast(const util::Bytes& envelope) override {
+    for (ReplicaId to = 0; to < fabric_.size(); ++to) {
+      if (to != id_) fabric_.deliver(id_, to, envelope);
+    }
+  }
+
+ private:
+  LoopbackFabric& fabric_;
+  ReplicaId id_;
+};
+
+std::unique_ptr<ReplicaTransport> LoopbackFabric::transport_for(ReplicaId id) {
+  return std::make_unique<Handle>(*this, id);
+}
+
+}  // namespace spire::prime

@@ -1,0 +1,56 @@
+// SCADA client-side helper: signs updates and submits them to all
+// replicas (through whatever transport the deployment wires in —
+// external Spines in the hardened setup, the loopback fabric in tests).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "crypto/keyring.hpp"
+#include "prime/messages.hpp"
+#include "scada/wire.hpp"
+
+namespace spire::scada {
+
+class ScadaClient {
+ public:
+  /// `submit` must deliver the envelope bytes to every replica.
+  using SubmitFn = std::function<void(const util::Bytes& envelope)>;
+
+  ScadaClient(std::string identity, const crypto::Keyring& keyring,
+              SubmitFn submit)
+      : signer_(identity, keyring.identity_key(identity)),
+        submit_(std::move(submit)) {}
+
+  [[nodiscard]] const std::string& identity() const {
+    return signer_.identity();
+  }
+  [[nodiscard]] std::uint64_t updates_sent() const { return next_seq_ - 1; }
+
+  /// Signs and submits one SCADA payload as a Prime client update.
+  std::uint64_t send(ScadaMsgType type, util::Bytes body) {
+    ClientPayload payload;
+    payload.type = type;
+    payload.body = std::move(body);
+
+    prime::ClientUpdate update;
+    update.client = signer_.identity();
+    update.client_seq = next_seq_++;
+    update.payload = payload.encode();
+    update.sign(signer_);
+
+    util::ByteWriter w;
+    update.encode(w);
+    const prime::Envelope env =
+        prime::Envelope::make(prime::MsgType::kClientUpdate, signer_, w.take());
+    submit_(env.encode());
+    return update.client_seq;
+  }
+
+ private:
+  crypto::Signer signer_;
+  SubmitFn submit_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace spire::scada

@@ -1,0 +1,44 @@
+#include "scada/cycler.hpp"
+
+namespace spire::scada {
+
+AutoCycler::AutoCycler(sim::Simulator& sim, const ScenarioSpec& scenario,
+                       const crypto::Keyring& keyring,
+                       ScadaClient::SubmitFn submit, sim::Time interval,
+                       std::string identity)
+    : sim_(sim),
+      client_(std::move(identity), keyring, std::move(submit)),
+      interval_(interval) {
+  for (const auto& device : scenario.devices) {
+    for (std::size_t b = 0; b < device.breaker_names.size(); ++b) {
+      targets_.push_back(Target{device.name, static_cast<std::uint16_t>(b), true});
+    }
+  }
+}
+
+void AutoCycler::start() {
+  if (running_ || targets_.empty()) return;
+  running_ = true;
+  tick();
+}
+
+void AutoCycler::tick() {
+  if (!running_) return;
+  Target& target = targets_[position_];
+  position_ = (position_ + 1) % targets_.size();
+
+  SupervisoryCommand command;
+  command.device = target.device;
+  command.breaker = target.breaker;
+  command.close = target.next_close;
+  command.command_id = next_command_id_++;
+  target.next_close = !target.next_close;
+
+  history_.push_back(CycleEvent{sim_.now(), command.device, command.breaker,
+                                command.close, command.command_id});
+  client_.send(ScadaMsgType::kSupervisoryCommand, command.encode());
+
+  sim_.schedule_after(interval_, [this] { tick(); });
+}
+
+}  // namespace spire::scada

@@ -1,0 +1,56 @@
+// Automatic update-generation tool (paper §IV-A): cycles through the
+// breakers, flipping each periodically in a predetermined order — the
+// workload the red team tried to disrupt, and the steady-state load
+// for the architecture and soak benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scada/client.hpp"
+#include "scada/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace spire::scada {
+
+struct CycleEvent {
+  sim::Time at = 0;
+  std::string device;
+  std::uint16_t breaker = 0;
+  bool close = false;
+  std::uint64_t command_id = 0;
+};
+
+class AutoCycler {
+ public:
+  AutoCycler(sim::Simulator& sim, const ScenarioSpec& scenario,
+             const crypto::Keyring& keyring, ScadaClient::SubmitFn submit,
+             sim::Time interval = 1 * sim::kSecond,
+             std::string identity = "client/cycler");
+
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const std::vector<CycleEvent>& history() const {
+    return history_;
+  }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  ScadaClient client_;
+  sim::Time interval_;
+  bool running_ = false;
+  struct Target {
+    std::string device;
+    std::uint16_t breaker;
+    bool next_close = true;
+  };
+  std::vector<Target> targets_;
+  std::size_t position_ = 0;
+  std::uint64_t next_command_id_ = 1;
+  std::vector<CycleEvent> history_;
+};
+
+}  // namespace spire::scada

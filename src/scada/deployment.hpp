@@ -1,0 +1,151 @@
+// Spire deployment builder: constructs the full Fig. 2 architecture on
+// the emulated network — n = 3f+2k+1 replica hosts dual-homed on an
+// isolated internal network (replication traffic) and an external
+// network (proxies, HMIs, update tool), Spines overlays on both, one
+// PLC per scenario device behind its proxy on a direct cable, and all
+// §III-B hardening when `hardened` is set:
+//   * per-host default-deny firewalls with exact (ip, port) allows,
+//   * static ARP tables and no cross-NIC ARP answering,
+//   * static MAC↔switch-port bindings,
+//   * intrusion-tolerant (sealed) Spines links,
+//   * hardened minimal-OS profiles.
+// With `hardened` false the same system runs "open" — the ablation the
+// red-team bench uses to show which defense stops which attack.
+#pragma once
+
+#include <memory>
+
+#include "net/network.hpp"
+#include "plc/plc.hpp"
+#include "plc/rtu.hpp"
+#include "prime/recovery.hpp"
+#include "prime/replica.hpp"
+#include "scada/cycler.hpp"
+#include "scada/hmi.hpp"
+#include "scada/master.hpp"
+#include "scada/proxy.hpp"
+#include "spines/overlay.hpp"
+
+namespace spire::scada {
+
+/// The §III-B hardening measures, individually toggleable so the
+/// ablation bench can show which defense stops which attack.
+struct HardeningOptions {
+  bool firewalls = true;           ///< default-deny + exact allows
+  bool static_arp = true;          ///< static MAC<->IP, no cross-NIC answers
+  bool static_switch_ports = true; ///< static MAC<->port bindings
+  bool sealed_links = true;        ///< Spines intrusion-tolerant mode
+  bool hardened_os = true;         ///< latest minimal-server profile
+
+  static HardeningOptions all_on() { return {}; }
+  static HardeningOptions all_off() {
+    return {false, false, false, false, false};
+  }
+};
+
+struct DeploymentConfig {
+  std::uint32_t f = 1;
+  std::uint32_t k = 0;  ///< 0: red-team config (n=4); 1: plant config (n=6)
+  HardeningOptions hardening;  ///< defaults to everything on
+  ScenarioSpec scenario = ScenarioSpec::red_team();
+  std::size_t hmi_count = 1;
+  sim::Time proxy_poll_interval = 200 * sim::kMillisecond;
+  sim::Time cycler_interval = 1 * sim::kSecond;  ///< 0 disables the cycler
+  prime::PrimeConfig prime;  ///< f, k and client list are filled in
+  std::uint64_t seed = 20190101;
+  std::string keyring_seed = "spire-deployment";
+};
+
+/// Ports used inside the deployment.
+constexpr std::uint16_t kInternalDaemonPort = 8100;
+constexpr std::uint16_t kExternalDaemonPort = 8200;
+constexpr spines::SessionPort kReplicaSession = 9000;   ///< internal overlay
+constexpr spines::SessionPort kClientToReplica = 9001;  ///< external overlay
+constexpr spines::SessionPort kReplicaToClient = 9002;  ///< external overlay
+constexpr std::uint16_t kProxyModbusPort = 1502;
+
+class SpireDeployment {
+ public:
+  SpireDeployment(sim::Simulator& sim, DeploymentConfig config);
+  ~SpireDeployment();
+
+  SpireDeployment(const SpireDeployment&) = delete;
+  SpireDeployment& operator=(const SpireDeployment&) = delete;
+
+  /// Starts overlays, replicas, PLumbing. Give the system a warmup of
+  /// ~1 simulated second before measuring.
+  void start();
+
+  [[nodiscard]] std::uint32_t n() const { return config_.prime.n(); }
+  [[nodiscard]] prime::Replica& replica(std::size_t i) { return *replicas_[i]; }
+  [[nodiscard]] ScadaMaster& master(std::size_t i) { return *masters_[i]; }
+  [[nodiscard]] Hmi& hmi(std::size_t j) { return *hmis_[j]; }
+  [[nodiscard]] PlcProxy& proxy(const std::string& device);
+  /// Ground-truth access to a field device (Modbus PLC or DNP3 RTU).
+  [[nodiscard]] plc::FieldDevice& plc(const std::string& device);
+  [[nodiscard]] AutoCycler* cycler() { return cycler_.get(); }
+  [[nodiscard]] net::Network& network() { return *network_; }
+  [[nodiscard]] spines::Overlay& internal_overlay() { return *internal_; }
+  [[nodiscard]] spines::Overlay& external_overlay() { return *external_; }
+  [[nodiscard]] const crypto::Keyring& keyring() const { return keyring_; }
+  [[nodiscard]] const DeploymentConfig& config() const { return config_; }
+  [[nodiscard]] net::Switch& external_switch() { return *external_switch_; }
+  [[nodiscard]] net::Switch& internal_switch() { return *internal_switch_; }
+  [[nodiscard]] net::Host& replica_host(std::size_t i) {
+    return *replica_hosts_[i];
+  }
+
+  /// Actuates a breaker locally at the field device (the plant
+  /// measurement device of §V), bypassing SCADA entirely.
+  void flip_breaker_at_plc(const std::string& device, std::size_t index,
+                           bool close);
+
+  /// Builds a proactive-recovery scheduler over all replicas.
+  std::unique_ptr<prime::ProactiveRecovery> make_recovery(
+      prime::RecoveryConfig recovery_config);
+
+  /// Identities used by the deployment.
+  [[nodiscard]] static std::string proxy_identity(const std::string& device) {
+    return "client/proxy-" + device;
+  }
+  [[nodiscard]] static std::string hmi_identity(std::size_t j) {
+    return "client/hmi-" + std::to_string(j);
+  }
+
+ private:
+  class SpinesReplicaTransport;
+
+  void build_network();
+  void build_overlays();
+  void build_field_devices();
+  void build_replicas();
+  void build_clients();
+  void harden_all();
+  void submit_to_replicas(spines::Daemon& via, const util::Bytes& envelope);
+
+  sim::Simulator& sim_;
+  DeploymentConfig config_;
+  crypto::Keyring keyring_;
+  sim::Rng rng_;
+
+  std::unique_ptr<net::Network> network_;
+  net::Switch* internal_switch_ = nullptr;
+  net::Switch* external_switch_ = nullptr;
+  std::vector<net::Host*> replica_hosts_;
+  std::map<std::string, net::Host*> proxy_hosts_;   ///< by device
+  std::map<std::string, net::Host*> plc_hosts_;     ///< by device
+  std::vector<net::Host*> hmi_hosts_;
+  net::Host* cycler_host_ = nullptr;
+
+  std::unique_ptr<spines::Overlay> internal_;
+  std::unique_ptr<spines::Overlay> external_;
+
+  std::map<std::string, std::unique_ptr<plc::FieldDevice>> plcs_;
+  std::map<std::string, std::unique_ptr<PlcProxy>> proxies_;
+  std::vector<std::unique_ptr<ScadaMaster>> masters_;
+  std::vector<std::unique_ptr<prime::Replica>> replicas_;
+  std::vector<std::unique_ptr<Hmi>> hmis_;
+  std::unique_ptr<AutoCycler> cycler_;
+};
+
+}  // namespace spire::scada

@@ -1,0 +1,105 @@
+#include "scada/field_client.hpp"
+
+namespace spire::scada {
+
+ModbusFieldClient::ModbusFieldClient(sim::Simulator& sim,
+                                     const std::string& name,
+                                     std::size_t breaker_count,
+                                     modbus::Client::SendFn send)
+    : breaker_count_(breaker_count), client_(sim, name, std::move(send)) {}
+
+void ModbusFieldClient::poll(PollHandler handler, sim::Time timeout) {
+  modbus::ReadBitsRequest bits_req;
+  bits_req.fc = modbus::FunctionCode::kReadDiscreteInputs;
+  bits_req.start = 0;
+  bits_req.quantity = static_cast<std::uint16_t>(breaker_count_);
+
+  auto shared_handler = std::make_shared<PollHandler>(std::move(handler));
+  client_.request(
+      bits_req,
+      [this, shared_handler, timeout](std::optional<modbus::Response> bits_resp) {
+        const auto* bits =
+            bits_resp ? std::get_if<modbus::ReadBitsResponse>(&*bits_resp)
+                      : nullptr;
+        if (!bits) {
+          (*shared_handler)(std::nullopt);
+          return;
+        }
+        std::vector<bool> breakers(
+            bits->values.begin(),
+            bits->values.begin() + static_cast<std::ptrdiff_t>(std::min(
+                                       bits->values.size(), breaker_count_)));
+
+        modbus::ReadRegistersRequest reg_req;
+        reg_req.fc = modbus::FunctionCode::kReadInputRegisters;
+        reg_req.start = 0;
+        reg_req.quantity = static_cast<std::uint16_t>(breaker_count_);
+        client_.request(
+            reg_req,
+            [shared_handler, breakers](std::optional<modbus::Response> reg_resp) {
+              const auto* regs =
+                  reg_resp
+                      ? std::get_if<modbus::ReadRegistersResponse>(&*reg_resp)
+                      : nullptr;
+              if (!regs) {
+                (*shared_handler)(std::nullopt);
+                return;
+              }
+              FieldState state;
+              state.breakers = breakers;
+              state.readings = regs->values;
+              (*shared_handler)(std::move(state));
+            },
+            timeout);
+      },
+      timeout);
+}
+
+void ModbusFieldClient::command(std::uint16_t breaker, bool close) {
+  modbus::WriteSingleCoilRequest write;
+  write.address = breaker;
+  write.value = close;
+  client_.request(write, [](std::optional<modbus::Response>) {});
+}
+
+void ModbusFieldClient::on_data(std::span<const std::uint8_t> data) {
+  client_.on_data(data);
+}
+
+Dnp3FieldClient::Dnp3FieldClient(sim::Simulator& sim, const std::string& name,
+                                 std::size_t breaker_count,
+                                 dnp3::Master::SendFn send,
+                                 std::uint16_t master_address,
+                                 std::uint16_t outstation_address)
+    : breaker_count_(breaker_count),
+      master_(sim, name, master_address, outstation_address, std::move(send)) {}
+
+void Dnp3FieldClient::poll(PollHandler handler, sim::Time timeout) {
+  master_.integrity_poll(
+      [this, handler = std::move(handler)](std::optional<dnp3::AppResponse> resp) {
+        if (!resp || resp->binary_inputs.size() < breaker_count_) {
+          handler(std::nullopt);
+          return;
+        }
+        FieldState state;
+        for (std::size_t i = 0; i < breaker_count_; ++i) {
+          state.breakers.push_back(resp->binary_inputs[i].state);
+        }
+        for (const auto& analog : resp->analog_inputs) {
+          state.readings.push_back(static_cast<std::uint16_t>(analog.value));
+        }
+        handler(std::move(state));
+      },
+      timeout);
+}
+
+void Dnp3FieldClient::command(std::uint16_t breaker, bool close) {
+  master_.direct_operate(breaker, close,
+                         [](std::optional<dnp3::AppResponse>) {});
+}
+
+void Dnp3FieldClient::on_data(std::span<const std::uint8_t> data) {
+  master_.on_data(data);
+}
+
+}  // namespace spire::scada

@@ -1,0 +1,57 @@
+#include "scada/historian.hpp"
+
+#include <algorithm>
+
+namespace spire::scada {
+
+namespace {
+const std::vector<Historian::BreakerSample> kEmpty;
+}
+
+void Historian::record_transition(const std::string& device,
+                                  std::size_t breaker, bool closed,
+                                  sim::Time at) {
+  breaker_series_[{device, breaker}].push_back(BreakerSample{at, closed});
+  ++total_;
+  if (!any_ || at < earliest_) {
+    earliest_ = at;
+    any_ = true;
+  }
+}
+
+void Historian::record_reading(const std::string& device, std::size_t point,
+                               std::uint16_t value, sim::Time at) {
+  reading_series_[{device, point}].emplace_back(at, value);
+  ++total_;
+  if (!any_ || at < earliest_) {
+    earliest_ = at;
+    any_ = true;
+  }
+}
+
+const std::vector<Historian::BreakerSample>& Historian::transitions(
+    const std::string& device, std::size_t breaker) const {
+  const auto it = breaker_series_.find({device, breaker});
+  return it == breaker_series_.end() ? kEmpty : it->second;
+}
+
+std::optional<bool> Historian::state_at(const std::string& device,
+                                        std::size_t breaker,
+                                        sim::Time t) const {
+  const auto& series = transitions(device, breaker);
+  const auto it = std::upper_bound(
+      series.begin(), series.end(), t,
+      [](sim::Time value, const BreakerSample& s) { return value < s.at; });
+  if (it == series.begin()) return std::nullopt;
+  return std::prev(it)->closed;
+}
+
+void Historian::wipe() {
+  breaker_series_.clear();
+  reading_series_.clear();
+  total_ = 0;
+  earliest_ = 0;
+  any_ = false;
+}
+
+}  // namespace spire::scada

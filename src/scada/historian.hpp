@@ -1,0 +1,66 @@
+// SCADA historian (the "PI Server" of Fig. 3): a time-series archive
+// of breaker transitions and measurements, fed from a validated state
+// stream (a Spire HMI's f+1-voted display, or a commercial master's
+// polls).
+//
+// It exists in this reproduction to carry the paper's §III-A contrast:
+// the SCADA master's *active* state is rebuildable from the field
+// devices after an assumption breach, but the historian is a classic
+// database — history that is wiped is gone forever. The historian test
+// suite and the E9 bench lean on exactly that asymmetry.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace spire::scada {
+
+class Historian {
+ public:
+  struct BreakerSample {
+    sim::Time at = 0;
+    bool closed = false;
+  };
+
+  /// Appends a breaker transition to the archive.
+  void record_transition(const std::string& device, std::size_t breaker,
+                         bool closed, sim::Time at);
+
+  /// Appends an analog sample.
+  void record_reading(const std::string& device, std::size_t point,
+                      std::uint16_t value, sim::Time at);
+
+  /// Full transition history of one breaker (chronological).
+  [[nodiscard]] const std::vector<BreakerSample>& transitions(
+      const std::string& device, std::size_t breaker) const;
+
+  /// Breaker state as of time `t` per the archive; nullopt if the
+  /// archive has no sample at or before `t`.
+  [[nodiscard]] std::optional<bool> state_at(const std::string& device,
+                                             std::size_t breaker,
+                                             sim::Time t) const;
+
+  [[nodiscard]] std::uint64_t total_samples() const { return total_; }
+  [[nodiscard]] sim::Time earliest_sample() const { return earliest_; }
+
+  /// The assumption breach: the archive host is destroyed. Unlike the
+  /// SCADA masters, nothing can repopulate what was here (§III-A).
+  void wipe();
+
+ private:
+  std::map<std::pair<std::string, std::size_t>, std::vector<BreakerSample>>
+      breaker_series_;
+  std::map<std::pair<std::string, std::size_t>,
+           std::vector<std::pair<sim::Time, std::uint16_t>>>
+      reading_series_;
+  std::uint64_t total_ = 0;
+  sim::Time earliest_ = 0;
+  bool any_ = false;
+};
+
+}  // namespace spire::scada

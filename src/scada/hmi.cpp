@@ -1,0 +1,84 @@
+#include "scada/hmi.hpp"
+
+#include "prime/messages.hpp"
+
+namespace spire::scada {
+
+Hmi::Hmi(sim::Simulator& sim, HmiConfig config, const crypto::Keyring& keyring,
+         crypto::Verifier replica_verifier, ScadaClient::SubmitFn submit)
+    : sim_(sim),
+      config_(std::move(config)),
+      log_("scada.hmi." + config_.identity),
+      replica_verifier_(std::move(replica_verifier)),
+      client_(config_.identity, keyring, std::move(submit)) {}
+
+void Hmi::on_master_output(std::span<const std::uint8_t> data) {
+  const auto output = MasterOutput::decode(data);
+  if (!output || output->type != ScadaMsgType::kStateUpdate) return;
+  const auto update = StateUpdate::decode(output->body);
+  if (!update) return;
+
+  ++stats_.updates_received;
+  const std::string identity = prime::replica_identity(update->replica);
+  if (!update->verify(replica_verifier_, identity)) {
+    ++stats_.updates_rejected_sig;
+    return;
+  }
+  if (update->version <= version_) return;
+
+  const crypto::Digest digest = crypto::sha256(update->state);
+  auto& replicas = votes_[update->version][digest];
+  replicas[update->replica] = update->state;
+  if (replicas.size() < config_.f + 1) return;
+
+  try {
+    const TopologyState state = TopologyState::deserialize(update->state);
+    adopt(update->version, state);
+  } catch (const util::SerializationError&) {
+    return;
+  }
+  while (!votes_.empty() && votes_.begin()->first <= version_) {
+    votes_.erase(votes_.begin());
+  }
+}
+
+void Hmi::adopt(std::uint64_t version, const TopologyState& state) {
+  // Detect per-breaker display changes (screen redraw events).
+  for (const auto& [device, new_state] : state.devices()) {
+    const DeviceState* old_state = display_.device(device);
+    for (std::size_t i = 0; i < new_state.breakers.size(); ++i) {
+      const bool was =
+          old_state && i < old_state->breakers.size() && old_state->breakers[i];
+      const bool now = new_state.breakers[i];
+      if (was != now) {
+        last_change_ = sim_.now();
+        for (const auto& observer : observers_) {
+          observer(device, i, now, sim_.now());
+        }
+      }
+    }
+  }
+  display_ = state;
+  version_ = version;
+  ++stats_.versions_displayed;
+}
+
+void Hmi::reset_display() {
+  display_ = TopologyState{};
+  version_ = 0;
+  votes_.clear();
+}
+
+std::uint64_t Hmi::command_breaker(const std::string& device,
+                                   std::uint16_t breaker, bool close) {
+  SupervisoryCommand command;
+  command.device = device;
+  command.breaker = breaker;
+  command.close = close;
+  command.command_id = next_command_id_++;
+  ++stats_.commands_issued;
+  client_.send(ScadaMsgType::kSupervisoryCommand, command.encode());
+  return command.command_id;
+}
+
+}  // namespace spire::scada

@@ -1,0 +1,95 @@
+// HMI: the operator's view of the topology (Fig. 4) plus command entry.
+//
+// The HMI renders a topology version only after f+1 replicas delivered
+// byte-identical state at that version, so a compromised master cannot
+// show the operator a false picture. Display changes are timestamped
+// per breaker — the hook the plant measurement device used (§V): a box
+// on the screen flipped black/white with a breaker, and sensors timed
+// the change.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "crypto/keyring.hpp"
+#include "scada/client.hpp"
+#include "scada/topology.hpp"
+#include "scada/wire.hpp"
+#include "sim/simulator.hpp"
+#include "util/log.hpp"
+
+namespace spire::scada {
+
+struct HmiConfig {
+  std::string identity;  ///< e.g. "client/hmi-control-room"
+  std::uint32_t f = 1;
+};
+
+struct HmiStats {
+  std::uint64_t updates_received = 0;
+  std::uint64_t updates_rejected_sig = 0;
+  std::uint64_t versions_displayed = 0;
+  std::uint64_t commands_issued = 0;
+};
+
+/// Fired when a displayed breaker changes: (device, index, closed, at).
+using DisplayObserver = std::function<void(const std::string&, std::size_t,
+                                           bool, sim::Time)>;
+
+class Hmi {
+ public:
+  Hmi(sim::Simulator& sim, HmiConfig config, const crypto::Keyring& keyring,
+      crypto::Verifier replica_verifier, ScadaClient::SubmitFn submit);
+
+  /// Feed for replica->HMI traffic.
+  void on_master_output(std::span<const std::uint8_t> data);
+
+  /// Operator action: command a breaker.
+  std::uint64_t command_breaker(const std::string& device,
+                                std::uint16_t breaker, bool close);
+
+  [[nodiscard]] const TopologyState& display() const { return display_; }
+  [[nodiscard]] std::uint64_t displayed_version() const { return version_; }
+  [[nodiscard]] sim::Time last_display_change() const { return last_change_; }
+  [[nodiscard]] const HmiStats& stats() const { return stats_; }
+
+  /// Replaces all display observers with `obs`.
+  void set_display_observer(DisplayObserver obs) {
+    observers_.clear();
+    observers_.push_back(std::move(obs));
+  }
+  /// Adds an additional observer (e.g. a historian feed).
+  void add_display_observer(DisplayObserver obs) {
+    observers_.push_back(std::move(obs));
+  }
+
+  /// Operator restart of the HMI session: forgets the displayed version
+  /// and pending votes. Used after a full-system ground-truth rebuild
+  /// (paper §III-A), where the masters legitimately restart their
+  /// version counters.
+  void reset_display();
+
+ private:
+  void adopt(std::uint64_t version, const TopologyState& state);
+
+  sim::Simulator& sim_;
+  HmiConfig config_;
+  util::Logger log_;
+  crypto::Verifier replica_verifier_;
+  ScadaClient client_;
+
+  TopologyState display_;
+  std::uint64_t version_ = 0;
+  sim::Time last_change_ = 0;
+  std::uint64_t next_command_id_ = 1;
+
+  /// version -> state digest -> replicas that vouched.
+  std::map<std::uint64_t, std::map<crypto::Digest, std::map<std::uint32_t, util::Bytes>>>
+      votes_;
+
+  HmiStats stats_;
+  std::vector<DisplayObserver> observers_;
+};
+
+}  // namespace spire::scada

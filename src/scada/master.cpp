@@ -1,0 +1,102 @@
+#include "scada/master.hpp"
+
+#include "prime/messages.hpp"
+
+namespace spire::scada {
+
+ScadaMaster::ScadaMaster(MasterConfig config, const crypto::Keyring& keyring,
+                         OutputFn output)
+    : config_(std::move(config)),
+      signer_(prime::replica_identity(config_.replica_id),
+              keyring.identity_key(prime::replica_identity(config_.replica_id))),
+      output_(std::move(output)),
+      state_(config_.scenario) {}
+
+void ScadaMaster::apply(const prime::ClientUpdate& update,
+                        const prime::ExecutionInfo& info) {
+  (void)info;
+  const auto payload = ClientPayload::decode(update.payload);
+  if (!payload) return;
+
+  switch (payload->type) {
+    case ScadaMsgType::kStatusReport: {
+      const auto report = StatusReport::decode(payload->body);
+      if (!report) return;
+      ++version_;
+      ++reports_applied_;
+      state_.apply_report(report->device, report->report_seq, report->breakers,
+                          report->readings);
+      push_state_to_hmis();
+      break;
+    }
+    case ScadaMsgType::kSupervisoryCommand: {
+      const auto command = SupervisoryCommand::decode(payload->body);
+      if (!command) return;
+      ++version_;
+      ++commands_ordered_;
+      const auto proxy = config_.device_proxy.find(command->device);
+      if (proxy != config_.device_proxy.end()) {
+        CommandOrder order;
+        order.replica = config_.replica_id;
+        order.issuer = update.client;
+        order.command = *command;
+        order.sign(signer_);
+        MasterOutput out;
+        out.type = ScadaMsgType::kCommandOrder;
+        out.body = order.encode();
+        output_(proxy->second, out.encode());
+      }
+      // The command takes effect in the topology only when the field
+      // device reports the new breaker position (ground truth).
+      push_state_to_hmis();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void ScadaMaster::push_state_to_hmis() {
+  if (config_.hmis.empty()) return;
+  const crypto::Digest digest = state_.display_digest();
+  if (digest == last_pushed_digest_ &&
+      version_ < last_pushed_version_ + kPushEvery) {
+    return;  // nothing an operator could see changed; skip this version
+  }
+  last_pushed_digest_ = digest;
+  last_pushed_version_ = version_;
+  StateUpdate su;
+  su.replica = config_.replica_id;
+  su.version = version_;
+  su.state = state_.serialize();
+  su.sign(signer_);
+  MasterOutput out;
+  out.type = ScadaMsgType::kStateUpdate;
+  out.body = su.encode();
+  const util::Bytes bytes = out.encode();
+  for (const auto& hmi : config_.hmis) output_(hmi, bytes);
+}
+
+util::Bytes ScadaMaster::snapshot() const {
+  util::ByteWriter w;
+  w.u64(version_);
+  w.blob(state_.serialize());
+  return w.take();
+}
+
+void ScadaMaster::restore(std::span<const std::uint8_t> blob) {
+  util::ByteReader r(blob);
+  version_ = r.u64();
+  const util::Bytes state_bytes = r.blob();
+  r.expect_done();
+  state_ = TopologyState::deserialize(state_bytes);
+  last_pushed_digest_ = crypto::Digest{};
+  last_pushed_version_ = 0;
+}
+
+void ScadaMaster::on_state_transfer() {
+  // Re-announce the freshly installed state so HMIs converge quickly.
+  push_state_to_hmis();
+}
+
+}  // namespace spire::scada

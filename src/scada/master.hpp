@@ -1,0 +1,80 @@
+// Replicated SCADA master (the application on top of Prime).
+//
+// Each Prime replica hosts one ScadaMaster. Ordered client updates are
+// either field-state reports (from PLC proxies) or supervisory
+// commands (from HMIs / the automatic cycling tool). The master keeps
+// the replicated topology state, emits a signed CommandOrder toward
+// the owning proxy for every ordered command, and pushes a signed,
+// versioned StateUpdate to every HMI after every applied update —
+// outputs that the receivers only act on after f+1 replicas agree.
+//
+// Paper §III-A property: the master's state is rebuildable from the
+// field devices. A master restarted with empty state converges to the
+// true topology within one proxy poll cycle, because reports carry the
+// ground truth.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "crypto/keyring.hpp"
+#include "prime/application.hpp"
+#include "scada/topology.hpp"
+#include "scada/wire.hpp"
+
+namespace spire::scada {
+
+struct MasterConfig {
+  std::uint32_t replica_id = 0;
+  ScenarioSpec scenario;
+  /// device name -> proxy client identity that owns it.
+  std::map<std::string, std::string> device_proxy;
+  /// HMI client identities to push state updates to.
+  std::vector<std::string> hmis;
+};
+
+class ScadaMaster : public prime::Application {
+ public:
+  /// `output` delivers replica-signed bytes to one client identity
+  /// (wired to the external Spines network by the deployment).
+  using OutputFn =
+      std::function<void(const std::string& client, const util::Bytes& data)>;
+
+  ScadaMaster(MasterConfig config, const crypto::Keyring& keyring,
+              OutputFn output);
+
+  // prime::Application
+  void apply(const prime::ClientUpdate& update,
+             const prime::ExecutionInfo& info) override;
+  [[nodiscard]] util::Bytes snapshot() const override;
+  void restore(std::span<const std::uint8_t> blob) override;
+  void on_state_transfer() override;
+
+  [[nodiscard]] const TopologyState& state() const { return state_; }
+  [[nodiscard]] std::uint64_t version() const { return version_; }
+  [[nodiscard]] std::uint64_t commands_ordered() const {
+    return commands_ordered_;
+  }
+  [[nodiscard]] std::uint64_t reports_applied() const {
+    return reports_applied_;
+  }
+
+ private:
+  void push_state_to_hmis();
+
+  MasterConfig config_;
+  crypto::Signer signer_;
+  OutputFn output_;
+  TopologyState state_;
+  std::uint64_t version_ = 0;
+  std::uint64_t commands_ordered_ = 0;
+  std::uint64_t reports_applied_ = 0;
+  // Deterministic HMI push throttle (identical decisions at every
+  // replica because state and version are identical): push when the
+  // rendered state changes, and at least every kPushEvery versions.
+  static constexpr std::uint64_t kPushEvery = 8;
+  crypto::Digest last_pushed_digest_{};
+  std::uint64_t last_pushed_version_ = 0;
+};
+
+}  // namespace spire::scada

@@ -1,0 +1,94 @@
+#include "scada/proxy.hpp"
+
+#include "prime/messages.hpp"
+
+namespace spire::scada {
+
+PlcProxy::PlcProxy(sim::Simulator& sim, ProxyConfig config,
+                   const crypto::Keyring& keyring,
+                   crypto::Verifier replica_verifier,
+                   ScadaClient::SubmitFn submit,
+                   std::unique_ptr<FieldClient> field)
+    : sim_(sim),
+      config_(std::move(config)),
+      log_("scada.proxy." + config_.device),
+      replica_verifier_(std::move(replica_verifier)),
+      client_(config_.identity, keyring, std::move(submit)),
+      field_(std::move(field)) {}
+
+void PlcProxy::start() {
+  if (running_) return;
+  running_ = true;
+  // Stagger polls across devices (deterministically, by device name) so
+  // seventeen proxies do not all hit the network in the same instant.
+  const auto jitter = static_cast<sim::Time>(
+      crypto::digest_prefix64(crypto::sha256(config_.device)) %
+      config_.poll_interval);
+  sim_.schedule_after(jitter, [this] { poll_tick(); });
+}
+
+void PlcProxy::poll_tick() {
+  if (!running_) return;
+  ++stats_.polls;
+
+  field_->poll(
+      [this](std::optional<FieldClient::FieldState> state) {
+        if (!running_) return;
+        if (!state) {
+          ++stats_.poll_failures;
+          return;
+        }
+        StatusReport report;
+        report.device = config_.device;
+        report.report_seq = next_report_seq_++;
+        report.breakers = std::move(state->breakers);
+        report.readings = std::move(state->readings);
+        ++stats_.reports_sent;
+        client_.send(ScadaMsgType::kStatusReport, report.encode());
+      },
+      config_.modbus_timeout);
+
+  sim_.schedule_after(config_.poll_interval, [this] { poll_tick(); });
+}
+
+void PlcProxy::on_master_output(std::span<const std::uint8_t> data) {
+  const auto output = MasterOutput::decode(data);
+  if (!output || output->type != ScadaMsgType::kCommandOrder) return;
+  const auto order = CommandOrder::decode(output->body);
+  if (!order) return;
+  handle_order(*order);
+}
+
+void PlcProxy::handle_order(const CommandOrder& order) {
+  ++stats_.orders_received;
+  const std::string identity = prime::replica_identity(order.replica);
+  if (!order.verify(replica_verifier_, identity)) {
+    ++stats_.orders_rejected_sig;
+    return;
+  }
+  if (order.command.device != config_.device) return;
+
+  const auto key = std::make_pair(order.issuer, order.command.command_id);
+  if (executed_orders_.count(key)) return;
+
+  auto& votes = order_votes_[key];
+  votes[order.replica] = order.command;
+
+  // Count replicas that sent exactly this command content.
+  std::uint32_t matching = 0;
+  const util::Bytes canonical = order.command.encode();
+  for (const auto& [replica, command] : votes) {
+    if (command.encode() == canonical) ++matching;
+  }
+  if (matching < config_.f + 1) return;
+
+  executed_orders_.insert(key);
+  order_votes_.erase(key);
+  ++stats_.commands_forwarded;
+  log_.debug("forwarding command to field device: breaker ",
+             order.command.breaker, " <- ",
+             order.command.close ? "CLOSE" : "OPEN");
+  field_->command(order.command.breaker, order.command.close);
+}
+
+}  // namespace spire::scada

@@ -1,0 +1,93 @@
+// Power-topology scenarios and replicated SCADA-master state.
+//
+// Two scenarios from the paper:
+//  * red-team (Fig. 4): one physical PLC with seven breakers feeding
+//    four buildings, plus ten emulated PLCs modelling distribution to
+//    substations and remote sites (§IV-A);
+//  * power plant (§V): the three-breaker subset (B10-1, B57, B56) the
+//    plant engineers wired to real switchgear, the same ten emulated
+//    distribution PLCs, and six new emulated generation PLCs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+#include "util/bytes.hpp"
+
+namespace spire::scada {
+
+/// Field protocol spoken on the device<->proxy cable (paper §II).
+enum class FieldProtocol { kModbus, kDnp3 };
+
+struct DeviceSpec {
+  std::string name;
+  std::vector<std::string> breaker_names;
+  bool physical = false;  ///< backed by a real (emulated-physical) PLC
+  FieldProtocol protocol = FieldProtocol::kModbus;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::vector<DeviceSpec> devices;
+
+  [[nodiscard]] const DeviceSpec* device(const std::string& name) const;
+  [[nodiscard]] std::size_t total_breakers() const;
+
+  /// The Fig. 4 red-team scenario.
+  static ScenarioSpec red_team();
+  /// The §V power-plant scenario.
+  static ScenarioSpec power_plant();
+};
+
+/// Per-device state as known by the SCADA master.
+struct DeviceState {
+  std::vector<bool> breakers;
+  std::vector<std::uint16_t> readings;
+  std::uint64_t last_report_seq = 0;
+  bool online = false;
+};
+
+/// The SCADA master's replicated view of the whole topology.
+/// Deterministically serializable so replicas can vote on it and
+/// checkpoint it.
+class TopologyState {
+ public:
+  TopologyState() = default;
+  explicit TopologyState(const ScenarioSpec& spec);
+
+  /// Registers a device not described by a ScenarioSpec (used by the
+  /// commercial baseline, which is configured by device links).
+  void register_device(const std::string& name, std::size_t breaker_count);
+
+  /// Applies a field report; returns true if anything changed. Reports
+  /// older than the last seen sequence for the device are ignored
+  /// (late/replayed poll results).
+  bool apply_report(const std::string& device, std::uint64_t report_seq,
+                    const std::vector<bool>& breakers,
+                    const std::vector<std::uint16_t>& readings);
+
+  [[nodiscard]] const DeviceState* device(const std::string& name) const;
+  [[nodiscard]] const std::map<std::string, DeviceState>& devices() const {
+    return devices_;
+  }
+  [[nodiscard]] std::optional<bool> breaker(const std::string& device,
+                                            std::size_t index) const;
+
+  [[nodiscard]] util::Bytes serialize() const;
+  static TopologyState deserialize(std::span<const std::uint8_t> data);
+  [[nodiscard]] crypto::Digest digest() const;
+
+  /// Digest over the operator-visible discrete state only (breaker
+  /// positions + online flags), ignoring noisy analog readings. Used to
+  /// decide whether an HMI push is worth sending.
+  [[nodiscard]] crypto::Digest display_digest() const;
+
+ private:
+  std::map<std::string, DeviceState> devices_;
+};
+
+}  // namespace spire::scada

@@ -1,0 +1,194 @@
+#include "scada/wire.hpp"
+
+namespace spire::scada {
+
+namespace {
+
+template <typename T>
+std::optional<T> guarded(std::span<const std::uint8_t> data,
+                         T (*parse)(util::ByteReader&)) {
+  try {
+    util::ByteReader r(data);
+    T value = parse(r);
+    r.expect_done();
+    return value;
+  } catch (const util::SerializationError&) {
+    return std::nullopt;
+  }
+}
+
+void put_bools(util::ByteWriter& w, const std::vector<bool>& bits) {
+  w.u32(static_cast<std::uint32_t>(bits.size()));
+  for (const bool b : bits) w.boolean(b);
+}
+
+std::vector<bool> get_bools(util::ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  if (n > 65536) throw util::SerializationError("absurd bit count");
+  std::vector<bool> bits(n);
+  for (std::uint32_t i = 0; i < n; ++i) bits[i] = r.boolean();
+  return bits;
+}
+
+}  // namespace
+
+util::Bytes StatusReport::encode() const {
+  util::ByteWriter w;
+  w.str(device);
+  w.u64(report_seq);
+  put_bools(w, breakers);
+  w.u32(static_cast<std::uint32_t>(readings.size()));
+  for (const auto v : readings) w.u16(v);
+  return w.take();
+}
+
+std::optional<StatusReport> StatusReport::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<StatusReport>(data, [](util::ByteReader& r) {
+    StatusReport s;
+    s.device = r.str();
+    s.report_seq = r.u64();
+    s.breakers = get_bools(r);
+    const std::uint32_t n = r.u32();
+    if (n > 65536) throw util::SerializationError("absurd reading count");
+    s.readings.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) s.readings.push_back(r.u16());
+    return s;
+  });
+}
+
+util::Bytes SupervisoryCommand::encode() const {
+  util::ByteWriter w;
+  w.str(device);
+  w.u16(breaker);
+  w.boolean(close);
+  w.u64(command_id);
+  return w.take();
+}
+
+std::optional<SupervisoryCommand> SupervisoryCommand::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<SupervisoryCommand>(data, [](util::ByteReader& r) {
+    SupervisoryCommand c;
+    c.device = r.str();
+    c.breaker = r.u16();
+    c.close = r.boolean();
+    c.command_id = r.u64();
+    return c;
+  });
+}
+
+util::Bytes ClientPayload::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.blob(body);
+  return w.take();
+}
+
+std::optional<ClientPayload> ClientPayload::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<ClientPayload>(data, [](util::ByteReader& r) {
+    ClientPayload p;
+    const std::uint8_t t = r.u8();
+    if (t < 1 || t > 4) throw util::SerializationError("bad scada type");
+    p.type = static_cast<ScadaMsgType>(t);
+    p.body = r.blob();
+    return p;
+  });
+}
+
+util::Bytes CommandOrder::signed_bytes() const {
+  util::ByteWriter w;
+  w.u32(replica);
+  w.str(issuer);
+  w.blob(command.encode());
+  return w.take();
+}
+
+void CommandOrder::sign(const crypto::Signer& signer) {
+  sig = signer.sign(signed_bytes());
+}
+
+bool CommandOrder::verify(const crypto::Verifier& verifier,
+                          const std::string& identity) const {
+  return verifier.verify(identity, signed_bytes(), sig);
+}
+
+util::Bytes CommandOrder::encode() const {
+  util::ByteWriter w;
+  w.raw(signed_bytes());
+  sig.encode(w);
+  return w.take();
+}
+
+std::optional<CommandOrder> CommandOrder::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<CommandOrder>(data, [](util::ByteReader& r) {
+    CommandOrder o;
+    o.replica = r.u32();
+    o.issuer = r.str();
+    const auto body = r.blob();
+    const auto cmd = SupervisoryCommand::decode(body);
+    if (!cmd) throw util::SerializationError("bad inner command");
+    o.command = *cmd;
+    o.sig = crypto::Signature::decode(r);
+    return o;
+  });
+}
+
+util::Bytes StateUpdate::signed_bytes() const {
+  util::ByteWriter w;
+  w.u32(replica);
+  w.u64(version);
+  w.blob(state);
+  return w.take();
+}
+
+void StateUpdate::sign(const crypto::Signer& signer) {
+  sig = signer.sign(signed_bytes());
+}
+
+bool StateUpdate::verify(const crypto::Verifier& verifier,
+                         const std::string& identity) const {
+  return verifier.verify(identity, signed_bytes(), sig);
+}
+
+util::Bytes StateUpdate::encode() const {
+  util::ByteWriter w;
+  w.raw(signed_bytes());
+  sig.encode(w);
+  return w.take();
+}
+
+std::optional<StateUpdate> StateUpdate::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<StateUpdate>(data, [](util::ByteReader& r) {
+    StateUpdate s;
+    s.replica = r.u32();
+    s.version = r.u64();
+    s.state = r.blob();
+    s.sig = crypto::Signature::decode(r);
+    return s;
+  });
+}
+
+util::Bytes MasterOutput::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.blob(body);
+  return w.take();
+}
+
+std::optional<MasterOutput> MasterOutput::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<MasterOutput>(data, [](util::ByteReader& r) {
+    MasterOutput m;
+    const std::uint8_t t = r.u8();
+    if (t < 1 || t > 4) throw util::SerializationError("bad output type");
+    m.type = static_cast<ScadaMsgType>(t);
+    m.body = r.blob();
+    return m;
+  });
+}
+
+}  // namespace spire::scada

@@ -1,0 +1,104 @@
+// SCADA application wire messages.
+//
+// These ride as opaque payloads inside Prime ClientUpdates (client ->
+// replicas) and as replica-signed messages over the external Spines
+// network (replicas -> proxies/HMI). Proxies and HMIs accept a
+// replica-originated action only once f+1 replicas have sent identical
+// content — the output-voting rule that makes a single compromised
+// SCADA master harmless.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/keyring.hpp"
+#include "util/bytes.hpp"
+
+namespace spire::scada {
+
+enum class ScadaMsgType : std::uint8_t {
+  kStatusReport = 1,       ///< proxy -> masters: PLC field state
+  kSupervisoryCommand = 2, ///< HMI/cycler -> masters: operator action
+  kCommandOrder = 3,       ///< masters -> proxy: forward command to PLC
+  kStateUpdate = 4,        ///< masters -> HMI: topology state
+};
+
+/// Field-state report for one device, produced by its proxy each poll.
+struct StatusReport {
+  std::string device;
+  std::uint64_t report_seq = 0;
+  std::vector<bool> breakers;
+  std::vector<std::uint16_t> readings;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<StatusReport> decode(std::span<const std::uint8_t> data);
+};
+
+/// Operator/automation command: set one breaker.
+struct SupervisoryCommand {
+  std::string device;
+  std::uint16_t breaker = 0;
+  bool close = false;
+  std::uint64_t command_id = 0;  ///< issuer-unique
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<SupervisoryCommand> decode(
+      std::span<const std::uint8_t> data);
+};
+
+/// Client-update payload wrapper: [type u8][body].
+struct ClientPayload {
+  ScadaMsgType type = ScadaMsgType::kStatusReport;
+  util::Bytes body;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<ClientPayload> decode(std::span<const std::uint8_t> data);
+};
+
+/// Replica -> proxy: execute a supervisory command on the field device.
+/// Signed per replica; the proxy acts on f+1 matching orders.
+struct CommandOrder {
+  std::uint32_t replica = 0;
+  std::string issuer;  ///< commanding client identity
+  SupervisoryCommand command;
+  crypto::Signature sig;
+
+  [[nodiscard]] util::Bytes signed_bytes() const;
+  void sign(const crypto::Signer& signer);
+  [[nodiscard]] bool verify(const crypto::Verifier& verifier,
+                            const std::string& identity) const;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<CommandOrder> decode(std::span<const std::uint8_t> data);
+};
+
+/// Replica -> HMI: versioned topology state. The HMI renders a version
+/// once f+1 replicas sent byte-identical state at that version.
+struct StateUpdate {
+  std::uint32_t replica = 0;
+  std::uint64_t version = 0;
+  util::Bytes state;  ///< serialized TopologyState
+  crypto::Signature sig;
+
+  [[nodiscard]] util::Bytes signed_bytes() const;
+  void sign(const crypto::Signer& signer);
+  [[nodiscard]] bool verify(const crypto::Verifier& verifier,
+                            const std::string& identity) const;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<StateUpdate> decode(std::span<const std::uint8_t> data);
+};
+
+/// Outer framing for replica->client traffic: [type u8][body].
+struct MasterOutput {
+  ScadaMsgType type = ScadaMsgType::kStateUpdate;
+  util::Bytes body;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<MasterOutput> decode(std::span<const std::uint8_t> data);
+};
+
+}  // namespace spire::scada

@@ -1,0 +1,52 @@
+// Deterministic random number generator (xoshiro256**).
+//
+// All nondeterminism in the simulation — network jitter, diversity
+// variant selection, workload timing, MANA noise — flows from one
+// seeded Rng so experiments replay exactly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace spire::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5349'5245'2019'0001ULL);  // "SIRE2019"
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::uint64_t uniform(std::uint64_t lo, std::uint64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean);
+
+  /// Normally distributed value (Box-Muller).
+  double normal(double mean, double stddev);
+
+  /// Derives an independent child generator (for per-component streams).
+  Rng fork();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(0, i - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace spire::sim

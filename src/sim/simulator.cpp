@@ -1,0 +1,59 @@
+#include "sim/simulator.hpp"
+
+#include <utility>
+
+namespace spire::sim {
+
+Simulator::Simulator() = default;
+Simulator::~Simulator() = default;
+
+EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
+  if (at < now_) at = now_;
+  const EventId id = next_id_++;
+  const Key key{at, next_seq_++};
+  queue_.emplace(key, std::make_pair(id, std::move(fn)));
+  index_.emplace(id, key);
+  return id;
+}
+
+EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+bool Simulator::cancel(EventId id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return false;
+  queue_.erase(it->second);
+  index_.erase(it);
+  return true;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto it = queue_.begin();
+  now_ = it->first.at;
+  auto [id, fn] = std::move(it->second);
+  queue_.erase(it);
+  index_.erase(id);
+  ++executed_;
+  fn();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t limit) {
+  std::size_t n = 0;
+  while (n < limit && step()) ++n;
+  return n;
+}
+
+std::size_t Simulator::run_until(Time deadline) {
+  std::size_t n = 0;
+  while (!queue_.empty() && queue_.begin()->first.at <= deadline) {
+    step();
+    ++n;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return n;
+}
+
+}  // namespace spire::sim

@@ -1,0 +1,514 @@
+#include "spines/daemon.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+namespace spire::spines {
+
+namespace {
+/// Approximate wire size of a data message for pacing purposes.
+std::size_t data_wire_size(const DataBody& d) { return 64 + d.payload.size(); }
+}  // namespace
+
+Daemon::Daemon(sim::Simulator& sim, net::Host& host, DaemonConfig config,
+               const crypto::Keyring& keyring, crypto::Verifier verifier)
+    : sim_(sim),
+      host_(host),
+      config_(std::move(config)),
+      keyring_(keyring),
+      verifier_(std::move(verifier)),
+      signer_(config_.id, keyring.identity_key(config_.id)),
+      log_("spines." + config_.id) {}
+
+void Daemon::make_channels(Neighbor& n, const NodeId& id, bool corrupted) {
+  // Per-direction keys: each direction seals under a key bound to the
+  // sender's id, so the two directions never share a nonce space.
+  const std::string link_label =
+      corrupted ? "corrupted-binary-without-keys" : "";
+  auto dir_key = [&](const NodeId& sender) {
+    crypto::SymmetricKey base = keyring_.link_key(config_.id, id);
+    if (corrupted) {
+      // A rebuilt daemon without the deployment's key material: derive
+      // from a wrong base so nothing it seals verifies anywhere.
+      base = keyring_.derive(link_label + sender);
+    }
+    const util::Bytes label = util::to_bytes("dir:" + sender);
+    crypto::SymmetricKey k{};
+    const crypto::Digest d = crypto::hmac_sha256(base, label);
+    std::copy(d.begin(), d.end(), k.begin());
+    return k;
+  };
+  n.send_channel = std::make_unique<crypto::SecureChannel>(dir_key(config_.id));
+  n.recv_channel = std::make_unique<crypto::SecureChannel>(dir_key(id));
+}
+
+void Daemon::add_neighbor(const NodeId& id, net::Endpoint address) {
+  Neighbor n;
+  n.address = address;
+  make_channels(n, id, false);
+  neighbors_.emplace(id, std::move(n));
+}
+
+void Daemon::start() {
+  if (running_) return;
+  running_ = true;
+  host_.bind_udp(config_.udp_port,
+                 [this](const net::Datagram& d) { handle_udp(d); });
+  hello_tick();
+  lsu_tick();
+  if (config_.reliable_data_links &&
+      config_.mode == ForwardingMode::kRouted) {
+    retransmit_tick();
+  }
+}
+
+void Daemon::stop() {
+  if (!running_) return;
+  running_ = false;
+  host_.unbind_udp(config_.udp_port);
+  for (auto& [id, n] : neighbors_) {
+    n.up = false;
+    for (auto& q : n.queues) q.clear();
+    n.unacked.clear();
+  }
+}
+
+void Daemon::open_session(SessionPort port, SessionHandler handler) {
+  sessions_[port] = std::move(handler);
+}
+
+void Daemon::close_session(SessionPort port) { sessions_.erase(port); }
+
+bool Daemon::session_send(SessionPort src_port, const NodeId& dst,
+                          SessionPort dst_port, util::Bytes payload,
+                          Priority priority) {
+  if (!running_) return false;
+  DataBody data;
+  data.src = config_.id;
+  data.dst = dst;
+  data.src_port = src_port;
+  data.dst_port = dst_port;
+  data.priority = priority;
+  data.msg_seq = ++data_seq_;
+  data.payload = std::move(payload);
+  ++stats_.data_originated;
+  on_data(std::nullopt, std::move(data));
+  return true;
+}
+
+void Daemon::corrupt_link_keys() {
+  keys_corrupted_ = true;
+  for (auto& [id, n] : neighbors_) make_channels(n, id, true);
+}
+
+void Daemon::restore_link_keys() {
+  keys_corrupted_ = false;
+  for (auto& [id, n] : neighbors_) make_channels(n, id, false);
+}
+
+bool Daemon::link_up(const NodeId& neighbor) const {
+  const auto it = neighbors_.find(neighbor);
+  return it != neighbors_.end() && it->second.up;
+}
+
+std::optional<NodeId> Daemon::next_hop(const NodeId& dst) const {
+  const auto it = routes_.find(dst);
+  if (it == routes_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Daemon::send_packet(const NodeId& neighbor, PacketType type,
+                         const util::Bytes& body) {
+  auto it = neighbors_.find(neighbor);
+  if (it == neighbors_.end() || !running_) return;
+  Neighbor& n = it->second;
+
+  InnerPacket inner;
+  inner.type = type;
+  inner.link_seq = ++n.send_link_seq;
+  inner.body = body;
+  const util::Bytes inner_bytes = inner.encode();
+
+  // Reliable message service: data packets on routed links are tracked
+  // until acked (flooding already provides its own redundancy).
+  if (type == PacketType::kData && config_.reliable_data_links &&
+      config_.mode == ForwardingMode::kRouted) {
+    n.unacked[inner.link_seq] = Neighbor::Unacked{inner_bytes, sim_.now(), 0};
+  }
+  transmit_inner(neighbor, inner_bytes);
+}
+
+void Daemon::transmit_inner(const NodeId& neighbor,
+                            const util::Bytes& inner_bytes) {
+  auto it = neighbors_.find(neighbor);
+  if (it == neighbors_.end() || !running_) return;
+  Neighbor& n = it->second;
+  LinkEnvelope env;
+  env.sender = config_.id;
+  env.sealed = config_.intrusion_tolerant;
+  env.body = env.sealed ? n.send_channel->seal(inner_bytes) : inner_bytes;
+  host_.send_udp(n.address.ip, n.address.port, config_.udp_port, env.encode());
+}
+
+void Daemon::send_ack(const NodeId& neighbor, std::uint64_t acked_seq) {
+  ++stats_.acks_sent;
+  util::ByteWriter w;
+  w.u64(acked_seq);
+  send_packet(neighbor, PacketType::kAck, w.take());
+}
+
+bool Daemon::accept_link_seq(Neighbor& n, std::uint64_t seq) {
+  if (seq > n.recv_link_seq) {
+    const std::uint64_t shift = seq - n.recv_link_seq;
+    n.recv_window = shift >= 64 ? 0 : (n.recv_window << shift);
+    n.recv_window |= 1;  // bit 0 tracks the new maximum
+    n.recv_link_seq = seq;
+    return true;
+  }
+  const std::uint64_t age = n.recv_link_seq - seq;
+  if (age >= 64) return false;  // beyond the window: treat as replay
+  const std::uint64_t bit = 1ULL << age;
+  if (n.recv_window & bit) return false;
+  n.recv_window |= bit;
+  return true;
+}
+
+void Daemon::retransmit_tick() {
+  if (!running_) return;
+  sim_.schedule_after(config_.retransmit_timeout / 2,
+                      [this] { retransmit_tick(); });
+  const sim::Time now = sim_.now();
+  for (auto& [id, n] : neighbors_) {
+    for (auto it = n.unacked.begin(); it != n.unacked.end();) {
+      if (now - it->second.sent_at < config_.retransmit_timeout) {
+        ++it;
+        continue;
+      }
+      if (it->second.retries >= config_.max_retransmits) {
+        ++stats_.data_abandoned;  // link is dead; hellos will notice
+        it = n.unacked.erase(it);
+        continue;
+      }
+      ++it->second.retries;
+      it->second.sent_at = now;
+      ++stats_.data_retransmits;
+      transmit_inner(id, it->second.inner_bytes);
+      ++it;
+    }
+  }
+}
+
+void Daemon::handle_udp(const net::Datagram& dgram) {
+  if (!running_) return;
+  const auto env = LinkEnvelope::decode(dgram.payload);
+  if (!env) return;
+
+  const auto it = neighbors_.find(env->sender);
+  if (it == neighbors_.end()) {
+    ++stats_.dropped_auth;
+    return;  // unknown daemons are not neighbors; drop.
+  }
+  Neighbor& n = it->second;
+
+  util::Bytes inner_bytes;
+  if (config_.intrusion_tolerant) {
+    if (!env->sealed) {
+      ++stats_.dropped_auth;
+      return;
+    }
+    auto opened = n.recv_channel->open(env->body);
+    if (!opened) {
+      ++stats_.dropped_auth;
+      return;  // wrong keys, tampering, or a non-member impersonating.
+    }
+    inner_bytes = std::move(*opened);
+  } else {
+    inner_bytes = env->body;
+  }
+
+  const auto inner = InnerPacket::decode(inner_bytes);
+  if (!inner) {
+    // Legacy debug opcode and other malformed inner packets land here.
+    if (!inner_bytes.empty() && inner_bytes.front() == kDebugPacketType) {
+      if (config_.intrusion_tolerant) {
+        ++stats_.debug_packets_ignored;  // code path compiled out in IT mode
+      } else {
+        ++stats_.debug_packets_honoured;
+      }
+    }
+    return;
+  }
+
+  const bool reliable_data = inner->type == PacketType::kData &&
+                             config_.reliable_data_links &&
+                             config_.mode == ForwardingMode::kRouted;
+  if (!accept_link_seq(n, inner->link_seq)) {
+    ++stats_.dropped_replay;
+    // Duplicate data usually means our ack was lost: re-ack so the
+    // sender stops retransmitting.
+    if (reliable_data) send_ack(env->sender, inner->link_seq);
+    return;
+  }
+  if (reliable_data) send_ack(env->sender, inner->link_seq);
+
+  process_inner(env->sender, *inner);
+}
+
+void Daemon::process_inner(const NodeId& from, const InnerPacket& inner) {
+  switch (inner.type) {
+    case PacketType::kHello:
+      if (HelloBody::decode(inner.body)) on_hello(from);
+      break;
+    case PacketType::kLinkState:
+      if (const auto lsu = LinkStateBody::decode(inner.body)) {
+        on_link_state(from, *lsu);
+      }
+      break;
+    case PacketType::kData:
+      if (auto data = DataBody::decode(inner.body)) {
+        on_data(from, std::move(*data));
+      }
+      break;
+    case PacketType::kAck: {
+      try {
+        util::ByteReader r(inner.body);
+        const std::uint64_t acked = r.u64();
+        r.expect_done();
+        neighbors_.at(from).unacked.erase(acked);
+      } catch (const util::SerializationError&) {
+      }
+      break;
+    }
+  }
+}
+
+void Daemon::on_hello(const NodeId& from) {
+  Neighbor& n = neighbors_.at(from);
+  n.last_hello = sim_.now();
+  if (!n.up) {
+    n.up = true;
+    log_.debug("link to ", from, " up");
+    broadcast_own_lsu();
+    recompute_routes();
+  }
+}
+
+void Daemon::on_link_state(const NodeId& arrival, const LinkStateBody& lsu) {
+  auto& entry = lsdb_[lsu.origin];
+  if (lsu.seq <= entry.seq && lsu.origin != config_.id) {
+    return;  // stale or duplicate
+  }
+  const util::Bytes covered = lsu.signed_bytes();
+  if (!verifier_.verify(lsu.origin, covered, lsu.signature)) {
+    ++stats_.lsu_rejected_sig;
+    return;
+  }
+  if (lsu.origin == config_.id) return;  // our own, reflected back
+
+  ++stats_.lsu_accepted;
+  entry.seq = lsu.seq;
+  entry.neighbors = lsu.neighbors;
+  recompute_routes();
+
+  // Re-flood to all up neighbors except where it came from.
+  const util::Bytes body = lsu.encode();
+  for (const auto& [id, n] : neighbors_) {
+    if (id != arrival && n.up) send_packet(id, PacketType::kLinkState, body);
+  }
+}
+
+void Daemon::on_data(const std::optional<NodeId>& arrival, DataBody data) {
+  if (dedup_seen(data.src, data.msg_seq)) {
+    ++stats_.dropped_dedup;
+    return;
+  }
+
+  const bool is_broadcast = data.dst == kBroadcastDst;
+  if (data.dst == config_.id ||
+      (is_broadcast && data.src != config_.id)) {
+    const auto session = sessions_.find(data.dst_port);
+    if (session != sessions_.end()) {
+      ++stats_.data_delivered;
+      session->second(data);
+    }
+    if (!is_broadcast) return;  // unicast terminates at its destination
+  }
+
+  if (data.ttl <= 1) {
+    ++stats_.dropped_ttl;
+    return;
+  }
+  data.ttl--;
+
+  if (is_broadcast || config_.mode == ForwardingMode::kPriorityFlood) {
+    for (auto& [id, n] : neighbors_) {
+      if (arrival && id == *arrival) continue;
+      if (!n.up) continue;
+      enqueue_data(id, data);
+    }
+  } else {
+    const auto hop = next_hop(data.dst);
+    if (!hop) {
+      ++stats_.dropped_no_route;
+      return;
+    }
+    enqueue_data(*hop, data);
+  }
+  ++stats_.data_forwarded;
+}
+
+void Daemon::enqueue_data(const NodeId& neighbor, const DataBody& data) {
+  Neighbor& n = neighbors_.at(neighbor);
+  const auto prio = static_cast<std::size_t>(data.priority);
+  auto& queue = n.queues[prio][data.src];
+  if (queue.size() >= config_.per_source_queue_cap) {
+    // Per-source cap: an abusive source only ever drops its own traffic.
+    ++stats_.dropped_queue_full;
+    return;
+  }
+  queue.push_back(data);
+  if (!n.pump_scheduled) pump(neighbor);
+}
+
+void Daemon::pump(const NodeId& neighbor) {
+  Neighbor& n = neighbors_.at(neighbor);
+  n.pump_scheduled = false;
+  if (!running_) return;
+
+  if (sim_.now() < n.busy_until) {
+    n.pump_scheduled = true;
+    sim_.schedule_at(n.busy_until, [this, neighbor] { pump(neighbor); });
+    return;
+  }
+
+  // Highest priority class with traffic; round-robin across sources.
+  for (int prio = 2; prio >= 0; --prio) {
+    auto& sources = n.queues[static_cast<std::size_t>(prio)];
+    if (sources.empty()) continue;
+
+    // Find the source after rr_last (wrapping), for fairness.
+    auto it = sources.upper_bound(n.rr_last[static_cast<std::size_t>(prio)]);
+    if (it == sources.end()) it = sources.begin();
+    DataBody data = std::move(it->second.front());
+    it->second.pop_front();
+    n.rr_last[static_cast<std::size_t>(prio)] = it->first;
+    if (it->second.empty()) sources.erase(it);
+
+    const double bytes = static_cast<double>(data_wire_size(data));
+    const auto tx_time =
+        static_cast<sim::Time>(std::ceil(bytes / config_.link_bytes_per_us));
+    n.busy_until = sim_.now() + tx_time;
+    send_packet(neighbor, PacketType::kData, data.encode());
+
+    bool more = false;
+    for (const auto& q : n.queues) {
+      if (!q.empty()) {
+        more = true;
+        break;
+      }
+    }
+    if (more) {
+      n.pump_scheduled = true;
+      sim_.schedule_at(n.busy_until, [this, neighbor] { pump(neighbor); });
+    }
+    return;
+  }
+}
+
+void Daemon::hello_tick() {
+  if (!running_) return;
+  ++hello_seq_;
+  const util::Bytes body = HelloBody{hello_seq_}.encode();
+  bool topology_changed = false;
+  for (auto& [id, n] : neighbors_) {
+    send_packet(id, PacketType::kHello, body);
+    if (n.up && sim_.now() - n.last_hello > config_.link_timeout) {
+      n.up = false;
+      topology_changed = true;
+      log_.debug("link to ", id, " down (hello timeout)");
+    }
+  }
+  if (topology_changed) {
+    broadcast_own_lsu();
+    recompute_routes();
+  }
+  sim_.schedule_after(config_.hello_interval, [this] { hello_tick(); });
+}
+
+void Daemon::lsu_tick() {
+  if (!running_) return;
+  broadcast_own_lsu();
+  sim_.schedule_after(config_.lsu_refresh, [this] { lsu_tick(); });
+}
+
+void Daemon::broadcast_own_lsu() {
+  LinkStateBody lsu;
+  lsu.origin = config_.id;
+  lsu.seq = ++own_lsu_seq_;
+  for (const auto& [id, n] : neighbors_) {
+    if (n.up) lsu.neighbors.push_back(id);
+  }
+  lsu.signature = signer_.sign(lsu.signed_bytes());
+
+  // Record our own entry so route computation sees it.
+  lsdb_[config_.id] = LinkStateEntry{lsu.seq, lsu.neighbors};
+  recompute_routes();
+
+  const util::Bytes body = lsu.encode();
+  for (const auto& [id, n] : neighbors_) {
+    if (n.up) send_packet(id, PacketType::kLinkState, body);
+  }
+}
+
+void Daemon::recompute_routes() {
+  // Edge (a,b) counts only if both a and b advertise each other: a
+  // Byzantine origin can then only *remove* itself, not fabricate paths.
+  auto has_edge = [this](const NodeId& a, const NodeId& b) {
+    const auto ia = lsdb_.find(a);
+    const auto ib = lsdb_.find(b);
+    if (ia == lsdb_.end() || ib == lsdb_.end()) return false;
+    const auto& na = ia->second.neighbors;
+    const auto& nb = ib->second.neighbors;
+    return std::find(na.begin(), na.end(), b) != na.end() &&
+           std::find(nb.begin(), nb.end(), a) != nb.end();
+  };
+
+  routes_.clear();
+  // BFS from self over confirmed edges (unit link costs).
+  std::map<NodeId, NodeId> parent;
+  std::queue<NodeId> frontier;
+  frontier.push(config_.id);
+  parent[config_.id] = config_.id;
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const auto& [v, entry] : lsdb_) {
+      if (parent.count(v)) continue;
+      if (!has_edge(u, v)) continue;
+      parent[v] = u;
+      frontier.push(v);
+    }
+  }
+  for (const auto& [dst, p] : parent) {
+    if (dst == config_.id) continue;
+    // Walk back to find the first hop.
+    NodeId hop = dst;
+    while (parent[hop] != config_.id) hop = parent[hop];
+    routes_[dst] = hop;
+  }
+}
+
+bool Daemon::dedup_seen(const NodeId& src, std::uint64_t msg_seq) {
+  const auto key = std::make_pair(src, msg_seq);
+  if (dedup_.count(key)) return true;
+  dedup_.insert(key);
+  dedup_order_.push_back(key);
+  while (dedup_order_.size() > config_.dedup_cache_size) {
+    dedup_.erase(dedup_order_.front());
+    dedup_order_.pop_front();
+  }
+  return false;
+}
+
+}  // namespace spire::spines

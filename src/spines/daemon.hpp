@@ -1,0 +1,203 @@
+// Spines overlay daemon.
+//
+// Implements the properties the paper's deployments rely on (§II, §IV):
+//  * authenticated + encrypted links (per-link keys, encrypt-then-MAC,
+//    per-direction nonce spaces, replay counters) in intrusion-tolerant
+//    mode — a daemon without the current keys simply cannot join;
+//  * signed link-state flooding with bidirectional edge confirmation,
+//    so a Byzantine daemon can only lie about its own adjacencies;
+//  * two forwarding modes: shortest-path routing, and the
+//    intrusion-tolerant priority flood with per-source round-robin
+//    fairness and per-source queue caps, which keeps a traffic-blasting
+//    compromised daemon from starving correct sources;
+//  * the legacy "debug" code path that the red team's patched binary
+//    targeted, which is compiled out (ignored) in intrusion-tolerant
+//    mode — reproducing the excursion result.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "crypto/keyring.hpp"
+#include "net/host.hpp"
+#include "sim/simulator.hpp"
+#include "spines/message.hpp"
+#include "util/log.hpp"
+
+namespace spire::spines {
+
+constexpr std::uint16_t kDefaultDaemonPort = 8100;
+/// Legacy debug opcode (see file comment). Present for fidelity to the
+/// red-team excursion; only honoured outside intrusion-tolerant mode.
+constexpr std::uint8_t kDebugPacketType = 4;
+
+enum class ForwardingMode {
+  kRouted,        ///< shortest-path unicast
+  kPriorityFlood  ///< intrusion-tolerant constrained flooding
+};
+
+struct DaemonConfig {
+  NodeId id;
+  std::uint16_t udp_port = kDefaultDaemonPort;
+  /// Seal all link traffic and disable legacy code paths.
+  bool intrusion_tolerant = true;
+  ForwardingMode mode = ForwardingMode::kPriorityFlood;
+  sim::Time hello_interval = 100 * sim::kMillisecond;
+  sim::Time link_timeout = 350 * sim::kMillisecond;
+  sim::Time lsu_refresh = 1 * sim::kSecond;
+  /// Overlay egress pacing (bytes per microsecond, ~1 Gb/s default).
+  double link_bytes_per_us = 125.0;
+  std::size_t per_source_queue_cap = 128;
+  std::size_t dedup_cache_size = 8192;
+  /// Spines' reliable message service: per-link ARQ for data packets
+  /// (ack + retransmit), so routed traffic survives transient drops.
+  bool reliable_data_links = true;
+  sim::Time retransmit_timeout = 50 * sim::kMillisecond;
+  int max_retransmits = 6;
+};
+
+struct DaemonStats {
+  std::uint64_t data_originated = 0;
+  std::uint64_t data_delivered = 0;
+  std::uint64_t data_forwarded = 0;
+  std::uint64_t dropped_auth = 0;
+  std::uint64_t dropped_replay = 0;
+  std::uint64_t dropped_dedup = 0;
+  std::uint64_t dropped_queue_full = 0;
+  std::uint64_t dropped_no_route = 0;
+  std::uint64_t dropped_ttl = 0;
+  std::uint64_t lsu_accepted = 0;
+  std::uint64_t lsu_rejected_sig = 0;
+  std::uint64_t debug_packets_ignored = 0;
+  std::uint64_t debug_packets_honoured = 0;
+  std::uint64_t data_retransmits = 0;
+  std::uint64_t data_abandoned = 0;  ///< gave up after max retransmits
+  std::uint64_t acks_sent = 0;
+};
+
+/// Delivery callback for a local session.
+using SessionHandler = std::function<void(const DataBody&)>;
+
+class Daemon {
+ public:
+  /// `verifier` must know the identity keys of every legitimate overlay
+  /// node; `keyring` supplies link keys and this node's signing key.
+  Daemon(sim::Simulator& sim, net::Host& host, DaemonConfig config,
+         const crypto::Keyring& keyring, crypto::Verifier verifier);
+
+  /// Declares a neighbor and its underlay address. Call before start().
+  void add_neighbor(const NodeId& id, net::Endpoint address);
+
+  /// Binds the UDP port and begins hello/LSU cycles.
+  void start();
+  /// Unbinds and goes silent (the excursion's "stop the daemons" step).
+  void stop();
+  [[nodiscard]] bool running() const { return running_; }
+
+  // ---- session API (local applications) ---------------------------------
+  void open_session(SessionPort port, SessionHandler handler);
+  void close_session(SessionPort port);
+  /// Sends a message into the overlay. Returns false if the daemon is
+  /// stopped.
+  bool session_send(SessionPort src_port, const NodeId& dst,
+                    SessionPort dst_port, util::Bytes payload,
+                    Priority priority = Priority::kHigh);
+
+  // ---- attack-framework hooks --------------------------------------------
+  /// Replaces this daemon's key material with garbage, modelling the red
+  /// team's rebuilt/modified binary that lacked the new link keys.
+  void corrupt_link_keys();
+  /// Restores correct keys (reinstalling the legitimate binary).
+  void restore_link_keys();
+
+  [[nodiscard]] const DaemonStats& stats() const { return stats_; }
+  [[nodiscard]] const DaemonConfig& config() const { return config_; }
+  [[nodiscard]] bool link_up(const NodeId& neighbor) const;
+  [[nodiscard]] std::optional<NodeId> next_hop(const NodeId& dst) const;
+
+ private:
+  struct Neighbor {
+    net::Endpoint address;
+    std::unique_ptr<crypto::SecureChannel> send_channel;
+    std::unique_ptr<crypto::SecureChannel> recv_channel;
+    std::uint64_t send_link_seq = 0;
+    /// Windowed replay/duplicate tracking: highest seq seen plus a
+    /// 64-wide bitmap of recently seen sequence numbers, so delayed
+    /// retransmissions are still accepted exactly once.
+    std::uint64_t recv_link_seq = 0;
+    std::uint64_t recv_window = 0;
+    sim::Time last_hello = 0;
+    bool up = false;
+    /// Reliable-service state: unacked data packets awaiting ack.
+    struct Unacked {
+      util::Bytes inner_bytes;
+      sim::Time sent_at = 0;
+      int retries = 0;
+    };
+    std::map<std::uint64_t, Unacked> unacked;
+    // Priority-flood fairness: per priority class, per-source FIFOs
+    // served round-robin (rr_last remembers the last source served).
+    std::array<std::map<NodeId, std::deque<DataBody>>, 3> queues;
+    std::array<NodeId, 3> rr_last;
+    sim::Time busy_until = 0;
+    bool pump_scheduled = false;
+  };
+
+  void make_channels(Neighbor& n, const NodeId& id, bool corrupted);
+  void handle_udp(const net::Datagram& dgram);
+  void process_inner(const NodeId& from, const InnerPacket& inner);
+  void on_hello(const NodeId& from);
+  void on_link_state(const NodeId& arrival, const LinkStateBody& lsu);
+  void on_data(const std::optional<NodeId>& arrival, DataBody data);
+  void hello_tick();
+  void lsu_tick();
+  void retransmit_tick();
+  /// Windowed accept check; returns false for duplicates/too-old.
+  bool accept_link_seq(Neighbor& n, std::uint64_t seq);
+  void send_ack(const NodeId& neighbor, std::uint64_t acked_seq);
+  void transmit_inner(const NodeId& neighbor, const util::Bytes& inner_bytes);
+  void broadcast_own_lsu();
+  void send_packet(const NodeId& neighbor, PacketType type,
+                   const util::Bytes& body);
+  void enqueue_data(const NodeId& neighbor, const DataBody& data);
+  void pump(const NodeId& neighbor);
+  void recompute_routes();
+  [[nodiscard]] bool dedup_seen(const NodeId& src, std::uint64_t msg_seq);
+
+  sim::Simulator& sim_;
+  net::Host& host_;
+  DaemonConfig config_;
+  const crypto::Keyring& keyring_;
+  crypto::Verifier verifier_;
+  crypto::Signer signer_;
+  util::Logger log_;
+
+  bool running_ = false;
+  bool keys_corrupted_ = false;
+  std::map<NodeId, Neighbor> neighbors_;
+  std::map<SessionPort, SessionHandler> sessions_;
+
+  std::uint64_t hello_seq_ = 0;
+  std::uint64_t own_lsu_seq_ = 0;
+  std::uint64_t data_seq_ = 0;
+
+  struct LinkStateEntry {
+    std::uint64_t seq = 0;
+    std::vector<NodeId> neighbors;
+  };
+  std::map<NodeId, LinkStateEntry> lsdb_;
+  std::map<NodeId, NodeId> routes_;  ///< dst -> next hop
+
+  std::set<std::pair<NodeId, std::uint64_t>> dedup_;
+  std::deque<std::pair<NodeId, std::uint64_t>> dedup_order_;
+
+  DaemonStats stats_;
+};
+
+}  // namespace spire::spines

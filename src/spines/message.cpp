@@ -1,0 +1,140 @@
+#include "spines/message.hpp"
+
+namespace spire::spines {
+
+namespace {
+
+template <typename T>
+std::optional<T> guarded_decode(std::span<const std::uint8_t> data,
+                                T (*parse)(util::ByteReader&)) {
+  try {
+    util::ByteReader r(data);
+    T value = parse(r);
+    r.expect_done();
+    return value;
+  } catch (const util::SerializationError&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace
+
+util::Bytes HelloBody::encode() const {
+  util::ByteWriter w;
+  w.u64(seq);
+  return w.take();
+}
+
+std::optional<HelloBody> HelloBody::decode(std::span<const std::uint8_t> data) {
+  return guarded_decode<HelloBody>(data, [](util::ByteReader& r) {
+    HelloBody h;
+    h.seq = r.u64();
+    return h;
+  });
+}
+
+util::Bytes LinkStateBody::signed_bytes() const {
+  util::ByteWriter w;
+  w.str(origin);
+  w.u64(seq);
+  w.u32(static_cast<std::uint32_t>(neighbors.size()));
+  for (const auto& n : neighbors) w.str(n);
+  return w.take();
+}
+
+util::Bytes LinkStateBody::encode() const {
+  util::ByteWriter w;
+  w.raw(signed_bytes());
+  signature.encode(w);
+  return w.take();
+}
+
+std::optional<LinkStateBody> LinkStateBody::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded_decode<LinkStateBody>(data, [](util::ByteReader& r) {
+    LinkStateBody b;
+    b.origin = r.str();
+    b.seq = r.u64();
+    const std::uint32_t n = r.u32();
+    if (n > 4096) throw util::SerializationError("absurd neighbor count");
+    b.neighbors.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) b.neighbors.push_back(r.str());
+    b.signature = crypto::Signature::decode(r);
+    return b;
+  });
+}
+
+util::Bytes DataBody::encode() const {
+  util::ByteWriter w;
+  w.str(src);
+  w.str(dst);
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u8(static_cast<std::uint8_t>(priority));
+  w.u64(msg_seq);
+  w.u8(ttl);
+  w.blob(payload);
+  return w.take();
+}
+
+std::optional<DataBody> DataBody::decode(std::span<const std::uint8_t> data) {
+  return guarded_decode<DataBody>(data, [](util::ByteReader& r) {
+    DataBody d;
+    d.src = r.str();
+    d.dst = r.str();
+    d.src_port = r.u16();
+    d.dst_port = r.u16();
+    const std::uint8_t prio = r.u8();
+    if (prio > 2) throw util::SerializationError("bad priority");
+    d.priority = static_cast<Priority>(prio);
+    d.msg_seq = r.u64();
+    d.ttl = r.u8();
+    d.payload = r.blob();
+    return d;
+  });
+}
+
+util::Bytes LinkEnvelope::encode() const {
+  util::ByteWriter w;
+  w.str(sender);
+  w.boolean(sealed);
+  w.blob(body);
+  return w.take();
+}
+
+std::optional<LinkEnvelope> LinkEnvelope::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded_decode<LinkEnvelope>(data, [](util::ByteReader& r) {
+    LinkEnvelope e;
+    e.sender = r.str();
+    e.sealed = r.boolean();
+    e.body = r.blob();
+    return e;
+  });
+}
+
+util::Bytes InnerPacket::encode() const {
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(link_seq);
+  w.blob(body);
+  return w.take();
+}
+
+std::optional<InnerPacket> InnerPacket::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded_decode<InnerPacket>(data, [](util::ByteReader& r) {
+    InnerPacket p;
+    const std::uint8_t t = r.u8();
+    // 4 is the legacy debug opcode: intentionally NOT a valid packet.
+    if (t < 1 || t > 5 || t == 4) {
+      throw util::SerializationError("bad packet type");
+    }
+    p.type = static_cast<PacketType>(t);
+    p.link_seq = r.u64();
+    p.body = r.blob();
+    return p;
+  });
+}
+
+}  // namespace spire::spines

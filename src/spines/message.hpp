@@ -1,0 +1,102 @@
+// Spines overlay wire protocol.
+//
+// Three packet types flow between overlay daemons: link Hellos (liveness),
+// signed link-state updates (topology flooding), and Data messages
+// (session traffic). In intrusion-tolerant mode every daemon-to-daemon
+// packet is sealed with the per-link key (encrypt-then-MAC) — the
+// mechanism that made the red team's modified/patched Spines daemons
+// harmless in the excursion (paper §IV-B).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "crypto/keyring.hpp"
+#include "util/bytes.hpp"
+
+namespace spire::spines {
+
+/// Overlay node identifier, e.g. "int3" or "ext1".
+using NodeId = std::string;
+
+/// Session port within a daemon (application multiplexing).
+using SessionPort = std::uint16_t;
+
+/// Overlay multicast: a DataBody with this destination is delivered at
+/// every node that has the session port open (except the origin) and is
+/// flooded regardless of forwarding mode — Spines' multicast groups,
+/// which Prime uses for its all-replica broadcasts.
+inline const NodeId kBroadcastDst = "*";
+
+/// Message priority: Spires' priority flooding serves higher classes
+/// first; SCADA control traffic rides kHigh.
+enum class Priority : std::uint8_t { kLow = 0, kMedium = 1, kHigh = 2 };
+
+enum class PacketType : std::uint8_t {
+  kHello = 1,
+  kLinkState = 2,
+  kData = 3,
+  // 4 is the legacy debug opcode (deliberately not a valid InnerPacket).
+  kAck = 5,  ///< link-level acknowledgment of a kData link_seq
+};
+
+struct HelloBody {
+  std::uint64_t seq = 0;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<HelloBody> decode(std::span<const std::uint8_t> data);
+};
+
+/// Flooded, origin-signed adjacency advertisement.
+struct LinkStateBody {
+  NodeId origin;
+  std::uint64_t seq = 0;
+  std::vector<NodeId> neighbors;
+  crypto::Signature signature;
+
+  /// Bytes covered by the signature (everything but the signature).
+  [[nodiscard]] util::Bytes signed_bytes() const;
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<LinkStateBody> decode(std::span<const std::uint8_t> data);
+};
+
+/// End-to-end session message, forwarded hop by hop.
+struct DataBody {
+  NodeId src;
+  NodeId dst;
+  SessionPort src_port = 0;
+  SessionPort dst_port = 0;
+  Priority priority = Priority::kMedium;
+  std::uint64_t msg_seq = 0;  ///< per-origin, for flood dedup
+  std::uint8_t ttl = 32;
+  util::Bytes payload;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<DataBody> decode(std::span<const std::uint8_t> data);
+};
+
+/// Link-layer envelope: identifies the sending daemon (so the receiver
+/// can pick the link key) and carries either a sealed or a plaintext
+/// inner packet depending on the overlay's security mode.
+struct LinkEnvelope {
+  NodeId sender;
+  bool sealed = false;
+  util::Bytes body;  ///< sealed bytes, or plaintext [type u8 | body]
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<LinkEnvelope> decode(std::span<const std::uint8_t> data);
+};
+
+/// Inner packet: [type u8][link_seq u64][body...].
+struct InnerPacket {
+  PacketType type = PacketType::kHello;
+  std::uint64_t link_seq = 0;  ///< per-link replay counter
+  util::Bytes body;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<InnerPacket> decode(std::span<const std::uint8_t> data);
+};
+
+}  // namespace spire::spines

@@ -1,0 +1,79 @@
+#include "spines/overlay.hpp"
+
+#include <stdexcept>
+
+namespace spire::spines {
+
+Overlay::Overlay(sim::Simulator& sim, const crypto::Keyring& keyring,
+                 DaemonConfig config_template)
+    : sim_(sim), keyring_(keyring), template_(std::move(config_template)) {}
+
+void Overlay::add_node(const NodeId& id, net::Host& host,
+                       std::uint16_t udp_port, std::size_t iface) {
+  if (specs_.count(id)) throw std::invalid_argument("duplicate node id " + id);
+  specs_[id] = NodeSpec{&host, udp_port, iface};
+  order_.push_back(id);
+}
+
+void Overlay::add_link(const NodeId& a, const NodeId& b) {
+  if (!specs_.count(a) || !specs_.count(b)) {
+    throw std::invalid_argument("link references unknown node");
+  }
+  links_.emplace_back(a, b);
+}
+
+void Overlay::build() {
+  crypto::Verifier verifier;
+  for (const auto& id : order_) {
+    verifier.add_identity(id, keyring_.identity_key(id));
+  }
+
+  for (const auto& id : order_) {
+    const NodeSpec& spec = specs_.at(id);
+    DaemonConfig config = template_;
+    config.id = id;
+    config.udp_port = spec.port;
+    daemons_[id] = std::make_unique<Daemon>(sim_, *spec.host, config, keyring_,
+                                            verifier);
+  }
+
+  for (const auto& [a, b] : links_) {
+    const NodeSpec& sa = specs_.at(a);
+    const NodeSpec& sb = specs_.at(b);
+    daemons_.at(a)->add_neighbor(b,
+                                 net::Endpoint{sb.host->ip(sb.iface), sb.port});
+    daemons_.at(b)->add_neighbor(a,
+                                 net::Endpoint{sa.host->ip(sa.iface), sa.port});
+  }
+}
+
+void Overlay::allow_link_traffic() {
+  for (const auto& [a, b] : links_) {
+    const NodeSpec& sa = specs_.at(a);
+    const NodeSpec& sb = specs_.at(b);
+    const net::IpAddress ip_a = sa.host->ip(sa.iface);
+    const net::IpAddress ip_b = sb.host->ip(sb.iface);
+    sa.host->firewall().allow.push_back(
+        net::FirewallRule{net::Direction::kInbound, ip_b, sa.port, sb.port});
+    sa.host->firewall().allow.push_back(
+        net::FirewallRule{net::Direction::kOutbound, ip_b, sb.port, sa.port});
+    sb.host->firewall().allow.push_back(
+        net::FirewallRule{net::Direction::kInbound, ip_a, sb.port, sa.port});
+    sb.host->firewall().allow.push_back(
+        net::FirewallRule{net::Direction::kOutbound, ip_a, sa.port, sb.port});
+  }
+}
+
+void Overlay::start_all() {
+  for (const auto& id : order_) daemons_.at(id)->start();
+}
+
+Daemon& Overlay::daemon(const NodeId& id) {
+  const auto it = daemons_.find(id);
+  if (it == daemons_.end()) {
+    throw std::out_of_range("daemon not built: " + id);
+  }
+  return *it->second;
+}
+
+}  // namespace spire::spines

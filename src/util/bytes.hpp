@@ -1,0 +1,192 @@
+// Byte-buffer utilities and bounds-checked binary serialization.
+//
+// All wire formats in this repository (Modbus frames, Spines overlay
+// packets, Prime protocol messages, SCADA payloads) are encoded with
+// ByteWriter and decoded with ByteReader. Integers are big-endian
+// ("network order"), matching what the real Spire/Spines/Modbus stacks
+// put on the wire. Decoding is fully bounds-checked: malformed input
+// raises SerializationError instead of reading out of bounds, which is
+// what allows the attack framework to throw arbitrary garbage at every
+// parser in the system.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spire::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Thrown when a ByteReader runs out of input or a length prefix is
+/// inconsistent with the remaining buffer.
+class SerializationError : public std::runtime_error {
+ public:
+  explicit SerializationError(const std::string& what)
+      : std::runtime_error("serialization error: " + what) {}
+};
+
+/// Appends big-endian primitive values and length-prefixed blobs to a
+/// growable byte buffer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void u16(std::uint16_t v) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    buf_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void u32(std::uint32_t v) {
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+
+  void u64(std::uint64_t v) {
+    for (int shift = 56; shift >= 0; shift -= 8) {
+      buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+    }
+  }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void f64(double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  void boolean(bool v) { u8(v ? 1 : 0); }
+
+  /// Raw bytes, no length prefix.
+  void raw(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// u32 length prefix followed by the bytes.
+  void blob(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    raw(data);
+  }
+
+  /// u32 length prefix followed by UTF-8 bytes.
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  [[nodiscard]] const Bytes& bytes() const { return buf_; }
+  [[nodiscard]] Bytes take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked big-endian decoder over a borrowed byte span.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool done() const { return remaining() == 0; }
+
+  std::uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  std::uint16_t u16() {
+    need(2);
+    std::uint16_t v = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(data_[pos_]) << 8) | data_[pos_ + 1]);
+    pos_ += 2;
+    return v;
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+    pos_ += 8;
+    return v;
+  }
+
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() {
+    std::uint64_t bits = u64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  bool boolean() { return u8() != 0; }
+
+  Bytes raw(std::size_t n) {
+    need(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  Bytes blob() {
+    std::uint32_t n = u32();
+    if (n > remaining()) throw SerializationError("blob length exceeds input");
+    return raw(n);
+  }
+
+  std::string str() {
+    std::uint32_t n = u32();
+    if (n > remaining()) throw SerializationError("string length exceeds input");
+    need(n);
+    std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Remaining bytes without consuming them.
+  [[nodiscard]] std::span<const std::uint8_t> rest() const {
+    return data_.subspan(pos_);
+  }
+
+  void expect_done() const {
+    if (!done()) throw SerializationError("trailing bytes after message");
+  }
+
+ private:
+  void need(std::size_t n) const {
+    if (remaining() < n) throw SerializationError("input truncated");
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Convenience: byte vector from a string literal / view.
+[[nodiscard]] inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+[[nodiscard]] inline std::string to_string(std::span<const std::uint8_t> b) {
+  return std::string(b.begin(), b.end());
+}
+
+}  // namespace spire::util

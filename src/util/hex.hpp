@@ -1,0 +1,20 @@
+// Hex encoding/decoding used for logging digests, keys, and packet dumps.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.hpp"
+
+namespace spire::util {
+
+/// Lower-case hex encoding of a byte span.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Decodes a hex string (case-insensitive). Throws SerializationError on
+/// odd length or non-hex characters.
+[[nodiscard]] Bytes from_hex(std::string_view hex);
+
+}  // namespace spire::util

@@ -1,0 +1,41 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+#include <iomanip>
+
+namespace spire::util {
+
+std::string_view to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+LogConfig::LogConfig() {
+  sink = [](const std::string& line) { std::fputs((line + "\n").c_str(), stderr); };
+}
+
+LogConfig& LogConfig::instance() {
+  static LogConfig config;
+  return config;
+}
+
+void Logger::emit(LogLevel level, const std::string& message) const {
+  auto& config = LogConfig::instance();
+  std::ostringstream oss;
+  if (config.time_source) {
+    const std::uint64_t us = config.time_source();
+    oss << std::setw(10) << us / 1000 << '.' << std::setw(3) << std::setfill('0')
+        << us % 1000 << std::setfill(' ') << "ms ";
+  }
+  oss << to_string(level) << ' ' << component_ << ": " << message;
+  config.sink(oss.str());
+}
+
+}  // namespace spire::util

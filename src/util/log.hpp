@@ -1,0 +1,83 @@
+// Minimal structured logger.
+//
+// Components log through a Logger handle tagged with their name (for
+// example "prime.replica3" or "spines.daemon.int5"). The global sink can
+// be redirected (tests capture it, benches silence it) and stamped with
+// simulated time by installing a time source from the simulation kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace spire::util {
+
+enum class LogLevel : int { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+[[nodiscard]] std::string_view to_string(LogLevel level);
+
+/// Process-wide log configuration. Not thread-safe by design: the whole
+/// system is a single-threaded discrete-event simulation.
+class LogConfig {
+ public:
+  static LogConfig& instance();
+
+  LogLevel level = LogLevel::kWarn;
+  /// Receives fully formatted lines. Defaults to stderr.
+  std::function<void(const std::string&)> sink;
+  /// Returns the current time in microseconds (installed by the sim).
+  std::function<std::uint64_t()> time_source;
+
+ private:
+  LogConfig();
+};
+
+/// Lightweight handle; cheap to copy.
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  [[nodiscard]] bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(LogConfig::instance().level);
+  }
+
+  template <typename... Args>
+  void log(LogLevel level, Args&&... args) const {
+    if (!enabled(level)) return;
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    emit(level, oss.str());
+  }
+
+  template <typename... Args>
+  void trace(Args&&... args) const {
+    log(LogLevel::kTrace, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void debug(Args&&... args) const {
+    log(LogLevel::kDebug, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void info(Args&&... args) const {
+    log(LogLevel::kInfo, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void warn(Args&&... args) const {
+    log(LogLevel::kWarn, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void error(Args&&... args) const {
+    log(LogLevel::kError, std::forward<Args>(args)...);
+  }
+
+  [[nodiscard]] const std::string& component() const { return component_; }
+
+ private:
+  void emit(LogLevel level, const std::string& message) const;
+
+  std::string component_;
+};
+
+}  // namespace spire::util

@@ -1,0 +1,286 @@
+// Attack-framework tests: each red-team primitive demonstrably works
+// against an unhardened target and demonstrably fails against the
+// §III-B defense, plus OS-escalation and diversity-exploit models.
+#include <gtest/gtest.h>
+
+#include "attack/attacker.hpp"
+#include "net/network.hpp"
+#include "prime/transport.hpp"
+
+namespace spire::attack {
+namespace {
+
+struct AttackFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Network network{sim};
+  net::Switch* sw = nullptr;
+
+  net::Host& add_host(const std::string& name, std::uint8_t last,
+                      std::uint32_t mac) {
+    net::Host& h = network.add_host(name);
+    h.add_interface(net::MacAddress::from_id(mac),
+                    net::IpAddress::make(10, 7, 0, last), 24);
+    network.connect(h, 0, *sw);
+    return h;
+  }
+
+  void make_switch(bool static_binding) {
+    net::SwitchConfig config;
+    config.static_port_binding = static_binding;
+    sw = &network.add_switch(config);
+  }
+};
+
+TEST_F(AttackFixture, PortScanReachesOpenHostButNotFirewalledHost) {
+  make_switch(false);
+  net::Host& open_host = add_host("open", 1, 1);
+  net::Host& hard_host = add_host("hard", 2, 2);
+  net::Host& attacker_host = add_host("attacker", 66, 66);
+
+  hard_host.firewall().default_deny = true;
+  int open_hits = 0;
+  for (std::uint16_t p = 100; p <= 110; ++p) {
+    open_host.bind_udp(p, [&](const net::Datagram&) { ++open_hits; });
+    hard_host.bind_udp(p, [](const net::Datagram&) { FAIL() << "firewalled"; });
+  }
+
+  Attacker attacker(sim, attacker_host);
+  attacker.port_scan(open_host.ip(), 100, 110);
+  attacker.port_scan(hard_host.ip(), 100, 110);
+  sim.run_until(sim.now() + 1 * sim::kSecond);
+
+  EXPECT_EQ(open_hits, 11);
+  EXPECT_EQ(hard_host.stats().dropped_firewall_in, 11u);
+  EXPECT_EQ(attacker.stats().probes_sent, 22u);
+}
+
+TEST_F(AttackFixture, ArpPoisonRedirectsTrafficOnSoftNetwork) {
+  make_switch(false);
+  net::Host& victim = add_host("victim", 1, 1);
+  net::Host& server = add_host("server", 2, 2);
+  net::Host& attacker_host = add_host("attacker", 66, 66);
+
+  // Victim resolves the server legitimately first.
+  server.bind_udp(500, [](const net::Datagram&) {});
+  victim.send_udp(server.ip(), 500, 600, util::to_bytes("x"));
+  sim.run_until(sim.now() + 100 * sim::kMillisecond);
+  ASSERT_EQ(*victim.arp_lookup(server.ip()), server.mac());
+
+  Attacker attacker(sim, attacker_host);
+  attacker.arp_poison(victim.ip(), victim.mac(), server.ip());
+  sim.run_until(sim.now() + 1 * sim::kSecond);
+  EXPECT_EQ(*victim.arp_lookup(server.ip()), attacker_host.mac());
+
+  // Victim traffic now lands on the attacker.
+  int intercepted = 0;
+  attacker.start_mitm([&](const net::Datagram& d) {
+    ++intercepted;
+    return std::optional<net::Datagram>(d);
+  });
+  victim.send_udp(server.ip(), 500, 600, util::to_bytes("secret"));
+  sim.run_until(sim.now() + 1 * sim::kSecond);
+  EXPECT_EQ(intercepted, 1);
+}
+
+TEST_F(AttackFixture, MitmCanTamperAndForward) {
+  make_switch(false);
+  net::Host& victim = add_host("victim", 1, 1);
+  net::Host& server = add_host("server", 2, 2);
+  net::Host& attacker_host = add_host("attacker", 66, 66);
+
+  std::string server_got;
+  server.bind_udp(500, [&](const net::Datagram& d) {
+    server_got = util::to_string(d.payload);
+  });
+  victim.send_udp(server.ip(), 500, 600, util::to_bytes("warmup"));
+  sim.run_until(sim.now() + 100 * sim::kMillisecond);
+
+  Attacker attacker(sim, attacker_host);
+  // Attacker learns the true server binding, then poisons the victim.
+  attacker_host.send_udp(server.ip(), 500, 601, util::to_bytes("resolve"));
+  sim.run_until(sim.now() + 100 * sim::kMillisecond);
+  attacker.arp_poison(victim.ip(), victim.mac(), server.ip());
+  sim.run_until(sim.now() + 500 * sim::kMillisecond);
+
+  attacker.start_mitm([](const net::Datagram& d) {
+    net::Datagram modified = d;
+    modified.payload = util::to_bytes("TAMPERED");
+    return std::optional<net::Datagram>(std::move(modified));
+  });
+  victim.send_udp(server.ip(), 500, 600, util::to_bytes("original"));
+  sim.run_until(sim.now() + 1 * sim::kSecond);
+  EXPECT_EQ(server_got, "TAMPERED");
+  EXPECT_EQ(attacker.stats().mitm_tampered, 1u);
+}
+
+TEST_F(AttackFixture, StaticDefensesStopPoisonAndSpoof) {
+  make_switch(true);  // static MAC<->port binding
+  net::Host& victim = add_host("victim", 1, 1);
+  net::Host& server = add_host("server", 2, 2);
+  net::Host& attacker_host = add_host("attacker", 66, 66);
+  victim.use_static_arp(true);
+  victim.add_arp_entry(server.ip(), server.mac());
+  server.use_static_arp(true);
+  server.add_arp_entry(victim.ip(), victim.mac());
+
+  Attacker attacker(sim, attacker_host);
+  attacker.arp_poison(victim.ip(), victim.mac(), server.ip());
+  sim.run_until(sim.now() + 1 * sim::kSecond);
+  EXPECT_EQ(*victim.arp_lookup(server.ip()), server.mac());  // unchanged
+
+  int delivered = 0;
+  server.bind_udp(500, [&](const net::Datagram&) { ++delivered; });
+  attacker.ip_spoof_burst(victim.ip(), victim.mac(), server.ip(), server.mac(),
+                          500, 10);
+  sim.run_until(sim.now() + 1 * sim::kSecond);
+  EXPECT_EQ(delivered, 0);  // switch dropped frames with victim's MAC
+  EXPECT_GE(sw->stats().frames_dropped_binding, 10u);
+}
+
+TEST_F(AttackFixture, SpoofedFramesDeliverOnLearningSwitch) {
+  make_switch(false);
+  net::Host& victim = add_host("victim", 1, 1);
+  net::Host& server = add_host("server", 2, 2);
+  net::Host& attacker_host = add_host("attacker", 66, 66);
+
+  int delivered = 0;
+  server.bind_udp(500, [&](const net::Datagram& d) {
+    if (d.src_ip == victim.ip()) ++delivered;  // looks like the victim
+  });
+  Attacker attacker(sim, attacker_host);
+  attacker.ip_spoof_burst(victim.ip(), victim.mac(), server.ip(), server.mac(),
+                          500, 10);
+  sim.run_until(sim.now() + 1 * sim::kSecond);
+  EXPECT_EQ(delivered, 10);
+}
+
+TEST_F(AttackFixture, DosFloodCausesLossOnSlowLink) {
+  net::SwitchConfig config;
+  config.bytes_per_us = 5.0;  // slow link: floods bite
+  config.egress_queue_frames = 32;
+  sw = &network.add_switch(config);
+  net::Host& server = add_host("server", 1, 1);
+  net::Host& attacker_host = add_host("attacker", 66, 66);
+
+  int delivered = 0;
+  server.bind_udp(500, [&](const net::Datagram&) { ++delivered; });
+  Attacker attacker(sim, attacker_host);
+  attacker.dos_flood(server.ip(), server.mac(), 500, 5000,
+                     1 * sim::kSecond, 1200);
+  sim.run_until(sim.now() + 3 * sim::kSecond);
+  EXPECT_GT(attacker.stats().dos_frames_sent, 1000u);
+  EXPECT_GT(sw->stats().frames_dropped_queue, 0u);
+  EXPECT_LT(static_cast<std::uint64_t>(delivered),
+            attacker.stats().dos_frames_sent);
+}
+
+TEST_F(AttackFixture, PlcTakeoverChain) {
+  make_switch(false);
+  net::Host& plc_host = add_host("plc", 10, 10);
+  net::Host& attacker_host = add_host("attacker", 66, 66);
+  plc::Plc device(sim, plc_host, "plc-phys",
+                  {{"B1", false, 40 * sim::kMillisecond},
+                   {"B2", false, 40 * sim::kMillisecond}},
+                  sim::Rng(3));
+
+  Attacker attacker(sim, attacker_host);
+  std::optional<plc::PlcConfig> dumped;
+  attacker.plc_dump_config(plc_host.ip(),
+                           [&](std::optional<plc::PlcConfig> c) { dumped = c; });
+  sim.run_until(sim.now() + 1 * sim::kSecond);
+  ASSERT_TRUE(dumped.has_value());
+
+  plc::PlcConfig evil = *dumped;
+  evil.direct_control_enabled = true;
+  attacker.plc_upload_config(plc_host.ip(), dumped->maintenance_password, evil);
+  sim.run_until(sim.now() + 500 * sim::kMillisecond);
+  EXPECT_TRUE(device.config_tampered());
+
+  attacker.plc_direct_write(plc_host.ip(), 1, true);
+  sim.run_until(sim.now() + 500 * sim::kMillisecond);
+  EXPECT_TRUE(device.breakers().closed(1));
+}
+
+TEST_F(AttackFixture, PlcBehindCableIsUnreachable) {
+  make_switch(false);
+  net::Host& attacker_host = add_host("attacker", 66, 66);
+
+  // PLC on a direct cable to its proxy — not on the switch at all.
+  net::Host& proxy_host = add_host("proxy", 20, 20);
+  proxy_host.add_interface(net::MacAddress::from_id(21),
+                           net::IpAddress::make(10, 8, 0, 1), 30);
+  net::Host& plc_host = network.add_host("plc");
+  plc_host.add_interface(net::MacAddress::from_id(22),
+                         net::IpAddress::make(10, 8, 0, 2), 30);
+  network.cable(proxy_host, 1, plc_host, 0);
+  plc::Plc device(sim, plc_host, "plc-phys",
+                  {{"B1", false, 40 * sim::kMillisecond}}, sim::Rng(3));
+
+  Attacker attacker(sim, attacker_host);
+  std::optional<plc::PlcConfig> dumped;
+  bool callback_fired = false;
+  attacker.plc_dump_config(plc_host.ip(), [&](std::optional<plc::PlcConfig> c) {
+    callback_fired = true;
+    dumped = c;
+  });
+  sim.run_until(sim.now() + 2 * sim::kSecond);
+  EXPECT_TRUE(callback_fired);
+  EXPECT_FALSE(dumped.has_value());  // timed out: no route to the cable
+  EXPECT_EQ(device.stats().config_dumps, 0u);
+}
+
+TEST(Escalation, PatchedOsBlocksKnownExploits) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  net::Host& soft = network.add_host("soft");
+  soft.os() = net::OsProfile::default_ubuntu();
+  EXPECT_EQ(try_privilege_escalation(soft),
+            EscalationResult::kRootViaKernelExploit);
+
+  net::Host& kernel_only = network.add_host("kernel-patched");
+  kernel_only.os().patched_kernel = true;
+  EXPECT_EQ(try_privilege_escalation(kernel_only),
+            EscalationResult::kRootViaSshd);
+
+  net::Host& hard = network.add_host("hard");
+  hard.os() = net::OsProfile::hardened_centos();
+  EXPECT_EQ(try_privilege_escalation(hard), EscalationResult::kFailedPatchedOs);
+}
+
+TEST(DiversityExploit, OnlyWorksAgainstTargetVariant) {
+  sim::Simulator sim;
+  crypto::Keyring keyring("x");
+  prime::PrimeConfig config;
+  config.f = 1;
+  prime::LoopbackFabric fabric(sim, config.n());
+
+  class NullApp : public prime::Application {
+    void apply(const prime::ClientUpdate&, const prime::ExecutionInfo&) override {}
+    [[nodiscard]] util::Bytes snapshot() const override { return {}; }
+    void restore(std::span<const std::uint8_t>) override {}
+  };
+  NullApp app;
+  sim::Rng rng(1);
+  prime::Replica r0(sim, 0, config, keyring, app, fabric.transport_for(0),
+                    rng.fork());
+  prime::Replica r1(sim, 1, config, keyring, app, fabric.transport_for(1),
+                    rng.fork());
+  r0.start();
+  r1.start();
+
+  // An exploit crafted against r0's variant compromises r0 but not r1.
+  const Exploit exploit = craft_exploit_against(r0);
+  EXPECT_TRUE(apply_exploit(r0, exploit, prime::ReplicaBehavior::kCrashed));
+  EXPECT_FALSE(apply_exploit(r1, exploit, prime::ReplicaBehavior::kCrashed));
+  EXPECT_EQ(r0.behavior(), prime::ReplicaBehavior::kCrashed);
+  EXPECT_EQ(r1.behavior(), prime::ReplicaBehavior::kCorrect);
+
+  // Proactive recovery rotates the variant: the same exploit now fails
+  // against the recovered r0 too.
+  r0.recover();
+  EXPECT_FALSE(apply_exploit(r0, exploit, prime::ReplicaBehavior::kCrashed));
+  EXPECT_EQ(r0.behavior(), prime::ReplicaBehavior::kCorrect);
+}
+
+}  // namespace
+}  // namespace spire::attack

@@ -1,0 +1,242 @@
+// Crypto validation: SHA-256 against FIPS/NIST vectors, HMAC-SHA256
+// against RFC 4231, ChaCha20 against RFC 8439, plus the keyring,
+// authenticator, and sealed-channel behaviour the overlay depends on.
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/keyring.hpp"
+#include "crypto/sha256.hpp"
+#include "util/hex.hpp"
+
+namespace spire::crypto {
+namespace {
+
+using spire::util::Bytes;
+using spire::util::from_hex;
+using spire::util::to_hex;
+
+std::string digest_hex(const Digest& d) {
+  return to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+// ---- SHA-256 (FIPS 180-4 / NIST CAVP vectors) -------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(sha256("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(sha256("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(sha256(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk);
+  EXPECT_EQ(digest_hex(ctx.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog and "
+                          "keeps going for more than one block of input data";
+  for (std::size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 ctx;
+    ctx.update(std::string_view(msg).substr(0, split));
+    ctx.update(std::string_view(msg).substr(split));
+    EXPECT_EQ(ctx.finish(), sha256(msg)) << "split at " << split;
+  }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+  // 55/56/63/64/65 bytes straddle the padding edge cases.
+  for (const std::size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u}) {
+    const std::string msg(len, 'x');
+    Sha256 ctx;
+    ctx.update(msg);
+    EXPECT_EQ(ctx.finish(), sha256(msg)) << "len " << len;
+  }
+}
+
+// ---- HMAC-SHA256 (RFC 4231) --------------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  const Bytes data = util::to_bytes("Hi There");
+  EXPECT_EQ(digest_hex(hmac_sha256(key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  const Bytes key = util::to_bytes("Jefe");
+  const Bytes data = util::to_bytes("what do ya want for nothing?");
+  EXPECT_EQ(digest_hex(hmac_sha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(digest_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, Rfc4231Case6LongKey) {
+  const Bytes key(131, 0xaa);
+  const Bytes data =
+      util::to_bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(digest_hex(hmac_sha256(key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, DigestEqualIsConstantTimeStyle) {
+  Digest a{}, b{};
+  EXPECT_TRUE(digest_equal(a, b));
+  b[31] = 1;
+  EXPECT_FALSE(digest_equal(a, b));
+}
+
+// ---- ChaCha20 (RFC 8439 §2.3.2 / §2.4.2) --------------------------------------
+
+TEST(ChaCha20, Rfc8439BlockVector) {
+  ChaChaKey key{};
+  for (std::uint8_t i = 0; i < 32; ++i) key[i] = i;
+  ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x09, 0x00, 0x00,
+                       0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const auto block = chacha20_block(key, 1, nonce);
+  const Bytes expected = from_hex(
+      "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+      "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+  EXPECT_EQ(Bytes(block.begin(), block.end()), expected);
+}
+
+TEST(ChaCha20, Rfc8439EncryptionVector) {
+  ChaChaKey key{};
+  for (std::uint8_t i = 0; i < 32; ++i) key[i] = i;
+  ChaChaNonce nonce = {0x00, 0x00, 0x00, 0x00, 0x00, 0x00,
+                       0x00, 0x4a, 0x00, 0x00, 0x00, 0x00};
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  const auto ciphertext =
+      chacha20_xor(key, nonce, 1, util::to_bytes(plaintext));
+  EXPECT_EQ(to_hex(ciphertext),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d");
+}
+
+TEST(ChaCha20, XorIsItsOwnInverse) {
+  ChaChaKey key{};
+  key[0] = 0x42;
+  ChaChaNonce nonce{};
+  const Bytes msg = util::to_bytes("attack at dawn, breaker B57");
+  const auto ct = chacha20_xor(key, nonce, 7, msg);
+  EXPECT_NE(ct, msg);
+  EXPECT_EQ(chacha20_xor(key, nonce, 7, ct), msg);
+}
+
+// ---- keyring / authenticators --------------------------------------------------
+
+TEST(Keyring, DerivationIsDeterministicAndDomainSeparated) {
+  Keyring kr("seed");
+  EXPECT_EQ(kr.identity_key("prime/0"), Keyring("seed").identity_key("prime/0"));
+  EXPECT_NE(kr.identity_key("prime/0"), kr.identity_key("prime/1"));
+  EXPECT_NE(kr.identity_key("prime/0"), Keyring("other").identity_key("prime/0"));
+  EXPECT_NE(kr.identity_key("x"), kr.derive("x"));
+}
+
+TEST(Keyring, LinkKeysAreSymmetric) {
+  Keyring kr("seed");
+  EXPECT_EQ(kr.link_key("int0", "int1"), kr.link_key("int1", "int0"));
+  EXPECT_NE(kr.link_key("int0", "int1"), kr.link_key("int0", "int2"));
+}
+
+TEST(SignerVerifier, AcceptsGenuineRejectsForged) {
+  Keyring kr("seed");
+  Signer alice("alice", kr.identity_key("alice"));
+  Verifier verifier;
+  verifier.add_identity("alice", kr.identity_key("alice"));
+  verifier.add_identity("bob", kr.identity_key("bob"));
+
+  const Bytes msg = util::to_bytes("open breaker B57");
+  const Signature sig = alice.sign(msg);
+  EXPECT_TRUE(verifier.verify("alice", msg, sig));
+  EXPECT_FALSE(verifier.verify("bob", msg, sig));     // wrong claimed identity
+  EXPECT_FALSE(verifier.verify("carol", msg, sig));   // unknown identity
+
+  Bytes tampered = msg;
+  tampered[0] ^= 1;
+  EXPECT_FALSE(verifier.verify("alice", tampered, sig));
+}
+
+TEST(SecureChannel, RoundTrip) {
+  Keyring kr("seed");
+  SecureChannel sender(kr.link_key("a", "b"));
+  SecureChannel receiver(kr.link_key("a", "b"));
+  const Bytes msg = util::to_bytes("hello spines");
+  const auto sealed = sender.seal(msg);
+  EXPECT_EQ(sealed.size(), msg.size() + SecureChannel::kOverhead);
+  const auto opened = receiver.open(sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, msg);
+}
+
+TEST(SecureChannel, DetectsTampering) {
+  Keyring kr("seed");
+  SecureChannel channel(kr.link_key("a", "b"));
+  auto sealed = channel.seal(util::to_bytes("payload"));
+  sealed[sealed.size() / 2] ^= 0xFF;
+  EXPECT_FALSE(channel.open(sealed).has_value());
+}
+
+TEST(SecureChannel, RejectsTruncation) {
+  Keyring kr("seed");
+  SecureChannel channel(kr.link_key("a", "b"));
+  const auto sealed = channel.seal(util::to_bytes("payload"));
+  const std::span<const std::uint8_t> prefix(sealed.data(), 10);
+  EXPECT_FALSE(channel.open(prefix).has_value());
+}
+
+TEST(SecureChannel, WrongKeyCannotOpen) {
+  Keyring kr("seed");
+  SecureChannel good(kr.link_key("a", "b"));
+  SecureChannel bad(kr.link_key("a", "c"));
+  const auto sealed = good.seal(util::to_bytes("payload"));
+  EXPECT_FALSE(bad.open(sealed).has_value());
+}
+
+TEST(SecureChannel, CiphertextHidesPlaintextAndVaries) {
+  Keyring kr("seed");
+  SecureChannel channel(kr.link_key("a", "b"));
+  const Bytes msg = util::to_bytes("SECRET-BREAKER-COMMAND");
+  const auto sealed1 = channel.seal(msg);
+  const auto sealed2 = channel.seal(msg);
+  // Different nonces => different ciphertexts for the same plaintext.
+  EXPECT_NE(sealed1, sealed2);
+  // Plaintext must not appear in the ciphertext.
+  const std::string hay(sealed1.begin(), sealed1.end());
+  EXPECT_EQ(hay.find("SECRET"), std::string::npos);
+}
+
+TEST(SecureChannel, EmptyPayload) {
+  Keyring kr("seed");
+  SecureChannel channel(kr.link_key("a", "b"));
+  const auto sealed = channel.seal({});
+  const auto opened = channel.open(sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_TRUE(opened->empty());
+}
+
+}  // namespace
+}  // namespace spire::crypto

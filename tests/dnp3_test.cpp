@@ -1,0 +1,301 @@
+// DNP3 tests: CRC-DNP against the published check value, link-layer
+// framing with per-block CRCs and corruption detection, application
+// object codecs, outstation semantics (class-0 poll, CROB operates,
+// IIN bits), the async master, and the full RTU device over the
+// emulated network.
+#include <gtest/gtest.h>
+
+#include "dnp3/crc.hpp"
+#include "dnp3/endpoint.hpp"
+#include "net/network.hpp"
+#include "plc/rtu.hpp"
+
+namespace spire::dnp3 {
+namespace {
+
+TEST(CrcDnp, MatchesPublishedCheckValue) {
+  // CRC catalog entry CRC-16/DNP: poly 0x3D65, refin/refout, xorout
+  // 0xFFFF, check("123456789") = 0xEA82.
+  const util::Bytes data = util::to_bytes("123456789");
+  EXPECT_EQ(crc_dnp_wire(data), 0xEA82);
+}
+
+TEST(CrcDnp, DetectsBitFlips) {
+  util::Bytes data = util::to_bytes("supervisory control");
+  const std::uint16_t original = crc_dnp_wire(data);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] ^= 0x10;
+    EXPECT_NE(crc_dnp_wire(data), original) << "flip at " << i;
+    data[i] ^= 0x10;
+  }
+}
+
+TEST(LinkFrame, RoundTripsShortAndMultiBlockPayloads) {
+  for (const std::size_t size : {0u, 1u, 15u, 16u, 17u, 40u, 100u}) {
+    LinkFrame frame;
+    frame.destination = 10;
+    frame.source = 1;
+    frame.user_data.assign(size, 0xAB);
+    for (std::size_t i = 0; i < size; ++i) {
+      frame.user_data[i] = static_cast<std::uint8_t>(i);
+    }
+    const auto decoded = LinkFrame::decode(frame.encode());
+    ASSERT_TRUE(decoded.has_value()) << "size " << size;
+    EXPECT_EQ(decoded->destination, 10);
+    EXPECT_EQ(decoded->source, 1);
+    EXPECT_EQ(decoded->user_data, frame.user_data);
+  }
+}
+
+TEST(LinkFrame, RejectsCorruption) {
+  LinkFrame frame;
+  frame.destination = 10;
+  frame.source = 1;
+  frame.user_data.assign(20, 0x55);
+  auto bytes = frame.encode();
+
+  // Header corruption.
+  auto bad = bytes;
+  bad[4] ^= 1;  // destination byte
+  EXPECT_FALSE(LinkFrame::decode(bad).has_value());
+  // Data-block corruption.
+  bad = bytes;
+  bad[12] ^= 1;
+  EXPECT_FALSE(LinkFrame::decode(bad).has_value());
+  // Truncation, bad magic, garbage.
+  EXPECT_FALSE(LinkFrame::decode(std::span<const std::uint8_t>(bytes.data(), 9))
+                   .has_value());
+  bad = bytes;
+  bad[0] = 0x99;
+  EXPECT_FALSE(LinkFrame::decode(bad).has_value());
+  EXPECT_FALSE(LinkFrame::decode(util::to_bytes("garbage!")).has_value());
+}
+
+TEST(Transport, HeaderBits) {
+  const TransportHeader h{true, false, 42};
+  const auto decoded = TransportHeader::decode(h.encode());
+  EXPECT_TRUE(decoded.fin);
+  EXPECT_FALSE(decoded.fir);
+  EXPECT_EQ(decoded.sequence, 42);
+}
+
+TEST(AppLayer, Class0RequestRoundTrip) {
+  AppRequest request;
+  request.function = AppFunction::kRead;
+  request.class0_poll = true;
+  request.control.sequence = 7;
+  const auto decoded = AppRequest::decode(request.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->class0_poll);
+  EXPECT_EQ(decoded->control.sequence, 7);
+}
+
+TEST(AppLayer, CrobRequestRoundTrip) {
+  AppRequest request;
+  request.function = AppFunction::kDirectOperate;
+  Crob crob;
+  crob.index = 2;
+  crob.code = ControlCode::kLatchOff;
+  crob.on_time_ms = 100;
+  request.crob = crob;
+  const auto decoded = AppRequest::decode(request.encode());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(decoded->crob.has_value());
+  EXPECT_EQ(decoded->crob->index, 2);
+  EXPECT_EQ(decoded->crob->code, ControlCode::kLatchOff);
+  EXPECT_EQ(decoded->crob->on_time_ms, 100u);
+}
+
+TEST(AppLayer, ResponseRoundTripAllObjectTypes) {
+  AppResponse response;
+  response.control.sequence = 3;
+  response.iin.device_restart = true;
+  response.binary_inputs = {{true, true}, {false, true}, {true, false}};
+  response.binary_output_status = {{false, true}, {true, true}};
+  response.analog_inputs = {{4800, true}, {-12, true}};
+  const auto decoded = AppResponse::decode(response.encode());
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(decoded->iin.device_restart);
+  ASSERT_EQ(decoded->binary_inputs.size(), 3u);
+  EXPECT_TRUE(decoded->binary_inputs[0].state);
+  EXPECT_FALSE(decoded->binary_inputs[2].online);
+  ASSERT_EQ(decoded->analog_inputs.size(), 2u);
+  EXPECT_EQ(decoded->analog_inputs[1].value, -12);
+}
+
+TEST(AppLayer, RejectsMalformedFragments) {
+  EXPECT_FALSE(AppRequest::decode(util::Bytes{}).has_value());
+  EXPECT_FALSE(AppRequest::decode(util::to_bytes("zz")).has_value());
+  EXPECT_FALSE(AppResponse::decode(util::to_bytes("junk data")).has_value());
+}
+
+struct OutstationFixture : ::testing::Test {
+  PointDatabase points;
+  std::vector<std::pair<std::uint16_t, bool>> operations;
+  std::unique_ptr<Outstation> outstation;
+
+  void SetUp() override {
+    points.binary_inputs = {{true, true}, {false, true}};
+    points.binary_output_status = {{true, true}, {false, true}};
+    points.analog_inputs = {{4801, true}, {3, true}};
+    outstation = std::make_unique<Outstation>(
+        4, points, [this](std::uint16_t index, bool close) -> std::uint8_t {
+          if (index >= 2) return 4;
+          operations.emplace_back(index, close);
+          return 0;
+        });
+  }
+
+  std::optional<AppResponse> exchange(const AppRequest& request) {
+    const auto wire = wrap_fragment(4, 100, 1, request.encode(), true);
+    const auto response_wire = outstation->handle(wire);
+    if (!response_wire) return std::nullopt;
+    const auto unwrapped = unwrap_fragment(*response_wire);
+    if (!unwrapped) return std::nullopt;
+    EXPECT_EQ(unwrapped->frame.destination, 100);  // back to the master
+    EXPECT_EQ(unwrapped->frame.source, 4);
+    return AppResponse::decode(unwrapped->app_fragment);
+  }
+};
+
+TEST_F(OutstationFixture, Class0PollReturnsWholeDatabase) {
+  AppRequest request;
+  request.function = AppFunction::kRead;
+  request.class0_poll = true;
+  const auto response = exchange(request);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_EQ(response->binary_inputs.size(), 2u);
+  EXPECT_TRUE(response->binary_inputs[0].state);
+  EXPECT_EQ(response->analog_inputs[0].value, 4801);
+  // First response after (re)start carries IIN1.7.
+  EXPECT_TRUE(response->iin.device_restart);
+  const auto second = exchange(request);
+  EXPECT_FALSE(second->iin.device_restart);
+}
+
+TEST_F(OutstationFixture, DirectOperateExecutesAndEchoesStatus) {
+  AppRequest request;
+  request.function = AppFunction::kDirectOperate;
+  request.crob = Crob{1, ControlCode::kLatchOn, 1, 0, 0, 0};
+  const auto response = exchange(request);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_TRUE(response->crob_echo.has_value());
+  EXPECT_EQ(response->crob_echo->status, 0);
+  ASSERT_EQ(operations.size(), 1u);
+  EXPECT_EQ(operations[0], (std::pair<std::uint16_t, bool>{1, true}));
+}
+
+TEST_F(OutstationFixture, OperateOnBadIndexReportsNotSupported) {
+  AppRequest request;
+  request.function = AppFunction::kDirectOperate;
+  request.crob = Crob{9, ControlCode::kLatchOn, 1, 0, 0, 0};
+  const auto response = exchange(request);
+  ASSERT_TRUE(response.has_value());
+  ASSERT_TRUE(response->crob_echo.has_value());
+  EXPECT_EQ(response->crob_echo->status, 4);
+  EXPECT_TRUE(operations.empty());
+}
+
+TEST_F(OutstationFixture, WrongAddressIsIgnored) {
+  AppRequest request;
+  request.function = AppFunction::kRead;
+  request.class0_poll = true;
+  const auto wire = wrap_fragment(99, 100, 1, request.encode(), true);
+  EXPECT_FALSE(outstation->handle(wire).has_value());
+}
+
+TEST(MasterOutstation, PollAndOperateOverLoopback) {
+  sim::Simulator sim;
+  PointDatabase points;
+  points.binary_inputs = {{false, true}};
+  points.binary_output_status = {{false, true}};
+  points.analog_inputs = {{7, true}};
+  int operated = -1;
+  Outstation outstation(4, points, [&](std::uint16_t index, bool close) {
+    operated = close ? static_cast<int>(index) : -2;
+    return static_cast<std::uint8_t>(0);
+  });
+
+  std::unique_ptr<Master> master;
+  master = std::make_unique<Master>(
+      sim, "m", 100, 4, [&](const util::Bytes& wire) {
+        if (const auto response = outstation.handle(wire)) {
+          sim.schedule_after(100, [&master, response] {
+            master->on_data(*response);
+          });
+        }
+      });
+
+  std::optional<AppResponse> polled;
+  master->integrity_poll([&](std::optional<AppResponse> r) { polled = r; });
+  sim.run();
+  ASSERT_TRUE(polled.has_value());
+  EXPECT_EQ(polled->analog_inputs[0].value, 7);
+
+  std::optional<AppResponse> op_resp;
+  master->direct_operate(0, true, [&](std::optional<AppResponse> r) {
+    op_resp = r;
+  });
+  sim.run();
+  ASSERT_TRUE(op_resp.has_value());
+  EXPECT_EQ(operated, 0);
+  EXPECT_EQ(master->timeouts(), 0u);
+}
+
+TEST(MasterTimeout, FiresWhenOutstationSilent) {
+  sim::Simulator sim;
+  Master master(sim, "m", 100, 4, [](const util::Bytes&) {});
+  bool timed_out = false;
+  master.integrity_poll(
+      [&](std::optional<AppResponse> r) { timed_out = !r.has_value(); },
+      50 * sim::kMillisecond);
+  sim.run();
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(master.timeouts(), 1u);
+}
+
+TEST(RtuDevice, ServesPollsAndOperatesOverNetwork) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  auto& sw = network.add_switch(net::SwitchConfig{});
+  net::Host& rtu_host = network.add_host("rtu");
+  rtu_host.add_interface(net::MacAddress::from_id(1),
+                         net::IpAddress::make(10, 0, 0, 2), 24);
+  network.connect(rtu_host, 0, sw);
+  net::Host& master_host = network.add_host("master");
+  master_host.add_interface(net::MacAddress::from_id(2),
+                            net::IpAddress::make(10, 0, 0, 1), 24);
+  network.connect(master_host, 0, sw);
+
+  plc::Rtu rtu(sim, rtu_host, "gen0",
+               {{"G0-0", false, 40 * sim::kMillisecond},
+                {"G0-1", true, 40 * sim::kMillisecond}},
+               sim::Rng(3));
+
+  Master master(sim, "m", 100, 1, [&](const util::Bytes& wire) {
+    master_host.send_udp(rtu_host.ip(), kDnp3Port, 30000, wire);
+  });
+  master_host.bind_udp(30000, [&](const net::Datagram& d) {
+    master.on_data(d.payload);
+  });
+
+  sim.run_until(200 * sim::kMillisecond);  // let a few scans run
+
+  std::optional<AppResponse> polled;
+  master.integrity_poll([&](std::optional<AppResponse> r) { polled = r; });
+  sim.run_until(sim.now() + 300 * sim::kMillisecond);
+  ASSERT_TRUE(polled.has_value());
+  ASSERT_EQ(polled->binary_inputs.size(), 2u);
+  EXPECT_FALSE(polled->binary_inputs[0].state);
+  EXPECT_TRUE(polled->binary_inputs[1].state);
+  EXPECT_GT(polled->analog_inputs[1].value, 4000);  // closed => ~480 A
+
+  // CROB: close breaker 0, then confirm by re-poll.
+  master.direct_operate(0, true, [](std::optional<AppResponse>) {});
+  sim.run_until(sim.now() + 300 * sim::kMillisecond);
+  EXPECT_TRUE(rtu.breakers().closed(0));
+  EXPECT_EQ(rtu.stats().operates_accepted, 1u);
+}
+
+}  // namespace
+}  // namespace spire::dnp3

@@ -1,0 +1,223 @@
+// MANA IDS tests: feature extraction, k-means, anomaly thresholding,
+// and the specialised detectors (ARP watch, port scan, flood) on
+// synthetic captures.
+#include <gtest/gtest.h>
+
+#include "mana/mana.hpp"
+#include "sim/rng.hpp"
+
+namespace spire::mana {
+namespace {
+
+net::PcapRecord data_frame(sim::Time t, std::uint32_t src_id,
+                           std::uint32_t dst_id, std::uint16_t dst_port,
+                           std::size_t payload = 200) {
+  net::Datagram d;
+  d.src_ip = net::IpAddress{0x0A000000u + src_id};
+  d.dst_ip = net::IpAddress{0x0A000000u + dst_id};
+  d.src_port = 5000;
+  d.dst_port = dst_port;
+  d.payload.assign(payload, 0xAB);
+  net::EthernetFrame frame{net::MacAddress::from_id(src_id),
+                           net::MacAddress::from_id(dst_id),
+                           net::EtherType::kIpv4, d.encode()};
+  return net::PcapRecord{t, "test", std::move(frame)};
+}
+
+net::PcapRecord arp_frame(sim::Time t, std::uint32_t claimed_ip_id,
+                          std::uint32_t mac_id, net::ArpOp op) {
+  net::ArpPacket arp;
+  arp.op = op;
+  arp.sender_ip = net::IpAddress{0x0A000000u + claimed_ip_id};
+  arp.sender_mac = net::MacAddress::from_id(mac_id);
+  // Requests broadcast; replies are unicast, as on a real LAN.
+  const net::MacAddress dst = op == net::ArpOp::kRequest
+                                  ? net::MacAddress::broadcast()
+                                  : net::MacAddress::from_id(1);
+  net::EthernetFrame frame{net::MacAddress::from_id(mac_id), dst,
+                           net::EtherType::kArp, arp.encode()};
+  return net::PcapRecord{t, "test", std::move(frame)};
+}
+
+/// SCADA-like baseline: two devices polled regularly plus ARP churn.
+void feed_baseline(Mana& mana, sim::Time from, sim::Time until,
+                   sim::Rng& rng) {
+  for (sim::Time t = from; t < until; t += 50 * sim::kMillisecond) {
+    mana.on_capture(data_frame(t, 1, 2, 502, 60 + rng.uniform(0, 20)));
+    mana.on_capture(data_frame(t + 5 * sim::kMillisecond, 2, 1, 5000,
+                               80 + rng.uniform(0, 20)));
+  }
+}
+
+TEST(Features, WindowsAggregateAndReset) {
+  std::vector<WindowFeatures> windows;
+  FeatureExtractor extractor(1 * sim::kSecond,
+                             [&](const WindowFeatures& w) { windows.push_back(w); });
+  extractor.ingest(data_frame(100 * sim::kMillisecond, 1, 2, 502));
+  extractor.ingest(data_frame(200 * sim::kMillisecond, 1, 2, 502));
+  extractor.ingest(data_frame(1500 * sim::kMillisecond, 1, 2, 502));
+  extractor.flush_until(3 * sim::kSecond);
+
+  // Quiet networks still emit (empty) windows, so MANA can score them.
+  ASSERT_EQ(windows.size(), 3u);
+  EXPECT_EQ(windows[0].values[0], 2.0);  // frames in first window
+  EXPECT_EQ(windows[1].values[0], 1.0);
+  EXPECT_EQ(windows[2].values[0], 0.0);  // empty trailing window
+  EXPECT_EQ(windows[0].values.size(), WindowFeatures::kDim);
+}
+
+TEST(Features, CountsArpAndBroadcast) {
+  std::vector<WindowFeatures> windows;
+  FeatureExtractor extractor(1 * sim::kSecond,
+                             [&](const WindowFeatures& w) { windows.push_back(w); });
+  extractor.ingest(arp_frame(10, 1, 1, net::ArpOp::kRequest));
+  extractor.ingest(arp_frame(20, 2, 2, net::ArpOp::kReply));
+  extractor.ingest(arp_frame(30, 3, 3, net::ArpOp::kRequest));
+  extractor.flush_until(2 * sim::kSecond);
+  ASSERT_EQ(windows.size(), 2u);  // the ARP window + one empty window
+  EXPECT_EQ(windows[0].values[4], 2.0);  // arp requests
+  EXPECT_EQ(windows[0].values[5], 1.0);  // arp replies
+  EXPECT_EQ(windows[0].values[6], 2.0);  // broadcasts (requests)
+}
+
+TEST(KMeans, SeparatesObviousClusters) {
+  sim::Rng rng(5);
+  std::vector<std::vector<double>> points;
+  for (int i = 0; i < 50; ++i) {
+    points.push_back({rng.normal(0, 0.1), rng.normal(0, 0.1)});
+    points.push_back({rng.normal(10, 0.1), rng.normal(10, 0.1)});
+  }
+  const auto model = kmeans_fit(points, 2, rng);
+  ASSERT_EQ(model.centroids.size(), 2u);
+  const double d0 = model.nearest_distance({0, 0});
+  const double d10 = model.nearest_distance({10, 10});
+  EXPECT_LT(d0, 1.0);
+  EXPECT_LT(d10, 1.0);
+  EXPECT_GT(model.nearest_distance({5, 5}), 3.0);
+}
+
+TEST(KMeans, HandlesFewerPointsThanClusters) {
+  sim::Rng rng(5);
+  const std::vector<std::vector<double>> points = {{1, 1}, {2, 2}};
+  const auto model = kmeans_fit(points, 8, rng);
+  EXPECT_LE(model.centroids.size(), 2u);
+  EXPECT_THROW(kmeans_fit({}, 2, rng), std::invalid_argument);
+}
+
+TEST(Mana, QuietOnBaselineTraffic) {
+  ManaConfig config;
+  config.network = "ops";
+  Mana mana(config);
+  sim::Rng rng(1);
+  feed_baseline(mana, 0, 30 * sim::kSecond, rng);
+  mana.flush_until(30 * sim::kSecond);
+  mana.finish_training();
+
+  feed_baseline(mana, 30 * sim::kSecond, 60 * sim::kSecond, rng);
+  mana.flush_until(60 * sim::kSecond);
+  EXPECT_GT(mana.windows_scored(), 20u);
+  // Near-zero false positives on in-distribution traffic.
+  EXPECT_LE(mana.windows_anomalous(), mana.windows_scored() / 10);
+  EXPECT_TRUE(mana.alerts().empty());
+}
+
+TEST(Mana, DetectsPortScan) {
+  ManaConfig config;
+  config.network = "ops";
+  Mana mana(config);
+  sim::Rng rng(1);
+  feed_baseline(mana, 0, 30 * sim::kSecond, rng);
+  mana.flush_until(30 * sim::kSecond);
+  mana.finish_training();
+
+  // Attacker sweeps 100 ports within one window.
+  const sim::Time t0 = 31 * sim::kSecond;
+  for (std::uint16_t p = 0; p < 100; ++p) {
+    mana.on_capture(data_frame(t0 + p * 100, 66, 2, 8000 + p, 10));
+  }
+  feed_baseline(mana, 31 * sim::kSecond, 35 * sim::kSecond, rng);
+  mana.flush_until(35 * sim::kSecond);
+
+  bool port_scan_alert = false;
+  for (const auto& alert : mana.alerts()) {
+    if (alert.kind == AlertKind::kPortScan) port_scan_alert = true;
+  }
+  EXPECT_TRUE(port_scan_alert);
+}
+
+TEST(Mana, DetectsArpBindingChange) {
+  ManaConfig config;
+  config.network = "ops";
+  Mana mana(config);
+  sim::Rng rng(1);
+  // Baseline includes legitimate ARP from host 1 (mac 1) and 2 (mac 2).
+  mana.on_capture(arp_frame(100, 1, 1, net::ArpOp::kReply));
+  mana.on_capture(arp_frame(200, 2, 2, net::ArpOp::kReply));
+  feed_baseline(mana, 0, 30 * sim::kSecond, rng);
+  mana.flush_until(30 * sim::kSecond);
+  mana.finish_training();
+
+  // Attacker (mac 66) claims host 2's IP: classic poisoning.
+  mana.on_capture(arp_frame(31 * sim::kSecond, 2, 66, net::ArpOp::kReply));
+  bool arp_alert = false;
+  for (const auto& alert : mana.alerts()) {
+    if (alert.kind == AlertKind::kArpBindingChange) arp_alert = true;
+  }
+  EXPECT_TRUE(arp_alert);
+}
+
+TEST(Mana, DetectsTrafficFlood) {
+  ManaConfig config;
+  config.network = "ops";
+  Mana mana(config);
+  sim::Rng rng(1);
+  feed_baseline(mana, 0, 30 * sim::kSecond, rng);
+  mana.flush_until(30 * sim::kSecond);
+  mana.finish_training();
+
+  const sim::Time t0 = 31 * sim::kSecond;
+  for (int i = 0; i < 2000; ++i) {
+    mana.on_capture(data_frame(t0 + i * 400, 66, 2, 502, 1000));
+  }
+  mana.flush_until(34 * sim::kSecond);
+
+  bool flood_alert = false;
+  bool anomaly_alert = false;
+  for (const auto& alert : mana.alerts()) {
+    if (alert.kind == AlertKind::kTrafficFlood) flood_alert = true;
+    if (alert.kind == AlertKind::kAnomalousWindow) anomaly_alert = true;
+  }
+  EXPECT_TRUE(flood_alert);
+  EXPECT_TRUE(anomaly_alert);
+}
+
+TEST(Mana, TrainingRequiredBeforeScoring) {
+  ManaConfig config;
+  Mana mana(config);
+  EXPECT_FALSE(mana.trained());
+  EXPECT_THROW(mana.finish_training(), std::runtime_error);  // no windows
+}
+
+TEST(Mana, AlertsAreRateLimitedPerKind) {
+  ManaConfig config;
+  config.network = "ops";
+  Mana mana(config);
+  sim::Rng rng(1);
+  // Legitimate binding for IP .1 learned during training.
+  mana.on_capture(arp_frame(100, 1, 1, net::ArpOp::kReply));
+  feed_baseline(mana, 0, 30 * sim::kSecond, rng);
+  mana.flush_until(30 * sim::kSecond);
+  mana.finish_training();
+
+  // Two binding flips within the same window => one alert.
+  mana.on_capture(arp_frame(31 * sim::kSecond, 1, 66, net::ArpOp::kReply));
+  mana.on_capture(arp_frame(31 * sim::kSecond + 100, 1, 67, net::ArpOp::kReply));
+  std::size_t arp_alerts = 0;
+  for (const auto& alert : mana.alerts()) {
+    if (alert.kind == AlertKind::kArpBindingChange) ++arp_alerts;
+  }
+  EXPECT_EQ(arp_alerts, 1u);
+}
+
+}  // namespace
+}  // namespace spire::mana

@@ -1,0 +1,255 @@
+// Modbus/TCP protocol tests: ADU framing, PDU codecs (including the
+// bit-packing rules), data-model execution semantics and exception
+// responses, and the async client with timeouts.
+#include <gtest/gtest.h>
+
+#include "modbus/endpoint.hpp"
+#include "sim/simulator.hpp"
+
+namespace spire::modbus {
+namespace {
+
+TEST(Adu, RoundTrip) {
+  Adu adu;
+  adu.transaction_id = 0x1234;
+  adu.unit_id = 7;
+  adu.pdu = util::to_bytes("\x01\x00\x00\x00\x08");
+  const auto decoded = Adu::decode(adu.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->transaction_id, 0x1234);
+  EXPECT_EQ(decoded->unit_id, 7);
+  EXPECT_EQ(decoded->pdu, adu.pdu);
+}
+
+TEST(Adu, RejectsBadProtocolIdAndLength) {
+  Adu adu;
+  adu.transaction_id = 1;
+  adu.pdu = util::to_bytes("\x01");
+  auto bytes = adu.encode();
+  bytes[2] = 0xFF;  // protocol id high byte
+  EXPECT_FALSE(Adu::decode(bytes).has_value());
+
+  bytes = adu.encode();
+  bytes[5] = 0x70;  // corrupt length
+  EXPECT_FALSE(Adu::decode(bytes).has_value());
+  EXPECT_FALSE(Adu::decode(util::to_bytes("short")).has_value());
+}
+
+TEST(Pdu, ReadCoilsRequestWireFormat) {
+  ReadBitsRequest req;
+  req.fc = FunctionCode::kReadCoils;
+  req.start = 0x0013;
+  req.quantity = 0x0025;
+  const auto bytes = encode_request(req);
+  // Spec example: 01 00 13 00 25
+  ASSERT_EQ(bytes.size(), 5u);
+  EXPECT_EQ(bytes[0], 0x01);
+  EXPECT_EQ(bytes[2], 0x13);
+  EXPECT_EQ(bytes[4], 0x25);
+}
+
+TEST(Pdu, WriteSingleCoilUsesFF00) {
+  WriteSingleCoilRequest req;
+  req.address = 0x00AC;
+  req.value = true;
+  const auto bytes = encode_request(req);
+  ASSERT_EQ(bytes.size(), 5u);
+  EXPECT_EQ(bytes[0], 0x05);
+  EXPECT_EQ(bytes[3], 0xFF);
+  EXPECT_EQ(bytes[4], 0x00);
+
+  // 0xFF00 / 0x0000 are the only legal values.
+  auto tampered = bytes;
+  tampered[3] = 0x01;
+  EXPECT_FALSE(decode_request(tampered).has_value());
+}
+
+TEST(Pdu, RequestRoundTripsAllFunctionCodes) {
+  const std::vector<Request> requests = {
+      ReadBitsRequest{FunctionCode::kReadCoils, 0, 16},
+      ReadBitsRequest{FunctionCode::kReadDiscreteInputs, 5, 9},
+      ReadRegistersRequest{FunctionCode::kReadHoldingRegisters, 2, 3},
+      ReadRegistersRequest{FunctionCode::kReadInputRegisters, 0, 8},
+      WriteSingleCoilRequest{4, true},
+      WriteSingleRegisterRequest{9, 0xBEEF},
+      WriteMultipleCoilsRequest{3, {true, false, true, true, false}},
+      WriteMultipleRegistersRequest{1, {10, 20, 30}},
+  };
+  for (const auto& req : requests) {
+    const auto decoded = decode_request(encode_request(req));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(encode_request(*decoded), encode_request(req));
+  }
+}
+
+TEST(Pdu, ResponseRoundTrips) {
+  const std::vector<Response> responses = {
+      ReadBitsResponse{FunctionCode::kReadCoils, {true, false, true}},
+      ReadRegistersResponse{FunctionCode::kReadInputRegisters, {1, 2, 3}},
+      WriteSingleCoilResponse{7, true},
+      WriteSingleRegisterResponse{8, 99},
+      WriteMultipleResponse{FunctionCode::kWriteMultipleCoils, 3, 5},
+      ExceptionResponse{FunctionCode::kReadCoils,
+                        ExceptionCode::kIllegalDataAddress},
+  };
+  for (const auto& resp : responses) {
+    const auto decoded = decode_response(encode_response(resp));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(encode_response(*decoded), encode_response(resp));
+  }
+}
+
+TEST(Pdu, BitPackingMatchesSpec) {
+  // Coils 27-38 example from the spec: status CD 6B 05.
+  ReadBitsResponse resp;
+  resp.fc = FunctionCode::kReadCoils;
+  resp.values = {true, false, true, true, false, false, true, true,   // CD
+                 true, true, false, true, false, true, true, false,   // 6B
+                 true, false, true};                                  // 05
+  const auto bytes = encode_response(resp);
+  ASSERT_EQ(bytes.size(), 2u + 3u);
+  EXPECT_EQ(bytes[1], 3);     // byte count
+  EXPECT_EQ(bytes[2], 0xCD);
+  EXPECT_EQ(bytes[3], 0x6B);
+  EXPECT_EQ(bytes[4], 0x05);
+}
+
+TEST(DataModel, ExecutesReadsAndWrites) {
+  DataModel model(16, 16, 16, 16);
+  model.set_coil(3, true);
+  model.set_input_register(2, 0x1234);
+
+  const auto coils = model.execute(ReadBitsRequest{FunctionCode::kReadCoils, 0, 8});
+  const auto* bits = std::get_if<ReadBitsResponse>(&coils);
+  ASSERT_NE(bits, nullptr);
+  EXPECT_TRUE(bits->values[3]);
+  EXPECT_FALSE(bits->values[0]);
+
+  (void)model.execute(WriteSingleCoilRequest{5, true});
+  EXPECT_TRUE(model.coil(5));
+
+  (void)model.execute(WriteMultipleRegistersRequest{0, {7, 8, 9}});
+  EXPECT_EQ(model.holding_register(1), 8);
+
+  (void)model.execute(WriteMultipleCoilsRequest{10, {true, true}});
+  EXPECT_TRUE(model.coil(11));
+}
+
+TEST(DataModel, AddressBoundsYieldExceptions) {
+  DataModel model(8, 8, 8, 8);
+  const auto resp =
+      model.execute(ReadBitsRequest{FunctionCode::kReadCoils, 5, 10});
+  const auto* ex = std::get_if<ExceptionResponse>(&resp);
+  ASSERT_NE(ex, nullptr);
+  EXPECT_EQ(ex->code, ExceptionCode::kIllegalDataAddress);
+
+  const auto write = model.execute(WriteSingleCoilRequest{100, true});
+  ASSERT_NE(std::get_if<ExceptionResponse>(&write), nullptr);
+}
+
+TEST(DataModel, QuantityLimitsYieldExceptions) {
+  DataModel model(4000, 8, 8, 8);
+  const auto resp =
+      model.execute(ReadBitsRequest{FunctionCode::kReadCoils, 0, 2001});
+  const auto* ex = std::get_if<ExceptionResponse>(&resp);
+  ASSERT_NE(ex, nullptr);
+  EXPECT_EQ(ex->code, ExceptionCode::kIllegalDataValue);
+
+  const auto zero = model.execute(ReadBitsRequest{FunctionCode::kReadCoils, 0, 0});
+  ASSERT_NE(std::get_if<ExceptionResponse>(&zero), nullptr);
+}
+
+TEST(Server, EchoesTransactionAndServes) {
+  DataModel model(8, 8, 8, 8);
+  model.set_coil(1, true);
+  Server server(model);
+
+  Adu request;
+  request.transaction_id = 77;
+  request.pdu = encode_request(ReadBitsRequest{FunctionCode::kReadCoils, 0, 2});
+  const auto response_bytes = server.handle(request.encode());
+  ASSERT_TRUE(response_bytes);
+  const auto response = Adu::decode(*response_bytes);
+  ASSERT_TRUE(response);
+  EXPECT_EQ(response->transaction_id, 77);
+  const auto decoded = decode_response(response->pdu);
+  const auto* bits = std::get_if<ReadBitsResponse>(&*decoded);
+  ASSERT_NE(bits, nullptr);
+  EXPECT_TRUE(bits->values[1]);
+  EXPECT_EQ(server.requests_served(), 1u);
+}
+
+TEST(Server, UnknownFunctionYieldsIllegalFunction) {
+  DataModel model(8, 8, 8, 8);
+  Server server(model);
+  Adu request;
+  request.transaction_id = 1;
+  request.pdu = {0x2B, 0x00};  // unimplemented function code
+  const auto response_bytes = server.handle(request.encode());
+  ASSERT_TRUE(response_bytes);
+  const auto response = Adu::decode(*response_bytes);
+  const auto decoded = decode_response(response->pdu);
+  const auto* ex = std::get_if<ExceptionResponse>(&*decoded);
+  ASSERT_NE(ex, nullptr);
+  EXPECT_EQ(ex->code, ExceptionCode::kIllegalFunction);
+}
+
+TEST(Server, GarbageIsDroppedSilently) {
+  DataModel model(8, 8, 8, 8);
+  Server server(model);
+  EXPECT_FALSE(server.handle(util::to_bytes("not modbus")).has_value());
+}
+
+TEST(Client, MatchesResponsesByTransaction) {
+  sim::Simulator sim;
+  DataModel model(8, 8, 8, 8);
+  model.set_coil(0, true);
+  Server server(model);
+
+  util::Bytes last_request;
+  Client client(sim, "test", [&](const util::Bytes& b) { last_request = b; });
+
+  std::optional<Response> got;
+  client.request(ReadBitsRequest{FunctionCode::kReadCoils, 0, 1},
+                 [&](std::optional<Response> r) { got = std::move(r); });
+  const auto response = server.handle(last_request);
+  ASSERT_TRUE(response);
+  client.on_data(*response);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_NE(std::get_if<ReadBitsResponse>(&*got), nullptr);
+}
+
+TEST(Client, TimesOutWithoutResponse) {
+  sim::Simulator sim;
+  Client client(sim, "test", [](const util::Bytes&) {});
+  bool fired = false;
+  bool timed_out = false;
+  client.request(ReadBitsRequest{FunctionCode::kReadCoils, 0, 1},
+                 [&](std::optional<Response> r) {
+                   fired = true;
+                   timed_out = !r.has_value();
+                 },
+                 50 * sim::kMillisecond);
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(timed_out);
+  EXPECT_EQ(client.timeouts(), 1u);
+}
+
+TEST(Client, LateResponseAfterTimeoutIsIgnored) {
+  sim::Simulator sim;
+  util::Bytes last_request;
+  Client client(sim, "test", [&](const util::Bytes& b) { last_request = b; });
+  int calls = 0;
+  client.request(ReadBitsRequest{FunctionCode::kReadCoils, 0, 1},
+                 [&](std::optional<Response>) { ++calls; },
+                 10 * sim::kMillisecond);
+  sim.run();  // timeout fires
+  DataModel model(8, 8, 8, 8);
+  Server server(model);
+  client.on_data(*server.handle(last_request));  // late
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace spire::modbus

@@ -1,0 +1,335 @@
+// Tests for the emulated network substrate: frames, ARP (including
+// poisoning), switching (learning vs static bindings), firewalls,
+// routing/forwarding, cables, and capture taps.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace spire::net {
+namespace {
+
+struct NetFixture : ::testing::Test {
+  sim::Simulator sim;
+  Network network{sim};
+
+  Host& make_host(const std::string& name, IpAddress ip, Switch& sw,
+                  std::uint32_t mac_id) {
+    Host& host = network.add_host(name);
+    host.add_interface(MacAddress::from_id(mac_id), ip, 24);
+    network.connect(host, 0, sw);
+    return host;
+  }
+};
+
+TEST(Address, MacFormatting) {
+  EXPECT_EQ(MacAddress::from_id(0x01).str(), "02:00:00:00:00:01");
+  EXPECT_TRUE(MacAddress::broadcast().is_broadcast());
+  EXPECT_FALSE(MacAddress::from_id(1).is_broadcast());
+}
+
+TEST(Address, IpFormattingAndSubnets) {
+  const IpAddress ip = IpAddress::make(10, 2, 0, 17);
+  EXPECT_EQ(ip.str(), "10.2.0.17");
+  EXPECT_TRUE(ip.same_subnet(IpAddress::make(10, 2, 0, 200), 24));
+  EXPECT_FALSE(ip.same_subnet(IpAddress::make(10, 3, 0, 17), 24));
+  EXPECT_TRUE(ip.same_subnet(IpAddress::make(10, 3, 0, 17), 8));
+}
+
+TEST(Frame, DatagramRoundTrip) {
+  Datagram d;
+  d.src_ip = IpAddress::make(1, 2, 3, 4);
+  d.dst_ip = IpAddress::make(5, 6, 7, 8);
+  d.src_port = 1111;
+  d.dst_port = 2222;
+  d.payload = util::to_bytes("data");
+  const auto decoded = Datagram::decode(d.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->src_ip, d.src_ip);
+  EXPECT_EQ(decoded->dst_port, 2222);
+  EXPECT_EQ(decoded->payload, d.payload);
+}
+
+TEST(Frame, ArpRoundTripAndRejectsGarbage) {
+  ArpPacket arp;
+  arp.op = ArpOp::kReply;
+  arp.sender_mac = MacAddress::from_id(9);
+  arp.sender_ip = IpAddress::make(10, 0, 0, 9);
+  const auto decoded = ArpPacket::decode(arp.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->sender_mac, arp.sender_mac);
+  EXPECT_FALSE(ArpPacket::decode(util::to_bytes("junk")).has_value());
+  EXPECT_FALSE(Datagram::decode(util::to_bytes("x")).has_value());
+}
+
+TEST_F(NetFixture, UdpDeliveryBetweenHosts) {
+  Switch& sw = network.add_switch(SwitchConfig{});
+  Host& a = make_host("a", IpAddress::make(10, 0, 0, 1), sw, 1);
+  Host& b = make_host("b", IpAddress::make(10, 0, 0, 2), sw, 2);
+
+  std::vector<std::string> received;
+  b.bind_udp(500, [&](const Datagram& d) {
+    received.push_back(util::to_string(d.payload));
+  });
+  EXPECT_TRUE(a.send_udp(b.ip(), 500, 600, util::to_bytes("hello")));
+  sim.run();
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], "hello");
+  // Dynamic ARP resolved b's MAC on the fly.
+  EXPECT_TRUE(a.arp_lookup(b.ip()).has_value());
+}
+
+TEST_F(NetFixture, NoHandlerMeansDrop) {
+  Switch& sw = network.add_switch(SwitchConfig{});
+  Host& a = make_host("a", IpAddress::make(10, 0, 0, 1), sw, 1);
+  Host& b = make_host("b", IpAddress::make(10, 0, 0, 2), sw, 2);
+  a.send_udp(b.ip(), 12345, 600, util::to_bytes("x"));
+  sim.run();
+  EXPECT_EQ(b.stats().dropped_no_handler, 1u);
+  EXPECT_EQ(b.stats().datagrams_delivered, 0u);
+}
+
+TEST_F(NetFixture, FirewallDefaultDenyBlocksUnlistedTraffic) {
+  Switch& sw = network.add_switch(SwitchConfig{});
+  Host& a = make_host("a", IpAddress::make(10, 0, 0, 1), sw, 1);
+  Host& b = make_host("b", IpAddress::make(10, 0, 0, 2), sw, 2);
+
+  b.firewall().default_deny = true;
+  b.firewall().allow.push_back(
+      FirewallRule{Direction::kInbound, a.ip(), 500, std::nullopt});
+  int hits_500 = 0, hits_501 = 0;
+  b.bind_udp(500, [&](const Datagram&) { ++hits_500; });
+  b.bind_udp(501, [&](const Datagram&) { ++hits_501; });
+
+  a.send_udp(b.ip(), 500, 600, util::to_bytes("ok"));
+  a.send_udp(b.ip(), 501, 600, util::to_bytes("blocked"));
+  sim.run();
+  EXPECT_EQ(hits_500, 1);
+  EXPECT_EQ(hits_501, 0);
+  EXPECT_EQ(b.stats().dropped_firewall_in, 1u);
+}
+
+TEST_F(NetFixture, FirewallEgressBlocks) {
+  Switch& sw = network.add_switch(SwitchConfig{});
+  Host& a = make_host("a", IpAddress::make(10, 0, 0, 1), sw, 1);
+  Host& b = make_host("b", IpAddress::make(10, 0, 0, 2), sw, 2);
+  a.firewall().default_deny = true;
+  EXPECT_FALSE(a.send_udp(b.ip(), 500, 600, util::to_bytes("x")));
+  EXPECT_EQ(a.stats().dropped_firewall_out, 1u);
+}
+
+TEST_F(NetFixture, ArpPoisoningWorksAgainstDynamicArp) {
+  Switch& sw = network.add_switch(SwitchConfig{});
+  Host& victim = make_host("victim", IpAddress::make(10, 0, 0, 1), sw, 1);
+  Host& server = make_host("server", IpAddress::make(10, 0, 0, 2), sw, 2);
+  Host& attacker = make_host("attacker", IpAddress::make(10, 0, 0, 66), sw, 6);
+
+  // Legit resolution first.
+  victim.send_udp(server.ip(), 1, 1, util::to_bytes("x"));
+  sim.run();
+  EXPECT_EQ(*victim.arp_lookup(server.ip()), server.mac());
+
+  // Attacker claims server's IP.
+  ArpPacket lie;
+  lie.op = ArpOp::kReply;
+  lie.sender_mac = attacker.mac();
+  lie.sender_ip = server.ip();
+  lie.target_mac = victim.mac();
+  lie.target_ip = victim.ip();
+  attacker.send_frame_raw(
+      0, EthernetFrame{attacker.mac(), victim.mac(), EtherType::kArp,
+                       lie.encode()});
+  sim.run();
+  EXPECT_EQ(*victim.arp_lookup(server.ip()), attacker.mac());
+  EXPECT_GE(victim.stats().arp_replies_accepted, 1u);
+}
+
+TEST_F(NetFixture, StaticArpDefeatsPoisoning) {
+  Switch& sw = network.add_switch(SwitchConfig{});
+  Host& victim = make_host("victim", IpAddress::make(10, 0, 0, 1), sw, 1);
+  Host& server = make_host("server", IpAddress::make(10, 0, 0, 2), sw, 2);
+  Host& attacker = make_host("attacker", IpAddress::make(10, 0, 0, 66), sw, 6);
+
+  victim.use_static_arp(true);
+  victim.add_arp_entry(server.ip(), server.mac());
+
+  ArpPacket lie;
+  lie.op = ArpOp::kReply;
+  lie.sender_mac = attacker.mac();
+  lie.sender_ip = server.ip();
+  lie.target_mac = victim.mac();
+  lie.target_ip = victim.ip();
+  attacker.send_frame_raw(
+      0, EthernetFrame{attacker.mac(), victim.mac(), EtherType::kArp,
+                       lie.encode()});
+  sim.run();
+  EXPECT_EQ(*victim.arp_lookup(server.ip()), server.mac());
+  EXPECT_EQ(victim.stats().arp_replies_ignored_static, 1u);
+}
+
+TEST_F(NetFixture, CrossNicArpAnsweringToggle) {
+  Switch& sw = network.add_switch(SwitchConfig{});
+  Host& dual = network.add_host("dual");
+  dual.add_interface(MacAddress::from_id(1), IpAddress::make(10, 0, 0, 1), 24);
+  dual.add_interface(MacAddress::from_id(2), IpAddress::make(10, 9, 0, 1), 24);
+  network.connect(dual, 0, sw);
+  Host& prober = make_host("prober", IpAddress::make(10, 0, 0, 5), sw, 5);
+
+  // With the OS default, NIC 0 answers for NIC 1's address too.
+  ArpPacket who;
+  who.op = ArpOp::kRequest;
+  who.sender_mac = prober.mac();
+  who.sender_ip = prober.ip();
+  who.target_ip = IpAddress::make(10, 9, 0, 1);
+  prober.send_frame_raw(0, EthernetFrame{prober.mac(), MacAddress::broadcast(),
+                                         EtherType::kArp, who.encode()});
+  sim.run();
+  EXPECT_TRUE(prober.arp_lookup(IpAddress::make(10, 9, 0, 1)).has_value());
+
+  // Hardened setting: no answer for other-NIC addresses.
+  Host& prober2 = make_host("prober2", IpAddress::make(10, 0, 0, 6), sw, 6);
+  dual.set_answer_arp_for_any_local_ip(false);
+  who.sender_mac = prober2.mac();
+  who.sender_ip = prober2.ip();
+  prober2.send_frame_raw(0, EthernetFrame{prober2.mac(), MacAddress::broadcast(),
+                                          EtherType::kArp, who.encode()});
+  sim.run();
+  EXPECT_FALSE(prober2.arp_lookup(IpAddress::make(10, 9, 0, 1)).has_value());
+}
+
+TEST_F(NetFixture, StaticPortBindingDropsSpoofedSourceMac) {
+  SwitchConfig config;
+  config.static_port_binding = true;
+  Switch& sw = network.add_switch(config);
+  Host& a = make_host("a", IpAddress::make(10, 0, 0, 1), sw, 1);
+  Host& b = make_host("b", IpAddress::make(10, 0, 0, 2), sw, 2);
+  Host& attacker = make_host("attacker", IpAddress::make(10, 0, 0, 66), sw, 6);
+  a.use_static_arp(true);
+  a.add_arp_entry(b.ip(), b.mac());
+  b.use_static_arp(true);
+  b.add_arp_entry(a.ip(), a.mac());
+
+  int received = 0;
+  b.bind_udp(500, [&](const Datagram&) { ++received; });
+
+  // Legit traffic flows.
+  a.send_udp(b.ip(), 500, 600, util::to_bytes("legit"));
+  sim.run();
+  EXPECT_EQ(received, 1);
+
+  // Attacker forging a's MAC from its own port: dropped at the switch.
+  Datagram forged;
+  forged.src_ip = a.ip();
+  forged.dst_ip = b.ip();
+  forged.src_port = 600;
+  forged.dst_port = 500;
+  forged.payload = util::to_bytes("forged");
+  attacker.send_frame_raw(
+      0, EthernetFrame{a.mac(), b.mac(), EtherType::kIpv4, forged.encode()});
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_GE(sw.stats().frames_dropped_binding, 1u);
+}
+
+TEST_F(NetFixture, LearningSwitchFloodsUnknownThenLearns) {
+  Switch& sw = network.add_switch(SwitchConfig{});
+  Host& a = make_host("a", IpAddress::make(10, 0, 0, 1), sw, 1);
+  make_host("b", IpAddress::make(10, 0, 0, 2), sw, 2);
+  Host& c = make_host("c", IpAddress::make(10, 0, 0, 3), sw, 3);
+
+  // c sniffs in promiscuous mode; a's first frame to b floods to c too.
+  int c_saw = 0;
+  c.set_promiscuous(0, true);
+  c.set_sniffer([&](std::size_t, const EthernetFrame&) { ++c_saw; });
+  a.send_udp(IpAddress::make(10, 0, 0, 2), 500, 600, util::to_bytes("x"));
+  sim.run();
+  EXPECT_GT(c_saw, 0);  // ARP broadcast + possibly flooded unicast
+}
+
+TEST_F(NetFixture, EgressQueueOverflowDropsFrames) {
+  SwitchConfig config;
+  config.egress_queue_frames = 8;
+  config.bytes_per_us = 1.0;  // slow link so the queue actually builds
+  Switch& sw = network.add_switch(config);
+  Host& a = make_host("a", IpAddress::make(10, 0, 0, 1), sw, 1);
+  Host& b = make_host("b", IpAddress::make(10, 0, 0, 2), sw, 2);
+  a.add_arp_entry(b.ip(), b.mac());
+  a.use_static_arp(true);
+
+  int received = 0;
+  b.bind_udp(500, [&](const Datagram&) { ++received; });
+  for (int i = 0; i < 100; ++i) {
+    a.send_udp(b.ip(), 500, 600, util::Bytes(500, 0xAA));
+  }
+  sim.run();
+  EXPECT_GT(sw.stats().frames_dropped_queue, 0u);
+  EXPECT_LT(received, 100);
+}
+
+TEST_F(NetFixture, CableIsPointToPoint) {
+  Host& proxy = network.add_host("proxy");
+  proxy.add_interface(MacAddress::from_id(1), IpAddress::make(10, 3, 0, 1), 30);
+  Host& plc = network.add_host("plc");
+  plc.add_interface(MacAddress::from_id(2), IpAddress::make(10, 3, 0, 2), 30);
+  network.cable(proxy, 0, plc, 0);
+
+  int received = 0;
+  plc.bind_udp(502, [&](const Datagram&) { ++received; });
+  proxy.send_udp(plc.ip(), 502, 1502, util::to_bytes("modbus"));
+  sim.run();
+  EXPECT_EQ(received, 1);
+}
+
+TEST_F(NetFixture, RouterForwardsWithAclAndTtl) {
+  Switch& net_a = network.add_switch(SwitchConfig{.name = "a"});
+  Switch& net_b = network.add_switch(SwitchConfig{.name = "b"});
+
+  Host& client = make_host("client", IpAddress::make(10, 1, 0, 10), net_a, 1);
+  Host& router = network.add_host("router");
+  router.add_interface(MacAddress::from_id(2), IpAddress::make(10, 1, 0, 1), 24);
+  router.add_interface(MacAddress::from_id(3), IpAddress::make(10, 2, 0, 1), 24);
+  network.connect(router, 0, net_a);
+  network.connect(router, 1, net_b);
+  router.enable_forwarding(/*default_deny=*/true);
+
+  Host& server = network.add_host("server");
+  server.add_interface(MacAddress::from_id(4), IpAddress::make(10, 2, 0, 10), 24);
+  network.connect(server, 0, net_b);
+  server.set_gateway(router.ip(1));
+  client.set_gateway(router.ip(0));
+
+  int received = 0;
+  server.bind_udp(7000, [&](const Datagram&) { ++received; });
+
+  // ACL closed: forward dropped.
+  client.send_udp(server.ip(), 7000, 600, util::to_bytes("x"));
+  sim.run();
+  EXPECT_EQ(received, 0);
+  EXPECT_EQ(router.stats().dropped_forward_acl, 1u);
+
+  // Open a pinhole.
+  router.add_forward_allow(ForwardRule{client.ip(), server.ip(), 7000});
+  client.send_udp(server.ip(), 7000, 600, util::to_bytes("y"));
+  sim.run();
+  EXPECT_EQ(received, 1);
+  EXPECT_EQ(router.stats().forwarded, 1u);
+}
+
+TEST_F(NetFixture, PcapTapSeesAllTraffic) {
+  Switch& sw = network.add_switch(SwitchConfig{});
+  Host& a = make_host("a", IpAddress::make(10, 0, 0, 1), sw, 1);
+  Host& b = make_host("b", IpAddress::make(10, 0, 0, 2), sw, 2);
+  b.bind_udp(500, [](const Datagram&) {});
+
+  std::vector<PcapRecord> captured;
+  sw.add_tap("ops", [&](const PcapRecord& r) { captured.push_back(r); });
+
+  a.send_udp(b.ip(), 500, 600, util::to_bytes("x"));
+  sim.run();
+  // ARP request + reply + data frame at minimum.
+  EXPECT_GE(captured.size(), 3u);
+  EXPECT_EQ(captured[0].network, "ops");
+}
+
+}  // namespace
+}  // namespace spire::net

@@ -1,0 +1,234 @@
+// Tests for the emulated PLC: breaker physics, scan cycle, Modbus
+// integration, and the maintenance-service weakness the red team used.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "plc/plc.hpp"
+
+namespace spire::plc {
+namespace {
+
+struct PlcFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Network network{sim};
+  net::Host* plc_host = nullptr;
+  net::Host* peer = nullptr;
+  std::unique_ptr<Plc> plc;
+
+  void SetUp() override {
+    auto& sw = network.add_switch(net::SwitchConfig{});
+    plc_host = &network.add_host("plc");
+    plc_host->add_interface(net::MacAddress::from_id(1),
+                            net::IpAddress::make(10, 0, 0, 2), 24);
+    network.connect(*plc_host, 0, sw);
+    peer = &network.add_host("peer");
+    peer->add_interface(net::MacAddress::from_id(2),
+                        net::IpAddress::make(10, 0, 0, 1), 24);
+    network.connect(*peer, 0, sw);
+
+    std::vector<BreakerSpec> breakers = {
+        {"B1", false, 40 * sim::kMillisecond},
+        {"B2", true, 40 * sim::kMillisecond},
+        {"B3", false, 40 * sim::kMillisecond},
+    };
+    plc = std::make_unique<Plc>(sim, *plc_host, "plc-test", breakers,
+                                sim::Rng(7));
+  }
+
+  /// Sends a Modbus request to the PLC and returns the decoded response.
+  std::optional<modbus::Response> modbus_round_trip(
+      const modbus::Request& request) {
+    std::optional<modbus::Response> result;
+    static std::uint16_t txn = 100;
+    modbus::Adu adu;
+    adu.transaction_id = ++txn;
+    adu.pdu = modbus::encode_request(request);
+    peer->bind_udp(1502, [&](const net::Datagram& d) {
+      const auto resp_adu = modbus::Adu::decode(d.payload);
+      if (resp_adu) result = modbus::decode_response(resp_adu->pdu);
+    });
+    peer->send_udp(plc_host->ip(), modbus::kModbusPort, 1502, adu.encode());
+    sim.run_until(sim.now() + 200 * sim::kMillisecond);
+    peer->unbind_udp(1502);
+    return result;
+  }
+};
+
+// Standalone breaker-bank physics (no PLC scan cycle interfering: the
+// scan re-asserts the coil image, so direct bank commands below a PLC
+// are intentionally overridden by ladder logic).
+TEST(BreakerBank, ActuatesWithDelay) {
+  sim::Simulator sim;
+  BreakerBank bank(sim, {{"B1", false, 40 * sim::kMillisecond},
+                         {"B2", true, 40 * sim::kMillisecond}});
+  EXPECT_FALSE(bank.closed(0));
+  EXPECT_TRUE(bank.closed(1));
+
+  bank.command(0, true);
+  EXPECT_FALSE(bank.closed(0));  // not yet: mechanical delay
+  sim.run_until(39 * sim::kMillisecond);
+  EXPECT_FALSE(bank.closed(0));
+  sim.run_until(41 * sim::kMillisecond);
+  EXPECT_TRUE(bank.closed(0));
+  EXPECT_EQ(bank.transitions(), 1u);
+}
+
+TEST(BreakerBank, RecommandSupersedesPendingMotion) {
+  sim::Simulator sim;
+  BreakerBank bank(sim, {{"B1", false, 40 * sim::kMillisecond}});
+  bank.command(0, true);
+  sim.run_until(10 * sim::kMillisecond);
+  bank.command(0, false);  // changed our mind before actuation
+  sim.run_until(200 * sim::kMillisecond);
+  EXPECT_FALSE(bank.closed(0));
+  EXPECT_EQ(bank.transitions(), 0u);
+}
+
+TEST(BreakerBank, ObserverFiresOnTransition) {
+  sim::Simulator sim;
+  BreakerBank bank(sim, {{"B1", false, 40 * sim::kMillisecond},
+                         {"B2", false, 40 * sim::kMillisecond},
+                         {"B3", false, 40 * sim::kMillisecond}});
+  std::vector<std::pair<std::size_t, bool>> events;
+  bank.add_observer(
+      [&](std::size_t i, bool closed, sim::Time) { events.emplace_back(i, closed); });
+  bank.command(2, true);
+  sim.run_until(100 * sim::kMillisecond);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], (std::pair<std::size_t, bool>{2, true}));
+}
+
+TEST_F(PlcFixture, ScanOverridesDirectBankCommands) {
+  // Ladder logic wins: the scan re-asserts the coil image over a
+  // direct bank command (this is why SCADA writes coils, not breakers).
+  plc->breakers().command(0, true);
+  sim.run_until(sim.now() + 300 * sim::kMillisecond);
+  EXPECT_FALSE(plc->breakers().closed(0));
+}
+
+TEST_F(PlcFixture, ScanCopiesCoilsToBreakersAndInputs) {
+  // Write coil over Modbus; after a scan + actuation the discrete input
+  // reflects the new position.
+  const auto write_resp = modbus_round_trip(modbus::WriteSingleCoilRequest{0, true});
+  ASSERT_TRUE(write_resp.has_value());
+  sim.run_until(sim.now() + 200 * sim::kMillisecond);
+  EXPECT_TRUE(plc->breakers().closed(0));
+
+  const auto read_resp = modbus_round_trip(
+      modbus::ReadBitsRequest{modbus::FunctionCode::kReadDiscreteInputs, 0, 3});
+  const auto* bits = std::get_if<modbus::ReadBitsResponse>(&*read_resp);
+  ASSERT_NE(bits, nullptr);
+  EXPECT_TRUE(bits->values[0]);
+  EXPECT_TRUE(bits->values[1]);
+  EXPECT_FALSE(bits->values[2]);
+}
+
+TEST_F(PlcFixture, InputRegistersCarryPlausibleCurrents) {
+  sim.run_until(sim.now() + 300 * sim::kMillisecond);
+  const auto resp = modbus_round_trip(modbus::ReadRegistersRequest{
+      modbus::FunctionCode::kReadInputRegisters, 0, 3});
+  const auto* regs = std::get_if<modbus::ReadRegistersResponse>(&*resp);
+  ASSERT_NE(regs, nullptr);
+  // B2 is closed: ~480 A (x10 scaling). B1/B3 open: near zero.
+  EXPECT_GT(regs->values[1], 4000);
+  EXPECT_LT(regs->values[0], 100);
+}
+
+TEST_F(PlcFixture, MaintenanceDumpLeaksConfig) {
+  std::optional<PlcConfig> dumped;
+  peer->bind_udp(4000, [&](const net::Datagram& d) {
+    util::ByteReader r(d.payload);
+    r.u8();
+    dumped = PlcConfig::decode(r.blob());
+  });
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MaintenanceOp::kDumpConfig));
+  peer->send_udp(plc_host->ip(), kMaintenancePort, 4000, w.take());
+  sim.run_until(sim.now() + 100 * sim::kMillisecond);
+
+  ASSERT_TRUE(dumped.has_value());
+  EXPECT_EQ(dumped->maintenance_password, "factory-default");
+  EXPECT_EQ(dumped->breaker_count, 3);
+  EXPECT_FALSE(dumped->direct_control_enabled);
+  EXPECT_EQ(plc->stats().config_dumps, 1u);
+}
+
+TEST_F(PlcFixture, UploadRejectedWithWrongPassword) {
+  PlcConfig evil = plc->config();
+  evil.direct_control_enabled = true;
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(MaintenanceOp::kUploadConfig));
+  w.str("wrong-password");
+  w.blob(evil.encode());
+  peer->send_udp(plc_host->ip(), kMaintenancePort, 4000, w.take());
+  sim.run_until(sim.now() + 100 * sim::kMillisecond);
+  EXPECT_EQ(plc->stats().config_uploads_rejected, 1u);
+  EXPECT_FALSE(plc->config().direct_control_enabled);
+}
+
+TEST_F(PlcFixture, DumpThenUploadThenDirectControl) {
+  // The full red-team chain (§IV-B, commercial system).
+  PlcConfig evil = plc->config();
+  evil.direct_control_enabled = true;
+  evil.firmware = "ladderos-2.4.1-backdoored";
+
+  util::ByteWriter upload;
+  upload.u8(static_cast<std::uint8_t>(MaintenanceOp::kUploadConfig));
+  upload.str("factory-default");  // learned via dump
+  upload.blob(evil.encode());
+  peer->send_udp(plc_host->ip(), kMaintenancePort, 4000, upload.take());
+  sim.run_until(sim.now() + 100 * sim::kMillisecond);
+  EXPECT_TRUE(plc->config_tampered());
+
+  util::ByteWriter write;
+  write.u8(static_cast<std::uint8_t>(MaintenanceOp::kDirectCoilWrite));
+  write.u16(2);
+  write.boolean(true);
+  peer->send_udp(plc_host->ip(), kMaintenancePort, 4000, write.take());
+  sim.run_until(sim.now() + 200 * sim::kMillisecond);
+  EXPECT_EQ(plc->stats().direct_writes_accepted, 1u);
+  EXPECT_TRUE(plc->breakers().closed(2));
+}
+
+TEST_F(PlcFixture, DirectControlRejectedWithFactoryConfig) {
+  util::ByteWriter write;
+  write.u8(static_cast<std::uint8_t>(MaintenanceOp::kDirectCoilWrite));
+  write.u16(0);
+  write.boolean(true);
+  peer->send_udp(plc_host->ip(), kMaintenancePort, 4000, write.take());
+  sim.run_until(sim.now() + 100 * sim::kMillisecond);
+  EXPECT_EQ(plc->stats().direct_writes_rejected, 1u);
+  EXPECT_FALSE(plc->breakers().closed(0));
+}
+
+TEST_F(PlcFixture, LocalActuationBypassesScada) {
+  plc->actuate_breaker_locally(0, true);
+  sim.run_until(sim.now() + 100 * sim::kMillisecond);
+  EXPECT_TRUE(plc->breakers().closed(0));
+}
+
+TEST_F(PlcFixture, MalformedMaintenanceTrafficIsIgnored) {
+  peer->send_udp(plc_host->ip(), kMaintenancePort, 4000,
+                 util::to_bytes("\xFFgarbage"));
+  peer->send_udp(plc_host->ip(), kMaintenancePort, 4000, util::Bytes{});
+  sim.run_until(sim.now() + 100 * sim::kMillisecond);
+  EXPECT_EQ(plc->stats().config_uploads_accepted, 0u);
+  EXPECT_EQ(plc->stats().direct_writes_accepted, 0u);
+}
+
+TEST(PlcConfigCodec, RoundTrip) {
+  PlcConfig config;
+  config.device_name = "plc-7";
+  config.maintenance_password = "hunter2";
+  config.breaker_count = 7;
+  config.direct_control_enabled = true;
+  const auto decoded = PlcConfig::decode(config.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->device_name, "plc-7");
+  EXPECT_EQ(decoded->maintenance_password, "hunter2");
+  EXPECT_TRUE(decoded->direct_control_enabled);
+  EXPECT_FALSE(PlcConfig::decode(util::to_bytes("junk")).has_value());
+}
+
+}  // namespace
+}  // namespace spire::plc

@@ -1,0 +1,542 @@
+// Prime BFT engine tests: ordering safety and liveness, duplicate
+// suppression, crash tolerance, view changes under silent/stale (delay
+// attack) leaders, partition catch-up, proactive recovery with
+// application-level state transfer, checkpoints, and authentication.
+//
+// Property-style suites (TEST_P) sweep the (f, k) configurations and
+// seeds the paper's deployments used: f=1,k=0 (red-team, n=4) and
+// f=1,k=1 (plant, n=6), plus f=2 for margin.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "prime/recovery.hpp"
+#include "prime/replica.hpp"
+#include "prime/transport.hpp"
+
+namespace spire::prime {
+namespace {
+
+/// Deterministic test application: an append-only execution log.
+class TestApp : public Application {
+ public:
+  void apply(const ClientUpdate& update, const ExecutionInfo&) override {
+    log_.push_back(update.client + "#" + std::to_string(update.client_seq));
+  }
+
+  [[nodiscard]] util::Bytes snapshot() const override {
+    util::ByteWriter w;
+    w.u32(static_cast<std::uint32_t>(log_.size()));
+    for (const auto& entry : log_) w.str(entry);
+    return w.take();
+  }
+
+  void restore(std::span<const std::uint8_t> blob) override {
+    util::ByteReader r(blob);
+    log_.clear();
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) log_.push_back(r.str());
+  }
+
+  void on_state_transfer() override { ++state_transfers_; }
+
+  [[nodiscard]] const std::vector<std::string>& log() const { return log_; }
+  [[nodiscard]] int state_transfers() const { return state_transfers_; }
+
+ private:
+  std::vector<std::string> log_;
+  int state_transfers_ = 0;
+};
+
+struct Cluster {
+  sim::Simulator sim;
+  crypto::Keyring keyring{"prime-test"};
+  std::unique_ptr<LoopbackFabric> fabric;
+  std::vector<std::unique_ptr<TestApp>> apps;
+  std::vector<std::unique_ptr<Replica>> replicas;
+  PrimeConfig config;
+  std::map<std::string, std::uint64_t> client_seqs;
+
+  void build(std::uint32_t f, std::uint32_t k,
+             std::vector<std::string> clients = {"client/a", "client/b"},
+             std::uint64_t seed = 1) {
+    config.f = f;
+    config.k = k;
+    config.client_identities = clients;
+    fabric = std::make_unique<LoopbackFabric>(sim, config.n());
+    sim::Rng rng(seed);
+    for (ReplicaId i = 0; i < config.n(); ++i) {
+      apps.push_back(std::make_unique<TestApp>());
+      replicas.push_back(std::make_unique<Replica>(
+          sim, i, config, keyring, *apps.back(), fabric->transport_for(i),
+          rng.fork()));
+      Replica* replica = replicas.back().get();
+      fabric->attach(i, [replica](const util::Bytes& bytes) {
+        replica->on_message(bytes);
+      });
+    }
+    for (auto& r : replicas) r->start();
+  }
+
+  /// Submits a signed client update to every running replica.
+  void submit(const std::string& client, const std::string& op) {
+    ClientUpdate update;
+    update.client = client;
+    update.client_seq = ++client_seqs[client];
+    update.payload = util::to_bytes(op);
+    crypto::Signer signer(client, keyring.identity_key(client));
+    update.sign(signer);
+    util::ByteWriter w;
+    update.encode(w);
+    const Envelope env =
+        Envelope::make(MsgType::kClientUpdate, signer, w.take());
+    const util::Bytes bytes = env.encode();
+    for (auto& r : replicas) r->on_message(bytes);
+  }
+
+  void run_for(sim::Time t) { sim.run_until(sim.now() + t); }
+
+  /// Longest common prefix check: every replica's log must be a prefix
+  /// of the longest log (total-order safety).
+  void expect_logs_consistent() const {
+    const std::vector<std::string>* longest = &apps[0]->log();
+    for (const auto& app : apps) {
+      if (app->log().size() > longest->size()) longest = &app->log();
+    }
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+      const auto& log = apps[i]->log();
+      for (std::size_t j = 0; j < log.size(); ++j) {
+        ASSERT_EQ(log[j], (*longest)[j])
+            << "replica " << i << " diverges at index " << j;
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t min_executed() const {
+    std::size_t m = SIZE_MAX;
+    for (const auto& app : apps) m = std::min(m, app->log().size());
+    return m;
+  }
+};
+
+TEST(Prime, BasicOrderingAllReplicasExecuteEverything) {
+  Cluster cluster;
+  cluster.build(1, 0);
+  cluster.run_for(500 * sim::kMillisecond);  // settle
+
+  for (int i = 0; i < 25; ++i) {
+    cluster.submit("client/a", "opA" + std::to_string(i));
+    cluster.submit("client/b", "opB" + std::to_string(i));
+    cluster.run_for(40 * sim::kMillisecond);
+  }
+  cluster.run_for(2 * sim::kSecond);
+
+  for (const auto& app : cluster.apps) {
+    EXPECT_EQ(app->log().size(), 50u);
+  }
+  cluster.expect_logs_consistent();
+  EXPECT_EQ(cluster.replicas[0]->view(), 0u);  // no spurious view changes
+}
+
+TEST(Prime, DuplicatesAcrossOriginsExecuteOnce) {
+  Cluster cluster;
+  cluster.build(1, 0);
+  cluster.run_for(500 * sim::kMillisecond);
+  // Every submit already goes to all 4 replicas (so up to 4 origins
+  // preorder it). Submit the same logical updates and verify counts.
+  for (int i = 0; i < 10; ++i) cluster.submit("client/a", "op");
+  cluster.run_for(2 * sim::kSecond);
+  for (const auto& app : cluster.apps) {
+    EXPECT_EQ(app->log().size(), 10u);
+  }
+  cluster.expect_logs_consistent();
+}
+
+TEST(Prime, ToleratesCrashOfOneReplica) {
+  Cluster cluster;
+  cluster.build(1, 0);
+  cluster.run_for(500 * sim::kMillisecond);
+  cluster.replicas[2]->set_behavior(ReplicaBehavior::kCrashed);
+
+  for (int i = 0; i < 10; ++i) {
+    cluster.submit("client/a", "op" + std::to_string(i));
+    cluster.run_for(50 * sim::kMillisecond);
+  }
+  cluster.run_for(2 * sim::kSecond);
+
+  for (ReplicaId i = 0; i < 4; ++i) {
+    if (i == 2) continue;
+    EXPECT_EQ(cluster.apps[i]->log().size(), 10u) << "replica " << i;
+  }
+  cluster.expect_logs_consistent();
+}
+
+TEST(Prime, SilentLeaderTriggersViewChangeAndLivenessResumes) {
+  Cluster cluster;
+  cluster.build(1, 0);
+  cluster.run_for(500 * sim::kMillisecond);
+  ASSERT_TRUE(cluster.replicas[0]->is_leader());
+  cluster.replicas[0]->set_behavior(ReplicaBehavior::kCrashed);
+
+  cluster.run_for(3 * sim::kSecond);  // suspect timeout + view change
+  EXPECT_GE(cluster.replicas[1]->view(), 1u);
+
+  for (int i = 0; i < 10; ++i) {
+    cluster.submit("client/a", "after-vc" + std::to_string(i));
+    cluster.run_for(50 * sim::kMillisecond);
+  }
+  cluster.run_for(3 * sim::kSecond);
+  for (ReplicaId i = 1; i < 4; ++i) {
+    EXPECT_EQ(cluster.apps[i]->log().size(), 10u) << "replica " << i;
+  }
+  cluster.expect_logs_consistent();
+}
+
+TEST(Prime, StaleMatrixLeaderIsEvictedByTurnaroundBound) {
+  // The Prime delay attack: a leader that keeps proposing but with
+  // matrices that never reflect fresh PO-ARUs. Liveness must recover
+  // within the turnaround bound, not stall indefinitely.
+  Cluster cluster;
+  cluster.build(1, 0);
+  cluster.run_for(500 * sim::kMillisecond);
+  cluster.replicas[0]->set_behavior(ReplicaBehavior::kStaleLeader);
+
+  for (int i = 0; i < 10; ++i) {
+    cluster.submit("client/a", "op" + std::to_string(i));
+    cluster.run_for(50 * sim::kMillisecond);
+  }
+  cluster.run_for(4 * sim::kSecond);
+
+  EXPECT_GE(cluster.replicas[1]->view(), 1u)
+      << "stale leader was never suspected";
+  for (ReplicaId i = 1; i < 4; ++i) {
+    EXPECT_EQ(cluster.apps[i]->log().size(), 10u) << "replica " << i;
+  }
+  cluster.expect_logs_consistent();
+}
+
+TEST(Prime, SilentLeaderBehaviorVariant) {
+  // kSilentLeader: correct replica except it never proposes.
+  Cluster cluster;
+  cluster.build(1, 0);
+  cluster.run_for(500 * sim::kMillisecond);
+  cluster.replicas[0]->set_behavior(ReplicaBehavior::kSilentLeader);
+  cluster.run_for(3 * sim::kSecond);
+  EXPECT_GE(cluster.replicas[0]->view(), 1u);  // it still participates in VC
+
+  cluster.submit("client/a", "post");
+  cluster.run_for(2 * sim::kSecond);
+  EXPECT_GE(cluster.min_executed(), 1u);
+  cluster.expect_logs_consistent();
+}
+
+TEST(Prime, PartitionedReplicaCatchesUpAfterHeal) {
+  Cluster cluster;
+  cluster.build(1, 0);
+  cluster.run_for(500 * sim::kMillisecond);
+
+  cluster.fabric->isolate(3, true);
+  for (int i = 0; i < 20; ++i) {
+    cluster.submit("client/a", "op" + std::to_string(i));
+    cluster.run_for(50 * sim::kMillisecond);
+  }
+  cluster.run_for(1 * sim::kSecond);
+  EXPECT_EQ(cluster.apps[0]->log().size(), 20u);
+  const auto behind = cluster.apps[3]->log().size();
+  EXPECT_LT(behind, 20u);
+
+  cluster.fabric->isolate(3, false);
+  cluster.run_for(5 * sim::kSecond);
+  EXPECT_EQ(cluster.apps[3]->log().size(), 20u);
+  cluster.expect_logs_consistent();
+}
+
+TEST(Prime, ProactiveRecoveryRunsApplicationStateTransfer) {
+  Cluster cluster;
+  cluster.build(1, 1);  // n = 6: supports recovery with bounded delay
+  cluster.run_for(500 * sim::kMillisecond);
+
+  for (int i = 0; i < 20; ++i) {
+    cluster.submit("client/a", "op" + std::to_string(i));
+    cluster.run_for(40 * sim::kMillisecond);
+  }
+  cluster.run_for(1 * sim::kSecond);
+  ASSERT_EQ(cluster.apps[2]->log().size(), 20u);
+
+  const std::uint64_t old_variant = cluster.replicas[2]->variant();
+  cluster.replicas[2]->shutdown();
+  cluster.run_for(500 * sim::kMillisecond);
+  cluster.replicas[2]->recover();
+  cluster.run_for(3 * sim::kSecond);
+
+  EXPECT_FALSE(cluster.replicas[2]->recovering());
+  EXPECT_NE(cluster.replicas[2]->variant(), old_variant);  // new diversity
+  EXPECT_EQ(cluster.apps[2]->state_transfers(), 1);        // §III-A signal
+  EXPECT_EQ(cluster.replicas[2]->stats().state_transfers, 1u);
+
+  // Recovered replica keeps executing new updates.
+  for (int i = 0; i < 10; ++i) {
+    cluster.submit("client/b", "post" + std::to_string(i));
+    cluster.run_for(40 * sim::kMillisecond);
+  }
+  cluster.run_for(3 * sim::kSecond);
+  EXPECT_EQ(cluster.apps[2]->log().size(), 30u);
+  cluster.expect_logs_consistent();
+}
+
+TEST(Prime, RecoverySchedulerCyclesThroughAllReplicas) {
+  Cluster cluster;
+  cluster.build(1, 1);
+  cluster.run_for(500 * sim::kMillisecond);
+
+  std::vector<Replica*> targets;
+  for (auto& r : cluster.replicas) targets.push_back(r.get());
+  RecoveryConfig rc;
+  rc.period = 4 * sim::kSecond;
+  rc.downtime = 500 * sim::kMillisecond;
+  ProactiveRecovery recovery(cluster.sim, targets, rc);
+  recovery.start();
+
+  int submitted = 0;
+  for (int round = 0; round < 7 * 8; ++round) {  // > one full cycle
+    cluster.submit("client/a", "op" + std::to_string(round));
+    ++submitted;
+    cluster.run_for(500 * sim::kMillisecond);
+  }
+  recovery.stop();
+  cluster.run_for(8 * sim::kSecond);
+
+  EXPECT_GE(recovery.recoveries_completed(), 6u);
+  cluster.expect_logs_consistent();
+  // Every live replica converged on the full history.
+  for (ReplicaId i = 0; i < cluster.config.n(); ++i) {
+    if (!cluster.replicas[i]->running() || cluster.replicas[i]->recovering()) {
+      continue;
+    }
+    EXPECT_EQ(cluster.apps[i]->log().size(), static_cast<std::size_t>(submitted))
+        << "replica " << i;
+  }
+}
+
+TEST(Prime, ForgedClientUpdateRejected) {
+  Cluster cluster;
+  cluster.build(1, 0);
+  cluster.run_for(500 * sim::kMillisecond);
+
+  ClientUpdate update;
+  update.client = "client/a";
+  update.client_seq = 1;
+  update.payload = util::to_bytes("evil");
+  // Signed by an attacker key, not client/a's key.
+  crypto::Signer mallory("mallory", cluster.keyring.identity_key("mallory"));
+  update.client_sig = mallory.sign(update.signed_bytes());
+  util::ByteWriter w;
+  update.encode(w);
+  Envelope env;
+  env.type = MsgType::kClientUpdate;
+  env.sender = "client/a";
+  env.body = w.take();
+  env.signature = mallory.sign(env.signed_bytes());
+  for (auto& r : cluster.replicas) r->on_message(env.encode());
+
+  cluster.run_for(2 * sim::kSecond);
+  for (const auto& app : cluster.apps) EXPECT_TRUE(app->log().empty());
+  EXPECT_GT(cluster.replicas[0]->stats().dropped_bad_signature, 0u);
+}
+
+TEST(Prime, UnknownClientRejected) {
+  Cluster cluster;
+  cluster.build(1, 0, {"client/a"});
+  cluster.run_for(500 * sim::kMillisecond);
+  // client/evil has a valid key in the keyring but is not provisioned.
+  ClientUpdate update;
+  update.client = "client/evil";
+  update.client_seq = 1;
+  update.payload = util::to_bytes("x");
+  crypto::Signer signer("client/evil", cluster.keyring.identity_key("client/evil"));
+  update.sign(signer);
+  util::ByteWriter w;
+  update.encode(w);
+  const Envelope env = Envelope::make(MsgType::kClientUpdate, signer, w.take());
+  for (auto& r : cluster.replicas) r->on_message(env.encode());
+  cluster.run_for(2 * sim::kSecond);
+  for (const auto& app : cluster.apps) EXPECT_TRUE(app->log().empty());
+}
+
+TEST(Prime, CheckpointsBecomeStable) {
+  Cluster cluster;
+  cluster.build(1, 0);
+  cluster.run_for(500 * sim::kMillisecond);
+  for (int i = 0; i < 30; ++i) {
+    cluster.submit("client/a", "op" + std::to_string(i));
+    cluster.run_for(40 * sim::kMillisecond);
+  }
+  cluster.run_for(3 * sim::kSecond);
+  EXPECT_GT(cluster.replicas[0]->stats().checkpoints_stable, 0u);
+}
+
+TEST(Prime, MalformedEnvelopesAreHarmless) {
+  Cluster cluster;
+  cluster.build(1, 0);
+  cluster.run_for(500 * sim::kMillisecond);
+  cluster.replicas[0]->on_message(util::to_bytes("complete garbage"));
+  cluster.replicas[0]->on_message(util::Bytes{});
+  cluster.replicas[0]->on_message(util::Bytes(10000, 0xFF));
+  cluster.submit("client/a", "still-works");
+  cluster.run_for(2 * sim::kSecond);
+  EXPECT_EQ(cluster.apps[0]->log().size(), 1u);
+}
+
+TEST(PrimeMessages, EnvelopeRoundTripAndTamperDetection) {
+  crypto::Keyring kr("x");
+  crypto::Signer signer("prime/0", kr.identity_key("prime/0"));
+  crypto::Verifier verifier;
+  verifier.add_identity("prime/0", kr.identity_key("prime/0"));
+
+  const Envelope env =
+      Envelope::make(MsgType::kPoRequest, signer, util::to_bytes("body"));
+  auto bytes = env.encode();
+  const auto decoded = Envelope::decode(bytes);
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->verify(verifier));
+
+  bytes[bytes.size() / 2] ^= 1;
+  const auto tampered = Envelope::decode(bytes);
+  if (tampered) {
+    EXPECT_FALSE(tampered->verify(verifier));
+  }
+}
+
+TEST(PrimeMessages, PrePrepareDigestCoversMatrix) {
+  PrePrepare a;
+  a.leader = 0;
+  a.view = 1;
+  a.order_seq = 5;
+  a.rows.assign(4, std::nullopt);
+  PrePrepare b = a;
+  PoAru row;
+  row.replica = 2;
+  row.aru = {1, 2, 3, 4};
+  b.rows[2] = row;
+  EXPECT_NE(a.digest(), b.digest());
+  const auto decoded = PrePrepare::decode(b.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->digest(), b.digest());
+}
+
+TEST(Prime, ResponsibleSetBoundsPreorderDuplication) {
+  // Clients broadcast to all n replicas, but only f+k+1 of them may
+  // preorder any given client's updates (DESIGN.md: bounded
+  // duplication with guaranteed liveness).
+  Cluster cluster;
+  cluster.build(1, 1);  // n = 6, responsible set size 3
+  cluster.run_for(500 * sim::kMillisecond);
+  for (int i = 0; i < 10; ++i) {
+    cluster.submit("client/a", "op" + std::to_string(i));
+    cluster.run_for(60 * sim::kMillisecond);
+  }
+  cluster.run_for(2 * sim::kSecond);
+
+  std::uint32_t preorderers = 0;
+  std::uint64_t total_po_requests = 0;
+  for (const auto& replica : cluster.replicas) {
+    if (replica->stats().po_requests_sent > 0) ++preorderers;
+    total_po_requests += replica->stats().po_requests_sent;
+  }
+  EXPECT_LE(preorderers, cluster.config.f + cluster.config.k + 1);
+  EXPECT_GE(preorderers, 1u);
+  EXPECT_GT(total_po_requests, 0u);
+  for (const auto& app : cluster.apps) EXPECT_EQ(app->log().size(), 10u);
+}
+
+// ---- property sweeps ---------------------------------------------------------
+
+struct SweepParam {
+  std::uint32_t f;
+  std::uint32_t k;
+  std::uint64_t seed;
+};
+
+class PrimeSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PrimeSweep, SafetyAndLivenessWithCrashFaults) {
+  const auto param = GetParam();
+  Cluster cluster;
+  cluster.build(param.f, param.k, {"client/a", "client/b"}, param.seed);
+  cluster.run_for(500 * sim::kMillisecond);
+
+  // Crash f replicas (never the whole leader chain): pick the highest
+  // indices so view 0's leader survives.
+  for (std::uint32_t c = 0; c < param.f; ++c) {
+    cluster.replicas[cluster.config.n() - 1 - c]->set_behavior(
+        ReplicaBehavior::kCrashed);
+  }
+
+  sim::Rng workload(param.seed * 7919 + 13);
+  int submitted = 0;
+  for (int i = 0; i < 30; ++i) {
+    const std::string client = workload.chance(0.5) ? "client/a" : "client/b";
+    cluster.submit(client, "op" + std::to_string(i));
+    ++submitted;
+    cluster.run_for(20 + workload.uniform(0, 60) * sim::kMillisecond);
+  }
+  cluster.run_for(3 * sim::kSecond);
+
+  for (ReplicaId i = 0; i < cluster.config.n(); ++i) {
+    if (cluster.replicas[i]->behavior() == ReplicaBehavior::kCrashed) continue;
+    EXPECT_EQ(cluster.apps[i]->log().size(),
+              static_cast<std::size_t>(submitted))
+        << "replica " << i << " (f=" << param.f << ", k=" << param.k << ")";
+  }
+  cluster.expect_logs_consistent();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, PrimeSweep,
+    ::testing::Values(SweepParam{1, 0, 1}, SweepParam{1, 0, 2},
+                      SweepParam{1, 1, 1}, SweepParam{1, 1, 2},
+                      SweepParam{2, 0, 1}, SweepParam{1, 2, 1}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::ostringstream name;
+      name << "f" << info.param.f << "k" << info.param.k << "seed"
+           << info.param.seed;
+      return name.str();
+    });
+
+class LeaderFaultSweep : public ::testing::TestWithParam<ReplicaBehavior> {};
+
+TEST_P(LeaderFaultSweep, ViewChangeRestoresLiveness) {
+  Cluster cluster;
+  cluster.build(1, 1);  // n=6
+  cluster.run_for(500 * sim::kMillisecond);
+  cluster.replicas[0]->set_behavior(GetParam());
+
+  for (int i = 0; i < 8; ++i) {
+    cluster.submit("client/a", "op" + std::to_string(i));
+    cluster.run_for(100 * sim::kMillisecond);
+  }
+  cluster.run_for(5 * sim::kSecond);
+
+  EXPECT_GE(cluster.replicas[1]->view(), 1u);
+  for (ReplicaId i = 1; i < cluster.config.n(); ++i) {
+    EXPECT_EQ(cluster.apps[i]->log().size(), 8u) << "replica " << i;
+  }
+  cluster.expect_logs_consistent();
+}
+
+INSTANTIATE_TEST_SUITE_P(LeaderFaults, LeaderFaultSweep,
+                         ::testing::Values(ReplicaBehavior::kCrashed,
+                                           ReplicaBehavior::kSilentLeader,
+                                           ReplicaBehavior::kStaleLeader),
+                         [](const ::testing::TestParamInfo<ReplicaBehavior>& info) {
+                           switch (info.param) {
+                             case ReplicaBehavior::kCrashed: return "Crashed";
+                             case ReplicaBehavior::kSilentLeader: return "Silent";
+                             case ReplicaBehavior::kStaleLeader: return "Stale";
+                             default: return "Other";
+                           }
+                         });
+
+}  // namespace
+}  // namespace spire::prime

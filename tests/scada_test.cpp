@@ -1,0 +1,549 @@
+// SCADA layer tests: wire codecs, topology state machine, the
+// replicated master's output voting contracts (HMI f+1 state voting,
+// proxy f+1 command voting), the auto-cycler, and the commercial
+// primary-backup baseline.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "plc/plc.hpp"
+#include "scada/commercial.hpp"
+#include "scada/cycler.hpp"
+#include "scada/hmi.hpp"
+#include "scada/master.hpp"
+#include "scada/proxy.hpp"
+
+namespace spire::scada {
+namespace {
+
+crypto::Verifier replica_verifier(const crypto::Keyring& kr, std::uint32_t n) {
+  crypto::Verifier v;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    v.add_identity(prime::replica_identity(i),
+                   kr.identity_key(prime::replica_identity(i)));
+  }
+  return v;
+}
+
+TEST(Wire, StatusReportRoundTrip) {
+  StatusReport report;
+  report.device = "plc-phys";
+  report.report_seq = 42;
+  report.breakers = {true, false, true};
+  report.readings = {4800, 3, 4795};
+  const auto decoded = StatusReport::decode(report.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->device, "plc-phys");
+  EXPECT_EQ(decoded->breakers, report.breakers);
+  EXPECT_EQ(decoded->readings, report.readings);
+  EXPECT_FALSE(StatusReport::decode(util::to_bytes("junk")).has_value());
+}
+
+TEST(Wire, CommandOrderSigningBindsContent) {
+  crypto::Keyring kr("x");
+  crypto::Signer signer(prime::replica_identity(1),
+                        kr.identity_key(prime::replica_identity(1)));
+  const auto verifier = replica_verifier(kr, 4);
+
+  CommandOrder order;
+  order.replica = 1;
+  order.issuer = "client/hmi-0";
+  order.command = SupervisoryCommand{"plc-phys", 3, true, 7};
+  order.sign(signer);
+  auto decoded = CommandOrder::decode(order.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_TRUE(decoded->verify(verifier, prime::replica_identity(1)));
+  EXPECT_FALSE(decoded->verify(verifier, prime::replica_identity(2)));
+
+  decoded->command.close = false;  // tamper
+  EXPECT_FALSE(decoded->verify(verifier, prime::replica_identity(1)));
+}
+
+TEST(Topology, ScenariosMatchThePaper) {
+  const auto red_team = ScenarioSpec::red_team();
+  ASSERT_NE(red_team.device("plc-phys"), nullptr);
+  EXPECT_EQ(red_team.device("plc-phys")->breaker_names.size(), 7u);  // Fig. 4
+  EXPECT_EQ(red_team.devices.size(), 11u);  // 1 physical + 10 emulated
+
+  const auto plant = ScenarioSpec::power_plant();
+  ASSERT_NE(plant.device("plc-plant"), nullptr);
+  const auto& names = plant.device("plc-plant")->breaker_names;
+  EXPECT_EQ(names, (std::vector<std::string>{"B10-1", "B57", "B56"}));
+  EXPECT_EQ(plant.devices.size(), 17u);  // 1 + 10 distribution + 6 generation
+}
+
+TEST(Topology, StateAppliesReportsMonotonically) {
+  TopologyState state(ScenarioSpec::red_team());
+  EXPECT_TRUE(state.apply_report("plc-phys", 2, {1, 0, 0, 0, 0, 0, 0}, {}));
+  EXPECT_EQ(state.breaker("plc-phys", 0), true);
+  // Stale report (seq 1 < 2) is ignored.
+  EXPECT_FALSE(state.apply_report("plc-phys", 1, {0, 0, 0, 0, 0, 0, 0}, {}));
+  EXPECT_EQ(state.breaker("plc-phys", 0), true);
+  // Unknown device ignored.
+  EXPECT_FALSE(state.apply_report("nope", 1, {1}, {}));
+  EXPECT_FALSE(state.breaker("nope", 0).has_value());
+}
+
+TEST(Topology, SerializationRoundTripsAndDigestsDiffer) {
+  TopologyState state(ScenarioSpec::power_plant());
+  state.apply_report("plc-plant", 5, {true, false, true}, {480, 0, 479});
+  const auto round = TopologyState::deserialize(state.serialize());
+  EXPECT_EQ(round.serialize(), state.serialize());
+  EXPECT_EQ(round.digest(), state.digest());
+
+  TopologyState other(ScenarioSpec::power_plant());
+  EXPECT_NE(other.digest(), state.digest());
+}
+
+struct MasterFixture : ::testing::Test {
+  crypto::Keyring keyring{"scada-test"};
+  std::vector<std::pair<std::string, util::Bytes>> outputs;  // (client, data)
+  std::unique_ptr<ScadaMaster> master;
+
+  void SetUp() override {
+    MasterConfig config;
+    config.replica_id = 0;
+    config.scenario = ScenarioSpec::red_team();
+    config.device_proxy["plc-phys"] = "client/proxy-plc-phys";
+    config.hmis = {"client/hmi-0"};
+    master = std::make_unique<ScadaMaster>(
+        config, keyring, [this](const std::string& client, const util::Bytes& b) {
+          outputs.emplace_back(client, b);
+        });
+  }
+
+  prime::ClientUpdate make_update(const std::string& client, ScadaMsgType type,
+                                  util::Bytes body, std::uint64_t seq) {
+    ClientPayload payload;
+    payload.type = type;
+    payload.body = std::move(body);
+    prime::ClientUpdate update;
+    update.client = client;
+    update.client_seq = seq;
+    update.payload = payload.encode();
+    return update;
+  }
+};
+
+TEST_F(MasterFixture, StatusReportUpdatesStateAndPushesToHmi) {
+  StatusReport report;
+  report.device = "plc-phys";
+  report.report_seq = 1;
+  report.breakers = {1, 1, 0, 0, 0, 0, 0};
+  report.readings.assign(7, 0);
+  master->apply(make_update("client/proxy-plc-phys", ScadaMsgType::kStatusReport,
+                            report.encode(), 1),
+                prime::ExecutionInfo{});
+
+  EXPECT_EQ(master->version(), 1u);
+  EXPECT_EQ(master->state().breaker("plc-phys", 1), true);
+  ASSERT_EQ(outputs.size(), 1u);
+  EXPECT_EQ(outputs[0].first, "client/hmi-0");
+  const auto out = MasterOutput::decode(outputs[0].second);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->type, ScadaMsgType::kStateUpdate);
+}
+
+TEST_F(MasterFixture, CommandEmitsSignedOrderToOwningProxy) {
+  SupervisoryCommand command{"plc-phys", 2, true, 9};
+  master->apply(make_update("client/hmi-0", ScadaMsgType::kSupervisoryCommand,
+                            command.encode(), 1),
+                prime::ExecutionInfo{});
+  // One CommandOrder to the proxy + one StateUpdate to the HMI.
+  ASSERT_EQ(outputs.size(), 2u);
+  EXPECT_EQ(outputs[0].first, "client/proxy-plc-phys");
+  const auto out = MasterOutput::decode(outputs[0].second);
+  ASSERT_TRUE(out);
+  EXPECT_EQ(out->type, ScadaMsgType::kCommandOrder);
+  const auto order = CommandOrder::decode(out->body);
+  ASSERT_TRUE(order);
+  EXPECT_EQ(order->command.breaker, 2);
+  EXPECT_TRUE(order->verify(replica_verifier(keyring, 4),
+                            prime::replica_identity(0)));
+  // Commands do NOT change topology state until the field reports it.
+  EXPECT_EQ(master->state().breaker("plc-phys", 2), false);
+}
+
+TEST_F(MasterFixture, SnapshotRestoreRoundTrip) {
+  StatusReport report;
+  report.device = "dist3";
+  report.report_seq = 4;
+  report.breakers = {1, 0, 1, 0};
+  report.readings.assign(4, 100);
+  master->apply(make_update("client/proxy-plc-phys", ScadaMsgType::kStatusReport,
+                            report.encode(), 1),
+                prime::ExecutionInfo{});
+  const auto snapshot = master->snapshot();
+
+  MasterConfig config2;
+  config2.replica_id = 1;
+  config2.scenario = ScenarioSpec::red_team();
+  ScadaMaster other(config2, keyring,
+                    [](const std::string&, const util::Bytes&) {});
+  other.restore(snapshot);
+  EXPECT_EQ(other.version(), master->version());
+  EXPECT_EQ(other.state().digest(), master->state().digest());
+}
+
+TEST_F(MasterFixture, CommandForUnknownDeviceOrdersNothing) {
+  SupervisoryCommand command{"no-such-device", 0, true, 1};
+  master->apply(make_update("client/hmi-0", ScadaMsgType::kSupervisoryCommand,
+                            command.encode(), 1),
+                prime::ExecutionInfo{});
+  // Version still advances (the update was ordered), but no order goes
+  // to any proxy; only the HMI state push happens.
+  EXPECT_EQ(master->version(), 1u);
+  for (const auto& [client, bytes] : outputs) {
+    EXPECT_EQ(client, "client/hmi-0");
+  }
+}
+
+TEST_F(MasterFixture, MalformedPayloadsAreIgnoredDeterministically) {
+  prime::ClientUpdate update;
+  update.client = "client/hmi-0";
+  update.client_seq = 1;
+  update.payload = util::to_bytes("not a scada payload");
+  master->apply(update, prime::ExecutionInfo{});
+  EXPECT_EQ(master->version(), 0u);
+  EXPECT_TRUE(outputs.empty());
+
+  ClientPayload payload;
+  payload.type = ScadaMsgType::kStatusReport;
+  payload.body = util::to_bytes("garbage");
+  update.payload = payload.encode();
+  master->apply(update, prime::ExecutionInfo{});
+  EXPECT_EQ(master->version(), 0u);
+}
+
+TEST_F(MasterFixture, StaleReportsDoNotRegressState) {
+  StatusReport fresh;
+  fresh.device = "plc-phys";
+  fresh.report_seq = 10;
+  fresh.breakers = {1, 0, 0, 0, 0, 0, 0};
+  fresh.readings.assign(7, 0);
+  master->apply(make_update("client/proxy-plc-phys", ScadaMsgType::kStatusReport,
+                            fresh.encode(), 1),
+                prime::ExecutionInfo{});
+  ASSERT_EQ(master->state().breaker("plc-phys", 0), true);
+
+  StatusReport stale;
+  stale.device = "plc-phys";
+  stale.report_seq = 5;  // older than what we applied
+  stale.breakers = {0, 0, 0, 0, 0, 0, 0};
+  stale.readings.assign(7, 0);
+  master->apply(make_update("client/proxy-plc-phys", ScadaMsgType::kStatusReport,
+                            stale.encode(), 2),
+                prime::ExecutionInfo{});
+  EXPECT_EQ(master->state().breaker("plc-phys", 0), true);  // unchanged
+}
+
+TEST_F(MasterFixture, VersionIsMonotonicAcrossMixedUpdates) {
+  std::uint64_t last = 0;
+  for (int i = 1; i <= 8; ++i) {
+    StatusReport report;
+    report.device = "dist0";
+    report.report_seq = static_cast<std::uint64_t>(i);
+    report.breakers = {i % 2 == 0, false, false, false};
+    report.readings.assign(4, 0);
+    master->apply(make_update("client/proxy-plc-phys",
+                              ScadaMsgType::kStatusReport, report.encode(),
+                              static_cast<std::uint64_t>(i)),
+                  prime::ExecutionInfo{});
+    EXPECT_GT(master->version(), last);
+    last = master->version();
+  }
+}
+
+TEST(HmiVoting, RequiresFPlusOneMatchingReplicas) {
+  sim::Simulator sim;
+  crypto::Keyring keyring("scada-test");
+  HmiConfig config;
+  config.identity = "client/hmi-0";
+  config.f = 1;
+  Hmi hmi(sim, config, keyring, replica_verifier(keyring, 4),
+          [](const util::Bytes&) {});
+
+  TopologyState state(ScenarioSpec::red_team());
+  state.apply_report("plc-phys", 1, {1, 0, 0, 0, 0, 0, 0}, {});
+  auto make_update = [&](std::uint32_t replica, const TopologyState& s) {
+    StateUpdate su;
+    su.replica = replica;
+    su.version = 1;
+    su.state = s.serialize();
+    crypto::Signer signer(prime::replica_identity(replica),
+                          keyring.identity_key(prime::replica_identity(replica)));
+    su.sign(signer);
+    MasterOutput out;
+    out.type = ScadaMsgType::kStateUpdate;
+    out.body = su.encode();
+    return out.encode();
+  };
+
+  // One replica (possibly compromised) is not enough.
+  hmi.on_master_output(make_update(0, state));
+  EXPECT_EQ(hmi.displayed_version(), 0u);
+
+  // A second matching replica crosses f+1 = 2.
+  hmi.on_master_output(make_update(1, state));
+  EXPECT_EQ(hmi.displayed_version(), 1u);
+  EXPECT_EQ(hmi.display().breaker("plc-phys", 0), true);
+}
+
+TEST(HmiVoting, LoneLyingReplicaCannotChangeDisplay) {
+  sim::Simulator sim;
+  crypto::Keyring keyring("scada-test");
+  HmiConfig config;
+  config.identity = "client/hmi-0";
+  config.f = 1;
+  Hmi hmi(sim, config, keyring, replica_verifier(keyring, 4),
+          [](const util::Bytes&) {});
+
+  TopologyState truth(ScenarioSpec::red_team());
+  TopologyState lie(ScenarioSpec::red_team());
+  lie.apply_report("plc-phys", 99, {1, 1, 1, 1, 1, 1, 1}, {});
+
+  auto send = [&](std::uint32_t replica, std::uint64_t version,
+                  const TopologyState& s) {
+    StateUpdate su;
+    su.replica = replica;
+    su.version = version;
+    su.state = s.serialize();
+    crypto::Signer signer(prime::replica_identity(replica),
+                          keyring.identity_key(prime::replica_identity(replica)));
+    su.sign(signer);
+    MasterOutput out;
+    out.type = ScadaMsgType::kStateUpdate;
+    out.body = su.encode();
+    hmi.on_master_output(out.encode());
+  };
+
+  // Compromised replica 3 pushes a lie at a high version, repeatedly.
+  send(3, 5, lie);
+  send(3, 5, lie);  // same replica voting twice must not count double
+  EXPECT_EQ(hmi.displayed_version(), 0u);
+
+  // Honest quorum at version 1 still lands.
+  send(0, 1, truth);
+  send(1, 1, truth);
+  EXPECT_EQ(hmi.displayed_version(), 1u);
+  EXPECT_EQ(hmi.display().breaker("plc-phys", 3), false);
+}
+
+TEST(HmiVoting, RejectsBadSignatures) {
+  sim::Simulator sim;
+  crypto::Keyring keyring("scada-test");
+  HmiConfig config;
+  config.identity = "client/hmi-0";
+  config.f = 1;
+  Hmi hmi(sim, config, keyring, replica_verifier(keyring, 4),
+          [](const util::Bytes&) {});
+
+  StateUpdate su;
+  su.replica = 0;
+  su.version = 1;
+  su.state = TopologyState(ScenarioSpec::red_team()).serialize();
+  crypto::Signer wrong("mallory", keyring.identity_key("mallory"));
+  su.sign(wrong);
+  MasterOutput out;
+  out.type = ScadaMsgType::kStateUpdate;
+  out.body = su.encode();
+  hmi.on_master_output(out.encode());
+  EXPECT_EQ(hmi.stats().updates_rejected_sig, 1u);
+  EXPECT_EQ(hmi.displayed_version(), 0u);
+}
+
+struct ProxyFixture : ::testing::Test {
+  sim::Simulator sim;
+  crypto::Keyring keyring{"scada-test"};
+  std::vector<util::Bytes> submitted;
+  std::vector<util::Bytes> modbus_out;
+  std::unique_ptr<PlcProxy> proxy;
+
+  void SetUp() override {
+    ProxyConfig config;
+    config.identity = "client/proxy-plc-phys";
+    config.device = "plc-phys";
+    config.breaker_count = 7;
+    config.f = 1;
+    auto field = std::make_unique<ModbusFieldClient>(
+        sim, config.device, config.breaker_count,
+        [this](const util::Bytes& b) { modbus_out.push_back(b); });
+    proxy = std::make_unique<PlcProxy>(
+        sim, config, keyring, replica_verifier(keyring, 4),
+        [this](const util::Bytes& b) { submitted.push_back(b); },
+        std::move(field));
+  }
+
+  util::Bytes make_order(std::uint32_t replica, std::uint64_t command_id,
+                         bool close = true) {
+    CommandOrder order;
+    order.replica = replica;
+    order.issuer = "client/hmi-0";
+    order.command = SupervisoryCommand{"plc-phys", 1, close, command_id};
+    crypto::Signer signer(prime::replica_identity(replica),
+                          keyring.identity_key(prime::replica_identity(replica)));
+    order.sign(signer);
+    MasterOutput out;
+    out.type = ScadaMsgType::kCommandOrder;
+    out.body = order.encode();
+    return out.encode();
+  }
+};
+
+TEST_F(ProxyFixture, ForwardsCommandOnlyAfterFPlusOneOrders) {
+  proxy->on_master_output(make_order(0, 1));
+  EXPECT_EQ(proxy->stats().commands_forwarded, 0u);
+  EXPECT_TRUE(modbus_out.empty());
+
+  proxy->on_master_output(make_order(1, 1));
+  EXPECT_EQ(proxy->stats().commands_forwarded, 1u);
+  ASSERT_EQ(modbus_out.size(), 1u);
+  // The forwarded Modbus request is a WriteSingleCoil for breaker 1.
+  const auto adu = modbus::Adu::decode(modbus_out[0]);
+  ASSERT_TRUE(adu);
+  const auto request = modbus::decode_request(adu->pdu);
+  const auto* write = std::get_if<modbus::WriteSingleCoilRequest>(&*request);
+  ASSERT_NE(write, nullptr);
+  EXPECT_EQ(write->address, 1);
+  EXPECT_TRUE(write->value);
+}
+
+TEST_F(ProxyFixture, DuplicateOrdersExecuteOnce) {
+  proxy->on_master_output(make_order(0, 1));
+  proxy->on_master_output(make_order(1, 1));
+  proxy->on_master_output(make_order(2, 1));
+  proxy->on_master_output(make_order(3, 1));
+  EXPECT_EQ(proxy->stats().commands_forwarded, 1u);
+}
+
+TEST_F(ProxyFixture, ConflictingContentDoesNotCount) {
+  // Replica 0 says CLOSE, compromised replica 3 says OPEN under the
+  // same command id: no f+1 agreement on either content.
+  proxy->on_master_output(make_order(0, 1, true));
+  proxy->on_master_output(make_order(3, 1, false));
+  EXPECT_EQ(proxy->stats().commands_forwarded, 0u);
+  // The honest second vote settles it.
+  proxy->on_master_output(make_order(1, 1, true));
+  EXPECT_EQ(proxy->stats().commands_forwarded, 1u);
+}
+
+TEST_F(ProxyFixture, RejectsForgedOrders) {
+  CommandOrder order;
+  order.replica = 0;
+  order.issuer = "client/hmi-0";
+  order.command = SupervisoryCommand{"plc-phys", 1, true, 5};
+  crypto::Signer mallory("mallory", keyring.identity_key("mallory"));
+  order.sign(mallory);
+  MasterOutput out;
+  out.type = ScadaMsgType::kCommandOrder;
+  out.body = order.encode();
+  proxy->on_master_output(out.encode());
+  EXPECT_EQ(proxy->stats().orders_rejected_sig, 1u);
+}
+
+TEST(Cycler, FlipsBreakersInPredeterminedOrder) {
+  sim::Simulator sim;
+  crypto::Keyring keyring("scada-test");
+  std::vector<util::Bytes> submitted;
+  ScenarioSpec scenario;
+  scenario.devices.push_back(DeviceSpec{"d1", {"A", "B"}, false});
+  AutoCycler cycler(sim, scenario, keyring,
+                    [&](const util::Bytes& b) { submitted.push_back(b); },
+                    100 * sim::kMillisecond);
+  cycler.start();
+  sim.run_until(450 * sim::kMillisecond);
+
+  ASSERT_EQ(cycler.history().size(), 5u);
+  // Round-robin: A close, B close, A open, B open, A close.
+  EXPECT_EQ(cycler.history()[0].breaker, 0);
+  EXPECT_TRUE(cycler.history()[0].close);
+  EXPECT_EQ(cycler.history()[1].breaker, 1);
+  EXPECT_EQ(cycler.history()[2].breaker, 0);
+  EXPECT_FALSE(cycler.history()[2].close);
+  EXPECT_EQ(submitted.size(), 5u);
+}
+
+// ---- commercial baseline ----------------------------------------------------
+
+struct CommercialFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Network network{sim};
+  net::Switch* sw = nullptr;
+  net::Host* primary_host = nullptr;
+  net::Host* backup_host = nullptr;
+  net::Host* hmi_host = nullptr;
+  net::Host* plc_host = nullptr;
+  std::unique_ptr<plc::Plc> device;
+  std::unique_ptr<CommercialMaster> primary;
+  std::unique_ptr<CommercialMaster> backup;
+  std::unique_ptr<CommercialHmi> hmi;
+
+  void SetUp() override {
+    sw = &network.add_switch(net::SwitchConfig{});
+    auto add = [&](const char* name, std::uint8_t last, std::uint32_t mac) {
+      net::Host& h = network.add_host(name);
+      h.add_interface(net::MacAddress::from_id(mac),
+                      net::IpAddress::make(10, 5, 0, last), 24);
+      network.connect(h, 0, *sw);
+      return &h;
+    };
+    primary_host = add("master1", 1, 1);
+    backup_host = add("master2", 2, 2);
+    hmi_host = add("hmi", 3, 3);
+    plc_host = add("plc", 10, 4);  // PLC directly on the switch (baseline!)
+
+    device = std::make_unique<plc::Plc>(
+        sim, *plc_host, "plc-phys",
+        std::vector<plc::BreakerSpec>(7, plc::BreakerSpec{"B", false,
+                                                          40 * sim::kMillisecond}),
+        sim::Rng(3));
+
+    CommercialMasterConfig mc;
+    mc.devices = {{"plc-phys", plc_host->ip(), 7}};
+    mc.is_primary = true;
+    mc.peer_ip = backup_host->ip();
+    primary = std::make_unique<CommercialMaster>(sim, *primary_host, mc);
+    mc.is_primary = false;
+    mc.peer_ip = primary_host->ip();
+    backup = std::make_unique<CommercialMaster>(sim, *backup_host, mc);
+
+    CommercialHmiConfig hc;
+    hc.primary_ip = primary_host->ip();
+    hc.backup_ip = backup_host->ip();
+    hmi = std::make_unique<CommercialHmi>(sim, *hmi_host, hc);
+
+    primary->start();
+    backup->start();
+    hmi->start();
+  }
+};
+
+TEST_F(CommercialFixture, PollsPlcAndServesHmi) {
+  device->actuate_breaker_locally(2, true);
+  sim.run_until(5 * sim::kSecond);
+  EXPECT_EQ(primary->state().breaker("plc-phys", 2), true);
+  EXPECT_EQ(hmi->display().breaker("plc-phys", 2), true);
+  EXPECT_GT(hmi->stats().replies, 0u);
+}
+
+TEST_F(CommercialFixture, HmiCommandReachesPlc) {
+  sim.run_until(3 * sim::kSecond);
+  hmi->command_breaker("plc-phys", 4, true);
+  sim.run_until(6 * sim::kSecond);
+  EXPECT_TRUE(device->breakers().closed(4));
+  EXPECT_EQ(hmi->display().breaker("plc-phys", 4), true);
+}
+
+TEST_F(CommercialFixture, BackupTakesOverWhenPrimaryDies) {
+  sim.run_until(3 * sim::kSecond);
+  EXPECT_FALSE(backup->active());
+  primary->stop();
+  sim.run_until(12 * sim::kSecond);
+  EXPECT_TRUE(backup->active());
+  // HMI failed over and still renders state.
+  device->actuate_breaker_locally(0, true);
+  sim.run_until(18 * sim::kSecond);
+  EXPECT_EQ(hmi->display().breaker("plc-phys", 0), true);
+}
+
+}  // namespace
+}  // namespace spire::scada

@@ -1,0 +1,486 @@
+// Spines overlay tests: link formation, routing, priority flooding,
+// link encryption/authentication, replay defense, fairness under a
+// blasting source, failure detection, and the legacy debug code path
+// that is disabled in intrusion-tolerant mode.
+#include <gtest/gtest.h>
+
+#include "net/network.hpp"
+#include "spines/overlay.hpp"
+
+namespace spire::spines {
+namespace {
+
+struct OverlayFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Network network{sim};
+  crypto::Keyring keyring{"spines-test"};
+  net::Switch* sw = nullptr;
+  std::vector<net::Host*> hosts;
+  std::unique_ptr<Overlay> overlay;
+
+  /// Builds `n` hosts on one switch and an overlay with the given links.
+  void build(std::size_t n, const std::vector<std::pair<int, int>>& links,
+             bool intrusion_tolerant = true,
+             ForwardingMode mode = ForwardingMode::kPriorityFlood) {
+    sw = &network.add_switch(net::SwitchConfig{});
+    for (std::size_t i = 0; i < n; ++i) {
+      net::Host& host = network.add_host("h" + std::to_string(i));
+      host.add_interface(net::MacAddress::from_id(static_cast<std::uint32_t>(i + 1)),
+                         net::IpAddress::make(10, 0, 0, static_cast<std::uint8_t>(i + 1)),
+                         24);
+      network.connect(host, 0, *sw);
+      hosts.push_back(&host);
+    }
+    DaemonConfig config;
+    config.intrusion_tolerant = intrusion_tolerant;
+    config.mode = mode;
+    overlay = std::make_unique<Overlay>(sim, keyring, config);
+    for (std::size_t i = 0; i < n; ++i) {
+      overlay->add_node(node(i), *hosts[i]);
+    }
+    for (const auto& [a, b] : links) overlay->add_link(node(a), node(b));
+    overlay->build();
+    overlay->start_all();
+  }
+
+  static NodeId node(std::size_t i) { return "n" + std::to_string(i); }
+
+  void settle(sim::Time t = 2 * sim::kSecond) { sim.run_until(sim.now() + t); }
+};
+
+TEST_F(OverlayFixture, LinksComeUpViaHellos) {
+  build(3, {{0, 1}, {1, 2}});
+  settle();
+  EXPECT_TRUE(overlay->daemon(node(0)).link_up(node(1)));
+  EXPECT_TRUE(overlay->daemon(node(1)).link_up(node(0)));
+  EXPECT_TRUE(overlay->daemon(node(1)).link_up(node(2)));
+}
+
+TEST_F(OverlayFixture, RoutedModeFindsMultiHopPaths) {
+  build(4, {{0, 1}, {1, 2}, {2, 3}}, true, ForwardingMode::kRouted);
+  settle();
+  const auto hop = overlay->daemon(node(0)).next_hop(node(3));
+  ASSERT_TRUE(hop.has_value());
+  EXPECT_EQ(*hop, node(1));
+
+  std::vector<std::string> got;
+  overlay->daemon(node(3)).open_session(
+      40, [&](const DataBody& d) { got.push_back(util::to_string(d.payload)); });
+  overlay->daemon(node(0)).session_send(40, node(3), 40,
+                                        util::to_bytes("end-to-end"));
+  settle(500 * sim::kMillisecond);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], "end-to-end");
+}
+
+TEST_F(OverlayFixture, FloodModeDeliversAndDeduplicates) {
+  // Diamond: 0-1, 0-2, 1-3, 2-3. Flooding reaches 3 via both paths; the
+  // session must still deliver exactly once.
+  build(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  settle();
+  int deliveries = 0;
+  overlay->daemon(node(3)).open_session(40, [&](const DataBody&) { ++deliveries; });
+  overlay->daemon(node(0)).session_send(40, node(3), 40, util::to_bytes("x"));
+  settle(500 * sim::kMillisecond);
+  EXPECT_EQ(deliveries, 1);
+  EXPECT_GT(overlay->daemon(node(3)).stats().dropped_dedup, 0u);
+}
+
+TEST_F(OverlayFixture, FloodModeSurvivesNodeFailure) {
+  // 0-1-3 and 0-2-3; kill 1 mid-stream, traffic still arrives via 2.
+  build(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  settle();
+  overlay->daemon(node(1)).stop();
+  settle();  // failure detection
+
+  int deliveries = 0;
+  overlay->daemon(node(3)).open_session(40, [&](const DataBody&) { ++deliveries; });
+  for (int i = 0; i < 5; ++i) {
+    overlay->daemon(node(0)).session_send(40, node(3), 40, util::to_bytes("x"));
+  }
+  settle(500 * sim::kMillisecond);
+  EXPECT_EQ(deliveries, 5);
+}
+
+TEST_F(OverlayFixture, LinkFailureIsDetectedByHelloTimeout) {
+  build(2, {{0, 1}});
+  settle();
+  ASSERT_TRUE(overlay->daemon(node(0)).link_up(node(1)));
+  overlay->daemon(node(1)).stop();
+  settle(2 * sim::kSecond);
+  EXPECT_FALSE(overlay->daemon(node(0)).link_up(node(1)));
+}
+
+TEST_F(OverlayFixture, OutsiderInjectionRejectedInIntrusionTolerantMode) {
+  build(2, {{0, 1}});
+  settle();
+  const auto before = overlay->daemon(node(1)).stats().dropped_auth;
+
+  // An attacker host on the same switch knows the wire format but has
+  // no keys: it forges a sealed-looking envelope claiming to be n0.
+  net::Host& attacker = network.add_host("attacker");
+  attacker.add_interface(net::MacAddress::from_id(99),
+                         net::IpAddress::make(10, 0, 0, 99), 24);
+  network.connect(attacker, 0, *sw);
+  LinkEnvelope forged;
+  forged.sender = node(0);
+  forged.sealed = true;
+  forged.body = util::to_bytes("not really sealed");
+  attacker.send_udp(hosts[1]->ip(), kDefaultDaemonPort, kDefaultDaemonPort,
+                    forged.encode());
+  settle(200 * sim::kMillisecond);
+  EXPECT_GT(overlay->daemon(node(1)).stats().dropped_auth, before);
+}
+
+TEST_F(OverlayFixture, PlaintextRejectedWhenSealingRequired) {
+  build(2, {{0, 1}});
+  settle();
+  const auto before = overlay->daemon(node(1)).stats().dropped_auth;
+  net::Host& attacker = network.add_host("attacker");
+  attacker.add_interface(net::MacAddress::from_id(99),
+                         net::IpAddress::make(10, 0, 0, 99), 24);
+  network.connect(attacker, 0, *sw);
+
+  InnerPacket inner;
+  inner.type = PacketType::kData;
+  inner.link_seq = 1;
+  DataBody data;
+  data.src = node(0);
+  data.dst = node(1);
+  data.dst_port = 40;
+  data.msg_seq = 1;
+  inner.body = data.encode();
+  LinkEnvelope env;
+  env.sender = node(0);
+  env.sealed = false;  // plaintext
+  env.body = inner.encode();
+  attacker.send_udp(hosts[1]->ip(), kDefaultDaemonPort, kDefaultDaemonPort,
+                    env.encode());
+  settle(200 * sim::kMillisecond);
+  EXPECT_GT(overlay->daemon(node(1)).stats().dropped_auth, before);
+}
+
+TEST_F(OverlayFixture, CorruptedDaemonCannotParticipateUntilRestored) {
+  // The excursion's "modified daemon without the new keys" (§IV-B).
+  build(3, {{0, 1}, {1, 2}});
+  settle();
+  overlay->daemon(node(1)).corrupt_link_keys();
+  settle(2 * sim::kSecond);
+  EXPECT_FALSE(overlay->daemon(node(0)).link_up(node(1)));
+  EXPECT_FALSE(overlay->daemon(node(2)).link_up(node(1)));
+
+  overlay->daemon(node(1)).restore_link_keys();
+  settle(2 * sim::kSecond);
+  EXPECT_TRUE(overlay->daemon(node(0)).link_up(node(1)));
+}
+
+TEST_F(OverlayFixture, DebugPacketIgnoredInIntrusionTolerantMode) {
+  // The red team's patched binary sent a legacy debug opcode from a
+  // *valid* member; in IT mode the code path is compiled out.
+  build(2, {{0, 1}}, true);
+  settle();
+  // Craft the debug packet through a daemon that has valid keys by
+  // reaching into the wire format: seal a body whose first byte is the
+  // debug opcode (so InnerPacket::decode fails and the debug branch is
+  // taken).
+  crypto::SymmetricKey base = keyring.link_key(node(0), node(1));
+  const util::Bytes label = util::to_bytes("dir:" + node(0));
+  crypto::SymmetricKey dir_key{};
+  const crypto::Digest d = crypto::hmac_sha256(base, label);
+  std::copy(d.begin(), d.end(), dir_key.begin());
+  crypto::SecureChannel channel(dir_key);
+  // The peer's replay counter is already past 0; use a huge link_seq
+  // embedded in... the debug packet has no seq — it is pre-parse.
+  util::Bytes debug_body = {kDebugPacketType, 0xDE, 0xAD};
+  LinkEnvelope env;
+  env.sender = node(0);
+  env.sealed = true;
+  env.body = channel.seal(debug_body);
+  // Deliver directly into the daemon's UDP handler path.
+  hosts[1]->handle_frame(
+      0, net::EthernetFrame{
+             hosts[0]->mac(), hosts[1]->mac(), net::EtherType::kIpv4,
+             net::Datagram{hosts[0]->ip(), hosts[1]->ip(), kDefaultDaemonPort,
+                           kDefaultDaemonPort, 64, env.encode()}
+                 .encode()});
+  settle(100 * sim::kMillisecond);
+  EXPECT_EQ(overlay->daemon(node(1)).stats().debug_packets_ignored, 1u);
+  EXPECT_EQ(overlay->daemon(node(1)).stats().debug_packets_honoured, 0u);
+}
+
+TEST_F(OverlayFixture, FairnessProtectsWellBehavedSourcesFromBlaster) {
+  // Chain 0-2, 1-2, 2-3: node 2 forwards for both 0 (blaster) and 1
+  // (well-behaved). Per-source round-robin + caps must keep 1's
+  // traffic flowing.
+  build(4, {{0, 2}, {1, 2}, {2, 3}});
+  settle();
+
+  int from_good = 0;
+  overlay->daemon(node(3)).open_session(40, [&](const DataBody& d) {
+    if (d.src == node(1)) ++from_good;
+  });
+
+  // Blaster: 2000 large messages at once. Good source: 20 spread out.
+  for (int i = 0; i < 2000; ++i) {
+    overlay->daemon(node(0)).session_send(40, node(3), 40,
+                                          util::Bytes(1200, 0xBB));
+  }
+  for (int i = 0; i < 20; ++i) {
+    sim.schedule_after((i + 1) * 20 * sim::kMillisecond, [this] {
+      overlay->daemon(node(1)).session_send(40, node(3), 40,
+                                            util::to_bytes("good"));
+    });
+  }
+  settle(5 * sim::kSecond);
+  EXPECT_EQ(from_good, 20);
+  // The per-source cap sheds the blaster's excess somewhere along the
+  // path (at its own origin queue in this topology) — never the good
+  // source's traffic.
+  EXPECT_GT(overlay->daemon(node(0)).stats().dropped_queue_full +
+                overlay->daemon(node(2)).stats().dropped_queue_full,
+            0u);
+}
+
+TEST_F(OverlayFixture, HigherPriorityServedFirst) {
+  build(3, {{0, 1}, {1, 2}}, true);
+  settle();
+  std::vector<Priority> order;
+  overlay->daemon(node(2)).open_session(
+      40, [&](const DataBody& d) { order.push_back(d.priority); });
+  // Queue a burst of low-priority then one high-priority; the high one
+  // should overtake queued low traffic at the forwarding hop.
+  for (int i = 0; i < 50; ++i) {
+    overlay->daemon(node(0)).session_send(40, node(2), 40,
+                                          util::Bytes(1400, 0xCC),
+                                          Priority::kLow);
+  }
+  overlay->daemon(node(0)).session_send(40, node(2), 40,
+                                        util::to_bytes("urgent"),
+                                        Priority::kHigh);
+  settle(3 * sim::kSecond);
+  ASSERT_GT(order.size(), 10u);
+  const auto high_pos =
+      std::find(order.begin(), order.end(), Priority::kHigh) - order.begin();
+  EXPECT_LT(high_pos, 25);  // overtook most of the 50 low-priority msgs
+}
+
+TEST_F(OverlayFixture, SessionSendFailsWhenStopped) {
+  build(2, {{0, 1}});
+  settle();
+  overlay->daemon(node(0)).stop();
+  EXPECT_FALSE(overlay->daemon(node(0)).session_send(
+      40, node(1), 40, util::to_bytes("x")));
+}
+
+TEST_F(OverlayFixture, TtlPreventsInfiniteForwarding) {
+  build(3, {{0, 1}, {1, 2}});
+  settle();
+  // Deliverable message: ok. The TTL machinery is exercised internally;
+  // verify ttl drops counter stays zero on a sane topology.
+  int got = 0;
+  overlay->daemon(node(2)).open_session(40, [&](const DataBody&) { ++got; });
+  overlay->daemon(node(0)).session_send(40, node(2), 40, util::to_bytes("x"));
+  settle(500 * sim::kMillisecond);
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(overlay->daemon(node(1)).stats().dropped_ttl, 0u);
+}
+
+TEST(OverlayConfig, RejectsDuplicateNodesAndUnknownLinks) {
+  sim::Simulator sim;
+  net::Network network(sim);
+  crypto::Keyring keyring("x");
+  net::Host& host = network.add_host("h");
+  host.add_interface(net::MacAddress::from_id(1), net::IpAddress::make(10, 0, 0, 1), 24);
+  Overlay overlay(sim, keyring, DaemonConfig{});
+  overlay.add_node("a", host);
+  EXPECT_THROW(overlay.add_node("a", host), std::invalid_argument);
+  EXPECT_THROW(overlay.add_link("a", "zz"), std::invalid_argument);
+}
+
+struct LossyLinkFixture : ::testing::Test {
+  sim::Simulator sim;
+  net::Network network{sim};
+  crypto::Keyring keyring{"arq-test"};
+  std::unique_ptr<Overlay> overlay;
+  int drop_counter = 0;
+
+  /// Two nodes joined by a hand-wired link that drops every 3rd frame
+  /// in each direction — deterministic loss the reliable service must
+  /// absorb.
+  void build(bool reliable) {
+    net::Host& a = network.add_host("a");
+    a.add_interface(net::MacAddress::from_id(1), net::IpAddress::make(10, 0, 0, 1), 24);
+    net::Host& b = network.add_host("b");
+    b.add_interface(net::MacAddress::from_id(2), net::IpAddress::make(10, 0, 0, 2), 24);
+
+    auto lossy = [this](net::Host& dst) {
+      return [this, &dst](const net::EthernetFrame& f) {
+        if (++drop_counter % 3 == 0) return;  // dropped on the floor
+        sim.schedule_after(50, [&dst, f] { dst.handle_frame(0, f); });
+      };
+    };
+    a.set_transmit(0, lossy(b));
+    b.set_transmit(0, lossy(a));
+
+    DaemonConfig config;
+    config.mode = ForwardingMode::kRouted;
+    config.reliable_data_links = reliable;
+    overlay = std::make_unique<Overlay>(sim, keyring, config);
+    overlay->add_node("a", a);
+    overlay->add_node("b", b);
+    overlay->add_link("a", "b");
+    overlay->build();
+    overlay->start_all();
+    sim.run_until(sim.now() + 3 * sim::kSecond);
+  }
+};
+
+TEST_F(LossyLinkFixture, ReliableServiceDeliversEverythingExactlyOnce) {
+  build(/*reliable=*/true);
+  std::map<std::string, int> got;
+  overlay->daemon("b").open_session(40, [&](const DataBody& d) {
+    got[util::to_string(d.payload)]++;
+  });
+  for (int i = 0; i < 50; ++i) {
+    overlay->daemon("a").session_send(40, "b", 40,
+                                      util::to_bytes("m" + std::to_string(i)));
+    sim.run_until(sim.now() + 20 * sim::kMillisecond);
+  }
+  sim.run_until(sim.now() + 3 * sim::kSecond);
+
+  EXPECT_EQ(got.size(), 50u);
+  for (const auto& [key, count] : got) {
+    EXPECT_EQ(count, 1) << key << " delivered more than once";
+  }
+  EXPECT_GT(overlay->daemon("a").stats().data_retransmits, 0u);
+  EXPECT_GT(overlay->daemon("b").stats().acks_sent, 0u);
+}
+
+TEST_F(LossyLinkFixture, WithoutReliabilityTheSameLinkLosesMessages) {
+  build(/*reliable=*/false);
+  int got = 0;
+  overlay->daemon("b").open_session(40, [&](const DataBody&) { ++got; });
+  for (int i = 0; i < 50; ++i) {
+    overlay->daemon("a").session_send(40, "b", 40, util::to_bytes("x"));
+    sim.run_until(sim.now() + 20 * sim::kMillisecond);
+  }
+  sim.run_until(sim.now() + 2 * sim::kSecond);
+  EXPECT_LT(got, 50);  // the drops actually bite without ARQ
+  EXPECT_EQ(overlay->daemon("a").stats().data_retransmits, 0u);
+}
+
+TEST_F(OverlayFixture, ByzantineLsuCannotFabricateLinks) {
+  // A Byzantine member advertises adjacency to a node it has no link
+  // with. Edge confirmation is bidirectional, so routes must never go
+  // through the fabricated edge.
+  build(4, {{0, 1}, {1, 2}, {2, 3}}, true, ForwardingMode::kRouted);
+  settle();
+  ASSERT_EQ(*overlay->daemon(node(0)).next_hop(node(3)), node(1));
+
+  // Node 1 (compromised, but holding real keys) floods an LSU claiming
+  // a direct link to node 3 — which node 3 never confirms.
+  crypto::Signer liar(node(1), keyring.identity_key(node(1)));
+  LinkStateBody lie;
+  lie.origin = node(1);
+  lie.seq = 1000000;  // fresher than anything legitimate
+  lie.neighbors = {node(0), node(2), node(3)};  // node(3) is fabricated
+  lie.signature = liar.sign(lie.signed_bytes());
+  // Deliver it into node 0's LSDB through the real daemon interface.
+  // The wire path is equivalent; we inject at the processing layer via
+  // a legitimate flood from node 1's own daemon being impossible to
+  // script here, so encode and send as node 1 would:
+  crypto::SymmetricKey base = keyring.link_key(node(1), node(0));
+  const util::Bytes label = util::to_bytes("dir:" + node(1));
+  crypto::SymmetricKey dir_key{};
+  const crypto::Digest d = crypto::hmac_sha256(base, label);
+  std::copy(d.begin(), d.end(), dir_key.begin());
+  crypto::SecureChannel channel(dir_key);
+  InnerPacket inner;
+  inner.type = PacketType::kLinkState;
+  inner.link_seq = 55;  // ahead of the ~26 real packets sent so far, within the window
+  inner.body = lie.encode();
+  LinkEnvelope env;
+  env.sender = node(1);
+  env.sealed = true;
+  env.body = channel.seal(inner.encode());
+  hosts[1]->send_udp(hosts[0]->ip(), kDefaultDaemonPort, kDefaultDaemonPort,
+                     env.encode());
+  settle(1 * sim::kSecond);
+
+  // Node 0 accepted the LSU (valid signature) but must not route 3 via
+  // the fabricated edge: next hop for node 3 stays node 1 *because of
+  // the real path*, and messages still arrive (through 1 -> 2 -> 3).
+  int got = 0;
+  overlay->daemon(node(3)).open_session(40, [&](const DataBody&) { ++got; });
+  overlay->daemon(node(0)).session_send(40, node(3), 40, util::to_bytes("x"));
+  settle(1 * sim::kSecond);
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(OverlayFixture, ByzantineLsuSelfRemovalOnlyHurtsItself) {
+  // The only lie a member can make stick is removing its own edges —
+  // equivalent to failing, which the overlay already tolerates.
+  build(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}});
+  settle();
+  crypto::Signer liar(node(1), keyring.identity_key(node(1)));
+  LinkStateBody lie;
+  lie.origin = node(1);
+  lie.seq = 1000000;
+  lie.neighbors = {};  // "I have no links"
+  lie.signature = liar.sign(lie.signed_bytes());
+  crypto::SymmetricKey base = keyring.link_key(node(1), node(0));
+  const util::Bytes label = util::to_bytes("dir:" + node(1));
+  crypto::SymmetricKey dir_key{};
+  const crypto::Digest d = crypto::hmac_sha256(base, label);
+  std::copy(d.begin(), d.end(), dir_key.begin());
+  crypto::SecureChannel channel(dir_key);
+  InnerPacket inner;
+  inner.type = PacketType::kLinkState;
+  inner.link_seq = 55;  // ahead of the ~26 real packets sent so far, within the window
+  inner.body = lie.encode();
+  LinkEnvelope env;
+  env.sender = node(1);
+  env.sealed = true;
+  env.body = channel.seal(inner.encode());
+  hosts[1]->send_udp(hosts[0]->ip(), kDefaultDaemonPort, kDefaultDaemonPort,
+                     env.encode());
+  settle(1 * sim::kSecond);
+
+  // Traffic still flows 0 -> 2 -> 3 (flood mode explores both sides).
+  int got = 0;
+  overlay->daemon(node(3)).open_session(40, [&](const DataBody&) { ++got; });
+  overlay->daemon(node(0)).session_send(40, node(3), 40, util::to_bytes("x"));
+  settle(1 * sim::kSecond);
+  EXPECT_EQ(got, 1);
+}
+
+TEST(SpinesMessages, RoundTrips) {
+  DataBody d;
+  d.src = "a";
+  d.dst = "b";
+  d.src_port = 1;
+  d.dst_port = 2;
+  d.priority = Priority::kHigh;
+  d.msg_seq = 42;
+  d.ttl = 9;
+  d.payload = util::to_bytes("pp");
+  const auto decoded = DataBody::decode(d.encode());
+  ASSERT_TRUE(decoded);
+  EXPECT_EQ(decoded->src, "a");
+  EXPECT_EQ(decoded->priority, Priority::kHigh);
+  EXPECT_EQ(decoded->ttl, 9);
+
+  LinkStateBody lsu;
+  lsu.origin = "n1";
+  lsu.seq = 7;
+  lsu.neighbors = {"n2", "n3"};
+  const auto lsu2 = LinkStateBody::decode(lsu.encode());
+  ASSERT_TRUE(lsu2);
+  EXPECT_EQ(lsu2->neighbors, lsu.neighbors);
+
+  EXPECT_FALSE(DataBody::decode(util::to_bytes("garbage")).has_value());
+  EXPECT_FALSE(LinkEnvelope::decode(util::Bytes{}).has_value());
+}
+
+}  // namespace
+}  // namespace spire::spines

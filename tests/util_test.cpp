@@ -1,0 +1,121 @@
+// Unit tests for serialization, hex, and logging utilities.
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "util/hex.hpp"
+#include "util/log.hpp"
+
+namespace spire::util {
+namespace {
+
+TEST(ByteWriter, RoundTripsPrimitives) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u16(0x1234);
+  w.u32(0xDEADBEEF);
+  w.u64(0x0123456789ABCDEFULL);
+  w.i64(-42);
+  w.f64(3.25);
+  w.boolean(true);
+  w.str("hello");
+  w.blob(to_bytes("world"));
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.25);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(to_string(r.blob()), "world");
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteWriter, BigEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304);
+  const Bytes& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 0x01);
+  EXPECT_EQ(b[3], 0x04);
+}
+
+TEST(ByteReader, ThrowsOnTruncatedInput) {
+  ByteWriter w;
+  w.u16(7);
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.u32(), SerializationError);
+}
+
+TEST(ByteReader, ThrowsOnOversizedBlobLength) {
+  ByteWriter w;
+  w.u32(1000);  // claims 1000 bytes, provides none
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.blob(), SerializationError);
+}
+
+TEST(ByteReader, ThrowsOnOversizedStringLength) {
+  ByteWriter w;
+  w.u32(5);
+  w.u8('a');
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.str(), SerializationError);
+}
+
+TEST(ByteReader, ExpectDoneDetectsTrailingBytes) {
+  ByteWriter w;
+  w.u8(1);
+  w.u8(2);
+  ByteReader r(w.bytes());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), SerializationError);
+  r.u8();
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(ByteReader, EmptyBlobAndString) {
+  ByteWriter w;
+  w.blob({});
+  w.str("");
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(r.blob().empty());
+  EXPECT_TRUE(r.str().empty());
+}
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xAB, 0xFF};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), data);
+  EXPECT_EQ(from_hex("0001ABFF"), data);
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), SerializationError);   // odd length
+  EXPECT_THROW(from_hex("zz"), SerializationError);    // non-hex
+}
+
+TEST(Log, SinkReceivesFormattedLines) {
+  auto& config = LogConfig::instance();
+  const auto old_level = config.level;
+  auto old_sink = config.sink;
+
+  std::vector<std::string> lines;
+  config.level = LogLevel::kDebug;
+  config.sink = [&lines](const std::string& line) { lines.push_back(line); };
+
+  Logger log("test.component");
+  log.debug("value=", 42);
+  log.trace("suppressed at debug level");
+
+  config.level = old_level;
+  config.sink = std::move(old_sink);
+
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("test.component"), std::string::npos);
+  EXPECT_NE(lines[0].find("value=42"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace spire::util
