@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_commercial_attacks.dir/bench_fig1_commercial_attacks.cpp.o"
+  "CMakeFiles/bench_fig1_commercial_attacks.dir/bench_fig1_commercial_attacks.cpp.o.d"
+  "bench_fig1_commercial_attacks"
+  "bench_fig1_commercial_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_commercial_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_spire_architecture.dir/bench_fig2_spire_architecture.cpp.o"
+  "CMakeFiles/bench_fig2_spire_architecture.dir/bench_fig2_spire_architecture.cpp.o.d"
+  "bench_fig2_spire_architecture"
+  "bench_fig2_spire_architecture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_spire_architecture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

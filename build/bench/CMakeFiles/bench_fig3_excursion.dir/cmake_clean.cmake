@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_excursion.dir/bench_fig3_excursion.cpp.o"
+  "CMakeFiles/bench_fig3_excursion.dir/bench_fig3_excursion.cpp.o.d"
+  "bench_fig3_excursion"
+  "bench_fig3_excursion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_excursion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_redteam.dir/bench_fig3_redteam.cpp.o"
+  "CMakeFiles/bench_fig3_redteam.dir/bench_fig3_redteam.cpp.o.d"
+  "bench_fig3_redteam"
+  "bench_fig3_redteam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_redteam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

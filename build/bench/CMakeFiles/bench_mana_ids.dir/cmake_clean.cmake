@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mana_ids.dir/bench_mana_ids.cpp.o"
+  "CMakeFiles/bench_mana_ids.dir/bench_mana_ids.cpp.o.d"
+  "bench_mana_ids"
+  "bench_mana_ids.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mana_ids.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

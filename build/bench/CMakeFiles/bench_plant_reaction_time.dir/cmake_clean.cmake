@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plant_reaction_time.dir/bench_plant_reaction_time.cpp.o"
+  "CMakeFiles/bench_plant_reaction_time.dir/bench_plant_reaction_time.cpp.o.d"
+  "bench_plant_reaction_time"
+  "bench_plant_reaction_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plant_reaction_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_plant_soak.dir/bench_plant_soak.cpp.o"
+  "CMakeFiles/bench_plant_soak.dir/bench_plant_soak.cpp.o.d"
+  "bench_plant_soak"
+  "bench_plant_soak.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_plant_soak.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

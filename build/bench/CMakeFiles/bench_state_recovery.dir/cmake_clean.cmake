@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_state_recovery.dir/bench_state_recovery.cpp.o"
+  "CMakeFiles/bench_state_recovery.dir/bench_state_recovery.cpp.o.d"
+  "bench_state_recovery"
+  "bench_state_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_state_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_testbed.dir/fig3_testbed.cpp.o"
+  "CMakeFiles/fig3_testbed.dir/fig3_testbed.cpp.o.d"
+  "fig3_testbed"
+  "fig3_testbed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

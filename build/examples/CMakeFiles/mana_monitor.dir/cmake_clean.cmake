@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mana_monitor.dir/mana_monitor.cpp.o"
+  "CMakeFiles/mana_monitor.dir/mana_monitor.cpp.o.d"
+  "mana_monitor"
+  "mana_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mana_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plant_deployment.dir/plant_deployment.cpp.o"
+  "CMakeFiles/plant_deployment.dir/plant_deployment.cpp.o.d"
+  "plant_deployment"
+  "plant_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plant_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

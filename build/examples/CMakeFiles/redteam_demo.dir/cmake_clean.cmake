@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redteam_demo.dir/redteam_demo.cpp.o"
+  "CMakeFiles/redteam_demo.dir/redteam_demo.cpp.o.d"
+  "redteam_demo"
+  "redteam_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redteam_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

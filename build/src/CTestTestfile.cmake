@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("crypto")
+subdirs("net")
+subdirs("modbus")
+subdirs("dnp3")
+subdirs("plc")
+subdirs("spines")
+subdirs("prime")
+subdirs("scada")
+subdirs("mana")
+subdirs("attack")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spire_attack.dir/attacker.cpp.o"
+  "CMakeFiles/spire_attack.dir/attacker.cpp.o.d"
+  "libspire_attack.a"
+  "libspire_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spire_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spire_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/spire_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/spire_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/spire_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/spire_crypto.dir/keyring.cpp.o"
+  "CMakeFiles/spire_crypto.dir/keyring.cpp.o.d"
+  "CMakeFiles/spire_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/spire_crypto.dir/sha256.cpp.o.d"
+  "libspire_crypto.a"
+  "libspire_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spire_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dnp3/app.cpp" "src/dnp3/CMakeFiles/spire_dnp3.dir/app.cpp.o" "gcc" "src/dnp3/CMakeFiles/spire_dnp3.dir/app.cpp.o.d"
+  "/root/repo/src/dnp3/crc.cpp" "src/dnp3/CMakeFiles/spire_dnp3.dir/crc.cpp.o" "gcc" "src/dnp3/CMakeFiles/spire_dnp3.dir/crc.cpp.o.d"
+  "/root/repo/src/dnp3/endpoint.cpp" "src/dnp3/CMakeFiles/spire_dnp3.dir/endpoint.cpp.o" "gcc" "src/dnp3/CMakeFiles/spire_dnp3.dir/endpoint.cpp.o.d"
+  "/root/repo/src/dnp3/framing.cpp" "src/dnp3/CMakeFiles/spire_dnp3.dir/framing.cpp.o" "gcc" "src/dnp3/CMakeFiles/spire_dnp3.dir/framing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spire_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spire_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spire_dnp3.dir/app.cpp.o"
+  "CMakeFiles/spire_dnp3.dir/app.cpp.o.d"
+  "CMakeFiles/spire_dnp3.dir/crc.cpp.o"
+  "CMakeFiles/spire_dnp3.dir/crc.cpp.o.d"
+  "CMakeFiles/spire_dnp3.dir/endpoint.cpp.o"
+  "CMakeFiles/spire_dnp3.dir/endpoint.cpp.o.d"
+  "CMakeFiles/spire_dnp3.dir/framing.cpp.o"
+  "CMakeFiles/spire_dnp3.dir/framing.cpp.o.d"
+  "libspire_dnp3.a"
+  "libspire_dnp3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spire_dnp3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mana/features.cpp" "src/mana/CMakeFiles/spire_mana.dir/features.cpp.o" "gcc" "src/mana/CMakeFiles/spire_mana.dir/features.cpp.o.d"
+  "/root/repo/src/mana/kmeans.cpp" "src/mana/CMakeFiles/spire_mana.dir/kmeans.cpp.o" "gcc" "src/mana/CMakeFiles/spire_mana.dir/kmeans.cpp.o.d"
+  "/root/repo/src/mana/mana.cpp" "src/mana/CMakeFiles/spire_mana.dir/mana.cpp.o" "gcc" "src/mana/CMakeFiles/spire_mana.dir/mana.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spire_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spire_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spire_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spire_mana.dir/features.cpp.o"
+  "CMakeFiles/spire_mana.dir/features.cpp.o.d"
+  "CMakeFiles/spire_mana.dir/kmeans.cpp.o"
+  "CMakeFiles/spire_mana.dir/kmeans.cpp.o.d"
+  "CMakeFiles/spire_mana.dir/mana.cpp.o"
+  "CMakeFiles/spire_mana.dir/mana.cpp.o.d"
+  "libspire_mana.a"
+  "libspire_mana.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spire_mana.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

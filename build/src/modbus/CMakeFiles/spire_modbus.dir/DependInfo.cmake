@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/modbus/data_model.cpp" "src/modbus/CMakeFiles/spire_modbus.dir/data_model.cpp.o" "gcc" "src/modbus/CMakeFiles/spire_modbus.dir/data_model.cpp.o.d"
+  "/root/repo/src/modbus/endpoint.cpp" "src/modbus/CMakeFiles/spire_modbus.dir/endpoint.cpp.o" "gcc" "src/modbus/CMakeFiles/spire_modbus.dir/endpoint.cpp.o.d"
+  "/root/repo/src/modbus/pdu.cpp" "src/modbus/CMakeFiles/spire_modbus.dir/pdu.cpp.o" "gcc" "src/modbus/CMakeFiles/spire_modbus.dir/pdu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spire_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spire_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

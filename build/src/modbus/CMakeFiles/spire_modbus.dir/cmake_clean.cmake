@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spire_modbus.dir/data_model.cpp.o"
+  "CMakeFiles/spire_modbus.dir/data_model.cpp.o.d"
+  "CMakeFiles/spire_modbus.dir/endpoint.cpp.o"
+  "CMakeFiles/spire_modbus.dir/endpoint.cpp.o.d"
+  "CMakeFiles/spire_modbus.dir/pdu.cpp.o"
+  "CMakeFiles/spire_modbus.dir/pdu.cpp.o.d"
+  "libspire_modbus.a"
+  "libspire_modbus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spire_modbus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spire_net.dir/address.cpp.o"
+  "CMakeFiles/spire_net.dir/address.cpp.o.d"
+  "CMakeFiles/spire_net.dir/frame.cpp.o"
+  "CMakeFiles/spire_net.dir/frame.cpp.o.d"
+  "CMakeFiles/spire_net.dir/host.cpp.o"
+  "CMakeFiles/spire_net.dir/host.cpp.o.d"
+  "CMakeFiles/spire_net.dir/network.cpp.o"
+  "CMakeFiles/spire_net.dir/network.cpp.o.d"
+  "CMakeFiles/spire_net.dir/switch.cpp.o"
+  "CMakeFiles/spire_net.dir/switch.cpp.o.d"
+  "libspire_net.a"
+  "libspire_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spire_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

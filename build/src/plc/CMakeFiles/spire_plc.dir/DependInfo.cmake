@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plc/breaker.cpp" "src/plc/CMakeFiles/spire_plc.dir/breaker.cpp.o" "gcc" "src/plc/CMakeFiles/spire_plc.dir/breaker.cpp.o.d"
+  "/root/repo/src/plc/plc.cpp" "src/plc/CMakeFiles/spire_plc.dir/plc.cpp.o" "gcc" "src/plc/CMakeFiles/spire_plc.dir/plc.cpp.o.d"
+  "/root/repo/src/plc/rtu.cpp" "src/plc/CMakeFiles/spire_plc.dir/rtu.cpp.o" "gcc" "src/plc/CMakeFiles/spire_plc.dir/rtu.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spire_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spire_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spire_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/modbus/CMakeFiles/spire_modbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnp3/CMakeFiles/spire_dnp3.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

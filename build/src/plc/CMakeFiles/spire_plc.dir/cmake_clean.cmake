@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spire_plc.dir/breaker.cpp.o"
+  "CMakeFiles/spire_plc.dir/breaker.cpp.o.d"
+  "CMakeFiles/spire_plc.dir/plc.cpp.o"
+  "CMakeFiles/spire_plc.dir/plc.cpp.o.d"
+  "CMakeFiles/spire_plc.dir/rtu.cpp.o"
+  "CMakeFiles/spire_plc.dir/rtu.cpp.o.d"
+  "libspire_plc.a"
+  "libspire_plc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spire_plc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

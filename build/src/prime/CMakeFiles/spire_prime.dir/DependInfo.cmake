@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prime/messages.cpp" "src/prime/CMakeFiles/spire_prime.dir/messages.cpp.o" "gcc" "src/prime/CMakeFiles/spire_prime.dir/messages.cpp.o.d"
+  "/root/repo/src/prime/recovery.cpp" "src/prime/CMakeFiles/spire_prime.dir/recovery.cpp.o" "gcc" "src/prime/CMakeFiles/spire_prime.dir/recovery.cpp.o.d"
+  "/root/repo/src/prime/replica.cpp" "src/prime/CMakeFiles/spire_prime.dir/replica.cpp.o" "gcc" "src/prime/CMakeFiles/spire_prime.dir/replica.cpp.o.d"
+  "/root/repo/src/prime/transport.cpp" "src/prime/CMakeFiles/spire_prime.dir/transport.cpp.o" "gcc" "src/prime/CMakeFiles/spire_prime.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spire_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spire_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/spire_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spire_prime.dir/messages.cpp.o"
+  "CMakeFiles/spire_prime.dir/messages.cpp.o.d"
+  "CMakeFiles/spire_prime.dir/recovery.cpp.o"
+  "CMakeFiles/spire_prime.dir/recovery.cpp.o.d"
+  "CMakeFiles/spire_prime.dir/replica.cpp.o"
+  "CMakeFiles/spire_prime.dir/replica.cpp.o.d"
+  "CMakeFiles/spire_prime.dir/transport.cpp.o"
+  "CMakeFiles/spire_prime.dir/transport.cpp.o.d"
+  "libspire_prime.a"
+  "libspire_prime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spire_prime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scada/commercial.cpp" "src/scada/CMakeFiles/spire_scada.dir/commercial.cpp.o" "gcc" "src/scada/CMakeFiles/spire_scada.dir/commercial.cpp.o.d"
+  "/root/repo/src/scada/cycler.cpp" "src/scada/CMakeFiles/spire_scada.dir/cycler.cpp.o" "gcc" "src/scada/CMakeFiles/spire_scada.dir/cycler.cpp.o.d"
+  "/root/repo/src/scada/deployment.cpp" "src/scada/CMakeFiles/spire_scada.dir/deployment.cpp.o" "gcc" "src/scada/CMakeFiles/spire_scada.dir/deployment.cpp.o.d"
+  "/root/repo/src/scada/field_client.cpp" "src/scada/CMakeFiles/spire_scada.dir/field_client.cpp.o" "gcc" "src/scada/CMakeFiles/spire_scada.dir/field_client.cpp.o.d"
+  "/root/repo/src/scada/historian.cpp" "src/scada/CMakeFiles/spire_scada.dir/historian.cpp.o" "gcc" "src/scada/CMakeFiles/spire_scada.dir/historian.cpp.o.d"
+  "/root/repo/src/scada/hmi.cpp" "src/scada/CMakeFiles/spire_scada.dir/hmi.cpp.o" "gcc" "src/scada/CMakeFiles/spire_scada.dir/hmi.cpp.o.d"
+  "/root/repo/src/scada/master.cpp" "src/scada/CMakeFiles/spire_scada.dir/master.cpp.o" "gcc" "src/scada/CMakeFiles/spire_scada.dir/master.cpp.o.d"
+  "/root/repo/src/scada/proxy.cpp" "src/scada/CMakeFiles/spire_scada.dir/proxy.cpp.o" "gcc" "src/scada/CMakeFiles/spire_scada.dir/proxy.cpp.o.d"
+  "/root/repo/src/scada/topology.cpp" "src/scada/CMakeFiles/spire_scada.dir/topology.cpp.o" "gcc" "src/scada/CMakeFiles/spire_scada.dir/topology.cpp.o.d"
+  "/root/repo/src/scada/wire.cpp" "src/scada/CMakeFiles/spire_scada.dir/wire.cpp.o" "gcc" "src/scada/CMakeFiles/spire_scada.dir/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spire_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spire_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/spire_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spire_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/modbus/CMakeFiles/spire_modbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnp3/CMakeFiles/spire_dnp3.dir/DependInfo.cmake"
+  "/root/repo/build/src/plc/CMakeFiles/spire_plc.dir/DependInfo.cmake"
+  "/root/repo/build/src/spines/CMakeFiles/spire_spines.dir/DependInfo.cmake"
+  "/root/repo/build/src/prime/CMakeFiles/spire_prime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

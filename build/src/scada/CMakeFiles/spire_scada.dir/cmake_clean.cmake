@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spire_scada.dir/commercial.cpp.o"
+  "CMakeFiles/spire_scada.dir/commercial.cpp.o.d"
+  "CMakeFiles/spire_scada.dir/cycler.cpp.o"
+  "CMakeFiles/spire_scada.dir/cycler.cpp.o.d"
+  "CMakeFiles/spire_scada.dir/deployment.cpp.o"
+  "CMakeFiles/spire_scada.dir/deployment.cpp.o.d"
+  "CMakeFiles/spire_scada.dir/field_client.cpp.o"
+  "CMakeFiles/spire_scada.dir/field_client.cpp.o.d"
+  "CMakeFiles/spire_scada.dir/historian.cpp.o"
+  "CMakeFiles/spire_scada.dir/historian.cpp.o.d"
+  "CMakeFiles/spire_scada.dir/hmi.cpp.o"
+  "CMakeFiles/spire_scada.dir/hmi.cpp.o.d"
+  "CMakeFiles/spire_scada.dir/master.cpp.o"
+  "CMakeFiles/spire_scada.dir/master.cpp.o.d"
+  "CMakeFiles/spire_scada.dir/proxy.cpp.o"
+  "CMakeFiles/spire_scada.dir/proxy.cpp.o.d"
+  "CMakeFiles/spire_scada.dir/topology.cpp.o"
+  "CMakeFiles/spire_scada.dir/topology.cpp.o.d"
+  "CMakeFiles/spire_scada.dir/wire.cpp.o"
+  "CMakeFiles/spire_scada.dir/wire.cpp.o.d"
+  "libspire_scada.a"
+  "libspire_scada.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spire_scada.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spire_sim.dir/rng.cpp.o"
+  "CMakeFiles/spire_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/spire_sim.dir/simulator.cpp.o"
+  "CMakeFiles/spire_sim.dir/simulator.cpp.o.d"
+  "libspire_sim.a"
+  "libspire_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spire_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

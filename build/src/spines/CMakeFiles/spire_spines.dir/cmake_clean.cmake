@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spire_spines.dir/daemon.cpp.o"
+  "CMakeFiles/spire_spines.dir/daemon.cpp.o.d"
+  "CMakeFiles/spire_spines.dir/message.cpp.o"
+  "CMakeFiles/spire_spines.dir/message.cpp.o.d"
+  "CMakeFiles/spire_spines.dir/overlay.cpp.o"
+  "CMakeFiles/spire_spines.dir/overlay.cpp.o.d"
+  "libspire_spines.a"
+  "libspire_spines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spire_spines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for spire_spines.
+# This may be replaced when dependencies are built.

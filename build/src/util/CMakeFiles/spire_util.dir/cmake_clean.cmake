@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spire_util.dir/hex.cpp.o"
+  "CMakeFiles/spire_util.dir/hex.cpp.o.d"
+  "CMakeFiles/spire_util.dir/log.cpp.o"
+  "CMakeFiles/spire_util.dir/log.cpp.o.d"
+  "libspire_util.a"
+  "libspire_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spire_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

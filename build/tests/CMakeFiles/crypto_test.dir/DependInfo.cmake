@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/crypto_test.cpp" "tests/CMakeFiles/crypto_test.dir/crypto_test.cpp.o" "gcc" "tests/CMakeFiles/crypto_test.dir/crypto_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/spire_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/spire_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/spire_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/spire_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/modbus/CMakeFiles/spire_modbus.dir/DependInfo.cmake"
+  "/root/repo/build/src/plc/CMakeFiles/spire_plc.dir/DependInfo.cmake"
+  "/root/repo/build/src/spines/CMakeFiles/spire_spines.dir/DependInfo.cmake"
+  "/root/repo/build/src/prime/CMakeFiles/spire_prime.dir/DependInfo.cmake"
+  "/root/repo/build/src/scada/CMakeFiles/spire_scada.dir/DependInfo.cmake"
+  "/root/repo/build/src/mana/CMakeFiles/spire_mana.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/spire_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/dnp3/CMakeFiles/spire_dnp3.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnp3_test.dir/dnp3_test.cpp.o"
+  "CMakeFiles/dnp3_test.dir/dnp3_test.cpp.o.d"
+  "dnp3_test"
+  "dnp3_test.pdb"
+  "dnp3_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnp3_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/historian_test.dir/historian_test.cpp.o"
+  "CMakeFiles/historian_test.dir/historian_test.cpp.o.d"
+  "historian_test"
+  "historian_test.pdb"
+  "historian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/historian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

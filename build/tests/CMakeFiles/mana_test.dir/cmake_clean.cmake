@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mana_test.dir/mana_test.cpp.o"
+  "CMakeFiles/mana_test.dir/mana_test.cpp.o.d"
+  "mana_test"
+  "mana_test.pdb"
+  "mana_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mana_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

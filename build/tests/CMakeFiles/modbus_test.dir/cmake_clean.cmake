@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modbus_test.dir/modbus_test.cpp.o"
+  "CMakeFiles/modbus_test.dir/modbus_test.cpp.o.d"
+  "modbus_test"
+  "modbus_test.pdb"
+  "modbus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modbus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plc_test.dir/plc_test.cpp.o"
+  "CMakeFiles/plc_test.dir/plc_test.cpp.o.d"
+  "plc_test"
+  "plc_test.pdb"
+  "plc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

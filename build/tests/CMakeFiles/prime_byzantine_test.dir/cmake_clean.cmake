@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_byzantine_test.dir/prime_byzantine_test.cpp.o"
+  "CMakeFiles/prime_byzantine_test.dir/prime_byzantine_test.cpp.o.d"
+  "prime_byzantine_test"
+  "prime_byzantine_test.pdb"
+  "prime_byzantine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_byzantine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prime_fault_test.dir/prime_fault_test.cpp.o"
+  "CMakeFiles/prime_fault_test.dir/prime_fault_test.cpp.o.d"
+  "prime_fault_test"
+  "prime_fault_test.pdb"
+  "prime_fault_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prime_fault_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

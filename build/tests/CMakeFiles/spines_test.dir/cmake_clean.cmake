@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spines_test.dir/spines_test.cpp.o"
+  "CMakeFiles/spines_test.dir/spines_test.cpp.o.d"
+  "spines_test"
+  "spines_test.pdb"
+  "spines_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spines_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

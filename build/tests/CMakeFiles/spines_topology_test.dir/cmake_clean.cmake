@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spines_topology_test.dir/spines_topology_test.cpp.o"
+  "CMakeFiles/spines_topology_test.dir/spines_topology_test.cpp.o.d"
+  "spines_topology_test"
+  "spines_topology_test.pdb"
+  "spines_topology_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spines_topology_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/modbus_test[1]_include.cmake")
+include("/root/repo/build/tests/dnp3_test[1]_include.cmake")
+include("/root/repo/build/tests/plc_test[1]_include.cmake")
+include("/root/repo/build/tests/spines_test[1]_include.cmake")
+include("/root/repo/build/tests/prime_test[1]_include.cmake")
+include("/root/repo/build/tests/prime_fault_test[1]_include.cmake")
+include("/root/repo/build/tests/prime_byzantine_test[1]_include.cmake")
+include("/root/repo/build/tests/prime_chaos_test[1]_include.cmake")
+include("/root/repo/build/tests/spines_topology_test[1]_include.cmake")
+include("/root/repo/build/tests/scada_test[1]_include.cmake")
+include("/root/repo/build/tests/historian_test[1]_include.cmake")
+include("/root/repo/build/tests/mana_test[1]_include.cmake")
+include("/root/repo/build/tests/attack_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
