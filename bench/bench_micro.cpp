@@ -2,8 +2,35 @@
 // experiment leans on: crypto, sealed channels, Modbus codecs, Prime
 // message signing/verification and eligibility computation, MANA
 // scoring, and the simulation kernel itself.
+//
+// In addition to the google-benchmark suite, `--json[=PATH]` runs three
+// machine-readable hot-path microbenches and writes BENCH_micro.json:
+//
+//   scheduler_churn        events/sec through sim::Simulator under a
+//                          schedule/cancel/reschedule mix (the pattern
+//                          every replica timer and message delivery
+//                          produces)
+//   envelope_verify        verifies/sec of signed Prime envelopes
+//                          through crypto::Verifier
+//   prime_update_ordering  end-to-end updates/sec executed by an f=1
+//                          Prime cluster on the loopback fabric
+//
+// `--baseline=PATH` merges a previously captured run (same format) into
+// the output together with per-bench speedup ratios, which is how the
+// repo tracks its perf trajectory across PRs (see DESIGN.md
+// "Performance architecture").
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
 #include "crypto/chacha20.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/keyring.hpp"
@@ -11,6 +38,8 @@
 #include "mana/kmeans.hpp"
 #include "modbus/pdu.hpp"
 #include "prime/messages.hpp"
+#include "prime/replica.hpp"
+#include "prime/transport.hpp"
 #include "scada/topology.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
@@ -184,6 +213,309 @@ void BM_SimulatorEventThroughput(benchmark::State& state) {
 }
 BENCHMARK(BM_SimulatorEventThroughput);
 
+// ---- machine-readable hot-path microbenches (--json mode) -------------------
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct MicroResult {
+  std::uint64_t items = 0;    ///< events / verifies / updates processed
+  double wall_seconds = 0;
+  [[nodiscard]] double rate() const {
+    return wall_seconds > 0 ? static_cast<double>(items) / wall_seconds : 0;
+  }
+};
+
+/// One self-rescheduling churn actor: every tick it cancels the decoy
+/// event it parked in the far future, parks a new one, and reschedules
+/// itself — the schedule/cancel/execute mix that epoch-guarded replica
+/// timers and message deliveries generate in the protocol benches.
+/// Callbacks capture a single pointer so they fit std::function's
+/// inline storage: the bench measures the scheduler, not the allocator
+/// overhead of fat closures.
+struct ChurnActor {
+  sim::Simulator* sim = nullptr;
+  std::uint32_t idx = 0;
+  sim::EventId decoy = 0;
+
+  void tick() {
+    if (decoy != 0) sim->cancel(decoy);
+    decoy = sim->schedule_after(10 * sim::kMillisecond, [this] { decoy = 0; });
+    sim->schedule_after(7 + idx % 5, [this] { tick(); });
+  }
+};
+
+MicroResult run_scheduler_churn() {
+  constexpr std::uint32_t kActors = 64;
+  constexpr std::uint64_t kTargetEvents = 3'000'000;
+
+  sim::Simulator sim;
+  std::vector<ChurnActor> actors(kActors);
+  const auto start = Clock::now();
+  for (std::uint32_t i = 0; i < kActors; ++i) {
+    actors[i].sim = &sim;
+    actors[i].idx = i;
+    sim.schedule_after(1 + i % 7, [a = &actors[i]] { a->tick(); });
+  }
+  while (sim.events_executed() < kTargetEvents) {
+    sim.run(65536);
+  }
+  const double wall = seconds_since(start);
+  return MicroResult{sim.events_executed(), wall};
+}
+
+/// Envelope verification: decode-once, verify-many over a working set of
+/// distinct Prime envelopes (PrepareOrCommit- and PoAru-sized bodies).
+MicroResult run_envelope_verify() {
+  crypto::Keyring keyring("bench-verify");
+  constexpr std::uint32_t kSenders = 4;
+  crypto::Verifier verifier;
+  std::vector<std::unique_ptr<crypto::Signer>> signers;
+  for (std::uint32_t r = 0; r < kSenders; ++r) {
+    const std::string identity = prime::replica_identity(r);
+    verifier.add_identity(identity, keyring.identity_key(identity));
+    signers.push_back(std::make_unique<crypto::Signer>(
+        identity, keyring.identity_key(identity)));
+  }
+
+  std::vector<prime::Envelope> envelopes;
+  for (std::uint32_t i = 0; i < 64; ++i) {
+    const auto& signer = *signers[i % kSenders];
+    if (i % 2 == 0) {
+      prime::PrepareOrCommit msg;
+      msg.replica = i % kSenders;
+      msg.view = 1;
+      msg.order_seq = 100 + i;
+      envelopes.push_back(prime::Envelope::make(prime::MsgType::kPrepare,
+                                                signer, msg.encode()));
+    } else {
+      prime::PoAru aru;
+      aru.replica = i % kSenders;
+      aru.aru_seq = i;
+      aru.aru.assign(kSenders, 1000 + i);
+      aru.sign(signer);
+      envelopes.push_back(prime::Envelope::make(
+          prime::MsgType::kPoAru, signer, aru.encode_standalone()));
+    }
+  }
+
+  constexpr std::uint64_t kTargetVerifies = 400'000;
+  std::uint64_t verified = 0;
+  const auto start = Clock::now();
+  while (verified < kTargetVerifies) {
+    for (const auto& env : envelopes) {
+      if (!env.verify(verifier)) std::abort();  // bench integrity
+      ++verified;
+    }
+  }
+  const double wall = seconds_since(start);
+  return MicroResult{verified, wall};
+}
+
+/// End-to-end Prime ordering: an f=1 cluster on the loopback fabric
+/// executing a paced client workload. Counts every update execution
+/// across all replicas (system throughput, crypto + scheduler + protocol
+/// logic combined).
+MicroResult run_prime_update_ordering() {
+  class CountingApp : public prime::Application {
+   public:
+    void apply(const prime::ClientUpdate&, const prime::ExecutionInfo&) override {}
+    [[nodiscard]] util::Bytes snapshot() const override { return {}; }
+    void restore(std::span<const std::uint8_t>) override {}
+  };
+
+  sim::Simulator sim;
+  crypto::Keyring keyring("bench-ordering");
+  prime::PrimeConfig config;
+  config.f = 1;
+  config.k = 0;
+  config.client_identities = {"client/a", "client/b"};
+  prime::LoopbackFabric fabric(sim, config.n());
+  std::vector<std::unique_ptr<CountingApp>> apps;
+  std::vector<std::unique_ptr<prime::Replica>> replicas;
+  sim::Rng rng(7);
+  for (prime::ReplicaId i = 0; i < config.n(); ++i) {
+    apps.push_back(std::make_unique<CountingApp>());
+    replicas.push_back(std::make_unique<prime::Replica>(
+        sim, i, config, keyring, *apps.back(), fabric.transport_for(i),
+        rng.fork()));
+    prime::Replica* replica = replicas.back().get();
+    fabric.attach(i, [replica](const util::Bytes& bytes) {
+      replica->on_message(bytes);
+    });
+  }
+
+  std::vector<std::unique_ptr<crypto::Signer>> client_signers;
+  for (const auto& client : config.client_identities) {
+    client_signers.push_back(std::make_unique<crypto::Signer>(
+        client, keyring.identity_key(client)));
+  }
+  std::uint64_t client_seq = 0;
+  const auto submit_round = [&] {
+    ++client_seq;
+    for (const auto& signer : client_signers) {
+      prime::ClientUpdate update;
+      update.client = signer->identity();
+      update.client_seq = client_seq;
+      update.payload = util::to_bytes("cmd");
+      update.sign(*signer);
+      util::ByteWriter w;
+      update.encode(w);
+      const prime::Envelope env = prime::Envelope::make(
+          prime::MsgType::kClientUpdate, *signer, w.take());
+      const util::Bytes bytes = env.encode();
+      for (auto& r : replicas) r->on_message(bytes);
+    }
+  };
+
+  constexpr int kRounds = 1500;
+  const auto start = Clock::now();
+  for (auto& r : replicas) r->start();
+  sim.run_until(sim.now() + 300 * sim::kMillisecond);  // settle
+  for (int round = 0; round < kRounds; ++round) {
+    submit_round();
+    sim.run_until(sim.now() + 10 * sim::kMillisecond);
+  }
+  sim.run_until(sim.now() + 2 * sim::kSecond);  // drain
+  const double wall = seconds_since(start);
+
+  std::uint64_t updates = 0;
+  for (const auto& r : replicas) updates += r->stats().updates_executed;
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kRounds) * client_signers.size() *
+      config.n();
+  if (updates < expected) std::abort();  // ordering stalled: bench invalid
+  return MicroResult{updates, wall};
+}
+
+// ---- JSON emission ----------------------------------------------------------
+
+struct BenchSection {
+  const char* name;
+  const char* unit;  ///< e.g. "events_per_sec"
+  MicroResult result;
+};
+
+void write_section(std::FILE* f, const BenchSection& s, bool trailing_comma) {
+  std::fprintf(f,
+               "    \"%s\": {\"items\": %llu, \"wall_seconds\": %.6f, "
+               "\"%s\": %.1f}%s\n",
+               s.name, static_cast<unsigned long long>(s.result.items),
+               s.result.wall_seconds, s.unit, s.result.rate(),
+               trailing_comma ? "," : "");
+}
+
+/// Minimal extractor for the fixed format this binary itself writes:
+/// finds `"<section>"` then the first `"<field>":` after it.
+double extract_rate(const std::string& text, const std::string& section,
+                    const std::string& field) {
+  const auto sec_pos = text.find("\"" + section + "\"");
+  if (sec_pos == std::string::npos) return 0;
+  const auto field_pos = text.find("\"" + field + "\":", sec_pos);
+  if (field_pos == std::string::npos) return 0;
+  return std::atof(text.c_str() + field_pos + field.size() + 3);
+}
+
+int run_json_mode(const std::string& out_path, const std::string& baseline_path) {
+  bench::quiet_logs();
+  std::fprintf(stderr, "running scheduler_churn...\n");
+  BenchSection churn{"scheduler_churn", "events_per_sec", run_scheduler_churn()};
+  std::fprintf(stderr, "running envelope_verify...\n");
+  BenchSection verify{"envelope_verify", "verifies_per_sec", run_envelope_verify()};
+  std::fprintf(stderr, "running prime_update_ordering...\n");
+  BenchSection ordering{"prime_update_ordering", "updates_per_sec",
+                        run_prime_update_ordering()};
+
+  std::string baseline_text;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot read baseline %s\n", baseline_path.c_str());
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    baseline_text = ss.str();
+  }
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"bench_micro\",\n  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"results\": {\n");
+  write_section(f, churn, true);
+  write_section(f, verify, true);
+  write_section(f, ordering, false);
+  std::fprintf(f, "  }");
+  if (!baseline_text.empty()) {
+    const double base_events =
+        extract_rate(baseline_text, "scheduler_churn", "events_per_sec");
+    const double base_verifies =
+        extract_rate(baseline_text, "envelope_verify", "verifies_per_sec");
+    const double base_updates =
+        extract_rate(baseline_text, "prime_update_ordering", "updates_per_sec");
+    std::fprintf(f, ",\n  \"baseline\": {\n");
+    std::fprintf(f, "    \"scheduler_churn\": {\"events_per_sec\": %.1f},\n",
+                 base_events);
+    std::fprintf(f, "    \"envelope_verify\": {\"verifies_per_sec\": %.1f},\n",
+                 base_verifies);
+    std::fprintf(f,
+                 "    \"prime_update_ordering\": {\"updates_per_sec\": %.1f}\n",
+                 base_updates);
+    std::fprintf(f, "  },\n  \"speedup\": {\n");
+    std::fprintf(f, "    \"scheduler_churn\": %.2f,\n",
+                 base_events > 0 ? churn.result.rate() / base_events : 0);
+    std::fprintf(f, "    \"envelope_verify\": %.2f,\n",
+                 base_verifies > 0 ? verify.result.rate() / base_verifies : 0);
+    std::fprintf(f, "    \"prime_update_ordering\": %.2f\n",
+                 base_updates > 0 ? ordering.result.rate() / base_updates : 0);
+    std::fprintf(f, "  }");
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+
+  std::printf("scheduler_churn:       %12.0f events/sec\n", churn.result.rate());
+  std::printf("envelope_verify:       %12.0f verifies/sec\n",
+              verify.result.rate());
+  std::printf("prime_update_ordering: %12.0f updates/sec\n",
+              ordering.result.rate());
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool json = false;
+  std::string out_path = "BENCH_micro.json";
+  std::string baseline_path;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json = true;
+      out_path = arg.substr(7);
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_path = arg.substr(11);
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (json) return run_json_mode(out_path, baseline_path);
+
+  int pass_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc, passthrough.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

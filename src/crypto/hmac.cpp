@@ -4,8 +4,7 @@
 
 namespace spire::crypto {
 
-Digest hmac_sha256(std::span<const std::uint8_t> key,
-                   std::span<const std::uint8_t> data) {
+HmacState::HmacState(std::span<const std::uint8_t> key) {
   constexpr std::size_t kBlock = 64;
   std::array<std::uint8_t, kBlock> k0{};
   if (key.size() > kBlock) {
@@ -21,16 +20,23 @@ Digest hmac_sha256(std::span<const std::uint8_t> key,
     ipad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x36);
     opad[i] = static_cast<std::uint8_t>(k0[i] ^ 0x5c);
   }
+  inner_.update(ipad);
+  outer_.update(opad);
+}
 
-  Sha256 inner;
-  inner.update(ipad);
+Digest HmacState::mac(std::span<const std::uint8_t> data) const {
+  Sha256 inner = inner_;
   inner.update(data);
   const Digest inner_digest = inner.finish();
 
-  Sha256 outer;
-  outer.update(opad);
+  Sha256 outer = outer_;
   outer.update(inner_digest);
   return outer.finish();
+}
+
+Digest hmac_sha256(std::span<const std::uint8_t> key,
+                   std::span<const std::uint8_t> data) {
+  return HmacState(key).mac(data);
 }
 
 bool digest_equal(const Digest& a, const Digest& b) {

@@ -39,12 +39,12 @@ SymmetricKey Keyring::link_key(std::string_view endpoint_a,
 
 Signature Signer::sign(std::span<const std::uint8_t> message) const {
   Signature s;
-  s.mac = hmac_sha256(key_, message);
+  s.mac = state_.mac(message);
   return s;
 }
 
 void Verifier::add_identity(std::string identity, SymmetricKey key) {
-  keys_.insert_or_assign(std::move(identity), key);
+  keys_.insert_or_assign(std::move(identity), HmacState(key));
 }
 
 bool Verifier::knows(std::string_view identity) const {
@@ -56,7 +56,7 @@ bool Verifier::verify(std::string_view identity,
                       const Signature& sig) const {
   const auto it = keys_.find(identity);
   if (it == keys_.end()) return false;
-  const Digest expected = hmac_sha256(it->second, message);
+  const Digest expected = it->second.mac(message);
   return digest_equal(expected, sig.mac);
 }
 

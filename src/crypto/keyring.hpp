@@ -66,21 +66,23 @@ class Keyring {
   SymmetricKey master_{};
 };
 
-/// Signs messages as one identity.
+/// Signs messages as one identity. The HMAC key schedule is expanded
+/// once at construction, not per message.
 class Signer {
  public:
   Signer(std::string identity, SymmetricKey key)
-      : identity_(std::move(identity)), key_(key) {}
+      : identity_(std::move(identity)), state_(key) {}
 
   [[nodiscard]] const std::string& identity() const { return identity_; }
   [[nodiscard]] Signature sign(std::span<const std::uint8_t> message) const;
 
  private:
   std::string identity_;
-  SymmetricKey key_;
+  HmacState state_;
 };
 
-/// Verifies authenticators from a set of known identities.
+/// Verifies authenticators from a set of known identities. Key
+/// schedules are expanded once in add_identity(), not per verify.
 class Verifier {
  public:
   void add_identity(std::string identity, SymmetricKey key);
@@ -90,7 +92,7 @@ class Verifier {
                             const Signature& sig) const;
 
  private:
-  std::map<std::string, SymmetricKey, std::less<>> keys_;
+  std::map<std::string, HmacState, std::less<>> keys_;
 };
 
 /// Authenticated encryption for overlay links:

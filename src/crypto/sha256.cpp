@@ -2,6 +2,11 @@
 
 #include <cstring>
 
+#if defined(__x86_64__) && defined(__GNUC__)
+#define SPIRE_SHA256_X86_DISPATCH 1
+#include <immintrin.h>
+#endif
+
 namespace spire::crypto {
 
 namespace {
@@ -24,6 +29,219 @@ constexpr std::array<std::uint32_t, 8> kInit = {
     0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
 
 std::uint32_t rotr(std::uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+
+#ifdef SPIRE_SHA256_X86_DISPATCH
+
+/// One compression using the x86 SHA extensions (~6x the scalar loop).
+/// Compiled for the sha/ssse3/sse4.1 ISA but only called after a runtime
+/// CPUID check, so the binary still runs on CPUs without them.
+__attribute__((target("sha,ssse3,sse4.1"))) void process_block_shani(
+    std::uint32_t* state, const std::uint8_t* block) {
+  const __m128i kShuffle =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bLL, 0x0405060700010203LL);
+
+  // Repack the a..h state words into the ABEF/CDGH lanes the sha256rnds2
+  // instruction expects.
+  __m128i tmp = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state));
+  __m128i state1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(state + 4));
+  tmp = _mm_shuffle_epi32(tmp, 0xB1);
+  state1 = _mm_shuffle_epi32(state1, 0x1B);
+  __m128i state0 = _mm_alignr_epi8(tmp, state1, 8);
+  state1 = _mm_blend_epi16(state1, tmp, 0xF0);
+
+  const __m128i abef_save = state0;
+  const __m128i cdgh_save = state1;
+  __m128i msg, msg0, msg1, msg2, msg3;
+
+  // Rounds 0-3
+  msg = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block));
+  msg0 = _mm_shuffle_epi8(msg, kShuffle);
+  msg = _mm_add_epi32(msg0,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[0])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 4-7
+  msg1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 16));
+  msg1 = _mm_shuffle_epi8(msg1, kShuffle);
+  msg = _mm_add_epi32(msg1,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[4])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 8-11
+  msg2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 32));
+  msg2 = _mm_shuffle_epi8(msg2, kShuffle);
+  msg = _mm_add_epi32(msg2,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[8])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 12-15
+  msg3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(block + 48));
+  msg3 = _mm_shuffle_epi8(msg3, kShuffle);
+  msg = _mm_add_epi32(msg3,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[12])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 16-19
+  msg = _mm_add_epi32(msg0,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[16])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg0, msg3, 4);
+  msg1 = _mm_add_epi32(msg1, tmp);
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  // Rounds 20-23
+  msg = _mm_add_epi32(msg1,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[20])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 24-27
+  msg = _mm_add_epi32(msg2,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[24])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg2, msg1, 4);
+  msg3 = _mm_add_epi32(msg3, tmp);
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 28-31
+  msg = _mm_add_epi32(msg3,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[28])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 32-35
+  msg = _mm_add_epi32(msg0,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[32])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg0, msg3, 4);
+  msg1 = _mm_add_epi32(msg1, tmp);
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  // Rounds 36-39
+  msg = _mm_add_epi32(msg1,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[36])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg0 = _mm_sha256msg1_epu32(msg0, msg1);
+
+  // Rounds 40-43
+  msg = _mm_add_epi32(msg2,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[40])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg2, msg1, 4);
+  msg3 = _mm_add_epi32(msg3, tmp);
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg1 = _mm_sha256msg1_epu32(msg1, msg2);
+
+  // Rounds 44-47
+  msg = _mm_add_epi32(msg3,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[44])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg3, msg2, 4);
+  msg0 = _mm_add_epi32(msg0, tmp);
+  msg0 = _mm_sha256msg2_epu32(msg0, msg3);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg2 = _mm_sha256msg1_epu32(msg2, msg3);
+
+  // Rounds 48-51
+  msg = _mm_add_epi32(msg0,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[48])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg0, msg3, 4);
+  msg1 = _mm_add_epi32(msg1, tmp);
+  msg1 = _mm_sha256msg2_epu32(msg1, msg0);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+  msg3 = _mm_sha256msg1_epu32(msg3, msg0);
+
+  // Rounds 52-55
+  msg = _mm_add_epi32(msg1,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[52])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg1, msg0, 4);
+  msg2 = _mm_add_epi32(msg2, tmp);
+  msg2 = _mm_sha256msg2_epu32(msg2, msg1);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 56-59
+  msg = _mm_add_epi32(msg2,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[56])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  tmp = _mm_alignr_epi8(msg2, msg1, 4);
+  msg3 = _mm_add_epi32(msg3, tmp);
+  msg3 = _mm_sha256msg2_epu32(msg3, msg2);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  // Rounds 60-63
+  msg = _mm_add_epi32(msg3,
+                      _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kK[60])));
+  state1 = _mm_sha256rnds2_epu32(state1, state0, msg);
+  msg = _mm_shuffle_epi32(msg, 0x0E);
+  state0 = _mm_sha256rnds2_epu32(state0, state1, msg);
+
+  state0 = _mm_add_epi32(state0, abef_save);
+  state1 = _mm_add_epi32(state1, cdgh_save);
+
+  // Unpack ABEF/CDGH back to a..h.
+  tmp = _mm_shuffle_epi32(state0, 0x1B);
+  state1 = _mm_shuffle_epi32(state1, 0xB1);
+  state0 = _mm_blend_epi16(tmp, state1, 0xF0);
+  state1 = _mm_alignr_epi8(state1, tmp, 8);
+
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), state0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state + 4), state1);
+}
+
+bool detect_shani() {
+  return __builtin_cpu_supports("sha") && __builtin_cpu_supports("ssse3") &&
+         __builtin_cpu_supports("sse4.1");
+}
+
+const bool kHasShaNi = detect_shani();
+
+#endif  // SPIRE_SHA256_X86_DISPATCH
 
 }  // namespace
 
@@ -83,6 +301,12 @@ Digest Sha256::finish() {
 }
 
 void Sha256::process_block(const std::uint8_t* block) {
+#ifdef SPIRE_SHA256_X86_DISPATCH
+  if (kHasShaNi) {
+    process_block_shani(state_.data(), block);
+    return;
+  }
+#endif
   std::array<std::uint32_t, 64> w{};
   for (std::size_t i = 0; i < 16; ++i) {
     w[i] = (static_cast<std::uint32_t>(block[4 * i]) << 24) |

@@ -1,0 +1,82 @@
+// Memo of successfully verified message envelopes.
+//
+// A Prime replica verifies the same authenticated bytes repeatedly:
+// its own broadcasts come back through self-delivery, PO-ARU rows
+// embedded in PrePrepares were almost always already verified as
+// standalone PO-ARUs, and prepared-proof / certificate envelopes are
+// re-checked every time a proof is evaluated. The cache remembers
+// exactly which (sender, bytes) pairs already passed HMAC verification
+// so each is paid for once.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+#include "crypto/sha256.hpp"
+
+namespace spire::crypto {
+
+/// Bounded memo of verified envelopes.
+///
+/// Security argument: the key is (sender identity, SHA-256 of the FULL
+/// authenticated unit, signature included). A forged envelope that
+/// reuses a cached signature over different bytes hashes differently,
+/// and the same bytes under a different claimed sender key
+/// differently, so neither can ever hit — both fall through to the
+/// full HMAC check and fail there. Eviction is FIFO with a fixed
+/// capacity, so the cache only ever forgets (forcing a re-verify),
+/// never fabricates an acceptance. The owner must clear() on proactive
+/// recovery: a rejuvenated replica starts from fresh key material and
+/// pre-recovery acceptances are no longer trustworthy.
+class VerifyCache {
+ public:
+  explicit VerifyCache(std::size_t capacity = 4096) : capacity_(capacity) {}
+
+  [[nodiscard]] bool contains(std::string_view sender,
+                              const Digest& digest) const {
+    return set_.find(Key{std::string(sender), digest}) != set_.end();
+  }
+
+  void insert(std::string_view sender, const Digest& digest) {
+    Key k{std::string(sender), digest};
+    if (!set_.insert(k).second) return;
+    order_.push_back(std::move(k));
+    while (order_.size() > capacity_) {
+      set_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+
+  void clear() {
+    set_.clear();
+    order_.clear();
+  }
+
+  [[nodiscard]] std::size_t size() const { return set_.size(); }
+
+ private:
+  struct Key {
+    std::string sender;
+    Digest digest;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      // The digest is already uniform; fold the sender on top.
+      auto h = static_cast<std::size_t>(digest_prefix64(k.digest));
+      for (const char c : k.sender) {
+        h = h * 131 + static_cast<unsigned char>(c);
+      }
+      return h;
+    }
+  };
+
+  std::size_t capacity_;
+  std::unordered_set<Key, KeyHash> set_;
+  std::deque<Key> order_;
+};
+
+}  // namespace spire::crypto

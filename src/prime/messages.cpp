@@ -37,7 +37,7 @@ std::string replica_identity(ReplicaId id) {
 // ---- Envelope --------------------------------------------------------------
 
 util::Bytes Envelope::signed_bytes() const {
-  util::ByteWriter w;
+  util::ByteWriter w(encoded_size() - sizeof(signature.mac));
   w.u8(static_cast<std::uint8_t>(type));
   w.str(sender);
   w.blob(body);
@@ -45,7 +45,7 @@ util::Bytes Envelope::signed_bytes() const {
 }
 
 util::Bytes Envelope::encode() const {
-  util::ByteWriter w;
+  util::ByteWriter w(encoded_size());
   w.u8(static_cast<std::uint8_t>(type));
   w.str(sender);
   w.blob(body);
@@ -76,6 +76,18 @@ Envelope Envelope::make(MsgType type, const crypto::Signer& signer,
   return e;
 }
 
+util::Bytes Envelope::seal(MsgType type, const crypto::Signer& signer,
+                           std::span<const std::uint8_t> body) {
+  util::ByteWriter w(1 + 4 + signer.identity().size() + 4 + body.size() +
+                     sizeof(crypto::Signature::mac));
+  w.u8(static_cast<std::uint8_t>(type));
+  w.str(signer.identity());
+  w.blob(body);
+  const crypto::Signature sig = signer.sign(w.bytes());
+  sig.encode(w);
+  return w.take();
+}
+
 bool Envelope::verify(const crypto::Verifier& verifier) const {
   return verifier.verify(sender, signed_bytes(), signature);
 }
@@ -83,7 +95,7 @@ bool Envelope::verify(const crypto::Verifier& verifier) const {
 // ---- ClientUpdate ----------------------------------------------------------
 
 util::Bytes ClientUpdate::signed_bytes() const {
-  util::ByteWriter w;
+  util::ByteWriter w(4 + client.size() + 8 + 4 + payload.size());
   w.str(client);
   w.u64(client_seq);
   w.blob(payload);
@@ -141,7 +153,7 @@ std::optional<PoRequest> PoRequest::decode(std::span<const std::uint8_t> data) {
 // ---- PoAru -----------------------------------------------------------------
 
 util::Bytes PoAru::signed_bytes() const {
-  util::ByteWriter w;
+  util::ByteWriter w(4 + 8 + 4 + 8 * aru.size());
   w.u32(replica);
   w.u64(aru_seq);
   w.u32(static_cast<std::uint32_t>(aru.size()));
@@ -179,7 +191,7 @@ PoAru PoAru::decode(util::ByteReader& r) {
 }
 
 util::Bytes PoAru::encode_standalone() const {
-  util::ByteWriter w;
+  util::ByteWriter w(4 + 8 + 4 + 8 * aru.size() + sizeof(sig.mac));
   encode(w);
   return w.take();
 }
@@ -192,7 +204,11 @@ std::optional<PoAru> PoAru::decode_standalone(
 // ---- PrePrepare ------------------------------------------------------------
 
 util::Bytes PrePrepare::encode() const {
-  util::ByteWriter w;
+  std::size_t hint = 4 + 8 + 8 + 4 + rows.size();
+  for (const auto& row : rows) {
+    if (row) hint += 4 + 8 + 4 + 8 * row->aru.size() + sizeof(row->sig.mac);
+  }
+  util::ByteWriter w(hint);
   w.u32(leader);
   w.u64(view);
   w.u64(order_seq);
@@ -230,7 +246,7 @@ crypto::Digest PrePrepare::digest() const { return crypto::sha256(encode()); }
 // ---- PrepareOrCommit -------------------------------------------------------
 
 util::Bytes PrepareOrCommit::encode() const {
-  util::ByteWriter w;
+  util::ByteWriter w(4 + 8 + 8 + sizeof(preprepare_digest));
   w.u32(replica);
   w.u64(view);
   w.u64(order_seq);

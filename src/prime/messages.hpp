@@ -62,6 +62,10 @@ struct Envelope {
   util::Bytes body;
   crypto::Signature signature;
 
+  /// Exact wire size of encode(); used as a reserve() hint.
+  [[nodiscard]] std::size_t encoded_size() const {
+    return 1 + 4 + sender.size() + 4 + body.size() + sizeof(signature.mac);
+  }
   [[nodiscard]] util::Bytes signed_bytes() const;
   [[nodiscard]] util::Bytes encode() const;
   static std::optional<Envelope> decode(std::span<const std::uint8_t> data);
@@ -69,6 +73,11 @@ struct Envelope {
   /// Builds and signs an envelope in one step.
   static Envelope make(MsgType type, const crypto::Signer& signer,
                        util::Bytes body);
+  /// Signs and encodes in a single serialization pass: the wire form is
+  /// signed_bytes() || signature, so the prefix is written once, signed
+  /// in place, and the signature appended — one allocation total.
+  static util::Bytes seal(MsgType type, const crypto::Signer& signer,
+                          std::span<const std::uint8_t> body);
   [[nodiscard]] bool verify(const crypto::Verifier& verifier) const;
 };
 

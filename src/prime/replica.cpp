@@ -21,9 +21,11 @@ Replica::Replica(sim::Simulator& sim, ReplicaId id, PrimeConfig config,
       transport_(std::move(transport)),
       rng_(rng),
       log_("prime." + std::to_string(id)) {
+  identities_.reserve(config_.n());
   for (ReplicaId r = 0; r < config_.n(); ++r) {
-    verifier_.add_identity(replica_identity(r),
-                           keyring.identity_key(replica_identity(r)));
+    identities_.push_back(replica_identity(r));
+    verifier_.add_identity(identities_.back(),
+                           keyring.identity_key(identities_.back()));
   }
   for (const auto& client : config_.client_identities) {
     verifier_.add_identity(client, keyring.identity_key(client));
@@ -37,6 +39,7 @@ void Replica::start() {
   running_ = true;
   recovering_ = false;
   variant_ = rng_.next();
+  verify_cache_.clear();
   // start() is a *fresh-world* boot: every replica begins it together
   // (initial deployment, or the full-system restart of a ground-truth
   // rebuild), so the monotonic counters reset consistently with the
@@ -101,6 +104,9 @@ void Replica::shutdown() {
   outstanding_fetches_.clear();
   outstanding_cert_fetches_.clear();
   last_suspected_view_ = 0;
+  // Rejuvenation semantics: acceptances recorded before the takedown
+  // are not trustworthy afterwards (see verify_cache.hpp).
+  verify_cache_.clear();
 }
 
 void Replica::recover() {
@@ -135,28 +141,96 @@ void Replica::arm_timers() {
                       [this, epoch] { recon_tick(epoch); });
 }
 
+const std::string& Replica::identity_of(ReplicaId r) const {
+  static const std::string kUnknown;
+  return r < identities_.size() ? identities_[r] : kUnknown;
+}
+
+bool Replica::sender_is(const Envelope& env, ReplicaId r) const {
+  return r < identities_.size() && env.sender == identities_[r];
+}
+
+std::optional<ReplicaId> Replica::sender_id(const Envelope& env) const {
+  for (ReplicaId r = 0; r < identities_.size(); ++r) {
+    if (env.sender == identities_[r]) return r;
+  }
+  return std::nullopt;
+}
+
+bool Replica::verify_unit(const std::string& identity,
+                          std::span<const std::uint8_t> unit_bytes,
+                          const crypto::Signature& sig) {
+  const crypto::Digest d = crypto::sha256(unit_bytes);
+  if (verify_cache_.contains(identity, d)) {
+    ++stats_.verify_cache_hits;
+    return true;
+  }
+  // The wire form is signed-prefix || MAC, so the signed portion is the
+  // unit minus its trailing MAC — verified without re-serializing.
+  const auto prefix = unit_bytes.first(unit_bytes.size() - sizeof(sig.mac));
+  if (!verifier_.verify(identity, prefix, sig)) return false;
+  verify_cache_.insert(identity, d);
+  return true;
+}
+
+bool Replica::verify_envelope(const Envelope& env,
+                              std::span<const std::uint8_t> raw_bytes) {
+  return verify_unit(env.sender, raw_bytes, env.signature);
+}
+
+bool Replica::verify_row(const PoAru& row, ReplicaId r) {
+  return verify_unit(identity_of(r), row.encode_standalone(), row.sig);
+}
+
+bool Replica::verify_client_update(const ClientUpdate& update) {
+  // Digest over signed_bytes || MAC: the same shape verify_unit caches,
+  // computed incrementally to avoid concatenating a scratch buffer.
+  const util::Bytes signed_bytes = update.signed_bytes();
+  crypto::Sha256 h;
+  h.update(signed_bytes);
+  h.update(std::span<const std::uint8_t>(update.client_sig.mac.data(),
+                                         update.client_sig.mac.size()));
+  const crypto::Digest d = h.finish();
+  if (verify_cache_.contains(update.client, d)) {
+    ++stats_.verify_cache_hits;
+    return true;
+  }
+  if (!verifier_.verify(update.client, signed_bytes, update.client_sig)) {
+    return false;
+  }
+  verify_cache_.insert(update.client, d);
+  return true;
+}
+
 void Replica::send_envelope(MsgType type, util::Bytes body,
                             std::optional<ReplicaId> to) {
   if (!running_ || acting_crashed()) return;
-  const Envelope env = Envelope::make(type, signer_, std::move(body));
-  const util::Bytes bytes = env.encode();
+  const util::Bytes bytes = Envelope::seal(type, signer_, body);
   if (to) {
     if (*to == id_) {
-      on_message(bytes);
+      process_message(bytes, /*pre_verified=*/true);
     } else {
       transport_->send(*to, bytes);
     }
   } else {
     transport_->broadcast(bytes);
-    on_message(bytes);  // uniform self-delivery
+    // Uniform self-delivery. The bytes were built and signed by this
+    // replica one line up, so verification is skipped, not cached:
+    // re-verifying our own fresh signature proves nothing.
+    process_message(bytes, /*pre_verified=*/true);
   }
 }
 
 void Replica::on_message(const util::Bytes& envelope_bytes) {
+  process_message(envelope_bytes, /*pre_verified=*/false);
+}
+
+void Replica::process_message(const util::Bytes& envelope_bytes,
+                              bool pre_verified) {
   if (!running_ || acting_crashed()) return;
   const auto env = Envelope::decode(envelope_bytes);
   if (!env) return;
-  if (!env->verify(verifier_)) {
+  if (!pre_verified && !verify_envelope(*env, envelope_bytes)) {
     ++stats_.dropped_bad_signature;
     return;
   }
@@ -173,11 +247,15 @@ void Replica::on_message(const util::Bytes& envelope_bytes) {
 
   switch (env->type) {
     case MsgType::kClientUpdate: handle_client_update(*env); break;
-    case MsgType::kPoRequest: handle_po_request(*env); break;
+    case MsgType::kPoRequest: handle_po_request(*env, envelope_bytes); break;
     case MsgType::kPoAru: handle_po_aru(*env); break;
-    case MsgType::kPrePrepare: handle_preprepare(*env); break;
-    case MsgType::kPrepare: handle_prepare_or_commit(*env, false); break;
-    case MsgType::kCommit: handle_prepare_or_commit(*env, true); break;
+    case MsgType::kPrePrepare: handle_preprepare(*env, envelope_bytes); break;
+    case MsgType::kPrepare:
+      handle_prepare_or_commit(*env, envelope_bytes, false);
+      break;
+    case MsgType::kCommit:
+      handle_prepare_or_commit(*env, envelope_bytes, true);
+      break;
     case MsgType::kNewLeader: handle_new_leader(*env); break;
     case MsgType::kViewState: handle_view_state(*env); break;
     case MsgType::kNewView: handle_new_view(*env); break;
@@ -189,7 +267,7 @@ void Replica::on_message(const util::Bytes& envelope_bytes) {
     case MsgType::kSnapshotResp: break;
     case MsgType::kCommitCertReq: handle_cert_req(*env); break;
     case MsgType::kCommitCertResp: handle_cert_resp(*env); break;
-    case MsgType::kCheckpoint: handle_checkpoint(*env); break;
+    case MsgType::kCheckpoint: handle_checkpoint(*env, envelope_bytes); break;
   }
 }
 
@@ -209,21 +287,23 @@ void Replica::handle_client_update(const Envelope& env) {
     ++stats_.dropped_unknown_client;
     return;
   }
-  if (!update.verify(verifier_)) {
-    ++stats_.dropped_bad_signature;
-    return;
-  }
-
   // Responsible-set preordering: clients broadcast to all replicas, but
   // only the f+k+1 replicas deterministically assigned to this client
   // preorder its updates — enough that at least one is correct and live
   // even with f intrusions and k concurrent recoveries, without n-fold
   // duplication. Execution-level dedup makes any overlap harmless.
+  // Checked before the signature so non-responsible replicas never pay
+  // for a verification whose result they would discard.
   const std::uint64_t h =
       crypto::digest_prefix64(crypto::sha256(update.client));
   const auto primary = static_cast<ReplicaId>(h % config_.n());
   const std::uint32_t offset = (config_.n() + id_ - primary) % config_.n();
   if (offset > config_.f + config_.k) return;
+
+  if (!verify_client_update(update)) {
+    ++stats_.dropped_bad_signature;
+    return;
+  }
 
   enqueue_for_preorder(std::move(update));
 }
@@ -317,25 +397,28 @@ void Replica::po_flush_tick(std::uint64_t epoch) {
                       [this, epoch] { po_flush_tick(epoch); });
 }
 
-void Replica::handle_po_request(const Envelope& env) {
+void Replica::handle_po_request(const Envelope& env, const util::Bytes& raw) {
   const auto req = PoRequest::decode(env.body);
   if (!req) return;
-  if (env.sender != replica_identity(req->origin)) return;
-  store_po_request(env, *req);
+  if (!sender_is(env, req->origin)) return;
+  store_po_request(*req, raw);
 }
 
-void Replica::store_po_request(const Envelope& env, const PoRequest& req) {
+void Replica::store_po_request(const PoRequest& req, const util::Bytes& raw) {
   const auto key = std::make_pair(req.origin, req.po_seq);
   if (po_store_.count(key)) return;
   // Client updates inside a PO-Request carry their own client
   // signatures; verify them here once so execution can trust the store.
+  // verify_client_update memoizes, so an update this replica already
+  // checked at receipt (or inside another origin's batch) costs one
+  // digest, not an HMAC.
   for (const auto& update : req.updates) {
-    if (!verifier_.knows(update.client) || !update.verify(verifier_)) {
+    if (!verifier_.knows(update.client) || !verify_client_update(update)) {
       ++stats_.dropped_bad_signature;
       return;
     }
   }
-  po_store_.emplace(key, StoredPoRequest{req, env.encode()});
+  po_store_.emplace(key, StoredPoRequest{req, raw});
   outstanding_fetches_.erase(key);
 
   auto& aru = recv_aru_[req.origin];
@@ -360,8 +443,10 @@ void Replica::po_aru_tick(std::uint64_t epoch) {
 void Replica::handle_po_aru(const Envelope& env) {
   const auto aru = PoAru::decode_standalone(env.body);
   if (!aru || aru->aru.size() != config_.n()) return;
-  if (env.sender != replica_identity(aru->replica)) return;
-  if (!aru->verify_embedded(verifier_, env.sender)) {
+  if (!sender_is(env, aru->replica)) return;
+  // env.body is exactly the standalone PO-ARU encoding, so verify it
+  // directly — same cache key verify_row computes, minus a serialization.
+  if (!verify_unit(env.sender, env.body, aru->sig)) {
     ++stats_.dropped_bad_signature;
     return;
   }
@@ -432,10 +517,10 @@ void Replica::preprepare_tick(std::uint64_t epoch) {
   send_envelope(MsgType::kPrePrepare, pp.encode());
 }
 
-void Replica::handle_preprepare(const Envelope& env) {
+void Replica::handle_preprepare(const Envelope& env, const util::Bytes& raw) {
   const auto pp = PrePrepare::decode(env.body);
   if (!pp) return;
-  if (env.sender != replica_identity(pp->leader)) return;
+  if (!sender_is(env, pp->leader)) return;
   if (pp->view != view_ || pp->leader != leader_of(view_)) return;
   if (pp->order_seq <= applied_seq_) return;
   if (pp->order_seq > applied_seq_ + (1u << 20)) return;  // absurd horizon
@@ -446,7 +531,7 @@ void Replica::handle_preprepare(const Envelope& env) {
     const auto& row = pp->rows[r];
     if (!row) continue;
     if (row->replica != r || row->aru.size() != config_.n() ||
-        !row->verify_embedded(verifier_, replica_identity(r))) {
+        !verify_row(*row, r)) {
       // Malformed matrix from the leader: treat as misbehavior.
       suspect(view_ + 1);
       return;
@@ -497,7 +582,7 @@ void Replica::handle_preprepare(const Envelope& env) {
   }
 
   slot.preprepare = *pp;
-  slot.preprepare_envelope = env.encode();
+  slot.preprepare_envelope = raw;
   slot.digest = digest;
   slot.view = pp->view;
   last_leader_activity_ = sim_.now();
@@ -521,10 +606,11 @@ void Replica::handle_preprepare(const Envelope& env) {
   try_commit(pp->order_seq);
 }
 
-void Replica::handle_prepare_or_commit(const Envelope& env, bool is_commit) {
+void Replica::handle_prepare_or_commit(const Envelope& env,
+                                       const util::Bytes& raw, bool is_commit) {
   const auto msg = PrepareOrCommit::decode(env.body);
   if (!msg) return;
-  if (env.sender != replica_identity(msg->replica)) return;
+  if (!sender_is(env, msg->replica)) return;
   if (msg->order_seq <= applied_seq_) return;
   if (msg->order_seq > applied_seq_ + (1u << 20)) return;  // absurd horizon
 
@@ -535,10 +621,10 @@ void Replica::handle_prepare_or_commit(const Envelope& env, bool is_commit) {
   if (it == table.end() || it->second.first < msg->view) {
     table[msg->replica] = entry;
     if (is_commit) {
-      slot.commit_envelopes[msg->replica] = env.encode();
+      slot.commit_envelopes[msg->replica] = raw;
     } else {
       // Kept to assemble prepared proofs for view changes.
-      slot.prepare_envelopes[msg->replica] = env.encode();
+      slot.prepare_envelopes[msg->replica] = raw;
     }
   }
   try_commit(msg->order_seq);
@@ -713,14 +799,14 @@ void Replica::maybe_checkpoint() {
   send_envelope(MsgType::kCheckpoint, cp.encode());
 }
 
-void Replica::handle_checkpoint(const Envelope& env) {
+void Replica::handle_checkpoint(const Envelope& env, const util::Bytes& raw) {
   const auto cp = Checkpoint::decode(env.body);
   if (!cp) return;
-  if (env.sender != replica_identity(cp->replica)) return;
+  if (!sender_is(env, cp->replica)) return;
   if (!cp->verify_embedded(verifier_, env.sender)) return;
 
   auto& votes = checkpoint_votes_[cp->applied_seq];
-  votes[cp->replica] = std::make_pair(cp->snapshot_digest, env.encode());
+  votes[cp->replica] = std::make_pair(cp->snapshot_digest, raw);
 
   std::uint32_t matching = 0;
   for (const auto& [replica, vote] : votes) {
@@ -774,7 +860,7 @@ void Replica::suspect(std::uint64_t proposed_view) {
 void Replica::handle_new_leader(const Envelope& env) {
   const auto msg = NewLeader::decode(env.body);
   if (!msg) return;
-  if (env.sender != replica_identity(msg->replica)) return;
+  if (!sender_is(env, msg->replica)) return;
   if (msg->proposed_view <= view_) return;
 
   auto& votes = new_leader_votes_[msg->proposed_view];
@@ -852,7 +938,7 @@ void Replica::handle_view_state(const Envelope& env) {
   } catch (const util::SerializationError&) {
     return;
   }
-  if (env.sender != replica_identity(vs.replica)) return;
+  if (!sender_is(env, vs.replica)) return;
   if (vs.view != view_ || leader_of(view_) != id_) return;
   if (!vs.verify_embedded(verifier_, env.sender)) return;
   collected_view_states_[vs.replica] = vs;
@@ -888,15 +974,15 @@ crypto::Digest Replica::rows_digest(
 }
 
 std::optional<PrePrepare> Replica::verify_prepared_proof(
-    const PreparedProof& proof) const {
+    const PreparedProof& proof) {
   const auto env = Envelope::decode(proof.preprepare_envelope);
-  if (!env || env->type != MsgType::kPrePrepare || !env->verify(verifier_)) {
+  if (!env || env->type != MsgType::kPrePrepare ||
+      !verify_envelope(*env, proof.preprepare_envelope)) {
     return std::nullopt;
   }
   const auto pp = PrePrepare::decode(env->body);
   if (!pp || pp->order_seq != proof.order_seq) return std::nullopt;
-  if (env->sender != replica_identity(pp->leader) ||
-      pp->leader != leader_of(pp->view)) {
+  if (!sender_is(*env, pp->leader) || pp->leader != leader_of(pp->view)) {
     return std::nullopt;
   }
   if (pp->rows.size() != config_.n()) return std::nullopt;
@@ -904,7 +990,7 @@ std::optional<PrePrepare> Replica::verify_prepared_proof(
     const auto& row = pp->rows[r];
     if (!row) continue;
     if (row->replica != r || row->aru.size() != config_.n() ||
-        !row->verify_embedded(verifier_, replica_identity(r))) {
+        !verify_row(*row, r)) {
       return std::nullopt;
     }
   }
@@ -913,7 +999,7 @@ std::optional<PrePrepare> Replica::verify_prepared_proof(
   for (const auto& prepare_bytes : proof.prepare_envelopes) {
     const auto prepare_env = Envelope::decode(prepare_bytes);
     if (!prepare_env || prepare_env->type != MsgType::kPrepare ||
-        !prepare_env->verify(verifier_)) {
+        !verify_envelope(*prepare_env, prepare_bytes)) {
       continue;
     }
     const auto prepare = PrepareOrCommit::decode(prepare_env->body);
@@ -921,7 +1007,7 @@ std::optional<PrePrepare> Replica::verify_prepared_proof(
         prepare->view != pp->view || prepare->preprepare_digest != digest) {
       continue;
     }
-    if (prepare_env->sender != replica_identity(prepare->replica)) continue;
+    if (!sender_is(*prepare_env, prepare->replica)) continue;
     senders.insert(prepare->replica);
   }
   if (senders.size() < config_.quorum()) return std::nullopt;
@@ -932,7 +1018,7 @@ void Replica::handle_new_view(const Envelope& env) {
   const auto nv = NewView::decode(env.body);
   if (!nv) return;
   if (nv->view < view_) return;
-  if (env.sender != replica_identity(nv->leader)) return;
+  if (!sender_is(env, nv->leader)) return;
   if (leader_of(nv->view) != nv->leader) return;
   if (nv->justification.size() < config_.quorum()) return;
 
@@ -940,7 +1026,7 @@ void Replica::handle_new_view(const Envelope& env) {
   std::set<ReplicaId> distinct;
   for (const auto& vs : nv->justification) {
     if (vs.view != nv->view) return;
-    if (!vs.verify_embedded(verifier_, replica_identity(vs.replica))) return;
+    if (!vs.verify_embedded(verifier_, identity_of(vs.replica))) return;
     distinct.insert(vs.replica);
     max_applied = std::max(max_applied, vs.max_committed);
   }
@@ -1068,15 +1154,12 @@ void Replica::handle_po_fetch(const Envelope& env) {
   const auto it = po_store_.find(std::make_pair(fetch->origin, fetch->po_seq));
   if (it == po_store_.end()) return;
   // Find the requester's replica id to respond directly.
-  for (ReplicaId r = 0; r < config_.n(); ++r) {
-    if (env.sender == replica_identity(r)) {
-      PoReqResp resp;
-      resp.origin = fetch->origin;
-      resp.po_seq = fetch->po_seq;
-      resp.envelope = it->second.envelope;
-      send_envelope(MsgType::kPoReqResp, resp.encode(), r);
-      return;
-    }
+  if (const auto r = sender_id(env)) {
+    PoReqResp resp;
+    resp.origin = fetch->origin;
+    resp.po_seq = fetch->po_seq;
+    resp.envelope = it->second.envelope;
+    send_envelope(MsgType::kPoReqResp, resp.encode(), *r);
   }
 }
 
@@ -1085,11 +1168,11 @@ void Replica::handle_po_resp(const Envelope& env) {
   if (!resp) return;
   const auto inner = Envelope::decode(resp->envelope);
   if (!inner || inner->type != MsgType::kPoRequest) return;
-  if (!inner->verify(verifier_)) return;
+  if (!verify_envelope(*inner, resp->envelope)) return;
   const auto req = PoRequest::decode(inner->body);
   if (!req) return;
-  if (inner->sender != replica_identity(req->origin)) return;
-  store_po_request(*inner, *req);
+  if (!sender_is(*inner, req->origin)) return;
+  store_po_request(*req, resp->envelope);
 }
 
 void Replica::handle_cert_req(const Envelope& env) {
@@ -1112,11 +1195,8 @@ void Replica::handle_cert_req(const Envelope& env) {
   }
   if (resp.commit_envelopes.size() < config_.quorum()) return;
 
-  for (ReplicaId r = 0; r < config_.n(); ++r) {
-    if (env.sender == replica_identity(r)) {
-      send_envelope(MsgType::kCommitCertResp, resp.encode(), r);
-      return;
-    }
+  if (const auto r = sender_id(env)) {
+    send_envelope(MsgType::kCommitCertResp, resp.encode(), *r);
   }
 }
 
@@ -1127,18 +1207,18 @@ void Replica::handle_cert_resp(const Envelope& env) {
 
   const auto pp_env = Envelope::decode(resp->preprepare_envelope);
   if (!pp_env || pp_env->type != MsgType::kPrePrepare ||
-      !pp_env->verify(verifier_)) {
+      !verify_envelope(*pp_env, resp->preprepare_envelope)) {
     return;
   }
   const auto pp = PrePrepare::decode(pp_env->body);
   if (!pp || pp->order_seq != resp->order_seq) return;
-  if (pp_env->sender != replica_identity(pp->leader)) return;
+  if (!sender_is(*pp_env, pp->leader)) return;
   if (pp->rows.size() != config_.n()) return;
   for (ReplicaId r = 0; r < config_.n(); ++r) {
     const auto& row = pp->rows[r];
     if (!row) continue;
     if (row->replica != r || row->aru.size() != config_.n() ||
-        !row->verify_embedded(verifier_, replica_identity(r))) {
+        !verify_row(*row, r)) {
       return;
     }
   }
@@ -1148,12 +1228,12 @@ void Replica::handle_cert_resp(const Envelope& env) {
   for (const auto& commit_bytes : resp->commit_envelopes) {
     const auto commit_env = Envelope::decode(commit_bytes);
     if (!commit_env || commit_env->type != MsgType::kCommit ||
-        !commit_env->verify(verifier_)) {
+        !verify_envelope(*commit_env, commit_bytes)) {
       continue;
     }
     const auto commit = PrepareOrCommit::decode(commit_env->body);
     if (!commit || commit->order_seq != resp->order_seq) continue;
-    if (commit_env->sender != replica_identity(commit->replica)) continue;
+    if (!sender_is(*commit_env, commit->replica)) continue;
     if (commit->view != pp->view || commit->preprepare_digest != digest) continue;
     committers.insert(commit->replica);
   }
@@ -1248,11 +1328,8 @@ void Replica::handle_state_req(const Envelope& env) {
     return;
   }
 
-  for (ReplicaId r = 0; r < config_.n(); ++r) {
-    if (env.sender == replica_identity(r)) {
-      send_envelope(MsgType::kStateResp, resp.encode(), r);
-      return;
-    }
+  if (const auto r = sender_id(env)) {
+    send_envelope(MsgType::kStateResp, resp.encode(), *r);
   }
 }
 
@@ -1260,12 +1337,9 @@ void Replica::handle_state_resp(const Envelope& env) {
   if (!recovering_ || chosen_state_) return;
   const auto resp = StateResp::decode(env.body);
   if (!resp || resp->nonce != state_nonce_) return;
-  ReplicaId sender_id = config_.n();
-  for (ReplicaId r = 0; r < config_.n(); ++r) {
-    if (env.sender == replica_identity(r)) sender_id = r;
-  }
-  if (sender_id == config_.n()) return;
-  state_resps_[sender_id] = *resp;
+  const auto sender = sender_id(env);
+  if (!sender) return;
+  state_resps_[*sender] = *resp;
 
   // f+1 matching (applied_seq, digest) pairs vouch for a state at least
   // one correct replica holds.
@@ -1304,11 +1378,8 @@ void Replica::handle_snapshot_req(const Envelope& env) {
   resp.nonce = req->nonce;
   resp.applied_seq = req->applied_seq;
   resp.blob = blob_it->second;
-  for (ReplicaId r = 0; r < config_.n(); ++r) {
-    if (env.sender == replica_identity(r)) {
-      send_envelope(MsgType::kSnapshotResp, resp.encode(), r);
-      return;
-    }
+  if (const auto r = sender_id(env)) {
+    send_envelope(MsgType::kSnapshotResp, resp.encode(), *r);
   }
 }
 

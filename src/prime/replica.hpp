@@ -25,6 +25,7 @@
 #include <optional>
 #include <set>
 
+#include "crypto/verify_cache.hpp"
 #include "prime/application.hpp"
 #include "prime/messages.hpp"
 #include "prime/transport.hpp"
@@ -78,6 +79,7 @@ struct ReplicaStats {
   std::uint64_t dropped_bad_signature = 0;
   std::uint64_t dropped_unknown_client = 0;
   std::uint64_t checkpoints_stable = 0;
+  std::uint64_t verify_cache_hits = 0;
 };
 
 class Replica {
@@ -110,6 +112,9 @@ class Replica {
   [[nodiscard]] std::uint64_t applied_seq() const { return applied_seq_; }
   [[nodiscard]] std::uint64_t variant() const { return variant_; }
   [[nodiscard]] const ReplicaStats& stats() const { return stats_; }
+  [[nodiscard]] std::size_t verify_cache_size() const {
+    return verify_cache_.size();
+  }
   [[nodiscard]] ReplicaId leader_of(std::uint64_t view) const {
     return static_cast<ReplicaId>(view % config_.n());
   }
@@ -129,6 +134,36 @@ class Replica {
   void send_envelope(MsgType type, util::Bytes body,
                      std::optional<ReplicaId> to = std::nullopt);
 
+  // ---- identity / verification helpers ----
+  /// Precomputed replica identity string (empty for out-of-range ids,
+  /// which no verifier knows).
+  [[nodiscard]] const std::string& identity_of(ReplicaId r) const;
+  /// True iff the envelope's sender is replica `r`.
+  [[nodiscard]] bool sender_is(const Envelope& env, ReplicaId r) const;
+  /// Reverse lookup: sender identity -> replica id, if any.
+  [[nodiscard]] std::optional<ReplicaId> sender_id(const Envelope& env) const;
+  /// Cached verification of any signed unit whose wire form is
+  /// signed-prefix || 32-byte MAC (envelopes, standalone PO-ARUs).
+  /// `unit_bytes` is the full wire form, MAC included.
+  bool verify_unit(const std::string& identity,
+                   std::span<const std::uint8_t> unit_bytes,
+                   const crypto::Signature& sig);
+  /// Envelope verification memoized through verify_cache_. `raw_bytes`
+  /// is the envelope's full wire form (signature included).
+  bool verify_envelope(const Envelope& env,
+                       std::span<const std::uint8_t> raw_bytes);
+  /// Embedded PO-ARU verification memoized through verify_cache_; rows
+  /// re-shipped inside Pre-Prepares hit the entry their standalone
+  /// broadcast created.
+  bool verify_row(const PoAru& row, ReplicaId r);
+  /// Client-signature verification memoized through verify_cache_ (an
+  /// update is re-checked at receipt and again inside every PO-Request
+  /// that batches it).
+  bool verify_client_update(const ClientUpdate& update);
+  /// on_message body; `pre_verified` is set only for self-delivered
+  /// bytes this replica just built and signed itself.
+  void process_message(const util::Bytes& envelope_bytes, bool pre_verified);
+
   // ---- timers ----
   void po_flush_tick(std::uint64_t epoch);
   void po_aru_tick(std::uint64_t epoch);
@@ -142,10 +177,11 @@ class Replica {
   void handle_client_update(const Envelope& env);
   void enqueue_for_preorder(ClientUpdate update);
   void drain_preorder_buffer();
-  void handle_po_request(const Envelope& env);
+  void handle_po_request(const Envelope& env, const util::Bytes& raw);
   void handle_po_aru(const Envelope& env);
-  void handle_preprepare(const Envelope& env);
-  void handle_prepare_or_commit(const Envelope& env, bool is_commit);
+  void handle_preprepare(const Envelope& env, const util::Bytes& raw);
+  void handle_prepare_or_commit(const Envelope& env, const util::Bytes& raw,
+                                bool is_commit);
   void handle_new_leader(const Envelope& env);
   void handle_view_state(const Envelope& env);
   void handle_new_view(const Envelope& env);
@@ -157,10 +193,10 @@ class Replica {
   void handle_snapshot_resp(const Envelope& env);
   void handle_cert_req(const Envelope& env);
   void handle_cert_resp(const Envelope& env);
-  void handle_checkpoint(const Envelope& env);
+  void handle_checkpoint(const Envelope& env, const util::Bytes& raw);
 
   // ---- protocol steps ----
-  void store_po_request(const Envelope& env, const PoRequest& req);
+  void store_po_request(const PoRequest& req, const util::Bytes& raw);
   void try_commit(std::uint64_t seq);
   void try_apply();
   [[nodiscard]] bool can_apply(std::uint64_t seq, std::set<std::pair<ReplicaId, std::uint64_t>>* missing);
@@ -171,8 +207,9 @@ class Replica {
   void enter_view(std::uint64_t view);
   void maybe_send_new_view();
   /// Validates a prepared proof; returns the proven PrePrepare.
+  /// Non-const: nested envelope verifications go through verify_cache_.
   [[nodiscard]] std::optional<PrePrepare> verify_prepared_proof(
-      const PreparedProof& proof) const;
+      const PreparedProof& proof);
   [[nodiscard]] static crypto::Digest rows_digest(
       const std::vector<std::optional<PoAru>>& rows);
   void begin_state_transfer();
@@ -187,6 +224,8 @@ class Replica {
   const crypto::Keyring& keyring_;
   crypto::Signer signer_;
   crypto::Verifier verifier_;
+  crypto::VerifyCache verify_cache_;
+  std::vector<std::string> identities_;  ///< replica id -> identity string
   Application& app_;
   std::unique_ptr<ReplicaTransport> transport_;
   sim::Rng rng_;

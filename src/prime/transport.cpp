@@ -11,9 +11,7 @@ class LoopbackFabric::Handle : public ReplicaTransport {
   }
 
   void broadcast(const util::Bytes& envelope) override {
-    for (ReplicaId to = 0; to < fabric_.size(); ++to) {
-      if (to != id_) fabric_.deliver(id_, to, envelope);
-    }
+    fabric_.deliver_all(id_, envelope);
   }
 
  private:

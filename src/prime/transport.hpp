@@ -62,16 +62,16 @@ class LoopbackFabric {
   }
 
   void deliver(ReplicaId from, ReplicaId to, const util::Bytes& envelope) {
-    if (to >= inboxes_.size() || blocked_[from][to]) return;
-    if (loss_probability_ > 0 && fault_rng_.chance(loss_probability_)) {
-      ++messages_dropped_;
-      return;
+    deliver_shared(from, to, std::make_shared<const util::Bytes>(envelope));
+  }
+
+  /// Fans an envelope out to every replica but `from` with ONE copy of
+  /// the bytes, shared by all the in-flight delivery closures.
+  void deliver_all(ReplicaId from, const util::Bytes& envelope) {
+    const auto shared = std::make_shared<const util::Bytes>(envelope);
+    for (ReplicaId to = 0; to < inboxes_.size(); ++to) {
+      if (to != from) deliver_shared(from, to, shared);
     }
-    sim::Time delay = latency_;
-    if (max_jitter_ > 0) delay += fault_rng_.uniform(0, max_jitter_);
-    sim_.schedule_after(delay, [this, to, envelope] {
-      if (inboxes_[to]) inboxes_[to](envelope);
-    });
   }
 
   [[nodiscard]] std::uint64_t messages_dropped() const {
@@ -85,6 +85,20 @@ class LoopbackFabric {
 
  private:
   class Handle;
+
+  void deliver_shared(ReplicaId from, ReplicaId to,
+                      std::shared_ptr<const util::Bytes> envelope) {
+    if (to >= inboxes_.size() || blocked_[from][to]) return;
+    if (loss_probability_ > 0 && fault_rng_.chance(loss_probability_)) {
+      ++messages_dropped_;
+      return;
+    }
+    sim::Time delay = latency_;
+    if (max_jitter_ > 0) delay += fault_rng_.uniform(0, max_jitter_);
+    sim_.schedule_after(delay, [this, to, envelope = std::move(envelope)] {
+      if (inboxes_[to]) inboxes_[to](*envelope);
+    });
+  }
 
   sim::Simulator& sim_;
   std::vector<Inbox> inboxes_;

@@ -1,5 +1,6 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <utility>
 
 namespace spire::sim {
@@ -10,9 +11,11 @@ Simulator::~Simulator() = default;
 EventId Simulator::schedule_at(Time at, std::function<void()> fn) {
   if (at < now_) at = now_;
   const EventId id = next_id_++;
-  const Key key{at, next_seq_++};
-  queue_.emplace(key, std::make_pair(id, std::move(fn)));
-  index_.emplace(id, key);
+  slots_.push_back(std::move(fn));
+  ++live_count_;
+  heap_.push_back(Entry{at, id});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  maybe_trim_slots();
   return id;
 }
 
@@ -21,20 +24,55 @@ EventId Simulator::schedule_after(Time delay, std::function<void()> fn) {
 }
 
 bool Simulator::cancel(EventId id) {
-  auto it = index_.find(id);
-  if (it == index_.end()) return false;
-  queue_.erase(it->second);
-  index_.erase(it);
+  if (!is_live(id)) return false;  // already ran, already cancelled, unknown
+  slots_[id - base_] = nullptr;
+  --live_count_;
+  // Lazy cancellation leaves a tombstone in the heap; rebuild once
+  // tombstones dominate so cancel-heavy workloads stay bounded.
+  if (heap_.size() > 64 && heap_.size() > 2 * live_count_) compact_heap();
   return true;
 }
 
+void Simulator::compact_heap() {
+  std::erase_if(heap_, [this](const Entry& e) { return !is_live(e.id); });
+  std::make_heap(heap_.begin(), heap_.end(), later);
+}
+
+void Simulator::prune_dead() {
+  while (!heap_.empty() && !is_live(heap_.front().id)) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    heap_.pop_back();
+  }
+}
+
+void Simulator::maybe_trim_slots() {
+  if (slots_.size() < next_slot_trim_) return;
+  if (live_count_ == 0) {
+    slots_.clear();
+    base_ = next_id_;
+  } else {
+    // Ids below every pending event form a dead prefix; drop it. (Dead
+    // holes above the first live id cannot be dropped without remapping
+    // ids, so a long-lived event pins at most its own tail.)
+    std::size_t first_live = 0;
+    while (!slots_[first_live]) ++first_live;
+    slots_.erase(slots_.begin(),
+                 slots_.begin() + static_cast<std::ptrdiff_t>(first_live));
+    base_ += first_live;
+  }
+  next_slot_trim_ = std::max<std::size_t>(1024, slots_.size() * 2);
+}
+
 bool Simulator::step() {
-  if (queue_.empty()) return false;
-  auto it = queue_.begin();
-  now_ = it->first.at;
-  auto [id, fn] = std::move(it->second);
-  queue_.erase(it);
-  index_.erase(id);
+  prune_dead();
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  const Entry ev = heap_.back();
+  heap_.pop_back();
+  std::function<void()> fn = std::move(slots_[ev.id - base_]);
+  slots_[ev.id - base_] = nullptr;
+  --live_count_;
+  now_ = ev.at;
   ++executed_;
   fn();
   return true;
@@ -48,7 +86,9 @@ std::size_t Simulator::run(std::size_t limit) {
 
 std::size_t Simulator::run_until(Time deadline) {
   std::size_t n = 0;
-  while (!queue_.empty() && queue_.begin()->first.at <= deadline) {
+  while (true) {
+    prune_dead();
+    if (heap_.empty() || heap_.front().at > deadline) break;
     step();
     ++n;
   }

@@ -10,8 +10,7 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <string>
+#include <vector>
 
 #include "util/log.hpp"
 
@@ -34,6 +33,14 @@ using EventId = std::uint64_t;
 ///
 /// Events at equal timestamps fire in scheduling order (FIFO), which
 /// keeps message interleavings deterministic.
+///
+/// Internally an indexed binary min-heap ordered by (timestamp, id)
+/// with lazy cancellation: cancel() flips a liveness flag (O(1), ids
+/// are dense so the index is a flat array) and the dead heap entry is
+/// skipped when it surfaces, or dropped wholesale once tombstones
+/// outnumber live events. The id doubles as the FIFO tiebreaker, so
+/// the execution order is the exact total order the previous
+/// red-black-tree implementation produced.
 class Simulator {
  public:
   Simulator();
@@ -66,24 +73,42 @@ class Simulator {
   /// deadline even if the queue still has later events.
   std::size_t run_until(Time deadline);
 
-  [[nodiscard]] std::size_t pending() const { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const { return live_count_; }
   [[nodiscard]] std::uint64_t events_executed() const { return executed_; }
 
  private:
-  struct Key {
+  /// Heap entries are 16-byte PODs so sift operations stay cheap; the
+  /// callback lives in slots_, found by id.
+  struct Entry {
     Time at;
-    std::uint64_t seq;
-    bool operator<(const Key& o) const {
-      return at != o.at ? at < o.at : seq < o.seq;
-    }
+    EventId id;
   };
 
+  /// Min-heap order: earliest (at, id) surfaces first. The id is the
+  /// schedule-order tiebreaker that preserves equal-timestamp FIFO.
+  static bool later(const Entry& a, const Entry& b) {
+    return a.at != b.at ? a.at > b.at : a.id > b.id;
+  }
+
+  /// An empty slot is the tombstone: cancel() nulls the callback, which
+  /// also releases anything it captured immediately.
+  [[nodiscard]] bool is_live(EventId id) const {
+    return id >= base_ && id < next_id_ &&
+           static_cast<bool>(slots_[id - base_]);
+  }
+
+  void prune_dead();       ///< pops cancelled entries off the heap top
+  void compact_heap();     ///< drops tombstones when they dominate
+  void maybe_trim_slots(); ///< amortized trim of the dead slot prefix
+
   Time now_ = 0;
-  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::map<Key, std::pair<EventId, std::function<void()>>> queue_;
-  std::map<EventId, Key> index_;
   EventId next_id_ = 1;
+  EventId base_ = 1;  ///< id of slots_[0]
+  std::vector<std::function<void()>> slots_;
+  std::size_t live_count_ = 0;
+  std::vector<Entry> heap_;
+  std::size_t next_slot_trim_ = 1024;
 };
 
 /// RAII helper: installs the simulator's clock as the logger time

@@ -35,6 +35,16 @@ class SerializationError : public std::runtime_error {
 class ByteWriter {
  public:
   ByteWriter() = default;
+  /// Pre-sizes the buffer from an encoded-size hint.
+  explicit ByteWriter(std::size_t size_hint) { buf_.reserve(size_hint); }
+
+  /// Grows capacity to at least `n` bytes (hot paths pass the exact
+  /// encoded size so a message serializes with one allocation).
+  void reserve(std::size_t n) { buf_.reserve(n); }
+
+  /// Drops the contents but keeps the capacity, so a scratch writer can
+  /// be reused across messages without reallocating.
+  void clear() { buf_.clear(); }
 
   void u8(std::uint8_t v) { buf_.push_back(v); }
 

@@ -345,6 +345,85 @@ TEST(Prime, ForgedClientUpdateRejected) {
   EXPECT_GT(cluster.replicas[0]->stats().dropped_bad_signature, 0u);
 }
 
+// The verified-envelope cache is an accept-side memo, never a bypass: a
+// tampered envelope hashes to a digest that was never cached, so it
+// still reaches full verification and is dropped.
+TEST(Prime, TamperedEnvelopeRejectedDespiteWarmCache) {
+  Cluster cluster;
+  cluster.build(1, 0);
+  cluster.run_for(500 * sim::kMillisecond);
+  cluster.submit("client/a", "legit");
+  cluster.run_for(1 * sim::kSecond);
+  // Ordinary traffic exercises the memo (PO-ARU rows, retransmitted
+  // envelopes); the cache must be warm before the attack means anything.
+  EXPECT_GT(cluster.replicas[0]->verify_cache_size(), 0u);
+
+  ClientUpdate update;
+  update.client = "client/a";
+  update.client_seq = ++cluster.client_seqs["client/a"];
+  update.payload = util::to_bytes("to-be-tampered");
+  crypto::Signer signer("client/a", cluster.keyring.identity_key("client/a"));
+  update.sign(signer);
+  util::ByteWriter w;
+  update.encode(w);
+  util::Bytes bytes =
+      Envelope::make(MsgType::kClientUpdate, signer, w.take()).encode();
+
+  const auto before = cluster.replicas[0]->stats().dropped_bad_signature;
+  // Flip one bit in the signed body region (the trailing 32 bytes are
+  // the MAC; anything before them is covered by the signature).
+  bytes[bytes.size() - 40] ^= 0x01;
+  cluster.replicas[0]->on_message(bytes);
+  cluster.run_for(100 * sim::kMillisecond);
+  EXPECT_EQ(cluster.replicas[0]->stats().dropped_bad_signature, before + 1);
+}
+
+// Proactive-recovery semantics (paper §III): a rejuvenated replica's
+// pre-takedown acceptances are not trustworthy, so recover() must wipe
+// the verification cache along with the rest of volatile state.
+TEST(Prime, VerifyCacheClearedOnRecovery) {
+  Cluster cluster;
+  cluster.build(1, 1);  // n=6, the plant deployment shape
+  cluster.run_for(500 * sim::kMillisecond);
+  for (int i = 0; i < 5; ++i) {
+    cluster.submit("client/a", "op" + std::to_string(i));
+    cluster.run_for(200 * sim::kMillisecond);
+  }
+  Replica& victim = *cluster.replicas[2];
+  EXPECT_GT(victim.verify_cache_size(), 0u);
+
+  victim.recover();
+  EXPECT_EQ(victim.verify_cache_size(), 0u);  // wiped with volatile state
+
+  // After rejoining, the replica re-verifies from scratch and still
+  // rejects forgeries — no stale acceptance survives rejuvenation.
+  cluster.run_for(5 * sim::kSecond);
+  EXPECT_FALSE(victim.recovering());
+  const auto before = victim.stats().dropped_bad_signature;
+  ClientUpdate update;
+  update.client = "client/a";
+  update.client_seq = ++cluster.client_seqs["client/a"];
+  update.payload = util::to_bytes("evil");
+  crypto::Signer mallory("mallory", cluster.keyring.identity_key("mallory"));
+  update.client_sig = mallory.sign(update.signed_bytes());
+  util::ByteWriter w;
+  update.encode(w);
+  Envelope env;
+  env.type = MsgType::kClientUpdate;
+  env.sender = "client/a";
+  env.body = w.take();
+  env.signature = mallory.sign(env.signed_bytes());
+  victim.on_message(env.encode());
+  cluster.run_for(100 * sim::kMillisecond);
+  EXPECT_EQ(victim.stats().dropped_bad_signature, before + 1);
+
+  // And legitimate traffic still flows end-to-end post-recovery.
+  cluster.submit("client/b", "after-recovery");
+  cluster.run_for(2 * sim::kSecond);
+  cluster.expect_logs_consistent();
+  EXPECT_GT(victim.stats().verify_cache_hits, 0u);
+}
+
 TEST(Prime, UnknownClientRejected) {
   Cluster cluster;
   cluster.build(1, 0, {"client/a"});

@@ -92,6 +92,114 @@ TEST(Simulator, SelfReschedulingEventRespectsLimit) {
   EXPECT_EQ(count, 100);
 }
 
+// Golden-sequence determinism: interleaved equal-timestamp events, some
+// cancelled mid-run, driven through run_until. The execution order and
+// clock trace must match the documented (timestamp, schedule-order)
+// total order — the exact semantics of the original std::map-based
+// scheduler — and be bit-identical across runs.
+TEST(Simulator, GoldenSequenceDeterminism) {
+  // One run of the scenario, returning the "(label@now)" trace.
+  const auto run_scenario = [] {
+    Simulator sim;
+    std::vector<std::pair<int, Time>> trace;
+    const auto note = [&](int label) {
+      return [&trace, label, &sim] { trace.emplace_back(label, sim.now()); };
+    };
+    // Equal timestamps interleaved with distinct ones, scheduled out of
+    // time order so heap layout differs from schedule order.
+    sim.schedule_at(20, note(1));
+    sim.schedule_at(10, note(2));
+    const EventId doomed1 = sim.schedule_at(10, note(3));
+    sim.schedule_at(10, note(4));
+    sim.schedule_at(30, note(5));
+    const EventId doomed2 = sim.schedule_at(20, note(6));
+    sim.schedule_at(20, note(7));
+    // Mid-run mutation: the first event at t=10 cancels one t=10 peer
+    // (already surfaced ordering must hold) and one t=20 event, then
+    // schedules a new equal-timestamp event at t=20 (fires after all
+    // previously scheduled t=20 events, FIFO).
+    sim.schedule_at(5, [&] {
+      EXPECT_TRUE(sim.cancel(doomed1));
+      EXPECT_TRUE(sim.cancel(doomed2));
+      sim.schedule_at(20, note(8));
+    });
+    EXPECT_EQ(sim.run_until(15), 3u);  // t=5 lambda, then 2 and 4 at t=10
+    EXPECT_EQ(sim.now(), 15u);         // clock advances to the deadline
+    sim.run_until(100);
+    EXPECT_EQ(sim.now(), 100u);
+    return trace;
+  };
+
+  const auto trace = run_scenario();
+  // Golden order: by (timestamp, schedule order) with 3 and 6 cancelled.
+  const std::vector<std::pair<int, Time>> golden{
+      {2, 10}, {4, 10}, {1, 20}, {7, 20}, {8, 20}, {5, 30}};
+  EXPECT_EQ(trace, golden);
+  // Bit-identical across runs.
+  EXPECT_EQ(run_scenario(), trace);
+}
+
+// Cancel spec: already-fired, unknown, and double-cancelled ids all
+// return false, and none of them may corrupt the queue.
+TEST(Simulator, CancelEdgeCasesLeaveQueueIntact) {
+  Simulator sim;
+  std::vector<int> order;
+  const EventId fired = sim.schedule_at(1, [&] { order.push_back(1); });
+  const EventId live = sim.schedule_at(2, [&] { order.push_back(2); });
+  const EventId cancelled = sim.schedule_at(3, [&] { order.push_back(3); });
+  sim.run(1);  // fires event 1
+
+  EXPECT_FALSE(sim.cancel(fired));            // already ran
+  EXPECT_FALSE(sim.cancel(EventId{0}));       // id 0 is never issued
+  EXPECT_FALSE(sim.cancel(EventId{999999}));  // never scheduled
+  EXPECT_TRUE(sim.cancel(cancelled));
+  EXPECT_FALSE(sim.cancel(cancelled));        // double cancel
+  EXPECT_EQ(sim.pending(), 1u);
+
+  // Cancelling the currently-executing event from inside its own
+  // callback must also fail (it is no longer pending).
+  EventId self = 0;
+  self = sim.schedule_at(4, [&] {
+    EXPECT_FALSE(sim.cancel(self));
+    order.push_back(4);
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(sim.pending(), 0u);
+}
+
+// Cancel-heavy churn: enough tombstones to trigger heap compaction and
+// slot trimming, with survivors still firing in exact FIFO order.
+TEST(Simulator, MassCancellationPreservesSurvivorOrder) {
+  Simulator sim;
+  std::vector<int> fired;
+  std::vector<EventId> ids;
+  constexpr int kEvents = 3000;
+  for (int i = 0; i < kEvents; ++i) {
+    ids.push_back(sim.schedule_at(100, [&fired, i] { fired.push_back(i); }));
+  }
+  // Cancel a scattered ~6/7 of the events, visiting ids in a shuffled
+  // order so tombstones land throughout the heap, not just at one end.
+  std::vector<int> survivors;
+  std::vector<bool> dead(kEvents, false);
+  for (int i = 0; i < kEvents; ++i) {
+    const int victim = (i * 1103) % kEvents;
+    if (victim % 7 != 0 && !dead[static_cast<std::size_t>(victim)]) {
+      EXPECT_TRUE(sim.cancel(ids[static_cast<std::size_t>(victim)]));
+      dead[static_cast<std::size_t>(victim)] = true;
+    }
+  }
+  for (int i = 0; i < kEvents; ++i) {
+    if (!dead[static_cast<std::size_t>(i)]) survivors.push_back(i);
+  }
+  EXPECT_EQ(sim.pending(), survivors.size());
+  sim.run();
+  // Survivors fire in schedule (FIFO) order at the shared timestamp.
+  EXPECT_EQ(fired, survivors);
+  EXPECT_EQ(sim.pending(), 0u);
+  EXPECT_EQ(sim.now(), 100u);
+}
+
 TEST(Rng, DeterministicForSameSeed) {
   Rng a(42), b(42);
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
