@@ -106,6 +106,10 @@ int main() {
               lag_stats.median_ms, lag_stats.p90_ms, lag_stats.max_ms,
               lag_stats.samples);
 
+  std::printf("\n");
+  bench::print_overlay_stats("internal", spire_sys.internal_overlay());
+  bench::print_overlay_stats("external", spire_sys.external_overlay());
+
   // Shape: every command produced a field transition (first toggle of a
   // breaker that is already in the commanded state is a no-op, so field
   // transitions may lag commands slightly), and the HMI missed nothing.

@@ -14,14 +14,24 @@
 //                          through crypto::Verifier
 //   prime_update_ordering  end-to-end updates/sec executed by an f=1
 //                          Prime cluster on the loopback fabric
+//   overlay_forward        msgs/sec routed end-to-end through a 6-node
+//                          Spines chain (the data-plane fast path)
+//   overlay_flood          msgs/sec delivered by the priority flood over
+//                          an 8-node ring-with-chords
+//   overlay_lsu_churn      accepted LSUs/sec while overlay links flap,
+//                          plus route recomputations per accepted LSU
+//                          (coalescing quality; lower is better)
 //
 // `--baseline=PATH` merges a previously captured run (same format) into
 // the output together with per-bench speedup ratios, which is how the
 // repo tracks its perf trajectory across PRs (see DESIGN.md
-// "Performance architecture").
+// "Performance architecture"). `--fail-below=R` additionally exits
+// non-zero if any speedup falls below R (CI's regression gate).
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <chrono>
+#include <cstdlib>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -37,12 +47,14 @@
 #include "crypto/sha256.hpp"
 #include "mana/kmeans.hpp"
 #include "modbus/pdu.hpp"
+#include "net/network.hpp"
 #include "prime/messages.hpp"
 #include "prime/replica.hpp"
 #include "prime/transport.hpp"
 #include "scada/topology.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
+#include "spines/overlay.hpp"
 
 using namespace spire;
 
@@ -222,8 +234,11 @@ double seconds_since(Clock::time_point start) {
 }
 
 struct MicroResult {
-  std::uint64_t items = 0;    ///< events / verifies / updates processed
+  std::uint64_t items = 0;    ///< events / verifies / updates / msgs processed
   double wall_seconds = 0;
+  /// Additional named measurements emitted verbatim into the section
+  /// (e.g. overlay_lsu_churn's recomputes_per_lsu).
+  std::vector<std::pair<std::string, double>> extra;
   [[nodiscard]] double rate() const {
     return wall_seconds > 0 ? static_cast<double>(items) / wall_seconds : 0;
   }
@@ -264,7 +279,7 @@ MicroResult run_scheduler_churn() {
     sim.run(65536);
   }
   const double wall = seconds_since(start);
-  return MicroResult{sim.events_executed(), wall};
+  return MicroResult{sim.events_executed(), wall, {}};
 }
 
 /// Envelope verification: decode-once, verify-many over a working set of
@@ -312,7 +327,7 @@ MicroResult run_envelope_verify() {
     }
   }
   const double wall = seconds_since(start);
-  return MicroResult{verified, wall};
+  return MicroResult{verified, wall, {}};
 }
 
 /// End-to-end Prime ordering: an f=1 cluster on the loopback fabric
@@ -388,7 +403,168 @@ MicroResult run_prime_update_ordering() {
       static_cast<std::uint64_t>(kRounds) * client_signers.size() *
       config.n();
   if (updates < expected) std::abort();  // ordering stalled: bench invalid
-  return MicroResult{updates, wall};
+  return MicroResult{updates, wall, {}};
+}
+
+// ---- Spines overlay data-plane microbenches ---------------------------------
+
+/// Hosts on one switch plus an overlay — the same shape the spines tests
+/// build, sized for throughput measurement.
+struct OverlayBench {
+  sim::Simulator sim;
+  net::Network network{sim};
+  crypto::Keyring keyring{"bench-overlay"};
+  std::vector<net::Host*> hosts;
+  std::unique_ptr<spines::Overlay> overlay;
+
+  static spines::NodeId node(std::size_t i) { return "n" + std::to_string(i); }
+
+  void build(std::size_t n, const std::vector<std::pair<int, int>>& links,
+             const spines::DaemonConfig& tmpl) {
+    auto& sw = network.add_switch(net::SwitchConfig{});
+    overlay = std::make_unique<spines::Overlay>(sim, keyring, tmpl);
+    for (std::size_t i = 0; i < n; ++i) {
+      net::Host& host = network.add_host("h" + std::to_string(i));
+      host.add_interface(
+          net::MacAddress::from_id(static_cast<std::uint32_t>(i + 1)),
+          net::IpAddress::make(10, 0, 0, static_cast<std::uint8_t>(i + 1)), 24);
+      network.connect(host, 0, sw);
+      hosts.push_back(&host);
+      overlay->add_node(node(i), host);
+    }
+    for (const auto& [a, b] : links) {
+      overlay->add_link(node(static_cast<std::size_t>(a)),
+                        node(static_cast<std::size_t>(b)));
+    }
+    overlay->build();
+    overlay->start_all();
+    sim.run_until(sim.now() + 3 * sim::kSecond);  // links + LSU convergence
+  }
+};
+
+/// Routed unicast through a 6-node chain: every delivered message paid
+/// five forwarding decisions plus the session handoff. Sealing is off so
+/// the bench isolates the forwarding machinery (queues, routing lookups,
+/// encode/copy budget) — link crypto has its own microbenches above.
+MicroResult run_overlay_forward() {
+  spines::DaemonConfig tmpl;
+  tmpl.intrusion_tolerant = false;
+  tmpl.mode = spines::ForwardingMode::kRouted;
+  tmpl.reliable_data_links = false;
+  tmpl.per_source_queue_cap = 1 << 15;
+  OverlayBench b;
+  b.build(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}}, tmpl);
+
+  std::uint64_t delivered = 0;
+  b.overlay->daemon(OverlayBench::node(5))
+      .open_session(40, [&](const spines::DataBody&) { ++delivered; });
+  const util::Bytes payload(64, 0xAB);
+
+  constexpr std::uint64_t kTarget = 60'000;
+  const auto start = Clock::now();
+  while (delivered < kTarget) {
+    for (int i = 0; i < 256; ++i) {
+      b.overlay->daemon(OverlayBench::node(0))
+          .session_send(40, OverlayBench::node(5), 40, payload);
+    }
+    b.sim.run_until(b.sim.now() + 5 * sim::kMillisecond);
+  }
+  const double wall = seconds_since(start);
+  return MicroResult{delivered, wall, {}};
+}
+
+/// Priority flood fan-out: overlay broadcasts across an 8-node ring with
+/// chords, counted at every delivering node. Exercises dedup, per-source
+/// queues, and the multi-neighbor copy budget.
+MicroResult run_overlay_flood() {
+  spines::DaemonConfig tmpl;
+  tmpl.intrusion_tolerant = false;
+  tmpl.mode = spines::ForwardingMode::kPriorityFlood;
+  tmpl.per_source_queue_cap = 1 << 15;
+  OverlayBench b;
+  std::vector<std::pair<int, int>> links;
+  constexpr int kNodes = 8;
+  for (int i = 0; i < kNodes; ++i) links.emplace_back(i, (i + 1) % kNodes);
+  for (int i = 0; i < kNodes; i += 2) links.emplace_back(i, (i + 2) % kNodes);
+  b.build(kNodes, links, tmpl);
+
+  std::uint64_t delivered = 0;
+  for (int i = 1; i < kNodes; ++i) {
+    b.overlay->daemon(OverlayBench::node(static_cast<std::size_t>(i)))
+        .open_session(40, [&](const spines::DataBody&) { ++delivered; });
+  }
+  const util::Bytes payload(64, 0xCD);
+  const std::array<spines::Priority, 3> prios = {
+      spines::Priority::kHigh, spines::Priority::kMedium, spines::Priority::kLow};
+
+  constexpr std::uint64_t kTarget = 70'000;  // broadcasts x 7 receivers
+  const auto start = Clock::now();
+  int round = 0;
+  while (delivered < kTarget) {
+    for (int i = 0; i < 128; ++i, ++round) {
+      b.overlay->daemon(OverlayBench::node(0))
+          .session_send(40, spines::kBroadcastDst, 40, payload,
+                        prios[static_cast<std::size_t>(round) % 3]);
+    }
+    b.sim.run_until(b.sim.now() + 10 * sim::kMillisecond);
+  }
+  const double wall = seconds_since(start);
+  return MicroResult{delivered, wall, {}};
+}
+
+/// Route convergence under link flapping: one node of a 12-node ring-
+/// with-chords stops and restarts repeatedly, generating LSU storms.
+/// Reports accepted LSUs/sec plus route recomputations per accepted LSU
+/// across the membership — the coalescing metric (old code: >= 1).
+MicroResult run_overlay_lsu_churn() {
+  spines::DaemonConfig tmpl;
+  tmpl.mode = spines::ForwardingMode::kRouted;
+  tmpl.reliable_data_links = false;
+  OverlayBench b;
+  std::vector<std::pair<int, int>> links;
+  constexpr int kNodes = 12;
+  for (int i = 0; i < kNodes; ++i) links.emplace_back(i, (i + 1) % kNodes);
+  for (int i = 0; i < kNodes; i += 3) links.emplace_back(i, (i + 4) % kNodes);
+  b.build(kNodes, links, tmpl);
+
+  auto totals = [&](auto field) {
+    std::uint64_t sum = 0;
+    for (int i = 0; i < kNodes; ++i) {
+      sum += field(
+          b.overlay->daemon(OverlayBench::node(static_cast<std::size_t>(i)))
+              .stats());
+    }
+    return sum;
+  };
+  const std::uint64_t lsu_before =
+      totals([](const spines::DaemonStats& s) { return s.lsu_accepted; });
+  const std::uint64_t recomputes_before =
+      totals([](const spines::DaemonStats& s) { return s.route_recomputes; });
+
+  constexpr int kFlaps = 48;
+  const auto start = Clock::now();
+  for (int flap = 0; flap < kFlaps; ++flap) {
+    auto& victim = b.overlay->daemon(
+        OverlayBench::node(static_cast<std::size_t>(1 + flap % (kNodes - 1))));
+    victim.stop();
+    b.sim.run_until(b.sim.now() + 500 * sim::kMillisecond);
+    victim.start();
+    b.sim.run_until(b.sim.now() + 500 * sim::kMillisecond);
+  }
+  const double wall = seconds_since(start);
+
+  const std::uint64_t lsus =
+      totals([](const spines::DaemonStats& s) { return s.lsu_accepted; }) -
+      lsu_before;
+  const std::uint64_t recomputes =
+      totals([](const spines::DaemonStats& s) { return s.route_recomputes; }) -
+      recomputes_before;
+  MicroResult r{lsus, wall, {}};
+  r.extra.emplace_back(
+      "recomputes_per_lsu",
+      lsus > 0 ? static_cast<double>(recomputes) / static_cast<double>(lsus)
+               : 0.0);
+  return r;
 }
 
 // ---- JSON emission ----------------------------------------------------------
@@ -402,10 +578,13 @@ struct BenchSection {
 void write_section(std::FILE* f, const BenchSection& s, bool trailing_comma) {
   std::fprintf(f,
                "    \"%s\": {\"items\": %llu, \"wall_seconds\": %.6f, "
-               "\"%s\": %.1f}%s\n",
+               "\"%s\": %.1f",
                s.name, static_cast<unsigned long long>(s.result.items),
-               s.result.wall_seconds, s.unit, s.result.rate(),
-               trailing_comma ? "," : "");
+               s.result.wall_seconds, s.unit, s.result.rate());
+  for (const auto& [key, value] : s.result.extra) {
+    std::fprintf(f, ", \"%s\": %.4f", key.c_str(), value);
+  }
+  std::fprintf(f, "}%s\n", trailing_comma ? "," : "");
 }
 
 /// Minimal extractor for the fixed format this binary itself writes:
@@ -419,15 +598,27 @@ double extract_rate(const std::string& text, const std::string& section,
   return std::atof(text.c_str() + field_pos + field.size() + 3);
 }
 
-int run_json_mode(const std::string& out_path, const std::string& baseline_path) {
+int run_json_mode(const std::string& out_path, const std::string& baseline_path,
+                  double fail_below) {
   bench::quiet_logs();
-  std::fprintf(stderr, "running scheduler_churn...\n");
-  BenchSection churn{"scheduler_churn", "events_per_sec", run_scheduler_churn()};
-  std::fprintf(stderr, "running envelope_verify...\n");
-  BenchSection verify{"envelope_verify", "verifies_per_sec", run_envelope_verify()};
-  std::fprintf(stderr, "running prime_update_ordering...\n");
-  BenchSection ordering{"prime_update_ordering", "updates_per_sec",
-                        run_prime_update_ordering()};
+  struct Spec {
+    const char* name;
+    const char* unit;
+    MicroResult (*run)();
+  };
+  const Spec specs[] = {
+      {"scheduler_churn", "events_per_sec", run_scheduler_churn},
+      {"envelope_verify", "verifies_per_sec", run_envelope_verify},
+      {"prime_update_ordering", "updates_per_sec", run_prime_update_ordering},
+      {"overlay_forward", "msgs_per_sec", run_overlay_forward},
+      {"overlay_flood", "msgs_per_sec", run_overlay_flood},
+      {"overlay_lsu_churn", "lsus_per_sec", run_overlay_lsu_churn},
+  };
+  std::vector<BenchSection> sections;
+  for (const Spec& spec : specs) {
+    std::fprintf(stderr, "running %s...\n", spec.name);
+    sections.push_back(BenchSection{spec.name, spec.unit, spec.run()});
+  }
 
   std::string baseline_text;
   if (!baseline_path.empty()) {
@@ -448,44 +639,51 @@ int run_json_mode(const std::string& out_path, const std::string& baseline_path)
   }
   std::fprintf(f, "{\n  \"bench\": \"bench_micro\",\n  \"schema_version\": 1,\n");
   std::fprintf(f, "  \"results\": {\n");
-  write_section(f, churn, true);
-  write_section(f, verify, true);
-  write_section(f, ordering, false);
+  for (std::size_t i = 0; i < sections.size(); ++i) {
+    write_section(f, sections[i], i + 1 < sections.size());
+  }
   std::fprintf(f, "  }");
+
+  bool regressed = false;
   if (!baseline_text.empty()) {
-    const double base_events =
-        extract_rate(baseline_text, "scheduler_churn", "events_per_sec");
-    const double base_verifies =
-        extract_rate(baseline_text, "envelope_verify", "verifies_per_sec");
-    const double base_updates =
-        extract_rate(baseline_text, "prime_update_ordering", "updates_per_sec");
+    // A bench absent from the baseline (newly added) gets speedup 0 and
+    // is exempt from the regression gate.
+    std::vector<double> base_rates;
+    for (const auto& s : sections) {
+      base_rates.push_back(extract_rate(baseline_text, s.name, s.unit));
+    }
     std::fprintf(f, ",\n  \"baseline\": {\n");
-    std::fprintf(f, "    \"scheduler_churn\": {\"events_per_sec\": %.1f},\n",
-                 base_events);
-    std::fprintf(f, "    \"envelope_verify\": {\"verifies_per_sec\": %.1f},\n",
-                 base_verifies);
-    std::fprintf(f,
-                 "    \"prime_update_ordering\": {\"updates_per_sec\": %.1f}\n",
-                 base_updates);
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+      std::fprintf(f, "    \"%s\": {\"%s\": %.1f}%s\n", sections[i].name,
+                   sections[i].unit, base_rates[i],
+                   i + 1 < sections.size() ? "," : "");
+    }
     std::fprintf(f, "  },\n  \"speedup\": {\n");
-    std::fprintf(f, "    \"scheduler_churn\": %.2f,\n",
-                 base_events > 0 ? churn.result.rate() / base_events : 0);
-    std::fprintf(f, "    \"envelope_verify\": %.2f,\n",
-                 base_verifies > 0 ? verify.result.rate() / base_verifies : 0);
-    std::fprintf(f, "    \"prime_update_ordering\": %.2f\n",
-                 base_updates > 0 ? ordering.result.rate() / base_updates : 0);
+    for (std::size_t i = 0; i < sections.size(); ++i) {
+      const double speedup =
+          base_rates[i] > 0 ? sections[i].result.rate() / base_rates[i] : 0;
+      std::fprintf(f, "    \"%s\": %.2f%s\n", sections[i].name, speedup,
+                   i + 1 < sections.size() ? "," : "");
+      if (fail_below > 0 && base_rates[i] > 0 && speedup < fail_below) {
+        std::fprintf(stderr, "REGRESSION: %s at %.2fx of baseline (< %.2f)\n",
+                     sections[i].name, speedup, fail_below);
+        regressed = true;
+      }
+    }
     std::fprintf(f, "  }");
   }
   std::fprintf(f, "\n}\n");
   std::fclose(f);
 
-  std::printf("scheduler_churn:       %12.0f events/sec\n", churn.result.rate());
-  std::printf("envelope_verify:       %12.0f verifies/sec\n",
-              verify.result.rate());
-  std::printf("prime_update_ordering: %12.0f updates/sec\n",
-              ordering.result.rate());
+  for (const auto& s : sections) {
+    std::printf("%-22s %12.0f %s", s.name, s.result.rate(), s.unit);
+    for (const auto& [key, value] : s.result.extra) {
+      std::printf("  %s=%.3f", key.c_str(), value);
+    }
+    std::printf("\n");
+  }
   std::printf("wrote %s\n", out_path.c_str());
-  return 0;
+  return regressed ? 2 : 0;
 }
 
 }  // namespace
@@ -494,6 +692,7 @@ int main(int argc, char** argv) {
   bool json = false;
   std::string out_path = "BENCH_micro.json";
   std::string baseline_path;
+  double fail_below = 0;  // 0 disables the regression gate
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -504,11 +703,13 @@ int main(int argc, char** argv) {
       out_path = arg.substr(7);
     } else if (arg.rfind("--baseline=", 0) == 0) {
       baseline_path = arg.substr(11);
+    } else if (arg.rfind("--fail-below=", 0) == 0) {
+      fail_below = std::atof(arg.c_str() + 13);
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  if (json) return run_json_mode(out_path, baseline_path);
+  if (json) return run_json_mode(out_path, baseline_path, fail_below);
 
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());

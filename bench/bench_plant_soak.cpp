@@ -136,6 +136,10 @@ int main() {
   for (std::size_t j = 0; j < config.hmi_count; ++j) {
     shape = shape && missed[j] == 0;
   }
+  std::printf("\n");
+  bench::print_overlay_stats("internal", spire_sys.internal_overlay());
+  bench::print_overlay_stats("external", spire_sys.external_overlay());
+
   std::printf("\nShape check vs paper: uninterrupted operation across the "
               "scaled soak, through %llu proactive recoveries, with all "
               "three HMIs tracking perfectly: %s\n",

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "sim/simulator.hpp"
+#include "spines/overlay.hpp"
 #include "util/log.hpp"
 
 namespace spire::bench {
@@ -91,6 +92,42 @@ inline std::string fmt_count(std::uint64_t v) { return std::to_string(v); }
 
 inline void quiet_logs() {
   util::LogConfig::instance().level = util::LogLevel::kOff;
+}
+
+/// Aggregates DaemonStats across an overlay and prints the data-plane
+/// observability counters (route-recompute coalescing, dedup pressure,
+/// per-priority queue high-water marks) so control-plane regressions are
+/// visible in bench output.
+inline void print_overlay_stats(const char* label, spines::Overlay& overlay) {
+  std::uint64_t forwarded = 0, delivered = 0, recomputes = 0, coalesced = 0;
+  std::uint64_t dedup_evictions = 0, queue_drops = 0;
+  std::uint64_t max_depth[3] = {0, 0, 0};
+  for (const auto& id : overlay.node_ids()) {
+    const spines::DaemonStats& s = overlay.daemon(id).stats();
+    forwarded += s.data_forwarded;
+    delivered += s.data_delivered;
+    recomputes += s.route_recomputes;
+    coalesced += s.route_recomputes_coalesced;
+    dedup_evictions += s.dedup_evictions;
+    queue_drops += s.dropped_queue_full;
+    for (int p = 0; p < 3; ++p) {
+      max_depth[p] = std::max(max_depth[p],
+                              static_cast<std::uint64_t>(s.max_queue_depth[p]));
+    }
+  }
+  std::printf(
+      "%s overlay: %llu forwarded, %llu delivered, %llu route recomputes "
+      "(%llu coalesced), %llu dedup evictions, %llu queue-full drops, max "
+      "queue depth lo/med/hi = %llu/%llu/%llu\n",
+      label, static_cast<unsigned long long>(forwarded),
+      static_cast<unsigned long long>(delivered),
+      static_cast<unsigned long long>(recomputes),
+      static_cast<unsigned long long>(coalesced),
+      static_cast<unsigned long long>(dedup_evictions),
+      static_cast<unsigned long long>(queue_drops),
+      static_cast<unsigned long long>(max_depth[0]),
+      static_cast<unsigned long long>(max_depth[1]),
+      static_cast<unsigned long long>(max_depth[2]));
 }
 
 }  // namespace spire::bench

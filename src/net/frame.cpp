@@ -45,7 +45,7 @@ std::optional<ArpPacket> ArpPacket::decode(std::span<const std::uint8_t> data) {
 }
 
 util::Bytes Datagram::encode() const {
-  util::ByteWriter w;
+  util::ByteWriter w(4 + 4 + 2 + 2 + 1 + 4 + payload.size());
   w.u32(src_ip.value);
   w.u32(dst_ip.value);
   w.u16(src_port);

@@ -29,7 +29,7 @@ MacAddress Host::mac(std::size_t iface) const { return ifaces_.at(iface).mac; }
 IpAddress Host::ip(std::size_t iface) const { return ifaces_.at(iface).ip; }
 
 void Host::set_transmit(std::size_t iface,
-                        std::function<void(const EthernetFrame&)> tx) {
+                        std::function<void(EthernetFrame)> tx) {
   ifaces_.at(iface).tx = std::move(tx);
 }
 
@@ -65,35 +65,71 @@ std::optional<std::size_t> Host::interface_for(IpAddress dst) const {
   return std::nullopt;
 }
 
+std::optional<Host::Egress> Host::resolve_egress(IpAddress dst_ip) const {
+  if (auto direct = interface_for(dst_ip)) {
+    return Egress{*direct, dst_ip};
+  }
+  if (gateway_) {
+    const auto gw_iface = interface_for(*gateway_);
+    if (!gw_iface) return std::nullopt;
+    return Egress{*gw_iface, *gateway_};
+  }
+  log_.debug("no route to ", dst_ip.str());
+  return std::nullopt;
+}
+
 bool Host::send_udp(IpAddress dst_ip, std::uint16_t dst_port,
                     std::uint16_t src_port, util::Bytes payload) {
   if (!firewall_.permits(Direction::kOutbound, dst_ip, src_port, dst_port)) {
     ++stats_.dropped_firewall_out;
     return false;
   }
-
-  std::size_t iface;
-  IpAddress next_hop = dst_ip;
-  if (auto direct = interface_for(dst_ip)) {
-    iface = *direct;
-  } else if (gateway_) {
-    const auto gw_iface = interface_for(*gateway_);
-    if (!gw_iface) return false;
-    iface = *gw_iface;
-    next_hop = *gateway_;
-  } else {
-    log_.debug("no route to ", dst_ip.str());
-    return false;
-  }
+  const auto egress = resolve_egress(dst_ip);
+  if (!egress) return false;
 
   Datagram dgram;
-  dgram.src_ip = ifaces_[iface].ip;
+  dgram.src_ip = ifaces_[egress->iface].ip;
   dgram.dst_ip = dst_ip;
   dgram.src_port = src_port;
   dgram.dst_port = dst_port;
   dgram.payload = std::move(payload);
   ++stats_.datagrams_sent;
-  transmit_datagram(iface, next_hop, dgram);
+  transmit_datagram(egress->iface, egress->next_hop, dgram);
+  return true;
+}
+
+bool Host::send_udp(IpAddress dst_ip, std::uint16_t dst_port,
+                    std::uint16_t src_port,
+                    std::span<const std::uint8_t> payload) {
+  if (!firewall_.permits(Direction::kOutbound, dst_ip, src_port, dst_port)) {
+    ++stats_.dropped_firewall_out;
+    return false;
+  }
+  const auto egress = resolve_egress(dst_ip);
+  if (!egress) return false;
+
+  const Interface& nic = ifaces_[egress->iface];
+  const auto mac_it = arp_table_.find(egress->next_hop);
+  if (mac_it == arp_table_.end()) {
+    // ARP not resolved: the datagram must be queued in owned form, so
+    // take the ordinary path.
+    return send_udp(dst_ip, dst_port, src_port,
+                    util::Bytes(payload.begin(), payload.end()));
+  }
+
+  // Fast path: serialize the datagram directly around the borrowed
+  // payload — one allocation, one copy — and move the frame down the
+  // transmit chain.
+  ++stats_.datagrams_sent;
+  if (!nic.tx) return true;
+  util::ByteWriter w(4 + 4 + 2 + 2 + 1 + 4 + payload.size());
+  w.u32(nic.ip.value);
+  w.u32(dst_ip.value);
+  w.u16(src_port);
+  w.u16(dst_port);
+  w.u8(Datagram{}.ttl);
+  w.blob(payload);
+  nic.tx(EthernetFrame{nic.mac, mac_it->second, EtherType::kIpv4, w.take()});
   return true;
 }
 
@@ -118,16 +154,14 @@ void Host::transmit_datagram(std::size_t iface, IpAddress next_hop,
       req.sender_mac = nic.mac;
       req.sender_ip = nic.ip;
       req.target_ip = next_hop;
-      EthernetFrame frame{nic.mac, MacAddress::broadcast(), EtherType::kArp,
-                          req.encode()};
-      nic.tx(frame);
+      nic.tx(EthernetFrame{nic.mac, MacAddress::broadcast(), EtherType::kArp,
+                           req.encode()});
     }
     return;
   }
 
-  EthernetFrame frame{nic.mac, mac_it->second, EtherType::kIpv4,
-                      dgram.encode()};
-  nic.tx(frame);
+  nic.tx(EthernetFrame{nic.mac, mac_it->second, EtherType::kIpv4,
+                       dgram.encode()});
 }
 
 void Host::send_frame_raw(std::size_t iface, const EthernetFrame& frame) {
@@ -181,9 +215,10 @@ void Host::handle_arp(std::size_t iface, const ArpPacket& arp) {
       reply.sender_ip = arp.target_ip;
       reply.target_mac = arp.sender_mac;
       reply.target_ip = arp.sender_ip;
-      EthernetFrame frame{nic.mac, arp.sender_mac, EtherType::kArp,
-                          reply.encode()};
-      if (nic.tx) nic.tx(frame);
+      if (nic.tx) {
+        nic.tx(EthernetFrame{nic.mac, arp.sender_mac, EtherType::kArp,
+                             reply.encode()});
+      }
     }
     // Opportunistically learn the requester (standard OS behaviour;
     // also a poisoning vector, which is the point).

@@ -101,8 +101,10 @@ class Host {
   [[nodiscard]] std::size_t interface_count() const { return ifaces_.size(); }
   [[nodiscard]] MacAddress mac(std::size_t iface = 0) const;
   [[nodiscard]] IpAddress ip(std::size_t iface = 0) const;
-  void set_transmit(std::size_t iface,
-                    std::function<void(const EthernetFrame&)> tx);
+  /// The transmit hook takes the frame by value so the send path can
+  /// move it down the wire instead of copying the payload at each layer
+  /// (callbacks taking `const EthernetFrame&` still convert).
+  void set_transmit(std::size_t iface, std::function<void(EthernetFrame)> tx);
   void set_promiscuous(std::size_t iface, bool on);
 
   /// Entry point for frames arriving from the wire.
@@ -131,6 +133,13 @@ class Host {
   /// no route exists. Source IP is taken from the chosen interface.
   bool send_udp(IpAddress dst_ip, std::uint16_t dst_port,
                 std::uint16_t src_port, util::Bytes payload);
+  /// Borrowed-buffer variant for hot paths that serialize into a reusable
+  /// scratch writer: the payload is copied exactly once, into the
+  /// datagram, instead of the caller materializing a fresh vector per
+  /// send. Pass the span explicitly — an owned util::Bytes argument
+  /// resolves to the overload above.
+  bool send_udp(IpAddress dst_ip, std::uint16_t dst_port,
+                std::uint16_t src_port, std::span<const std::uint8_t> payload);
 
   // ---- forwarding (firewall appliance / router) --------------------------
   void enable_forwarding(bool default_deny);
@@ -164,8 +173,14 @@ class Host {
     IpAddress ip;
     int prefix_len = 24;
     bool promiscuous = false;
-    std::function<void(const EthernetFrame&)> tx;
+    std::function<void(EthernetFrame)> tx;
   };
+
+  struct Egress {
+    std::size_t iface;
+    IpAddress next_hop;
+  };
+  [[nodiscard]] std::optional<Egress> resolve_egress(IpAddress dst_ip) const;
 
   void handle_arp(std::size_t iface, const ArpPacket& arp);
   void handle_datagram(std::size_t iface, const Datagram& dgram);

@@ -17,8 +17,8 @@ Switch& Network::add_switch(SwitchConfig config) {
 PortId Network::connect(Host& host, std::size_t iface, Switch& sw) {
   const PortId port = sw.add_port(
       [&host, iface](const EthernetFrame& frame) { host.handle_frame(iface, frame); });
-  host.set_transmit(iface, [&sw, port](const EthernetFrame& frame) {
-    sw.receive(port, frame);
+  host.set_transmit(iface, [&sw, port](EthernetFrame frame) {
+    sw.receive(port, std::move(frame));
   });
   if (sw.config().static_port_binding) {
     sw.bind_mac(host.mac(iface), port);
@@ -29,11 +29,15 @@ PortId Network::connect(Host& host, std::size_t iface, Switch& sw) {
 void Network::cable(Host& a, std::size_t iface_a, Host& b, std::size_t iface_b,
                     sim::Time latency) {
   sim::Simulator& sim = sim_;
-  a.set_transmit(iface_a, [&sim, &b, iface_b, latency](const EthernetFrame& f) {
-    sim.schedule_after(latency, [&b, iface_b, f] { b.handle_frame(iface_b, f); });
+  a.set_transmit(iface_a, [&sim, &b, iface_b, latency](EthernetFrame f) {
+    sim.schedule_after(latency, [&b, iface_b, f = std::move(f)] {
+      b.handle_frame(iface_b, f);
+    });
   });
-  b.set_transmit(iface_b, [&sim, &a, iface_a, latency](const EthernetFrame& f) {
-    sim.schedule_after(latency, [&a, iface_a, f] { a.handle_frame(iface_a, f); });
+  b.set_transmit(iface_b, [&sim, &a, iface_a, latency](EthernetFrame f) {
+    sim.schedule_after(latency, [&a, iface_a, f = std::move(f)] {
+      a.handle_frame(iface_a, f);
+    });
   });
 }
 

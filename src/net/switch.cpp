@@ -20,7 +20,7 @@ void Switch::add_tap(std::string network_label, PcapSink sink) {
   taps_.push_back(Tap{std::move(network_label), std::move(sink)});
 }
 
-void Switch::receive(PortId ingress, const EthernetFrame& frame) {
+void Switch::receive(PortId ingress, EthernetFrame frame) {
   // Mirror to taps first: a capture port sees traffic even if the
   // switch later drops it (that is what makes DoS visible to MANA).
   for (const auto& tap : taps_) {
@@ -45,7 +45,7 @@ void Switch::receive(PortId ingress, const EthernetFrame& frame) {
   if (!frame.dst.is_broadcast()) {
     const auto it = table.find(frame.dst);
     if (it != table.end()) {
-      if (it->second != ingress) emit(it->second, frame);
+      if (it->second != ingress) emit(it->second, std::move(frame));
       return;
     }
     if (config_.static_port_binding) {
@@ -63,7 +63,7 @@ void Switch::receive(PortId ingress, const EthernetFrame& frame) {
   }
 }
 
-void Switch::emit(PortId port, const EthernetFrame& frame) {
+void Switch::emit(PortId port, EthernetFrame frame) {
   Port& p = ports_[port];
   if (p.queued >= config_.egress_queue_frames) {
     ++stats_.frames_dropped_queue;
@@ -79,7 +79,7 @@ void Switch::emit(PortId port, const EthernetFrame& frame) {
   p.busy_until = done;
 
   const sim::Time deliver_at = done + config_.propagation_delay;
-  sim_.schedule_at(deliver_at, [this, port, frame] {
+  sim_.schedule_at(deliver_at, [this, port, frame = std::move(frame)] {
     Port& out = ports_[port];
     if (out.queued > 0) --out.queued;
     if (out.deliver) out.deliver(frame);

@@ -57,8 +57,10 @@ class Switch {
   /// enforced when config.static_port_binding is true.
   void bind_mac(const MacAddress& mac, PortId port);
 
-  /// Frame arriving from the device attached to `ingress`.
-  void receive(PortId ingress, const EthernetFrame& frame);
+  /// Frame arriving from the device attached to `ingress`. Taken by
+  /// value: the unicast forwarding path moves the frame into the
+  /// scheduled delivery instead of copying the payload.
+  void receive(PortId ingress, EthernetFrame frame);
 
   /// Registers an out-of-band capture tap mirroring all traffic.
   void add_tap(std::string network_label, PcapSink sink);
@@ -74,7 +76,7 @@ class Switch {
     std::size_t queued = 0;
   };
 
-  void emit(PortId port, const EthernetFrame& frame);
+  void emit(PortId port, EthernetFrame frame);
 
   sim::Simulator& sim_;
   SwitchConfig config_;

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <queue>
 
 namespace spire::spines {
 
@@ -10,6 +9,13 @@ namespace {
 /// Approximate wire size of a data message for pacing purposes.
 std::size_t data_wire_size(const DataBody& d) { return 64 + d.payload.size(); }
 }  // namespace
+
+void Daemon::PriorityClassQueue::clear() {
+  for (auto& q : by_source) q.clear();
+  active.clear();
+  rr_next = 0;
+  depth = 0;
+}
 
 Daemon::Daemon(sim::Simulator& sim, net::Host& host, DaemonConfig config,
                const crypto::Keyring& keyring, crypto::Verifier verifier)
@@ -19,7 +25,21 @@ Daemon::Daemon(sim::Simulator& sim, net::Host& host, DaemonConfig config,
       keyring_(keyring),
       verifier_(std::move(verifier)),
       signer_(config_.id, keyring.identity_key(config_.id)),
-      log_("spines." + config_.id) {}
+      log_("spines." + config_.id),
+      dedup_(config_.dedup_cache_size) {
+  self_ = admit_node(config_.id);
+}
+
+NodeHandle Daemon::admit_node(std::string_view id) {
+  const NodeHandle h = nodes_.intern(id);
+  if (h == kNoHandle) return kNoHandle;
+  if (nodes_.size() > lsdb_.size()) {
+    lsdb_.resize(nodes_.size());
+    routes_.resize(nodes_.size(), kNoHandle);
+    neighbors_.resize(nodes_.size());
+  }
+  return h;
+}
 
 void Daemon::make_channels(Neighbor& n, const NodeId& id, bool corrupted) {
   // Per-direction keys: each direction seals under a key bound to the
@@ -44,10 +64,14 @@ void Daemon::make_channels(Neighbor& n, const NodeId& id, bool corrupted) {
 }
 
 void Daemon::add_neighbor(const NodeId& id, net::Endpoint address) {
-  Neighbor n;
-  n.address = address;
-  make_channels(n, id, false);
-  neighbors_.emplace(id, std::move(n));
+  const NodeHandle h = admit_node(id);
+  if (h == kNoHandle || neighbors_[h]) return;
+  auto n = std::make_unique<Neighbor>();
+  n->handle = h;
+  n->address = address;
+  make_channels(*n, id, keys_corrupted_);
+  neighbors_[h] = std::move(n);
+  neighbor_order_.push_back(h);
 }
 
 void Daemon::start() {
@@ -55,22 +79,30 @@ void Daemon::start() {
   running_ = true;
   host_.bind_udp(config_.udp_port,
                  [this](const net::Datagram& d) { handle_udp(d); });
-  hello_tick();
-  lsu_tick();
+  hello_tick(epoch_);
+  lsu_tick(epoch_);
   if (config_.reliable_data_links &&
       config_.mode == ForwardingMode::kRouted) {
-    retransmit_tick();
+    retransmit_tick(epoch_);
   }
 }
 
 void Daemon::stop() {
   if (!running_) return;
   running_ = false;
+  ++epoch_;  // orphan every scheduled tick, pump, and route-recompute timer
   host_.unbind_udp(config_.udp_port);
-  for (auto& [id, n] : neighbors_) {
+  routes_dirty_ = false;
+  route_recompute_scheduled_ = false;
+  for (const NodeHandle h : neighbor_order_) {
+    Neighbor& n = *neighbors_[h];
     n.up = false;
     for (auto& q : n.queues) q.clear();
     n.unacked.clear();
+    // Pacing state must not leak into the next start(): a restarted
+    // daemon begins with an idle link.
+    n.busy_until = 0;
+    n.pump_scheduled = false;
   }
 }
 
@@ -93,93 +125,107 @@ bool Daemon::session_send(SessionPort src_port, const NodeId& dst,
   data.msg_seq = ++data_seq_;
   data.payload = std::move(payload);
   ++stats_.data_originated;
-  on_data(std::nullopt, std::move(data));
+  on_data(kNoHandle, std::move(data));
   return true;
 }
 
 void Daemon::corrupt_link_keys() {
   keys_corrupted_ = true;
-  for (auto& [id, n] : neighbors_) make_channels(n, id, true);
+  for (const NodeHandle h : neighbor_order_) {
+    make_channels(*neighbors_[h], nodes_.name(h), true);
+  }
 }
 
 void Daemon::restore_link_keys() {
   keys_corrupted_ = false;
-  for (auto& [id, n] : neighbors_) make_channels(n, id, false);
+  for (const NodeHandle h : neighbor_order_) {
+    make_channels(*neighbors_[h], nodes_.name(h), false);
+  }
 }
 
 bool Daemon::link_up(const NodeId& neighbor) const {
-  const auto it = neighbors_.find(neighbor);
-  return it != neighbors_.end() && it->second.up;
+  const Neighbor* n = neighbor_slot(nodes_.lookup(neighbor));
+  return n != nullptr && n->up;
 }
 
 std::optional<NodeId> Daemon::next_hop(const NodeId& dst) const {
-  const auto it = routes_.find(dst);
-  if (it == routes_.end()) return std::nullopt;
-  return it->second;
+  const NodeHandle h = nodes_.lookup(dst);
+  if (h == kNoHandle || h >= routes_.size() || routes_[h] == kNoHandle) {
+    return std::nullopt;
+  }
+  return nodes_.name(routes_[h]);
 }
 
-void Daemon::send_packet(const NodeId& neighbor, PacketType type,
-                         const util::Bytes& body) {
-  auto it = neighbors_.find(neighbor);
-  if (it == neighbors_.end() || !running_) return;
-  Neighbor& n = it->second;
+bool Daemon::lsdb_contains(const NodeId& origin) const {
+  const NodeHandle h = nodes_.lookup(origin);
+  return h != kNoHandle && h < lsdb_.size() && lsdb_[h].present;
+}
 
-  InnerPacket inner;
-  inner.type = type;
-  inner.link_seq = ++n.send_link_seq;
-  inner.body = body;
-  const util::Bytes inner_bytes = inner.encode();
+void Daemon::send_packet(NodeHandle neighbor, PacketType type,
+                         std::span<const std::uint8_t> body) {
+  Neighbor* n = neighbor_slot(neighbor);
+  if (n == nullptr || !running_) return;
+
+  // Inner packet [type u8][link_seq u64][body blob], serialized into the
+  // reusable scratch: the hot path allocates nothing.
+  inner_scratch_.clear();
+  inner_scratch_.reserve(1 + 8 + 4 + body.size());
+  inner_scratch_.u8(static_cast<std::uint8_t>(type));
+  inner_scratch_.u64(++n->send_link_seq);
+  inner_scratch_.blob(body);
 
   // Reliable message service: data packets on routed links are tracked
   // until acked (flooding already provides its own redundancy).
   if (type == PacketType::kData && config_.reliable_data_links &&
       config_.mode == ForwardingMode::kRouted) {
-    n.unacked[inner.link_seq] = Neighbor::Unacked{inner_bytes, sim_.now(), 0};
+    n->unacked[n->send_link_seq] = Neighbor::Unacked{
+        util::Bytes(inner_scratch_.bytes().begin(),
+                    inner_scratch_.bytes().end()),
+        sim_.now(), 0};
   }
-  transmit_inner(neighbor, inner_bytes);
+  transmit_inner(neighbor, inner_scratch_.bytes());
 }
 
-void Daemon::transmit_inner(const NodeId& neighbor,
-                            const util::Bytes& inner_bytes) {
-  auto it = neighbors_.find(neighbor);
-  if (it == neighbors_.end() || !running_) return;
-  Neighbor& n = it->second;
-  LinkEnvelope env;
-  env.sender = config_.id;
-  env.sealed = config_.intrusion_tolerant;
-  env.body = env.sealed ? n.send_channel->seal(inner_bytes) : inner_bytes;
-  host_.send_udp(n.address.ip, n.address.port, config_.udp_port, env.encode());
+void Daemon::transmit_inner(NodeHandle neighbor,
+                            std::span<const std::uint8_t> inner_bytes) {
+  Neighbor* n = neighbor_slot(neighbor);
+  if (n == nullptr || !running_) return;
+  // Link envelope [sender str][sealed bool][body blob], built in the
+  // second scratch so sealing (which reads inner_bytes) and enveloping
+  // never collide.
+  const bool sealed = config_.intrusion_tolerant;
+  util::Bytes sealed_body;
+  std::span<const std::uint8_t> body = inner_bytes;
+  if (sealed) {
+    sealed_body = n->send_channel->seal(inner_bytes);
+    body = sealed_body;
+  }
+  env_scratch_.clear();
+  env_scratch_.reserve(4 + config_.id.size() + 1 + 4 + body.size());
+  env_scratch_.str(config_.id);
+  env_scratch_.boolean(sealed);
+  env_scratch_.blob(body);
+  host_.send_udp(n->address.ip, n->address.port, config_.udp_port,
+                 std::span<const std::uint8_t>(env_scratch_.bytes()));
 }
 
-void Daemon::send_ack(const NodeId& neighbor, std::uint64_t acked_seq) {
+void Daemon::send_ack(NodeHandle neighbor, std::uint64_t acked_seq) {
   ++stats_.acks_sent;
-  util::ByteWriter w;
-  w.u64(acked_seq);
-  send_packet(neighbor, PacketType::kAck, w.take());
-}
-
-bool Daemon::accept_link_seq(Neighbor& n, std::uint64_t seq) {
-  if (seq > n.recv_link_seq) {
-    const std::uint64_t shift = seq - n.recv_link_seq;
-    n.recv_window = shift >= 64 ? 0 : (n.recv_window << shift);
-    n.recv_window |= 1;  // bit 0 tracks the new maximum
-    n.recv_link_seq = seq;
-    return true;
+  std::array<std::uint8_t, 8> buf{};
+  for (int i = 0; i < 8; ++i) {
+    buf[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(acked_seq >> (56 - 8 * i));
   }
-  const std::uint64_t age = n.recv_link_seq - seq;
-  if (age >= 64) return false;  // beyond the window: treat as replay
-  const std::uint64_t bit = 1ULL << age;
-  if (n.recv_window & bit) return false;
-  n.recv_window |= bit;
-  return true;
+  send_packet(neighbor, PacketType::kAck, buf);
 }
 
-void Daemon::retransmit_tick() {
-  if (!running_) return;
+void Daemon::retransmit_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || !running_) return;
   sim_.schedule_after(config_.retransmit_timeout / 2,
-                      [this] { retransmit_tick(); });
+                      [this, epoch] { retransmit_tick(epoch); });
   const sim::Time now = sim_.now();
-  for (auto& [id, n] : neighbors_) {
+  for (const NodeHandle h : neighbor_order_) {
+    Neighbor& n = *neighbors_[h];
     for (auto it = n.unacked.begin(); it != n.unacked.end();) {
       if (now - it->second.sent_at < config_.retransmit_timeout) {
         ++it;
@@ -193,7 +239,7 @@ void Daemon::retransmit_tick() {
       ++it->second.retries;
       it->second.sent_at = now;
       ++stats_.data_retransmits;
-      transmit_inner(id, it->second.inner_bytes);
+      transmit_inner(h, it->second.inner_bytes);
       ++it;
     }
   }
@@ -201,34 +247,60 @@ void Daemon::retransmit_tick() {
 
 void Daemon::handle_udp(const net::Datagram& dgram) {
   if (!running_) return;
-  const auto env = LinkEnvelope::decode(dgram.payload);
-  if (!env) return;
 
-  const auto it = neighbors_.find(env->sender);
-  if (it == neighbors_.end()) {
+  // The envelope and inner framing are hand-parsed over borrowed spans
+  // (equivalent to LinkEnvelope::decode / InnerPacket::decode): the
+  // receive path allocates nothing until a body decoder needs ownership.
+  NodeHandle from = kNoHandle;
+  bool env_sealed = false;
+  std::span<const std::uint8_t> env_body;
+  try {
+    util::ByteReader r(dgram.payload);
+    const std::string_view sender = r.str_view();
+    env_sealed = r.boolean();
+    env_body = r.blob_span();
+    r.expect_done();
+    from = nodes_.lookup(sender);
+  } catch (const util::SerializationError&) {
+    return;
+  }
+
+  Neighbor* n = neighbor_slot(from);
+  if (n == nullptr) {
     ++stats_.dropped_auth;
     return;  // unknown daemons are not neighbors; drop.
   }
-  Neighbor& n = it->second;
 
-  util::Bytes inner_bytes;
+  util::Bytes opened;  // owns the plaintext in sealed mode
+  std::span<const std::uint8_t> inner_bytes = env_body;
   if (config_.intrusion_tolerant) {
-    if (!env->sealed) {
+    if (!env_sealed) {
       ++stats_.dropped_auth;
       return;
     }
-    auto opened = n.recv_channel->open(env->body);
-    if (!opened) {
+    auto plain = n->recv_channel->open(env_body);
+    if (!plain) {
       ++stats_.dropped_auth;
       return;  // wrong keys, tampering, or a non-member impersonating.
     }
-    inner_bytes = std::move(*opened);
-  } else {
-    inner_bytes = env->body;
+    opened = std::move(*plain);
+    inner_bytes = opened;
   }
 
-  const auto inner = InnerPacket::decode(inner_bytes);
-  if (!inner) {
+  std::uint8_t raw_type = 0;
+  std::uint64_t link_seq = 0;
+  std::span<const std::uint8_t> body;
+  try {
+    util::ByteReader r(inner_bytes);
+    raw_type = r.u8();
+    // 4 is the legacy debug opcode: intentionally not a valid packet.
+    if (raw_type < 1 || raw_type > 5 || raw_type == 4) {
+      throw util::SerializationError("bad packet type");
+    }
+    link_seq = r.u64();
+    body = r.blob_span();
+    r.expect_done();
+  } catch (const util::SerializationError&) {
     // Legacy debug opcode and other malformed inner packets land here.
     if (!inner_bytes.empty() && inner_bytes.front() == kDebugPacketType) {
       if (config_.intrusion_tolerant) {
@@ -239,43 +311,45 @@ void Daemon::handle_udp(const net::Datagram& dgram) {
     }
     return;
   }
+  const auto type = static_cast<PacketType>(raw_type);
 
-  const bool reliable_data = inner->type == PacketType::kData &&
+  const bool reliable_data = type == PacketType::kData &&
                              config_.reliable_data_links &&
                              config_.mode == ForwardingMode::kRouted;
-  if (!accept_link_seq(n, inner->link_seq)) {
+  if (!n->recv_window.accept(link_seq)) {
     ++stats_.dropped_replay;
     // Duplicate data usually means our ack was lost: re-ack so the
     // sender stops retransmitting.
-    if (reliable_data) send_ack(env->sender, inner->link_seq);
+    if (reliable_data) send_ack(from, link_seq);
     return;
   }
-  if (reliable_data) send_ack(env->sender, inner->link_seq);
+  if (reliable_data) send_ack(from, link_seq);
 
-  process_inner(env->sender, *inner);
+  process_inner(from, type, body);
 }
 
-void Daemon::process_inner(const NodeId& from, const InnerPacket& inner) {
-  switch (inner.type) {
+void Daemon::process_inner(NodeHandle from, PacketType type,
+                           std::span<const std::uint8_t> body) {
+  switch (type) {
     case PacketType::kHello:
-      if (HelloBody::decode(inner.body)) on_hello(from);
+      if (HelloBody::decode(body)) on_hello(from);
       break;
     case PacketType::kLinkState:
-      if (const auto lsu = LinkStateBody::decode(inner.body)) {
+      if (const auto lsu = LinkStateBody::decode(body)) {
         on_link_state(from, *lsu);
       }
       break;
     case PacketType::kData:
-      if (auto data = DataBody::decode(inner.body)) {
+      if (auto data = DataBody::decode(body)) {
         on_data(from, std::move(*data));
       }
       break;
     case PacketType::kAck: {
       try {
-        util::ByteReader r(inner.body);
+        util::ByteReader r(body);
         const std::uint64_t acked = r.u64();
         r.expect_done();
-        neighbors_.at(from).unacked.erase(acked);
+        neighbor_slot(from)->unacked.erase(acked);
       } catch (const util::SerializationError&) {
       }
       break;
@@ -283,50 +357,83 @@ void Daemon::process_inner(const NodeId& from, const InnerPacket& inner) {
   }
 }
 
-void Daemon::on_hello(const NodeId& from) {
-  Neighbor& n = neighbors_.at(from);
+void Daemon::on_hello(NodeHandle from) {
+  Neighbor& n = *neighbors_[from];
   n.last_hello = sim_.now();
   if (!n.up) {
     n.up = true;
-    log_.debug("link to ", from, " up");
-    broadcast_own_lsu();
-    recompute_routes();
+    log_.debug("link to ", nodes_.name(from), " up");
+    broadcast_own_lsu();  // adjacency changed: marks routes dirty
   }
 }
 
-void Daemon::on_link_state(const NodeId& arrival, const LinkStateBody& lsu) {
-  auto& entry = lsdb_[lsu.origin];
-  if (lsu.seq <= entry.seq && lsu.origin != config_.id) {
-    return;  // stale or duplicate
-  }
+void Daemon::on_link_state(NodeHandle arrival, const LinkStateBody& lsu) {
+  // Look up — never insert — before the signature verifies: a forged
+  // LSU from a non-member must leave no trace in the node table or the
+  // LSDB (and stale floods from members skip verification entirely).
+  const bool is_self = lsu.origin == config_.id;
+  NodeHandle origin = nodes_.lookup(lsu.origin);
+  const std::uint64_t known_seq =
+      (origin != kNoHandle && origin < lsdb_.size() && lsdb_[origin].present)
+          ? lsdb_[origin].seq
+          : 0;
+  if (!is_self && lsu.seq <= known_seq) return;  // stale or duplicate
+
   const util::Bytes covered = lsu.signed_bytes();
   if (!verifier_.verify(lsu.origin, covered, lsu.signature)) {
     ++stats_.lsu_rejected_sig;
     return;
   }
-  if (lsu.origin == config_.id) return;  // our own, reflected back
+  if (is_self) return;  // our own, reflected back
 
   ++stats_.lsu_accepted;
+  origin = admit_node(lsu.origin);
+  if (origin == kNoHandle) return;  // node table full
+
+  std::vector<NodeHandle> adj;
+  adj.reserve(lsu.neighbors.size());
+  for (const NodeId& name : lsu.neighbors) {
+    const NodeHandle h = admit_node(name);
+    if (h != kNoHandle) adj.push_back(h);
+  }
+
+  LsdbEntry& entry = lsdb_[origin];
+  if (!entry.present) {
+    entry.present = true;
+    ++lsdb_count_;
+  }
   entry.seq = lsu.seq;
-  entry.neighbors = lsu.neighbors;
-  recompute_routes();
+  // Deferred recomputation: a refresh that does not change the
+  // adjacency (seq bump only) must not trigger a route recompute.
+  if (entry.neighbors != adj) {
+    entry.neighbors = std::move(adj);
+    mark_routes_dirty();
+  }
 
   // Re-flood to all up neighbors except where it came from.
   const util::Bytes body = lsu.encode();
-  for (const auto& [id, n] : neighbors_) {
-    if (id != arrival && n.up) send_packet(id, PacketType::kLinkState, body);
+  for (const NodeHandle h : neighbor_order_) {
+    if (h != arrival && neighbors_[h]->up) {
+      send_packet(h, PacketType::kLinkState, body);
+    }
   }
 }
 
-void Daemon::on_data(const std::optional<NodeId>& arrival, DataBody data) {
-  if (dedup_seen(data.src, data.msg_seq)) {
+void Daemon::on_data(NodeHandle arrival, DataBody data) {
+  const NodeHandle src = admit_node(data.src);
+  if (src == kNoHandle) {
+    ++stats_.dropped_auth;  // a member minting unbounded source names
+    return;
+  }
+  if (dedup_.check_and_insert(src, data.msg_seq)) {
     ++stats_.dropped_dedup;
     return;
   }
+  stats_.dedup_evictions = dedup_.evictions();
 
   const bool is_broadcast = data.dst == kBroadcastDst;
-  if (data.dst == config_.id ||
-      (is_broadcast && data.src != config_.id)) {
+  const NodeHandle dst = is_broadcast ? kNoHandle : nodes_.lookup(data.dst);
+  if ((!is_broadcast && dst == self_) || (is_broadcast && src != self_)) {
     const auto session = sessions_.find(data.dst_port);
     if (session != sessions_.end()) {
       ++stats_.data_delivered;
@@ -341,65 +448,86 @@ void Daemon::on_data(const std::optional<NodeId>& arrival, DataBody data) {
   }
   data.ttl--;
 
+  // One shared unit per forwarded message: flood fan-out enqueues the
+  // same object on every neighbor queue instead of copying the payload,
+  // and pump() encodes it once for all of them.
+  auto unit = std::make_shared<ForwardUnit>();
+  unit->body = std::move(data);
+
   if (is_broadcast || config_.mode == ForwardingMode::kPriorityFlood) {
-    for (auto& [id, n] : neighbors_) {
-      if (arrival && id == *arrival) continue;
-      if (!n.up) continue;
-      enqueue_data(id, data);
+    for (const NodeHandle h : neighbor_order_) {
+      if (h == arrival || !neighbors_[h]->up) continue;
+      enqueue_data(h, src, unit);
     }
   } else {
-    const auto hop = next_hop(data.dst);
-    if (!hop) {
+    const NodeHandle hop = dst < routes_.size() ? routes_[dst] : kNoHandle;
+    if (hop == kNoHandle) {
       ++stats_.dropped_no_route;
       return;
     }
-    enqueue_data(*hop, data);
+    enqueue_data(hop, src, unit);
   }
   ++stats_.data_forwarded;
 }
 
-void Daemon::enqueue_data(const NodeId& neighbor, const DataBody& data) {
-  Neighbor& n = neighbors_.at(neighbor);
-  const auto prio = static_cast<std::size_t>(data.priority);
-  auto& queue = n.queues[prio][data.src];
+void Daemon::enqueue_data(NodeHandle neighbor, NodeHandle src,
+                          const std::shared_ptr<ForwardUnit>& unit) {
+  Neighbor& n = *neighbors_[neighbor];
+  const auto prio = static_cast<std::size_t>(unit->body.priority);
+  PriorityClassQueue& pq = n.queues[prio];
+  if (pq.by_source.size() <= src) pq.by_source.resize(nodes_.size());
+  auto& queue = pq.by_source[src];
   if (queue.size() >= config_.per_source_queue_cap) {
     // Per-source cap: an abusive source only ever drops its own traffic.
     ++stats_.dropped_queue_full;
     return;
   }
-  queue.push_back(data);
+  if (queue.empty()) pq.active.push_back(src);
+  queue.push_back(unit);
+  ++pq.depth;
+  stats_.max_queue_depth[prio] =
+      std::max<std::uint64_t>(stats_.max_queue_depth[prio], pq.depth);
   if (!n.pump_scheduled) pump(neighbor);
 }
 
-void Daemon::pump(const NodeId& neighbor) {
-  Neighbor& n = neighbors_.at(neighbor);
+void Daemon::pump(NodeHandle neighbor) {
+  Neighbor& n = *neighbors_[neighbor];
   n.pump_scheduled = false;
   if (!running_) return;
 
   if (sim_.now() < n.busy_until) {
     n.pump_scheduled = true;
-    sim_.schedule_at(n.busy_until, [this, neighbor] { pump(neighbor); });
+    sim_.schedule_at(n.busy_until, [this, neighbor, epoch = epoch_] {
+      if (epoch == epoch_) pump(neighbor);
+    });
     return;
   }
 
   // Highest priority class with traffic; round-robin across sources.
   for (int prio = 2; prio >= 0; --prio) {
-    auto& sources = n.queues[static_cast<std::size_t>(prio)];
-    if (sources.empty()) continue;
+    PriorityClassQueue& pq = n.queues[static_cast<std::size_t>(prio)];
+    if (pq.empty()) continue;
 
-    // Find the source after rr_last (wrapping), for fairness.
-    auto it = sources.upper_bound(n.rr_last[static_cast<std::size_t>(prio)]);
-    if (it == sources.end()) it = sources.begin();
-    DataBody data = std::move(it->second.front());
-    it->second.pop_front();
-    n.rr_last[static_cast<std::size_t>(prio)] = it->first;
-    if (it->second.empty()) sources.erase(it);
+    const std::size_t idx = pq.rr_next % pq.active.size();
+    const NodeHandle src = pq.active[idx];
+    auto& queue = pq.by_source[src];
+    const std::shared_ptr<ForwardUnit> unit = std::move(queue.front());
+    queue.pop_front();
+    --pq.depth;
+    if (queue.empty()) {
+      // The next source slides into idx; the cursor stays put.
+      pq.active.erase(pq.active.begin() + static_cast<std::ptrdiff_t>(idx));
+      pq.rr_next = idx;
+    } else {
+      pq.rr_next = idx + 1;
+    }
 
-    const double bytes = static_cast<double>(data_wire_size(data));
+    if (unit->encoded.empty()) unit->encoded = unit->body.encode();
+    const double bytes = static_cast<double>(data_wire_size(unit->body));
     const auto tx_time =
         static_cast<sim::Time>(std::ceil(bytes / config_.link_bytes_per_us));
     n.busy_until = sim_.now() + tx_time;
-    send_packet(neighbor, PacketType::kData, data.encode());
+    send_packet(neighbor, PacketType::kData, unit->encoded);
 
     bool more = false;
     for (const auto& q : n.queues) {
@@ -410,105 +538,138 @@ void Daemon::pump(const NodeId& neighbor) {
     }
     if (more) {
       n.pump_scheduled = true;
-      sim_.schedule_at(n.busy_until, [this, neighbor] { pump(neighbor); });
+      sim_.schedule_at(n.busy_until, [this, neighbor, epoch = epoch_] {
+        if (epoch == epoch_) pump(neighbor);
+      });
     }
     return;
   }
 }
 
-void Daemon::hello_tick() {
-  if (!running_) return;
+void Daemon::hello_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || !running_) return;
   ++hello_seq_;
   const util::Bytes body = HelloBody{hello_seq_}.encode();
   bool topology_changed = false;
-  for (auto& [id, n] : neighbors_) {
-    send_packet(id, PacketType::kHello, body);
+  for (const NodeHandle h : neighbor_order_) {
+    Neighbor& n = *neighbors_[h];
+    send_packet(h, PacketType::kHello, body);
     if (n.up && sim_.now() - n.last_hello > config_.link_timeout) {
       n.up = false;
       topology_changed = true;
-      log_.debug("link to ", id, " down (hello timeout)");
+      log_.debug("link to ", nodes_.name(h), " down (hello timeout)");
     }
   }
   if (topology_changed) {
-    broadcast_own_lsu();
-    recompute_routes();
+    broadcast_own_lsu();  // adjacency changed: marks routes dirty
   }
-  sim_.schedule_after(config_.hello_interval, [this] { hello_tick(); });
+  sim_.schedule_after(config_.hello_interval,
+                      [this, epoch] { hello_tick(epoch); });
 }
 
-void Daemon::lsu_tick() {
-  if (!running_) return;
+void Daemon::lsu_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || !running_) return;
   broadcast_own_lsu();
-  sim_.schedule_after(config_.lsu_refresh, [this] { lsu_tick(); });
+  sim_.schedule_after(config_.lsu_refresh, [this, epoch] { lsu_tick(epoch); });
 }
 
 void Daemon::broadcast_own_lsu() {
   LinkStateBody lsu;
   lsu.origin = config_.id;
   lsu.seq = ++own_lsu_seq_;
-  for (const auto& [id, n] : neighbors_) {
-    if (n.up) lsu.neighbors.push_back(id);
+  std::vector<NodeHandle> adj;
+  for (const NodeHandle h : neighbor_order_) {
+    if (neighbors_[h]->up) {
+      lsu.neighbors.push_back(nodes_.name(h));
+      adj.push_back(h);
+    }
   }
   lsu.signature = signer_.sign(lsu.signed_bytes());
 
-  // Record our own entry so route computation sees it.
-  lsdb_[config_.id] = LinkStateEntry{lsu.seq, lsu.neighbors};
-  recompute_routes();
+  // Record our own entry so route computation sees it; only an actual
+  // adjacency change dirties the routes (the periodic refresh does not).
+  LsdbEntry& entry = lsdb_[self_];
+  if (!entry.present) {
+    entry.present = true;
+    ++lsdb_count_;
+  }
+  entry.seq = lsu.seq;
+  if (entry.neighbors != adj) {
+    entry.neighbors = std::move(adj);
+    mark_routes_dirty();
+  }
 
   const util::Bytes body = lsu.encode();
-  for (const auto& [id, n] : neighbors_) {
-    if (n.up) send_packet(id, PacketType::kLinkState, body);
+  for (const NodeHandle h : neighbor_order_) {
+    if (neighbors_[h]->up) send_packet(h, PacketType::kLinkState, body);
   }
+}
+
+void Daemon::mark_routes_dirty() {
+  routes_dirty_ = true;
+  if (route_recompute_scheduled_) {
+    ++stats_.route_recomputes_coalesced;
+    return;
+  }
+  route_recompute_scheduled_ = true;
+  sim_.schedule_after(config_.route_coalesce_interval, [this, epoch = epoch_] {
+    if (epoch != epoch_ || !running_) return;
+    route_recompute_scheduled_ = false;
+    if (routes_dirty_) {
+      routes_dirty_ = false;
+      recompute_routes();
+    }
+  });
 }
 
 void Daemon::recompute_routes() {
-  // Edge (a,b) counts only if both a and b advertise each other: a
-  // Byzantine origin can then only *remove* itself, not fabricate paths.
-  auto has_edge = [this](const NodeId& a, const NodeId& b) {
-    const auto ia = lsdb_.find(a);
-    const auto ib = lsdb_.find(b);
-    if (ia == lsdb_.end() || ib == lsdb_.end()) return false;
-    const auto& na = ia->second.neighbors;
-    const auto& nb = ib->second.neighbors;
-    return std::find(na.begin(), na.end(), b) != na.end() &&
-           std::find(nb.begin(), nb.end(), a) != nb.end();
-  };
+  ++stats_.route_recomputes;
+  const std::size_t n = nodes_.size();
+  const std::size_t words = (n + 63) / 64;
 
-  routes_.clear();
-  // BFS from self over confirmed edges (unit link costs).
-  std::map<NodeId, NodeId> parent;
-  std::queue<NodeId> frontier;
-  frontier.push(config_.id);
-  parent[config_.id] = config_.id;
-  while (!frontier.empty()) {
-    const NodeId u = frontier.front();
-    frontier.pop();
-    for (const auto& [v, entry] : lsdb_) {
-      if (parent.count(v)) continue;
-      if (!has_edge(u, v)) continue;
-      parent[v] = u;
-      frontier.push(v);
+  // Advertised-adjacency bitsets, one row per node. Edge (a,b) counts
+  // only if both a and b advertise each other: a Byzantine origin can
+  // then only *remove* itself, not fabricate paths.
+  adj_bits_.assign(n * words, 0);
+  for (NodeHandle a = 0; a < n; ++a) {
+    if (!lsdb_[a].present) continue;
+    for (const NodeHandle b : lsdb_[a].neighbors) {
+      adj_bits_[a * words + b / 64] |= 1ULL << (b % 64);
     }
   }
-  for (const auto& [dst, p] : parent) {
-    if (dst == config_.id) continue;
+  auto advertises = [&](NodeHandle a, NodeHandle b) {
+    return (adj_bits_[a * words + b / 64] >> (b % 64)) & 1ULL;
+  };
+
+  // BFS from self over confirmed edges (unit link costs), scanning the
+  // frontier row's bitset words.
+  routes_.assign(n, kNoHandle);
+  bfs_parent_.assign(n, kNoHandle);
+  bfs_frontier_.clear();
+  bfs_parent_[self_] = self_;
+  bfs_frontier_.push_back(self_);
+  for (std::size_t head = 0; head < bfs_frontier_.size(); ++head) {
+    const NodeHandle u = bfs_frontier_[head];
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t bits = adj_bits_[u * words + w];
+      while (bits != 0) {
+        const auto b = static_cast<std::uint32_t>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const NodeHandle v = static_cast<NodeHandle>(w * 64 + b);
+        if (bfs_parent_[v] != kNoHandle) continue;
+        if (!advertises(v, u)) continue;  // unconfirmed edge
+        bfs_parent_[v] = u;
+        bfs_frontier_.push_back(v);
+      }
+    }
+  }
+  for (const NodeHandle dst : bfs_frontier_) {
+    if (dst == self_) continue;
     // Walk back to find the first hop.
-    NodeId hop = dst;
-    while (parent[hop] != config_.id) hop = parent[hop];
+    NodeHandle hop = dst;
+    while (bfs_parent_[hop] != self_) hop = bfs_parent_[hop];
     routes_[dst] = hop;
   }
-}
-
-bool Daemon::dedup_seen(const NodeId& src, std::uint64_t msg_seq) {
-  const auto key = std::make_pair(src, msg_seq);
-  if (dedup_.count(key)) return true;
-  dedup_.insert(key);
-  dedup_order_.push_back(key);
-  while (dedup_order_.size() > config_.dedup_cache_size) {
-    dedup_.erase(dedup_order_.front());
-    dedup_order_.pop_front();
-  }
-  return false;
 }
 
 }  // namespace spire::spines

@@ -13,6 +13,15 @@
 //  * the legacy "debug" code path that the red team's patched binary
 //    targeted, which is compiled out (ignored) in intrusion-tolerant
 //    mode — reproducing the excursion result.
+//
+// Data-plane fast path (see DESIGN.md "Performance architecture"): node
+// names are interned to dense uint32 handles at admission, so neighbor
+// state, routes, the LSDB, and the per-priority queues are flat vectors
+// — the handle_udp → on_data → enqueue_data → pump → send_packet chain
+// does zero string compares. Route recomputation is event-coalesced
+// behind a dirty flag, flood dedup is an O(1) open-addressing ring, and
+// forwarded messages are shared (not copied) across neighbor queues and
+// encoded once per pump batch.
 #pragma once
 
 #include <array>
@@ -21,13 +30,16 @@
 #include <map>
 #include <memory>
 #include <optional>
-#include <set>
 #include <string>
+#include <vector>
 
 #include "crypto/keyring.hpp"
 #include "net/host.hpp"
 #include "sim/simulator.hpp"
+#include "spines/dedup_ring.hpp"
 #include "spines/message.hpp"
+#include "spines/node_table.hpp"
+#include "spines/replay_window.hpp"
 #include "util/log.hpp"
 
 namespace spire::spines {
@@ -51,6 +63,9 @@ struct DaemonConfig {
   sim::Time hello_interval = 100 * sim::kMillisecond;
   sim::Time link_timeout = 350 * sim::kMillisecond;
   sim::Time lsu_refresh = 1 * sim::kSecond;
+  /// Topology events (accepted LSUs, hello up/down transitions) within
+  /// this window collapse into a single route recomputation.
+  sim::Time route_coalesce_interval = 1 * sim::kMillisecond;
   /// Overlay egress pacing (bytes per microsecond, ~1 Gb/s default).
   double link_bytes_per_us = 125.0;
   std::size_t per_source_queue_cap = 128;
@@ -79,6 +94,12 @@ struct DaemonStats {
   std::uint64_t data_retransmits = 0;
   std::uint64_t data_abandoned = 0;  ///< gave up after max retransmits
   std::uint64_t acks_sent = 0;
+  // Control-plane churn and queue-pressure observability (printed by the
+  // soak/topology benches so regressions are visible in bench output).
+  std::uint64_t route_recomputes = 0;
+  std::uint64_t route_recomputes_coalesced = 0;
+  std::uint64_t dedup_evictions = 0;
+  std::array<std::uint64_t, 3> max_queue_depth{};  ///< per priority class
 };
 
 /// Delivery callback for a local session.
@@ -120,18 +141,39 @@ class Daemon {
   [[nodiscard]] const DaemonConfig& config() const { return config_; }
   [[nodiscard]] bool link_up(const NodeId& neighbor) const;
   [[nodiscard]] std::optional<NodeId> next_hop(const NodeId& dst) const;
+  /// LSDB introspection (used by the forged-LSU regression test: a
+  /// non-member origin must leave no trace).
+  [[nodiscard]] std::size_t lsdb_size() const { return lsdb_count_; }
+  [[nodiscard]] bool lsdb_contains(const NodeId& origin) const;
 
  private:
+  /// One data message staged for transmission. Flood fan-out shares one
+  /// unit across every neighbor queue; the wire encoding is produced
+  /// once, on first transmission, and reused for every copy sent.
+  struct ForwardUnit {
+    DataBody body;
+    util::Bytes encoded;
+  };
+
+  /// Per-source FIFOs for one priority class, indexed by source handle,
+  /// with a round-robin ring of sources that currently have traffic.
+  struct PriorityClassQueue {
+    std::vector<std::deque<std::shared_ptr<ForwardUnit>>> by_source;
+    std::vector<NodeHandle> active;  ///< sources with non-empty queues
+    std::size_t rr_next = 0;         ///< round-robin cursor into `active`
+    std::size_t depth = 0;           ///< total queued across sources
+
+    [[nodiscard]] bool empty() const { return depth == 0; }
+    void clear();
+  };
+
   struct Neighbor {
+    NodeHandle handle = kNoHandle;
     net::Endpoint address;
     std::unique_ptr<crypto::SecureChannel> send_channel;
     std::unique_ptr<crypto::SecureChannel> recv_channel;
     std::uint64_t send_link_seq = 0;
-    /// Windowed replay/duplicate tracking: highest seq seen plus a
-    /// 64-wide bitmap of recently seen sequence numbers, so delayed
-    /// retransmissions are still accepted exactly once.
-    std::uint64_t recv_link_seq = 0;
-    std::uint64_t recv_window = 0;
+    ReplayWindow recv_window;
     sim::Time last_hello = 0;
     bool up = false;
     /// Reliable-service state: unacked data packets awaiting ack.
@@ -141,34 +183,50 @@ class Daemon {
       int retries = 0;
     };
     std::map<std::uint64_t, Unacked> unacked;
-    // Priority-flood fairness: per priority class, per-source FIFOs
-    // served round-robin (rr_last remembers the last source served).
-    std::array<std::map<NodeId, std::deque<DataBody>>, 3> queues;
-    std::array<NodeId, 3> rr_last;
+    std::array<PriorityClassQueue, 3> queues;
     sim::Time busy_until = 0;
     bool pump_scheduled = false;
   };
 
+  struct LsdbEntry {
+    bool present = false;
+    std::uint64_t seq = 0;
+    std::vector<NodeHandle> neighbors;
+  };
+
   void make_channels(Neighbor& n, const NodeId& id, bool corrupted);
   void handle_udp(const net::Datagram& dgram);
-  void process_inner(const NodeId& from, const InnerPacket& inner);
-  void on_hello(const NodeId& from);
-  void on_link_state(const NodeId& arrival, const LinkStateBody& lsu);
-  void on_data(const std::optional<NodeId>& arrival, DataBody data);
-  void hello_tick();
-  void lsu_tick();
-  void retransmit_tick();
-  /// Windowed accept check; returns false for duplicates/too-old.
-  bool accept_link_seq(Neighbor& n, std::uint64_t seq);
-  void send_ack(const NodeId& neighbor, std::uint64_t acked_seq);
-  void transmit_inner(const NodeId& neighbor, const util::Bytes& inner_bytes);
+  void process_inner(NodeHandle from, PacketType type,
+                     std::span<const std::uint8_t> body);
+  void on_hello(NodeHandle from);
+  void on_link_state(NodeHandle arrival, const LinkStateBody& lsu);
+  /// `arrival` is kNoHandle for locally originated messages.
+  void on_data(NodeHandle arrival, DataBody data);
+  void hello_tick(std::uint64_t epoch);
+  void lsu_tick(std::uint64_t epoch);
+  void retransmit_tick(std::uint64_t epoch);
+  void send_ack(NodeHandle neighbor, std::uint64_t acked_seq);
+  void transmit_inner(NodeHandle neighbor,
+                      std::span<const std::uint8_t> inner_bytes);
   void broadcast_own_lsu();
-  void send_packet(const NodeId& neighbor, PacketType type,
-                   const util::Bytes& body);
-  void enqueue_data(const NodeId& neighbor, const DataBody& data);
-  void pump(const NodeId& neighbor);
+  void send_packet(NodeHandle neighbor, PacketType type,
+                   std::span<const std::uint8_t> body);
+  void enqueue_data(NodeHandle neighbor, NodeHandle src,
+                    const std::shared_ptr<ForwardUnit>& unit);
+  void pump(NodeHandle neighbor);
+  /// Sets the routes-dirty flag and schedules one coalesced
+  /// recompute_routes() per route_coalesce_interval.
+  void mark_routes_dirty();
   void recompute_routes();
-  [[nodiscard]] bool dedup_seen(const NodeId& src, std::uint64_t msg_seq);
+  /// Interns `id`, dropping to kNoHandle when the node table is full;
+  /// grows every handle-indexed vector to match.
+  NodeHandle admit_node(std::string_view id);
+  [[nodiscard]] Neighbor* neighbor_slot(NodeHandle h) {
+    return h < neighbors_.size() ? neighbors_[h].get() : nullptr;
+  }
+  [[nodiscard]] const Neighbor* neighbor_slot(NodeHandle h) const {
+    return h < neighbors_.size() ? neighbors_[h].get() : nullptr;
+  }
 
   sim::Simulator& sim_;
   net::Host& host_;
@@ -180,22 +238,36 @@ class Daemon {
 
   bool running_ = false;
   bool keys_corrupted_ = false;
-  std::map<NodeId, Neighbor> neighbors_;
+  /// Timer epoch: bumped on stop() so orphaned tick/pump lambdas no-op
+  /// (mirrors the Prime replica's timer-epoch pattern).
+  std::uint64_t epoch_ = 0;
+
+  NodeTable nodes_;
+  NodeHandle self_ = kNoHandle;
+  std::vector<std::unique_ptr<Neighbor>> neighbors_;  ///< indexed by handle
+  std::vector<NodeHandle> neighbor_order_;            ///< declaration order
   std::map<SessionPort, SessionHandler> sessions_;
 
   std::uint64_t hello_seq_ = 0;
   std::uint64_t own_lsu_seq_ = 0;
   std::uint64_t data_seq_ = 0;
 
-  struct LinkStateEntry {
-    std::uint64_t seq = 0;
-    std::vector<NodeId> neighbors;
-  };
-  std::map<NodeId, LinkStateEntry> lsdb_;
-  std::map<NodeId, NodeId> routes_;  ///< dst -> next hop
+  std::vector<LsdbEntry> lsdb_;    ///< indexed by origin handle
+  std::size_t lsdb_count_ = 0;
+  std::vector<NodeHandle> routes_; ///< dst handle -> next-hop handle
+  bool routes_dirty_ = false;
+  bool route_recompute_scheduled_ = false;
 
-  std::set<std::pair<NodeId, std::uint64_t>> dedup_;
-  std::deque<std::pair<NodeId, std::uint64_t>> dedup_order_;
+  DedupRing dedup_;
+
+  // Reusable serialization scratch: the send path encodes into these
+  // instead of allocating per packet.
+  util::ByteWriter inner_scratch_;
+  util::ByteWriter env_scratch_;
+  // Route recomputation scratch (adjacency bitset + BFS state).
+  std::vector<std::uint64_t> adj_bits_;
+  std::vector<NodeHandle> bfs_parent_;
+  std::vector<NodeHandle> bfs_frontier_;
 
   DaemonStats stats_;
 };

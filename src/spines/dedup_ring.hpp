@@ -1,0 +1,115 @@
+// Flood-dedup cache: a fixed-size open-addressing hash table keyed by
+// (source handle, message seq) with a circular FIFO driving eviction.
+// Replaces the old std::set<pair<string, u64>> + deque: identical
+// semantics (exact membership, oldest-first eviction at capacity) but
+// O(1) insert/lookup/evict with zero steady-state allocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "spines/node_table.hpp"
+
+namespace spire::spines {
+
+class DedupRing {
+ public:
+  explicit DedupRing(std::size_t capacity)
+      : capacity_(capacity < 1 ? 1 : capacity),
+        fifo_(capacity_) {
+    std::size_t slots = 16;
+    while (slots < capacity_ * 2) slots <<= 1;  // load factor <= 0.5
+    slots_.assign(slots, Slot{});
+    mask_ = slots - 1;
+  }
+
+  /// Returns true if (src, seq) is already recorded; otherwise records
+  /// it — evicting the oldest entry once `capacity` are live — and
+  /// returns false.
+  bool check_and_insert(NodeHandle src, std::uint64_t seq) {
+    std::size_t i = home(src, seq);
+    while (slots_[i].used) {
+      if (slots_[i].src == src && slots_[i].seq == seq) return true;
+      i = (i + 1) & mask_;
+    }
+    if (live_ == capacity_) {
+      const auto& oldest = fifo_[fifo_head_];
+      erase(oldest.first, oldest.second);
+      ++evictions_;
+      // The backward-shift in erase() may have moved the insertion
+      // point; re-probe from home.
+      i = home(src, seq);
+      while (slots_[i].used) i = (i + 1) & mask_;
+    }
+    slots_[i] = Slot{seq, src, true};
+    fifo_[(fifo_head_ + live_) % capacity_] = {src, seq};
+    if (live_ < capacity_) {
+      ++live_;
+    } else {
+      fifo_head_ = (fifo_head_ + 1) % capacity_;
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool contains(NodeHandle src, std::uint64_t seq) const {
+    std::size_t i = home(src, seq);
+    while (slots_[i].used) {
+      if (slots_[i].src == src && slots_[i].seq == seq) return true;
+      i = (i + 1) & mask_;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::uint64_t evictions() const { return evictions_; }
+  [[nodiscard]] std::size_t size() const { return live_; }
+
+ private:
+  struct Slot {
+    std::uint64_t seq = 0;
+    NodeHandle src = 0;
+    bool used = false;
+  };
+
+  [[nodiscard]] std::size_t home(NodeHandle src, std::uint64_t seq) const {
+    // Fibonacci-style mix of both key halves; the table is a power of
+    // two so only the mixed high bits matter.
+    std::uint64_t h = seq * 0x9E3779B97F4A7C15ULL;
+    h ^= (static_cast<std::uint64_t>(src) + 0x9E3779B9U) * 0xC2B2AE3D27D4EB4FULL;
+    h ^= h >> 29;
+    return static_cast<std::size_t>(h) & mask_;
+  }
+
+  /// Removes a key that is known to be present, repairing the probe
+  /// chain with the standard backward-shift so lookups stay correct.
+  void erase(NodeHandle src, std::uint64_t seq) {
+    std::size_t i = home(src, seq);
+    while (!(slots_[i].used && slots_[i].src == src && slots_[i].seq == seq)) {
+      i = (i + 1) & mask_;
+    }
+    std::size_t j = i;
+    slots_[i].used = false;
+    while (true) {
+      j = (j + 1) & mask_;
+      if (!slots_[j].used) return;
+      const std::size_t k = home(slots_[j].src, slots_[j].seq);
+      // Shift slots_[j] back into the hole at i unless its home lies
+      // (cyclically) strictly after the hole and at or before j.
+      const bool keep = (i < j) ? (i < k && k <= j) : (i < k || k <= j);
+      if (!keep) {
+        slots_[i] = slots_[j];
+        slots_[j].used = false;
+        i = j;
+      }
+    }
+  }
+
+  std::size_t capacity_;
+  std::vector<Slot> slots_;
+  std::vector<std::pair<NodeHandle, std::uint64_t>> fifo_;  ///< insertion order
+  std::size_t fifo_head_ = 0;
+  std::size_t live_ = 0;
+  std::size_t mask_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace spire::spines

@@ -65,7 +65,8 @@ std::optional<LinkStateBody> LinkStateBody::decode(
 }
 
 util::Bytes DataBody::encode() const {
-  util::ByteWriter w;
+  util::ByteWriter w(4 + src.size() + 4 + dst.size() + 2 + 2 + 1 + 8 + 1 + 4 +
+                     payload.size());
   w.str(src);
   w.str(dst);
   w.u16(src_port);

@@ -1,0 +1,51 @@
+// NodeTable: the overlay daemon's interner from NodeId strings to dense
+// uint32 handles. Interning happens once at admission time (neighbor
+// declaration, verified LSU acceptance, first dedup sighting); every
+// per-packet structure — neighbor slots, routes, LSDB, per-priority
+// queues, the dedup ring — is then a flat vector indexed by handle, so
+// the forwarding path does zero string compares.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "spines/message.hpp"
+#include "util/interner.hpp"
+
+namespace spire::spines {
+
+using NodeHandle = std::uint32_t;
+constexpr NodeHandle kNoHandle = util::StringInterner::kInvalid;
+
+/// Upper bound on distinct node names a daemon will ever intern. Wire
+/// input from a compromised member could otherwise mint unbounded fresh
+/// NodeIds (as LSU neighbors or data sources) and grow the table — and
+/// every handle-indexed vector — without limit.
+constexpr std::size_t kMaxOverlayNodes = 4096;
+
+class NodeTable {
+ public:
+  /// Interns `id`, or returns kNoHandle once the table is full (the
+  /// caller drops the packet — legitimate memberships are far smaller).
+  NodeHandle intern(std::string_view id) {
+    const NodeHandle existing = interner_.lookup(id);
+    if (existing != kNoHandle) return existing;  // steady state: one probe
+    if (interner_.size() >= kMaxOverlayNodes) return kNoHandle;
+    return interner_.intern(id);
+  }
+
+  [[nodiscard]] NodeHandle lookup(std::string_view id) const {
+    return interner_.lookup(id);
+  }
+
+  [[nodiscard]] const NodeId& name(NodeHandle handle) const {
+    return interner_.name(handle);
+  }
+
+  [[nodiscard]] std::size_t size() const { return interner_.size(); }
+
+ private:
+  util::StringInterner interner_;
+};
+
+}  // namespace spire::spines

@@ -1,0 +1,34 @@
+// Per-link replay/duplicate tracking: highest sequence number seen plus
+// a 64-wide bitmap of recently seen sequence numbers, so delayed
+// retransmissions are still accepted exactly once. Extracted from the
+// daemon's Neighbor so the window arithmetic is testable in isolation.
+#pragma once
+
+#include <cstdint>
+
+namespace spire::spines {
+
+struct ReplayWindow {
+  std::uint64_t max_seq = 0;
+  std::uint64_t window = 0;  ///< bit i tracks (max_seq - i)
+
+  /// Accept check; returns false for duplicates and for anything older
+  /// than the 64-entry window (treated as replay).
+  bool accept(std::uint64_t seq) {
+    if (seq > max_seq) {
+      const std::uint64_t shift = seq - max_seq;
+      window = shift >= 64 ? 0 : (window << shift);
+      window |= 1;  // bit 0 tracks the new maximum
+      max_seq = seq;
+      return true;
+    }
+    const std::uint64_t age = max_seq - seq;
+    if (age >= 64) return false;  // beyond the window: treat as replay
+    const std::uint64_t bit = 1ULL << age;
+    if (window & bit) return false;
+    window |= bit;
+    return true;
+  }
+};
+
+}  // namespace spire::spines

@@ -163,11 +163,30 @@ class ByteReader {
     return raw(n);
   }
 
+  /// Borrowed u32-length-prefixed read for hot-path decoders: the view
+  /// aliases the input buffer and must not outlive it.
+  std::span<const std::uint8_t> blob_span() {
+    std::uint32_t n = u32();
+    if (n > remaining()) throw SerializationError("blob length exceeds input");
+    const auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
   std::string str() {
     std::uint32_t n = u32();
     if (n > remaining()) throw SerializationError("string length exceeds input");
     need(n);
     std::string out(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return out;
+  }
+
+  /// Borrowed variant of str(); same aliasing caveat as blob_span().
+  std::string_view str_view() {
+    std::uint32_t n = u32();
+    if (n > remaining()) throw SerializationError("string length exceeds input");
+    std::string_view out(reinterpret_cast<const char*>(data_.data() + pos_), n);
     pos_ += n;
     return out;
   }

@@ -1,0 +1,59 @@
+// String interning: maps strings to dense, stable uint32 handles so hot
+// paths can replace string-keyed maps with flat vectors indexed by
+// handle. Handles are assigned in insertion order starting at 0 and are
+// never recycled; the interner is append-only.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace spire::util {
+
+/// Hash/equality pair enabling heterogeneous (string_view) lookup into
+/// an unordered_map keyed by std::string, so probing never allocates.
+struct TransparentStringHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+class StringInterner {
+ public:
+  static constexpr std::uint32_t kInvalid = 0xFFFF'FFFF;
+
+  /// Returns the handle for `s`, assigning the next dense handle if the
+  /// string has not been seen before.
+  std::uint32_t intern(std::string_view s) {
+    const auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    const auto handle = static_cast<std::uint32_t>(names_.size());
+    names_.emplace_back(s);
+    index_.emplace(names_.back(), handle);
+    return handle;
+  }
+
+  /// Returns the handle for `s`, or kInvalid if it was never interned.
+  [[nodiscard]] std::uint32_t lookup(std::string_view s) const {
+    const auto it = index_.find(s);
+    return it == index_.end() ? kInvalid : it->second;
+  }
+
+  [[nodiscard]] const std::string& name(std::uint32_t handle) const {
+    return names_.at(handle);
+  }
+
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+ private:
+  std::unordered_map<std::string, std::uint32_t, TransparentStringHash,
+                     std::equal_to<>>
+      index_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace spire::util

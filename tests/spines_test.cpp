@@ -454,6 +454,128 @@ TEST_F(OverlayFixture, ByzantineLsuSelfRemovalOnlyHurtsItself) {
   EXPECT_EQ(got, 1);
 }
 
+TEST_F(OverlayFixture, ForgedLsuFromNonMemberLeavesNoTrace) {
+  // Regression: the daemon used to create the LSDB entry (operator[] on
+  // the origin) *before* verifying the LSU signature, so a forged LSU
+  // naming a non-member origin permanently polluted the LSDB. The entry
+  // must only be created after the signature verifies.
+  build(3, {{0, 1}, {1, 2}});
+  settle();
+  const Daemon& d0 = overlay->daemon(node(0));
+  ASSERT_TRUE(d0.lsdb_contains(node(2)));
+  const std::size_t lsdb_before = d0.lsdb_size();
+  const std::uint64_t rejected_before = d0.stats().lsu_rejected_sig;
+
+  // A compromised member (node 1, holding real link keys) relays an LSU
+  // whose origin is a fabricated identity the deployment never admitted.
+  crypto::Signer forger("ghost", keyring.identity_key("ghost"));
+  LinkStateBody lie;
+  lie.origin = "ghost";
+  lie.seq = 1000000;
+  lie.neighbors = {node(0), node(1), node(2)};
+  lie.signature = forger.sign(lie.signed_bytes());
+  crypto::SymmetricKey base = keyring.link_key(node(1), node(0));
+  const util::Bytes label = util::to_bytes("dir:" + node(1));
+  crypto::SymmetricKey dir_key{};
+  const crypto::Digest d = crypto::hmac_sha256(base, label);
+  std::copy(d.begin(), d.end(), dir_key.begin());
+  crypto::SecureChannel channel(dir_key);
+  InnerPacket inner;
+  inner.type = PacketType::kLinkState;
+  inner.link_seq = 55;  // ahead of the ~26 real packets sent so far, within the window
+  inner.body = lie.encode();
+  LinkEnvelope env;
+  env.sender = node(1);
+  env.sealed = true;
+  env.body = channel.seal(inner.encode());
+  hosts[1]->send_udp(hosts[0]->ip(), kDefaultDaemonPort, kDefaultDaemonPort,
+                     env.encode());
+  settle(1 * sim::kSecond);
+
+  EXPECT_FALSE(d0.lsdb_contains("ghost"));
+  EXPECT_EQ(d0.lsdb_size(), lsdb_before);
+  EXPECT_GE(d0.stats().lsu_rejected_sig, rejected_before + 1);
+}
+
+TEST_F(OverlayFixture, StopResetsPacingStateForCleanRestart) {
+  // Regression: stop() used to leave busy_until and the pump timers
+  // armed, so a quickly restarted daemon inherited stale pacing state
+  // and orphaned pump callbacks fired into the new incarnation.
+  build(3, {{0, 1}, {1, 2}}, true, ForwardingMode::kRouted);
+  settle();
+  int got = 0;
+  overlay->daemon(node(2)).open_session(40, [&](const DataBody&) { ++got; });
+
+  // Queue a burst through the relay so its per-link pump is mid-pacing
+  // with a wakeup scheduled, then stop it with the timers armed.
+  for (int i = 0; i < 64; ++i) {
+    overlay->daemon(node(0)).session_send(40, node(2), 40,
+                                          util::Bytes(200, 0xab));
+  }
+  sim.run_until(sim.now() + 50 * sim::kMicrosecond);
+  overlay->daemon(node(1)).stop();
+  settle(1 * sim::kSecond);  // orphaned pump/tick lambdas fire and must no-op
+  const int before_restart = got;
+
+  overlay->daemon(node(1)).start();
+  settle(3 * sim::kSecond);  // links re-form, routes recompute
+  overlay->daemon(node(0)).session_send(40, node(2), 40, util::to_bytes("x"));
+  settle(1 * sim::kSecond);
+  EXPECT_GT(got, before_restart);
+}
+
+TEST(ReplayWindowTest, ShiftBeyondWindowClearsState) {
+  ReplayWindow w;
+  EXPECT_TRUE(w.accept(1));
+  EXPECT_TRUE(w.accept(2));
+  // A jump of >= 64 must clear the bitmap entirely, not shift garbage in.
+  EXPECT_TRUE(w.accept(100));
+  EXPECT_FALSE(w.accept(36));  // age 64: outside the window, rejected
+  EXPECT_TRUE(w.accept(37));   // age 63: oldest tracked slot, still fresh
+  EXPECT_FALSE(w.accept(37));  // duplicate bit at exactly age 63
+  EXPECT_FALSE(w.accept(2));   // long gone
+}
+
+TEST(ReplayWindowTest, ShiftOfExactlySixtyFourDropsAllHistory) {
+  ReplayWindow w;
+  EXPECT_TRUE(w.accept(1));
+  EXPECT_TRUE(w.accept(65));   // shift == 64: window must be cleared
+  EXPECT_FALSE(w.accept(1));   // age 64: rejected as too old
+  EXPECT_TRUE(w.accept(2));    // age 63: bit must not have survived the clear
+}
+
+TEST(ReplayWindowTest, OutOfOrderWithinWindowAcceptedExactlyOnce) {
+  ReplayWindow w;
+  EXPECT_TRUE(w.accept(10));
+  EXPECT_TRUE(w.accept(7));    // late but inside the window
+  EXPECT_TRUE(w.accept(9));
+  EXPECT_FALSE(w.accept(9));   // each sequence accepted exactly once
+  EXPECT_FALSE(w.accept(7));
+  EXPECT_TRUE(w.accept(8));
+  EXPECT_TRUE(w.accept(11));
+  EXPECT_FALSE(w.accept(10));
+}
+
+TEST(DedupRingTest, EvictsOldestAndReadmitsEvictedPair) {
+  DedupRing ring(4);
+  EXPECT_FALSE(ring.check_and_insert(1, 100));  // first sighting
+  EXPECT_TRUE(ring.check_and_insert(1, 100));   // duplicate
+  EXPECT_FALSE(ring.check_and_insert(1, 101));
+  EXPECT_FALSE(ring.check_and_insert(2, 100));
+  EXPECT_FALSE(ring.check_and_insert(2, 101));
+  // Capacity reached: the fifth insert evicts the oldest entry (1,100).
+  EXPECT_FALSE(ring.check_and_insert(3, 100));
+  EXPECT_EQ(ring.evictions(), 1u);
+  EXPECT_FALSE(ring.contains(1, 100));
+  EXPECT_TRUE(ring.contains(1, 101));
+  EXPECT_EQ(ring.size(), 4u);
+  // The evicted pair is treated as new again — eviction means the
+  // overlay may re-accept a very old duplicate, never lose a fresh one.
+  EXPECT_FALSE(ring.check_and_insert(1, 100));
+  EXPECT_EQ(ring.evictions(), 2u);
+  EXPECT_EQ(ring.size(), 4u);
+}
+
 TEST(SpinesMessages, RoundTrips) {
   DataBody d;
   d.src = "a";

@@ -3,6 +3,7 @@
 
 #include "util/bytes.hpp"
 #include "util/hex.hpp"
+#include "util/interner.hpp"
 #include "util/log.hpp"
 
 namespace spire::util {
@@ -82,6 +83,46 @@ TEST(ByteReader, EmptyBlobAndString) {
   ByteReader r(w.bytes());
   EXPECT_TRUE(r.blob().empty());
   EXPECT_TRUE(r.str().empty());
+}
+
+TEST(ByteReader, BorrowedReadsAliasTheInput) {
+  ByteWriter w;
+  w.str("sender");
+  w.blob(to_bytes("payload"));
+  const Bytes encoded = w.take();
+
+  ByteReader r(encoded);
+  const std::string_view s = r.str_view();
+  const std::span<const std::uint8_t> b = r.blob_span();
+  r.expect_done();
+  EXPECT_EQ(s, "sender");
+  EXPECT_EQ(to_string(b), "payload");
+  // The views alias the encoded buffer rather than owning copies.
+  EXPECT_GE(reinterpret_cast<const std::uint8_t*>(s.data()), encoded.data());
+  EXPECT_GE(b.data(), encoded.data());
+  EXPECT_LE(b.data() + b.size(), encoded.data() + encoded.size());
+}
+
+TEST(ByteReader, BorrowedReadsAreBoundsChecked) {
+  ByteWriter w;
+  w.u32(100);  // length prefix promising more than the buffer holds
+  w.u8(1);
+  const Bytes encoded = w.take();
+  ByteReader r(encoded);
+  EXPECT_THROW(r.blob_span(), SerializationError);
+  ByteReader r2(encoded);
+  EXPECT_THROW(r2.str_view(), SerializationError);
+}
+
+TEST(StringInterner, AssignsDenseHandlesInInsertionOrder) {
+  StringInterner interner;
+  EXPECT_EQ(interner.intern("a"), 0u);
+  EXPECT_EQ(interner.intern("b"), 1u);
+  EXPECT_EQ(interner.intern("a"), 0u);  // stable on re-intern
+  EXPECT_EQ(interner.lookup("b"), 1u);
+  EXPECT_EQ(interner.lookup("never-seen"), StringInterner::kInvalid);
+  EXPECT_EQ(interner.name(1), "b");
+  EXPECT_EQ(interner.size(), 2u);
 }
 
 TEST(Hex, RoundTrip) {
