@@ -146,14 +146,14 @@ prime::PrePrepare make_preprepare(std::uint32_t n) {
   pp.view = 3;
   pp.order_seq = 1000;
   for (std::uint32_t j = 0; j < n; ++j) {
-    prime::PoAru aru;
-    aru.replica = j;
-    aru.aru_seq = 500;
-    aru.aru.assign(n, 1000 + j);
+    auto aru = std::make_shared<prime::PoAru>();
+    aru->replica = j;
+    aru->aru_seq = 500;
+    aru->aru.assign(n, 1000 + j);
     crypto::Signer signer(prime::replica_identity(j),
                           keyring.identity_key(prime::replica_identity(j)));
-    aru.sign(signer);
-    pp.rows.push_back(aru);
+    aru->sign(signer);
+    pp.rows.push_back(std::move(aru));
   }
   return pp;
 }
@@ -399,11 +399,113 @@ MicroResult run_prime_update_ordering() {
 
   std::uint64_t updates = 0;
   for (const auto& r : replicas) updates += r->stats().updates_executed;
+#ifdef SPIRE_BENCH_DEBUG_STATS
+  for (const auto& r : replicas) {
+    const auto& s = r->stats();
+    std::fprintf(stderr,
+                 "cache_hits=%llu short_circuits=%llu batches=%llu "
+                 "stale_arus=%llu pp_sent=%llu dropped_sig=%llu\n",
+                 (unsigned long long)s.verify_cache_hits,
+                 (unsigned long long)s.row_verify_short_circuits,
+                 (unsigned long long)s.batches_sealed,
+                 (unsigned long long)s.stale_po_arus_dropped,
+                 (unsigned long long)s.preprepares_sent,
+                 (unsigned long long)s.dropped_bad_signature);
+  }
+#endif
   const std::uint64_t expected =
       static_cast<std::uint64_t>(kRounds) * client_signers.size() *
       config.n();
   if (updates < expected) std::abort();  // ordering stalled: bench invalid
   return MicroResult{updates, wall, {}};
+}
+
+/// Leader-side proposal encoding: encode-once row splicing plus delta
+/// encoding against the previous proposal plus the agreement digest —
+/// the per-Pre-Prepare serialization work, with one row refreshed per
+/// proposal (the steady-state pattern delta matrices target).
+MicroResult run_prime_preprepare_encode() {
+  crypto::Keyring keyring("bench-ppe");
+  constexpr std::uint32_t kN = 4;
+  constexpr std::size_t kPoolPerReplica = 64;
+  std::vector<std::vector<prime::PrePrepare::Row>> pool(kN);
+  for (std::uint32_t r = 0; r < kN; ++r) {
+    const std::string identity = prime::replica_identity(r);
+    const crypto::Signer signer(identity, keyring.identity_key(identity));
+    for (std::size_t j = 0; j < kPoolPerReplica; ++j) {
+      auto aru = std::make_shared<prime::PoAru>();
+      aru->replica = r;
+      aru->aru_seq = j + 1;
+      aru->aru.assign(kN, 1000 + j);
+      aru->sign(signer);
+      pool[r].push_back(std::move(aru));
+    }
+  }
+
+  std::vector<prime::PrePrepare::Row> prev(kN);
+  for (std::uint32_t r = 0; r < kN; ++r) prev[r] = pool[r][0];
+
+  constexpr std::uint64_t kTargetEncodes = 300'000;
+  std::uint64_t encoded = 0;
+  std::uint64_t seq = 1;
+  const auto start = Clock::now();
+  while (encoded < kTargetEncodes) {
+    prime::PrePrepare pp;
+    pp.leader = 0;
+    pp.view = 0;
+    pp.order_seq = seq;
+    pp.rows = prev;
+    const auto fresh = static_cast<std::uint32_t>(seq % kN);
+    pp.rows[fresh] = pool[fresh][(seq / kN) % kPoolPerReplica];
+    const util::Bytes wire = pp.encode_delta(prev);
+    const crypto::Digest d = pp.digest();
+    if (wire.empty() || d == crypto::Digest{}) std::abort();
+    prev = std::move(pp.rows);
+    ++seq;
+    ++encoded;
+  }
+  const double wall = seconds_since(start);
+  return MicroResult{encoded, wall, {}};
+}
+
+/// Merkle-batched signing round trip: seal a send tick's worth of units
+/// under one root signature, then verify every wire the way a receiver
+/// does (decode, fold the inclusion path, check the root signature).
+/// Counts units through the full seal+verify cycle.
+MicroResult run_prime_merkle_batch() {
+  crypto::Keyring keyring("bench-merkle");
+  const std::string identity = prime::replica_identity(0);
+  const crypto::Signer signer(identity, keyring.identity_key(identity));
+  crypto::Verifier verifier;
+  verifier.add_identity(identity, keyring.identity_key(identity));
+
+  constexpr std::size_t kBatch = 8;
+  std::vector<util::Bytes> bodies;
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    prime::PrepareOrCommit msg;
+    msg.replica = 0;
+    msg.view = 1;
+    msg.order_seq = 100 + i;
+    bodies.push_back(msg.encode());
+  }
+  std::vector<prime::Envelope::BatchItem> items;
+  for (const auto& body : bodies) {
+    items.push_back(prime::Envelope::BatchItem{prime::MsgType::kPrepare, body});
+  }
+
+  constexpr std::uint64_t kTargetUnits = 400'000;
+  std::uint64_t units = 0;
+  const auto start = Clock::now();
+  while (units < kTargetUnits) {
+    const auto wires = prime::Envelope::seal_batch(signer, items);
+    for (const auto& wire : wires) {
+      const auto env = prime::Envelope::decode(wire);
+      if (!env || !env->verify(verifier)) std::abort();  // bench integrity
+      ++units;
+    }
+  }
+  const double wall = seconds_since(start);
+  return MicroResult{units, wall, {}};
 }
 
 // ---- Spines overlay data-plane microbenches ---------------------------------
@@ -599,7 +701,7 @@ double extract_rate(const std::string& text, const std::string& section,
 }
 
 int run_json_mode(const std::string& out_path, const std::string& baseline_path,
-                  double fail_below) {
+                  double fail_below, const std::string& only) {
   bench::quiet_logs();
   struct Spec {
     const char* name;
@@ -610,12 +712,17 @@ int run_json_mode(const std::string& out_path, const std::string& baseline_path,
       {"scheduler_churn", "events_per_sec", run_scheduler_churn},
       {"envelope_verify", "verifies_per_sec", run_envelope_verify},
       {"prime_update_ordering", "updates_per_sec", run_prime_update_ordering},
+      {"prime_preprepare_encode", "encodes_per_sec", run_prime_preprepare_encode},
+      {"prime_merkle_batch", "units_per_sec", run_prime_merkle_batch},
       {"overlay_forward", "msgs_per_sec", run_overlay_forward},
       {"overlay_flood", "msgs_per_sec", run_overlay_flood},
       {"overlay_lsu_churn", "lsus_per_sec", run_overlay_lsu_churn},
   };
   std::vector<BenchSection> sections;
   for (const Spec& spec : specs) {
+    if (!only.empty() && std::string(spec.name).find(only) == std::string::npos) {
+      continue;
+    }
     std::fprintf(stderr, "running %s...\n", spec.name);
     sections.push_back(BenchSection{spec.name, spec.unit, spec.run()});
   }
@@ -692,6 +799,7 @@ int main(int argc, char** argv) {
   bool json = false;
   std::string out_path = "BENCH_micro.json";
   std::string baseline_path;
+  std::string only;  // substring filter over section names (debug aid)
   double fail_below = 0;  // 0 disables the regression gate
   std::vector<char*> passthrough{argv[0]};
   for (int i = 1; i < argc; ++i) {
@@ -705,11 +813,13 @@ int main(int argc, char** argv) {
       baseline_path = arg.substr(11);
     } else if (arg.rfind("--fail-below=", 0) == 0) {
       fail_below = std::atof(arg.c_str() + 13);
+    } else if (arg.rfind("--only=", 0) == 0) {
+      only = arg.substr(7);
     } else {
       passthrough.push_back(argv[i]);
     }
   }
-  if (json) return run_json_mode(out_path, baseline_path, fail_below);
+  if (json) return run_json_mode(out_path, baseline_path, fail_below, only);
 
   int pass_argc = static_cast<int>(passthrough.size());
   benchmark::Initialize(&pass_argc, passthrough.data());

@@ -1,0 +1,70 @@
+#include "crypto/merkle.hpp"
+
+#include <stdexcept>
+
+namespace spire::crypto {
+
+Digest merkle_leaf(std::span<const std::uint8_t> data) {
+  Sha256 h;
+  const std::uint8_t tag = 0x00;
+  h.update(std::span<const std::uint8_t>(&tag, 1));
+  h.update(data);
+  return h.finish();
+}
+
+Digest merkle_node(const Digest& left, const Digest& right) {
+  Sha256 h;
+  const std::uint8_t tag = 0x01;
+  h.update(std::span<const std::uint8_t>(&tag, 1));
+  h.update(left);
+  h.update(right);
+  return h.finish();
+}
+
+std::array<std::uint8_t, 33> merkle_root_message(const Digest& root) {
+  std::array<std::uint8_t, 33> msg{};
+  msg[0] = kMerkleRootDomain;
+  std::copy(root.begin(), root.end(), msg.begin() + 1);
+  return msg;
+}
+
+MerkleTree::MerkleTree(std::vector<Digest> leaves) {
+  if (leaves.empty()) throw std::invalid_argument("merkle tree needs leaves");
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const auto& prev = levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (std::size_t i = 0; i < prev.size(); i += 2) {
+      const Digest& left = prev[i];
+      const Digest& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(merkle_node(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+}
+
+std::vector<Digest> MerkleTree::path(std::size_t index) const {
+  if (index >= leaf_count()) throw std::out_of_range("merkle leaf index");
+  std::vector<Digest> out;
+  out.reserve(levels_.size() - 1);
+  for (std::size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const auto& nodes = levels_[level];
+    const std::size_t sibling = index ^ 1;
+    out.push_back(sibling < nodes.size() ? nodes[sibling] : nodes[index]);
+    index >>= 1;
+  }
+  return out;
+}
+
+Digest MerkleTree::fold(const Digest& leaf, std::size_t index,
+                        std::span<const Digest> path) {
+  Digest node = leaf;
+  for (const Digest& sibling : path) {
+    node = (index & 1) ? merkle_node(sibling, node) : merkle_node(node, sibling);
+    index >>= 1;
+  }
+  return node;
+}
+
+}  // namespace spire::crypto

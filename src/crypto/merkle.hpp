@@ -1,0 +1,68 @@
+// Merkle-tree batch signing helper for the Prime ordering fast path.
+//
+// Real Prime amortizes signature cost by signing one Merkle root over
+// all messages generated in a send tick and attaching an inclusion path
+// to each outgoing unit (Amir et al., "Prime: Byzantine Replication
+// Under Attack"). This helper provides the tree construction, inclusion
+// paths, and the path-fold a receiver uses to recover the signed root
+// from a single unit.
+//
+// Domain separation: leaves hash 0x00 || data and interior nodes hash
+// 0x01 || left || right, so a leaf preimage can never be confused with
+// a node preimage. Odd levels duplicate the last node. The classic
+// duplicate-last ambiguity (a tree over [A, B, B] has the same root as
+// one over [A, B]) is harmless here: both describe the same authentic
+// unit contents, so no forged unit can be proven into a signed root.
+//
+// The signed message for a batch is 0x4D ('M') || root — a distinct
+// domain from every protocol unit, so a root signature can never be
+// replayed as a unit signature or vice versa.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "crypto/sha256.hpp"
+
+namespace spire::crypto {
+
+/// Domain tag prefixed to the root digest before signing.
+inline constexpr std::uint8_t kMerkleRootDomain = 0x4D;
+
+/// Leaf digest: H(0x00 || data).
+[[nodiscard]] Digest merkle_leaf(std::span<const std::uint8_t> data);
+
+/// Interior node digest: H(0x01 || left || right).
+[[nodiscard]] Digest merkle_node(const Digest& left, const Digest& right);
+
+/// The exact byte string signed for a batch: kMerkleRootDomain || root.
+[[nodiscard]] std::array<std::uint8_t, 33> merkle_root_message(
+    const Digest& root);
+
+/// Merkle tree over precomputed leaf digests. A single-leaf tree's root
+/// is the leaf itself (depth 0, empty inclusion path).
+class MerkleTree {
+ public:
+  explicit MerkleTree(std::vector<Digest> leaves);
+
+  [[nodiscard]] const Digest& root() const { return levels_.back().front(); }
+  [[nodiscard]] std::size_t leaf_count() const { return levels_.front().size(); }
+
+  /// Sibling digests from leaf level up to (but excluding) the root.
+  [[nodiscard]] std::vector<Digest> path(std::size_t index) const;
+
+  /// Receiver side: recompute the root implied by a leaf, its claimed
+  /// index, and an inclusion path. The result is only meaningful once
+  /// the root signature verifies.
+  [[nodiscard]] static Digest fold(const Digest& leaf, std::size_t index,
+                                   std::span<const Digest> path);
+
+ private:
+  // levels_[0] = leaves, levels_.back() = {root}.
+  std::vector<std::vector<Digest>> levels_;
+};
+
+}  // namespace spire::crypto

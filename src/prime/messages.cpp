@@ -1,5 +1,7 @@
 #include "prime/messages.hpp"
 
+#include "crypto/merkle.hpp"
+
 namespace spire::prime {
 
 namespace {
@@ -37,8 +39,8 @@ std::string replica_identity(ReplicaId id) {
 // ---- Envelope --------------------------------------------------------------
 
 util::Bytes Envelope::signed_bytes() const {
-  util::ByteWriter w(encoded_size() - sizeof(signature.mac));
-  w.u8(static_cast<std::uint8_t>(type));
+  util::ByteWriter w(1 + 4 + sender.size() + 4 + body.size());
+  w.u8(static_cast<std::uint8_t>(type) | (batch ? kBatchedFlag : 0));
   w.str(sender);
   w.blob(body);
   return w.take();
@@ -46,9 +48,14 @@ util::Bytes Envelope::signed_bytes() const {
 
 util::Bytes Envelope::encode() const {
   util::ByteWriter w(encoded_size());
-  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(static_cast<std::uint8_t>(type) | (batch ? kBatchedFlag : 0));
   w.str(sender);
   w.blob(body);
+  if (batch) {
+    w.u32(batch->index);
+    w.u8(static_cast<std::uint8_t>(batch->path.size()));
+    for (const auto& d : batch->path) put_digest(w, d);
+  }
   signature.encode(w);
   return w.take();
 }
@@ -56,11 +63,26 @@ util::Bytes Envelope::encode() const {
 std::optional<Envelope> Envelope::decode(std::span<const std::uint8_t> data) {
   return guarded<Envelope>(data, [](util::ByteReader& r) {
     Envelope e;
-    const std::uint8_t t = r.u8();
-    if (t < 1 || t > 18) throw util::SerializationError("bad msg type");
+    const std::uint8_t raw_type = r.u8();
+    const std::uint8_t t = raw_type & static_cast<std::uint8_t>(~kBatchedFlag);
+    if (t < 1 || t > kMaxMsgType) throw util::SerializationError("bad msg type");
     e.type = static_cast<MsgType>(t);
     e.sender = r.str();
     e.body = r.blob();
+    if (raw_type & kBatchedFlag) {
+      BatchProof proof;
+      proof.index = r.u32();
+      const std::uint8_t depth = r.u8();
+      if (depth > kMaxBatchDepth) {
+        throw util::SerializationError("absurd batch depth");
+      }
+      if (proof.index >= (1u << depth)) {
+        throw util::SerializationError("batch index outside tree");
+      }
+      proof.path.reserve(depth);
+      for (std::uint8_t i = 0; i < depth; ++i) proof.path.push_back(get_digest(r));
+      e.batch = std::move(proof);
+    }
     e.signature = crypto::Signature::decode(r);
     return e;
   });
@@ -88,8 +110,49 @@ util::Bytes Envelope::seal(MsgType type, const crypto::Signer& signer,
   return w.take();
 }
 
+std::vector<util::Bytes> Envelope::seal_batch(const crypto::Signer& signer,
+                                              std::span<const BatchItem> items) {
+  if (items.empty()) return {};
+  if (items.size() > (1u << kMaxBatchDepth)) {
+    throw std::invalid_argument("batch too large");
+  }
+  const std::string& identity = signer.identity();
+  std::vector<util::ByteWriter> prefixes(items.size());
+  std::vector<crypto::Digest> leaves;
+  leaves.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    util::ByteWriter& w = prefixes[i];
+    // Proof suffix is depth*32 + 5; over-reserving by a level is fine.
+    w.reserve(1 + 4 + identity.size() + 4 + items[i].body.size() + 5 +
+              32 * (kMaxBatchDepth / 2) + sizeof(crypto::Signature::mac));
+    w.u8(static_cast<std::uint8_t>(items[i].type) | kBatchedFlag);
+    w.str(identity);
+    w.blob(items[i].body);
+    leaves.push_back(crypto::merkle_leaf(w.bytes()));
+  }
+  const crypto::MerkleTree tree(std::move(leaves));
+  const crypto::Signature sig =
+      signer.sign(crypto::merkle_root_message(tree.root()));
+  std::vector<util::Bytes> out;
+  out.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    util::ByteWriter& w = prefixes[i];
+    const auto path = tree.path(i);
+    w.u32(static_cast<std::uint32_t>(i));
+    w.u8(static_cast<std::uint8_t>(path.size()));
+    for (const auto& d : path) put_digest(w, d);
+    sig.encode(w);
+    out.push_back(w.take());
+  }
+  return out;
+}
+
 bool Envelope::verify(const crypto::Verifier& verifier) const {
-  return verifier.verify(sender, signed_bytes(), signature);
+  if (!batch) return verifier.verify(sender, signed_bytes(), signature);
+  const crypto::Digest leaf = crypto::merkle_leaf(signed_bytes());
+  const crypto::Digest root =
+      crypto::MerkleTree::fold(leaf, batch->index, batch->path);
+  return verifier.verify(sender, crypto::merkle_root_message(root), signature);
 }
 
 // ---- ClientUpdate ----------------------------------------------------------
@@ -163,6 +226,7 @@ util::Bytes PoAru::signed_bytes() const {
 
 void PoAru::sign(const crypto::Signer& signer) {
   sig = signer.sign(signed_bytes());
+  refresh_raw();
 }
 
 bool PoAru::verify_embedded(const crypto::Verifier& verifier,
@@ -170,7 +234,21 @@ bool PoAru::verify_embedded(const crypto::Verifier& verifier,
   return verifier.verify(identity, signed_bytes(), sig);
 }
 
+void PoAru::refresh_raw() {
+  util::ByteWriter w(4 + 8 + 4 + 8 * aru.size() + sizeof(sig.mac));
+  w.u32(replica);
+  w.u64(aru_seq);
+  w.u32(static_cast<std::uint32_t>(aru.size()));
+  for (auto v : aru) w.u64(v);
+  sig.encode(w);
+  raw = w.take();
+}
+
 void PoAru::encode(util::ByteWriter& w) const {
+  if (!raw.empty()) {
+    w.raw(raw);
+    return;
+  }
   w.u32(replica);
   w.u64(aru_seq);
   w.u32(static_cast<std::uint32_t>(aru.size()));
@@ -179,6 +257,7 @@ void PoAru::encode(util::ByteWriter& w) const {
 }
 
 PoAru PoAru::decode(util::ByteReader& r) {
+  const std::size_t mark = r.offset();
   PoAru p;
   p.replica = r.u32();
   p.aru_seq = r.u64();
@@ -187,10 +266,13 @@ PoAru PoAru::decode(util::ByteReader& r) {
   p.aru.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) p.aru.push_back(r.u64());
   p.sig = crypto::Signature::decode(r);
+  const auto consumed = r.since(mark);
+  p.raw.assign(consumed.begin(), consumed.end());
   return p;
 }
 
 util::Bytes PoAru::encode_standalone() const {
+  if (!raw.empty()) return raw;
   util::ByteWriter w(4 + 8 + 4 + 8 * aru.size() + sizeof(sig.mac));
   encode(w);
   return w.take();
@@ -203,8 +285,82 @@ std::optional<PoAru> PoAru::decode_standalone(
 
 // ---- PrePrepare ------------------------------------------------------------
 
+namespace {
+
+// Row tags on the Pre-Prepare wire.
+constexpr std::uint8_t kRowAbsent = 0;
+constexpr std::uint8_t kRowInline = 1;
+constexpr std::uint8_t kRowUnchanged = 2;
+
+// Domain prefixes keep the matrix digest and the agreement digest from
+// colliding with each other or with any signed unit.
+constexpr std::string_view kMatrixDomain = "spire.pmx";
+constexpr std::string_view kPrePrepareDomain = "spire.ppd";
+
+void hash_str(crypto::Sha256& h, std::string_view s) {
+  h.update(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+}  // namespace
+
+const crypto::Digest& PrePrepare::matrix() const {
+  if (matrix_digest == crypto::Digest{}) {
+    matrix_digest = matrix_digest_of(rows);
+  }
+  return matrix_digest;
+}
+
+crypto::Digest PrePrepare::matrix_digest_of(const std::vector<Row>& rows) {
+  crypto::Sha256 h;
+  hash_str(h, kMatrixDomain);
+  for (const auto& row : rows) {
+    const std::uint8_t present = row ? 1 : 0;
+    h.update(std::span<const std::uint8_t>(&present, 1));
+    if (!row) continue;
+    if (!row->raw.empty()) {
+      h.update(row->raw);
+    } else {
+      const util::Bytes tmp = row->encode_standalone();
+      h.update(tmp);
+    }
+  }
+  return h.finish();
+}
+
+void PrePrepare::encode_rows(util::ByteWriter& w,
+                             const std::vector<Row>& rows) {
+  w.u32(static_cast<std::uint32_t>(rows.size()));
+  for (const auto& row : rows) {
+    if (row) {
+      w.u8(kRowInline);
+      row->encode(w);
+    } else {
+      w.u8(kRowAbsent);
+    }
+  }
+}
+
+std::vector<PrePrepare::Row> PrePrepare::decode_rows(util::ByteReader& r) {
+  const std::uint32_t n = r.u32();
+  if (n > 4096) throw util::SerializationError("absurd matrix size");
+  std::vector<Row> rows;
+  rows.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint8_t tag = r.u8();
+    if (tag == kRowInline) {
+      rows.push_back(std::make_shared<const PoAru>(PoAru::decode(r)));
+    } else if (tag == kRowAbsent) {
+      rows.push_back(nullptr);
+    } else {
+      throw util::SerializationError("bad row tag");
+    }
+  }
+  return rows;
+}
+
 util::Bytes PrePrepare::encode() const {
-  std::size_t hint = 4 + 8 + 8 + 4 + rows.size();
+  std::size_t hint = 4 + 8 + 8 + 32 + 4 + rows.size();
   for (const auto& row : rows) {
     if (row) hint += 4 + 8 + 4 + 8 * row->aru.size() + sizeof(row->sig.mac);
   }
@@ -212,10 +368,28 @@ util::Bytes PrePrepare::encode() const {
   w.u32(leader);
   w.u64(view);
   w.u64(order_seq);
+  put_digest(w, matrix());
+  encode_rows(w, rows);
+  return w.take();
+}
+
+util::Bytes PrePrepare::encode_delta(const std::vector<Row>& prev) const {
+  util::ByteWriter w(4 + 8 + 8 + 32 + 4 + rows.size() * 128);
+  w.u32(leader);
+  w.u64(view);
+  w.u64(order_seq);
+  put_digest(w, matrix());
   w.u32(static_cast<std::uint32_t>(rows.size()));
-  for (const auto& row : rows) {
-    w.boolean(row.has_value());
-    if (row) row->encode(w);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    if (!row) {
+      w.u8(kRowAbsent);
+    } else if (i < prev.size() && prev[i] == row) {
+      w.u8(kRowUnchanged);
+    } else {
+      w.u8(kRowInline);
+      row->encode(w);
+    }
   }
   return w.take();
 }
@@ -227,21 +401,44 @@ std::optional<PrePrepare> PrePrepare::decode(
     p.leader = r.u32();
     p.view = r.u64();
     p.order_seq = r.u64();
+    p.matrix_digest = get_digest(r);
     const std::uint32_t n = r.u32();
     if (n > 4096) throw util::SerializationError("absurd matrix size");
     p.rows.reserve(n);
+    bool any_unchanged = false;
     for (std::uint32_t i = 0; i < n; ++i) {
-      if (r.boolean()) {
-        p.rows.push_back(PoAru::decode(r));
+      const std::uint8_t tag = r.u8();
+      if (tag == kRowInline) {
+        p.rows.push_back(std::make_shared<const PoAru>(PoAru::decode(r)));
+      } else if (tag == kRowAbsent) {
+        p.rows.push_back(nullptr);
+      } else if (tag == kRowUnchanged) {
+        if (!any_unchanged) {
+          any_unchanged = true;
+          p.unchanged.assign(n, 0);
+        }
+        p.unchanged[i] = 1;
+        p.rows.push_back(nullptr);
       } else {
-        p.rows.push_back(std::nullopt);
+        throw util::SerializationError("bad row tag");
       }
     }
     return p;
   });
 }
 
-crypto::Digest PrePrepare::digest() const { return crypto::sha256(encode()); }
+crypto::Digest PrePrepare::digest() const {
+  crypto::Sha256 h;
+  hash_str(h, kPrePrepareDomain);
+  util::ByteWriter w(4 + 8 + 8 + 4);
+  w.u32(leader);
+  w.u64(view);
+  w.u64(order_seq);
+  w.u32(static_cast<std::uint32_t>(rows.size()));
+  h.update(w.bytes());
+  h.update(matrix());
+  return h.finish();
+}
 
 // ---- PrepareOrCommit -------------------------------------------------------
 
@@ -289,6 +486,7 @@ void PreparedProof::encode(util::ByteWriter& w) const {
   w.blob(preprepare_envelope);
   w.u32(static_cast<std::uint32_t>(prepare_envelopes.size()));
   for (const auto& p : prepare_envelopes) w.blob(p);
+  PrePrepare::encode_rows(w, rows);
 }
 
 PreparedProof PreparedProof::decode(util::ByteReader& r) {
@@ -299,6 +497,7 @@ PreparedProof PreparedProof::decode(util::ByteReader& r) {
   if (n > 256) throw util::SerializationError("absurd prepare count");
   proof.prepare_envelopes.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) proof.prepare_envelopes.push_back(r.blob());
+  proof.rows = PrePrepare::decode_rows(r);
   return proof;
 }
 
@@ -502,6 +701,7 @@ util::Bytes CommitCertResp::encode() const {
   w.blob(preprepare_envelope);
   w.u32(static_cast<std::uint32_t>(commit_envelopes.size()));
   for (const auto& c : commit_envelopes) w.blob(c);
+  PrePrepare::encode_rows(w, rows);
   return w.take();
 }
 
@@ -515,7 +715,48 @@ std::optional<CommitCertResp> CommitCertResp::decode(
     if (n > 4096) throw util::SerializationError("absurd commit count");
     c.commit_envelopes.reserve(n);
     for (std::uint32_t i = 0; i < n; ++i) c.commit_envelopes.push_back(r.blob());
+    c.rows = PrePrepare::decode_rows(r);
     return c;
+  });
+}
+
+// ---- matrix fetch ----------------------------------------------------------
+
+util::Bytes MatrixFetch::encode() const {
+  util::ByteWriter w;
+  w.u64(view);
+  w.u64(order_seq);
+  return w.take();
+}
+
+std::optional<MatrixFetch> MatrixFetch::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<MatrixFetch>(data, [](util::ByteReader& r) {
+    MatrixFetch f;
+    f.view = r.u64();
+    f.order_seq = r.u64();
+    return f;
+  });
+}
+
+util::Bytes MatrixResp::encode() const {
+  util::ByteWriter w;
+  w.u64(view);
+  w.u64(order_seq);
+  w.blob(preprepare_envelope);
+  PrePrepare::encode_rows(w, rows);
+  return w.take();
+}
+
+std::optional<MatrixResp> MatrixResp::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<MatrixResp>(data, [](util::ByteReader& r) {
+    MatrixResp m;
+    m.view = r.u64();
+    m.order_seq = r.u64();
+    m.preprepare_envelope = r.blob();
+    m.rows = PrePrepare::decode_rows(r);
+    return m;
   });
 }
 

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -53,6 +54,22 @@ enum class MsgType : std::uint8_t {
   kCommitCertReq = 16,
   kCommitCertResp = 17,
   kCheckpoint = 18,
+  kMatrixFetch = 19,
+  kMatrixResp = 20,
+};
+
+inline constexpr std::uint8_t kMaxMsgType = 20;
+/// High bit of the wire type byte: the envelope carries a Merkle
+/// inclusion proof and its signature covers the batch root.
+inline constexpr std::uint8_t kBatchedFlag = 0x80;
+inline constexpr std::size_t kMaxBatchDepth = 16;
+
+/// Merkle inclusion proof for a batch-signed envelope: the signature
+/// covers merkle_root_message(fold(leaf, index, path)) where leaf is
+/// the hash of this envelope's signed prefix.
+struct BatchProof {
+  std::uint32_t index = 0;
+  std::vector<crypto::Digest> path;
 };
 
 /// Outer, signed envelope for every Prime message.
@@ -60,12 +77,18 @@ struct Envelope {
   MsgType type = MsgType::kClientUpdate;
   std::string sender;  ///< identity, e.g. "prime/3" or "client/hmi"
   util::Bytes body;
+  std::optional<BatchProof> batch;  ///< present iff batch-signed
   crypto::Signature signature;
 
   /// Exact wire size of encode(); used as a reserve() hint.
   [[nodiscard]] std::size_t encoded_size() const {
-    return 1 + 4 + sender.size() + 4 + body.size() + sizeof(signature.mac);
+    return 1 + 4 + sender.size() + 4 + body.size() +
+           (batch ? 4 + 1 + 32 * batch->path.size() : 0) +
+           sizeof(signature.mac);
   }
+  /// The signed prefix for a solo envelope, and the Merkle-leaf
+  /// preimage for a batched one (the flagged type byte is included, so
+  /// a batched prefix can never double as a solo signed message).
   [[nodiscard]] util::Bytes signed_bytes() const;
   [[nodiscard]] util::Bytes encode() const;
   static std::optional<Envelope> decode(std::span<const std::uint8_t> data);
@@ -78,6 +101,20 @@ struct Envelope {
   /// in place, and the signature appended — one allocation total.
   static util::Bytes seal(MsgType type, const crypto::Signer& signer,
                           std::span<const std::uint8_t> body);
+
+  /// One unit of a Merkle-signed send batch.
+  struct BatchItem {
+    MsgType type = MsgType::kClientUpdate;
+    std::span<const std::uint8_t> body;
+  };
+  /// Seals every item with ONE signature: builds a Merkle tree over the
+  /// per-item signed prefixes, signs the root, and emits each wire as
+  /// prefix || inclusion proof || root signature.
+  static std::vector<util::Bytes> seal_batch(
+      const crypto::Signer& signer, std::span<const BatchItem> items);
+
+  /// Verifies a solo signature, or folds the inclusion path and
+  /// verifies the root signature for a batched envelope.
   [[nodiscard]] bool verify(const crypto::Verifier& verifier) const;
 };
 
@@ -110,35 +147,81 @@ struct PoRequest {
 /// Cumulative acknowledgment: aru[i] = highest contiguous PO-Request
 /// sequence received from origin i. Carries an embedded signature so
 /// leaders can embed it in Pre-Prepare matrices.
+///
+/// Encode-once: `raw` caches the standalone wire encoding (fields plus
+/// embedded signature). sign() and decode() fill it, so a row is
+/// serialized exactly once in its lifetime — PrePrepare::encode()
+/// splices the cached bytes, matrix digests hash them directly, and
+/// verify_row short-circuits on raw-byte equality with an
+/// already-accepted copy. Rows are shared immutably via
+/// PrePrepare::Row (shared_ptr<const PoAru>).
 struct PoAru {
   ReplicaId replica = 0;
   std::uint64_t aru_seq = 0;  ///< freshness counter
   std::vector<std::uint64_t> aru;
   crypto::Signature sig;
+  util::Bytes raw;  ///< cached standalone encoding; not a wire field
 
   [[nodiscard]] util::Bytes signed_bytes() const;
+  /// Signs and refreshes the cached encoding.
   void sign(const crypto::Signer& signer);
   [[nodiscard]] bool verify_embedded(const crypto::Verifier& verifier,
                                      const std::string& identity) const;
 
+  /// Splices `raw` when cached, else re-serializes field by field.
   void encode(util::ByteWriter& w) const;
+  /// Decodes and captures the consumed wire bytes into `raw`.
   static PoAru decode(util::ByteReader& r);
+  void refresh_raw();
   [[nodiscard]] util::Bytes encode_standalone() const;
   static std::optional<PoAru> decode_standalone(
       std::span<const std::uint8_t> data);
 };
 
 /// The leader's ordered proposal: a matrix of the freshest signed
-/// PO-ARUs it holds (one optional row per replica).
+/// PO-ARUs it holds (one shared row per replica, null = absent).
+///
+/// Wire format (delta matrices): the header carries the digest of the
+/// FULL matrix, then one tag per row — 0 absent, 1 row bytes inline,
+/// 2 "unchanged since this leader's previous proposal". Followers
+/// reconstruct tag-2 rows from the previous accepted proposal and
+/// check the reconstruction against the leader-signed matrix digest;
+/// on mismatch (or a missing prior) they fall back to fetching the
+/// full matrix. The agreement digest() covers header + matrix digest
+/// only, so delta and full encodings of the same proposal agree.
 struct PrePrepare {
+  using Row = std::shared_ptr<const PoAru>;
+
   ReplicaId leader = 0;
   std::uint64_t view = 0;
   std::uint64_t order_seq = 0;
-  std::vector<std::optional<PoAru>> rows;
+  std::vector<Row> rows;
+  /// Decode side: non-empty iff any row arrived as tag 2; entry r is 1
+  /// when rows[r] must be taken from the prior proposal. Cleared once
+  /// the matrix is reconstructed and accepted.
+  std::vector<std::uint8_t> unchanged;
+  /// Digest of the full row matrix: claimed (decode) or computed
+  /// lazily from rows (encode/digest); zero means "not yet computed".
+  mutable crypto::Digest matrix_digest{};
+
+  [[nodiscard]] bool is_delta() const { return !unchanged.empty(); }
+  /// matrix_digest, computing it from rows if unset.
+  [[nodiscard]] const crypto::Digest& matrix() const;
+  /// Canonical digest over per-row presence + raw row bytes.
+  [[nodiscard]] static crypto::Digest matrix_digest_of(
+      const std::vector<Row>& rows);
+  /// Canonical full-rows attachment encoding (used by MatrixResp and
+  /// prepared/commit certificates).
+  static void encode_rows(util::ByteWriter& w, const std::vector<Row>& rows);
+  static std::vector<Row> decode_rows(util::ByteReader& r);
 
   [[nodiscard]] util::Bytes encode() const;
+  /// Delta encoding against the same leader's previous proposal: rows
+  /// pointer-equal to `prev` are sent as tag 2.
+  [[nodiscard]] util::Bytes encode_delta(const std::vector<Row>& prev) const;
   static std::optional<PrePrepare> decode(std::span<const std::uint8_t> data);
-  /// Digest that Prepare/Commit messages agree on.
+  /// Digest that Prepare/Commit messages agree on; covers the header
+  /// and the full-matrix digest, independent of delta vs full wire.
   [[nodiscard]] crypto::Digest digest() const;
 };
 
@@ -171,6 +254,11 @@ struct PreparedProof {
   std::uint64_t order_seq = 0;
   util::Bytes preprepare_envelope;
   std::vector<util::Bytes> prepare_envelopes;
+  /// Full row matrix of the Pre-Prepare. The envelope may be
+  /// delta-encoded (tag-2 rows reference state the verifier need not
+  /// hold), so the proof attaches the rows and the verifier checks
+  /// them against the leader-signed matrix digest.
+  std::vector<PrePrepare::Row> rows;
 
   void encode(util::ByteWriter& w) const;
   static PreparedProof decode(util::ByteReader& r);
@@ -267,14 +355,39 @@ struct CommitCertReq {
 };
 
 /// A committed Pre-Prepare plus a commit quorum, served verbatim.
+/// Attaches the full row matrix for the same reason as PreparedProof.
 struct CommitCertResp {
   std::uint64_t order_seq = 0;
   util::Bytes preprepare_envelope;
   std::vector<util::Bytes> commit_envelopes;
+  std::vector<PrePrepare::Row> rows;
 
   [[nodiscard]] util::Bytes encode() const;
   static std::optional<CommitCertResp> decode(
       std::span<const std::uint8_t> data);
+};
+
+/// Follower request for the full row matrix of a Pre-Prepare it could
+/// not reconstruct from a delta (stale or missing prior proposal).
+struct MatrixFetch {
+  std::uint64_t view = 0;
+  std::uint64_t order_seq = 0;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<MatrixFetch> decode(std::span<const std::uint8_t> data);
+};
+
+/// Serves the leader-signed Pre-Prepare envelope verbatim plus the
+/// full row matrix; the requester validates the rows against the
+/// matrix digest inside the (re-verified) envelope.
+struct MatrixResp {
+  std::uint64_t view = 0;
+  std::uint64_t order_seq = 0;
+  util::Bytes preprepare_envelope;
+  std::vector<PrePrepare::Row> rows;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<MatrixResp> decode(std::span<const std::uint8_t> data);
 };
 
 /// Periodic execution checkpoint; f+1 matching votes make a checkpoint

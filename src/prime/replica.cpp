@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "crypto/merkle.hpp"
+
 namespace spire::prime {
 
 namespace {
@@ -32,7 +34,8 @@ Replica::Replica(sim::Simulator& sim, ReplicaId id, PrimeConfig config,
   }
   recv_aru_.assign(config_.n(), 0);
   exec_aru_.assign(config_.n(), 0);
-  latest_aru_.assign(config_.n(), std::nullopt);
+  latest_aru_.assign(config_.n(), nullptr);
+  po_log_ = std::vector<PoLog>(config_.n());
 }
 
 void Replica::start() {
@@ -72,10 +75,12 @@ void Replica::shutdown() {
   last_batched_.clear();
   preorder_buffer_.clear();
   preorder_stall_.clear();
-  po_store_.clear();
+  po_log_ = std::vector<PoLog>(config_.n());
   recv_aru_.assign(config_.n(), 0);
-  latest_aru_.assign(config_.n(), std::nullopt);
+  latest_aru_.assign(config_.n(), nullptr);
   turnaround_.clear();
+  send_queue_.clear();
+  flush_scheduled_ = false;
   // next_po_seq_ and my_aru_seq_ deliberately survive the wipe: they
   // model secure-hardware-backed monotonic counters (as proactive
   // recovery systems keep for exactly this reason). Reusing PO sequence
@@ -101,8 +106,13 @@ void Replica::shutdown() {
   stable_checkpoint_.reset();
   state_resps_.clear();
   chosen_state_.reset();
-  outstanding_fetches_.clear();
   outstanding_cert_fetches_.clear();
+  outstanding_matrix_fetches_.clear();
+  last_prop_valid_ = false;
+  last_prop_rows_.clear();
+  last_accepted_view_ = 0;
+  last_accepted_seq_ = 0;
+  last_accepted_rows_.clear();
   last_suspected_view_ = 0;
   // Rejuvenation semantics: acceptances recorded before the takedown
   // are not trustworthy afterwards (see verify_cache.hpp).
@@ -159,26 +169,67 @@ std::optional<ReplicaId> Replica::sender_id(const Envelope& env) const {
 
 bool Replica::verify_unit(const std::string& identity,
                           std::span<const std::uint8_t> unit_bytes,
-                          const crypto::Signature& sig) {
-  const crypto::Digest d = crypto::sha256(unit_bytes);
-  if (verify_cache_.contains(identity, d)) {
-    ++stats_.verify_cache_hits;
+                          const crypto::Signature& sig, bool cacheable) {
+  if (cacheable) {
+    const crypto::Digest d = crypto::sha256(unit_bytes);
+    if (verify_cache_.contains(identity, d)) {
+      ++stats_.verify_cache_hits;
+      return true;
+    }
+    // The wire form is signed-prefix || MAC, so the signed portion is
+    // the unit minus its trailing MAC — verified without re-serializing.
+    const auto prefix = unit_bytes.first(unit_bytes.size() - sizeof(sig.mac));
+    if (!verifier_.verify(identity, prefix, sig)) return false;
+    verify_cache_.insert(identity, d);
     return true;
   }
-  // The wire form is signed-prefix || MAC, so the signed portion is the
-  // unit minus its trailing MAC — verified without re-serializing.
   const auto prefix = unit_bytes.first(unit_bytes.size() - sizeof(sig.mac));
-  if (!verifier_.verify(identity, prefix, sig)) return false;
-  verify_cache_.insert(identity, d);
-  return true;
+  return verifier_.verify(identity, prefix, sig);
 }
 
 bool Replica::verify_envelope(const Envelope& env,
-                              std::span<const std::uint8_t> raw_bytes) {
-  return verify_unit(env.sender, raw_bytes, env.signature);
+                              std::span<const std::uint8_t> raw_bytes,
+                              bool cacheable) {
+  if (!env.batch) {
+    return verify_unit(env.sender, raw_bytes, env.signature, cacheable);
+  }
+  // Batch-signed: the signature covers the Merkle root of the whole
+  // send batch. Hash this unit's signed prefix into its leaf, fold the
+  // inclusion path, and memoize the verified root — every other unit
+  // of the batch then verifies with hashes alone. The root digest is a
+  // sound cache key: it binds the full leaf preimage (sender included)
+  // through SHA-256.
+  const std::size_t suffix = 4 + 1 + 32 * env.batch->path.size() +
+                             sizeof(env.signature.mac);
+  if (raw_bytes.size() < suffix) return false;  // unreachable post-decode
+  const crypto::Digest leaf =
+      crypto::merkle_leaf(raw_bytes.first(raw_bytes.size() - suffix));
+  const crypto::Digest root =
+      crypto::MerkleTree::fold(leaf, env.batch->index, env.batch->path);
+  if (verify_cache_.contains(env.sender, root)) {
+    ++stats_.verify_cache_hits;
+    return true;
+  }
+  if (!verifier_.verify(env.sender, crypto::merkle_root_message(root),
+                        env.signature)) {
+    return false;
+  }
+  verify_cache_.insert(env.sender, root);
+  return true;
 }
 
 bool Replica::verify_row(const PoAru& row, ReplicaId r) {
+  // Encode-once fast path: a row whose raw bytes equal the PO-ARU we
+  // already accepted into latest_aru_ needs no crypto at all. Equality
+  // of the FULL standalone encoding (signature included) is required —
+  // (replica, aru_seq) alone would be unsound, since a Byzantine
+  // replica can sign two different PO-ARUs with the same aru_seq.
+  if (r < latest_aru_.size() && latest_aru_[r] && !row.raw.empty() &&
+      latest_aru_[r]->raw == row.raw) {
+    ++stats_.row_verify_short_circuits;
+    return true;
+  }
+  if (!row.raw.empty()) return verify_unit(identity_of(r), row.raw, row.sig);
   return verify_unit(identity_of(r), row.encode_standalone(), row.sig);
 }
 
@@ -205,19 +256,76 @@ bool Replica::verify_client_update(const ClientUpdate& update) {
 void Replica::send_envelope(MsgType type, util::Bytes body,
                             std::optional<ReplicaId> to) {
   if (!running_ || acting_crashed()) return;
-  const util::Bytes bytes = Envelope::seal(type, signer_, body);
-  if (to) {
-    if (*to == id_) {
-      process_message(bytes, /*pre_verified=*/true);
-    } else {
-      transport_->send(*to, bytes);
-    }
-  } else {
-    transport_->broadcast(bytes);
-    // Uniform self-delivery. The bytes were built and signed by this
-    // replica one line up, so verification is skipped, not cached:
-    // re-verifying our own fresh signature proves nothing.
+  if (to && *to == id_) {
+    // Directed-to-self never touches the wire; seal and loop back now.
+    const util::Bytes bytes = Envelope::seal(type, signer_, body);
     process_message(bytes, /*pre_verified=*/true);
+    return;
+  }
+  // Merkle-batched signing: queue the unit and drain the queue at the
+  // end of the current simulator step. Everything a timer tick emits is
+  // then sealed under ONE root signature instead of one HMAC each.
+  send_queue_.push_back(PendingSend{type, std::move(body), to});
+  if (!flushing_ && !flush_scheduled_) {
+    flush_scheduled_ = true;
+    const std::uint64_t epoch = epoch_;
+    sim_.schedule_after(0, [this, epoch] {
+      flush_scheduled_ = false;
+      if (epoch != epoch_ || !running_) return;
+      flush_sends();
+    });
+  }
+}
+
+void Replica::flush_sends() {
+  flushing_ = true;
+  const std::uint64_t epoch = epoch_;
+  while (!send_queue_.empty() && running_ && !acting_crashed() &&
+         epoch == epoch_) {
+    std::vector<PendingSend> batch;
+    batch.swap(send_queue_);
+    std::vector<util::Bytes> wires;
+    if (batch.size() == 1) {
+      // A lone unit keeps the classic unbatched wire form — identical
+      // bytes to the pre-batching protocol, no proof overhead.
+      wires.push_back(Envelope::seal(batch[0].type, signer_, batch[0].body));
+    } else {
+      std::vector<Envelope::BatchItem> items;
+      items.reserve(batch.size());
+      for (const auto& p : batch) {
+        items.push_back(Envelope::BatchItem{p.type, p.body});
+      }
+      wires = Envelope::seal_batch(signer_, items);
+      ++stats_.batches_sealed;
+    }
+    // Self-deliver broadcasts first: locally produced protocol state
+    // (e.g. our own Pre-Prepare) must land before peer replies to it
+    // can arrive, mirroring the old synchronous self-delivery. The
+    // bytes were signed by this replica just above, so verification is
+    // skipped, not cached.
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (!batch[i].to) process_message(wires[i], /*pre_verified=*/true);
+      if (epoch != epoch_ || !running_) { flushing_ = false; return; }
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].to) {
+        transport_->send(*batch[i].to, std::move(wires[i]));
+      } else {
+        transport_->broadcast(std::move(wires[i]));
+      }
+    }
+  }
+  flushing_ = false;
+  // Self-delivery above may have enqueued follow-up sends after an
+  // epoch bump cut the loop short; make sure they still drain.
+  if (!send_queue_.empty() && !flush_scheduled_ && running_) {
+    flush_scheduled_ = true;
+    const std::uint64_t now_epoch = epoch_;
+    sim_.schedule_after(0, [this, now_epoch] {
+      flush_scheduled_ = false;
+      if (now_epoch != epoch_ || !running_) return;
+      flush_sends();
+    });
   }
 }
 
@@ -230,9 +338,26 @@ void Replica::process_message(const util::Bytes& envelope_bytes,
   if (!running_ || acting_crashed()) return;
   const auto env = Envelope::decode(envelope_bytes);
   if (!env) return;
-  if (!pre_verified && !verify_envelope(*env, envelope_bytes)) {
-    ++stats_.dropped_bad_signature;
-    return;
+  // Self-authenticating payloads skip the envelope HMAC: a ClientUpdate
+  // carries the client's own signature over the same content and a
+  // PO-ARU is a standalone signed unit, so the transport envelope's
+  // second MAC proves nothing extra. The handlers verify the embedded
+  // signature (and still bind the sender claim to it), so rewrapping a
+  // genuine payload in a fresh envelope grants nothing beyond the
+  // replay the network could always perform — which stale/dedup checks
+  // absorb. Prepare and Commit keep the envelope check but skip the
+  // verified-digest memo: each is consumed exactly once on the hot
+  // path, so caching it costs a SHA-256 per message for hits that only
+  // view-change proof re-verification could ever see.
+  const bool self_authenticating = env->type == MsgType::kClientUpdate ||
+                                   env->type == MsgType::kPoAru;
+  if (!pre_verified && !self_authenticating) {
+    const bool cacheable =
+        env->type != MsgType::kPrepare && env->type != MsgType::kCommit;
+    if (!verify_envelope(*env, envelope_bytes, cacheable)) {
+      ++stats_.dropped_bad_signature;
+      return;
+    }
   }
 
   if (recovering_) {
@@ -268,6 +393,8 @@ void Replica::process_message(const util::Bytes& envelope_bytes,
     case MsgType::kCommitCertReq: handle_cert_req(*env); break;
     case MsgType::kCommitCertResp: handle_cert_resp(*env); break;
     case MsgType::kCheckpoint: handle_checkpoint(*env, envelope_bytes); break;
+    case MsgType::kMatrixFetch: handle_matrix_fetch(*env); break;
+    case MsgType::kMatrixResp: handle_matrix_resp(*env); break;
   }
 }
 
@@ -287,25 +414,40 @@ void Replica::handle_client_update(const Envelope& env) {
     ++stats_.dropped_unknown_client;
     return;
   }
-  // Responsible-set preordering: clients broadcast to all replicas, but
-  // only the f+k+1 replicas deterministically assigned to this client
-  // preorder its updates — enough that at least one is correct and live
-  // even with f intrusions and k concurrent recoveries, without n-fold
-  // duplication. Execution-level dedup makes any overlap harmless.
-  // Checked before the signature so non-responsible replicas never pay
-  // for a verification whose result they would discard.
-  const std::uint64_t h =
-      crypto::digest_prefix64(crypto::sha256(update.client));
-  const auto primary = static_cast<ReplicaId>(h % config_.n());
-  const std::uint32_t offset = (config_.n() + id_ - primary) % config_.n();
-  if (offset > config_.f + config_.k) return;
-
+  // The client's embedded signature is the unit of trust here (the
+  // envelope MAC was skipped as redundant). Verify it before the
+  // responsibility check: every replica re-verifies this update when it
+  // arrives inside a PO-Request anyway, and the memo in
+  // verify_client_update makes that later check a hash lookup — so
+  // verifying at receipt moves a cost, it does not add one.
   if (!verify_client_update(update)) {
     ++stats_.dropped_bad_signature;
     return;
   }
 
+  // Responsible-set preordering: clients broadcast to all replicas, but
+  // only the f+k+1 replicas deterministically assigned to this client
+  // preorder its updates — enough that at least one is correct and live
+  // even with f intrusions and k concurrent recoveries, without n-fold
+  // duplication. Execution-level dedup makes any overlap harmless.
+  const ReplicaId primary = client_primary(update.client);
+  const std::uint32_t offset = (config_.n() + id_ - primary) % config_.n();
+  if (offset > config_.f + config_.k) return;
+
   enqueue_for_preorder(std::move(update));
+}
+
+ReplicaId Replica::client_primary(const std::string& client) {
+  // Responsibility is a pure function of the client identity; memoize
+  // the sha256 so steady-state deliveries cost one map lookup. Only
+  // reached for identities the verifier knows, so the memo is bounded
+  // by the configured client set.
+  const auto it = client_primary_.find(client);
+  if (it != client_primary_.end()) return it->second;
+  const std::uint64_t h = crypto::digest_prefix64(crypto::sha256(client));
+  const auto primary = static_cast<ReplicaId>(h % config_.n());
+  client_primary_.emplace(client, primary);
+  return primary;
 }
 
 void Replica::enqueue_for_preorder(ClientUpdate update) {
@@ -404,9 +546,41 @@ void Replica::handle_po_request(const Envelope& env, const util::Bytes& raw) {
   store_po_request(*req, raw);
 }
 
+bool Replica::po_contains(ReplicaId origin, std::uint64_t seq) const {
+  const PoLog& log = po_log_[origin];
+  if (seq < log.base) return true;  // pruned: was stored and executed past
+  const std::uint64_t idx = seq - log.base;
+  return idx < log.slots.size() && log.slots[idx].stored != nullptr;
+}
+
+const Replica::StoredPoRequest* Replica::po_get(ReplicaId origin,
+                                                std::uint64_t seq) const {
+  const PoLog& log = po_log_[origin];
+  if (seq < log.base) return nullptr;
+  const std::uint64_t idx = seq - log.base;
+  return idx < log.slots.size() ? log.slots[idx].stored.get() : nullptr;
+}
+
+void Replica::po_mark_wanted(ReplicaId origin, std::uint64_t seq) {
+  PoLog& log = po_log_[origin];
+  if (seq < log.base || seq >= log.base + kPoHorizon) return;
+  if (log.wanted_count >= kMaxWantedPerOrigin) return;
+  const std::uint64_t idx = seq - log.base;
+  if (idx >= log.slots.size()) log.slots.resize(idx + 1);
+  PoSlot& slot = log.slots[idx];
+  if (slot.stored || slot.wanted) return;
+  slot.wanted = true;
+  ++log.wanted_count;
+  ++stats_.recon_fetches_queued;
+}
+
 void Replica::store_po_request(const PoRequest& req, const util::Bytes& raw) {
-  const auto key = std::make_pair(req.origin, req.po_seq);
-  if (po_store_.count(key)) return;
+  if (req.origin >= config_.n()) return;
+  PoLog& log = po_log_[req.origin];
+  if (req.po_seq < log.base) return;  // below the retention window
+  if (req.po_seq >= log.base + kPoHorizon) return;  // absurdly far ahead
+  const std::uint64_t idx = req.po_seq - log.base;
+  if (idx < log.slots.size() && log.slots[idx].stored) return;  // duplicate
   // Client updates inside a PO-Request carry their own client
   // signatures; verify them here once so execution can trust the store.
   // verify_client_update memoizes, so an update this replica already
@@ -418,40 +592,63 @@ void Replica::store_po_request(const PoRequest& req, const util::Bytes& raw) {
       return;
     }
   }
-  po_store_.emplace(key, StoredPoRequest{req, raw});
-  outstanding_fetches_.erase(key);
+  if (idx >= log.slots.size()) log.slots.resize(idx + 1);
+  PoSlot& slot = log.slots[idx];
+  slot.stored = std::make_unique<StoredPoRequest>(StoredPoRequest{req, raw});
+  if (slot.wanted) {
+    slot.wanted = false;
+    --log.wanted_count;
+    ++stats_.recon_fetches_satisfied;
+  }
 
   auto& aru = recv_aru_[req.origin];
-  while (po_store_.count(std::make_pair(req.origin, aru + 1))) ++aru;
+  while (po_contains(req.origin, aru + 1)) ++aru;
 
   try_apply();
 }
 
 void Replica::po_aru_tick(std::uint64_t epoch) {
   if (epoch != epoch_ || !running_) return;
-  PoAru aru;
-  aru.replica = id_;
-  aru.aru_seq = ++my_aru_seq_;
-  aru.aru = recv_aru_;
-  aru.sign(signer_);
-  turnaround_.emplace_back(sim_.now(), aru.aru_seq);
-  send_envelope(MsgType::kPoAru, aru.encode_standalone());
+  auto aru = std::make_shared<PoAru>();
+  aru->replica = id_;
+  aru->aru_seq = ++my_aru_seq_;
+  aru->aru = recv_aru_;
+  aru->sign(signer_);  // also caches the standalone wire bytes in raw
+  turnaround_.emplace_back(sim_.now(), aru->aru_seq);
+  // Encode-once: our own row goes into latest_aru_ directly (no wire
+  // round trip needed), and the cached raw bytes are the send body. The
+  // leader then splices these exact bytes into Pre-Prepares, and
+  // followers short-circuit verify_row against them.
+  util::Bytes body = aru->raw;
+  latest_aru_[id_] = std::move(aru);
+  send_envelope(MsgType::kPoAru, std::move(body));
   sim_.schedule_after(config_.po_aru_interval,
                       [this, epoch] { po_aru_tick(epoch); });
 }
 
 void Replica::handle_po_aru(const Envelope& env) {
-  const auto aru = PoAru::decode_standalone(env.body);
+  auto aru = PoAru::decode_standalone(env.body);
   if (!aru || aru->aru.size() != config_.n()) return;
   if (!sender_is(env, aru->replica)) return;
-  // env.body is exactly the standalone PO-ARU encoding, so verify it
-  // directly — same cache key verify_row computes, minus a serialization.
+  if (aru->replica == id_) return;  // own broadcast, installed at send
+  // Stale-before-verify: an old (or replayed) PO-ARU changes nothing,
+  // so drop it without paying for an HMAC.
+  auto& latest = latest_aru_[aru->replica];
+  if (latest && aru->aru_seq <= latest->aru_seq) {
+    ++stats_.stale_po_arus_dropped;
+    return;
+  }
+  // env.body is exactly the standalone PO-ARU encoding, and this is the
+  // ONLY signature check on the PO-ARU path (the envelope MAC was
+  // skipped as redundant in process_message): the row's own signature
+  // authenticates it, and sender_is above pins the envelope's sender
+  // claim to the row owner. The memo key here — sha256 of the
+  // standalone encoding — is the same one verify_row computes, so rows
+  // re-shipped inside Pre-Prepares hit this entry.
   if (!verify_unit(env.sender, env.body, aru->sig)) {
     ++stats_.dropped_bad_signature;
     return;
   }
-  auto& latest = latest_aru_[aru->replica];
-  if (!latest || aru->aru_seq > latest->aru_seq) latest = *aru;
 
   // PO-ARU-driven reconciliation: a peer acknowledging PO-Requests we
   // never received (lost to a partition or drops) tells us exactly what
@@ -462,11 +659,11 @@ void Replica::handle_po_aru(const Envelope& env) {
     if (theirs <= mine) continue;
     const std::uint64_t until = std::min(theirs, mine + 8);
     for (std::uint64_t s = mine + 1; s <= until; ++s) {
-      if (!po_store_.count(std::make_pair(i, s))) {
-        outstanding_fetches_.insert(std::make_pair(i, s));
-      }
+      if (!po_contains(i, s)) po_mark_wanted(i, s);
     }
   }
+
+  latest = std::make_shared<const PoAru>(std::move(*aru));
 }
 
 // ---- ordering ---------------------------------------------------------------
@@ -489,36 +686,40 @@ void Replica::preprepare_tick(std::uint64_t epoch) {
   if (behavior_ == ReplicaBehavior::kStaleLeader) {
     // Delay attack: structurally valid Pre-Prepares whose matrix never
     // reflects fresh PO-ARUs, so no new updates become eligible.
-    pp.rows.assign(config_.n(), std::nullopt);
+    pp.rows.assign(config_.n(), nullptr);
   } else {
     pp.rows = latest_aru_;
   }
 
   // Skip redundant proposals when idle, but heartbeat often enough that
-  // correct replicas never suspect a healthy leader.
-  crypto::Digest matrix_digest{};
-  {
-    util::ByteWriter w;
-    for (const auto& row : pp.rows) {
-      w.boolean(row.has_value());
-      if (row) w.u64(row->aru_seq);
-    }
-    matrix_digest = crypto::sha256(w.bytes());
-  }
-  const bool fresh = matrix_digest != last_matrix_digest_;
+  // correct replicas never suspect a healthy leader. Rows are shared
+  // immutable objects, so pointer equality decides freshness.
+  const bool fresh = !last_prop_valid_ || pp.rows != last_prop_rows_;
   const bool heartbeat_due =
       sim_.now() - last_preprepare_sent_ >= config_.leader_heartbeat;
   if (!fresh && !heartbeat_due) return;
-  last_matrix_digest_ = matrix_digest;
   last_preprepare_sent_ = sim_.now();
+
+  // Delta-encode against our immediately preceding proposal in this
+  // view: unchanged rows ship as a one-byte tag instead of a full
+  // signed PO-ARU, with the chained matrix digest binding the whole
+  // reconstructed matrix.
+  const bool delta_ok = last_prop_valid_ && last_prop_view_ == view_ &&
+                        last_prop_seq_ + 1 == pp.order_seq;
+  util::Bytes body =
+      delta_ok ? pp.encode_delta(last_prop_rows_) : pp.encode();
+  last_prop_valid_ = true;
+  last_prop_view_ = view_;
+  last_prop_seq_ = pp.order_seq;
+  last_prop_rows_ = pp.rows;
 
   ++next_order_seq_;
   ++stats_.preprepares_sent;
-  send_envelope(MsgType::kPrePrepare, pp.encode());
+  send_envelope(MsgType::kPrePrepare, std::move(body));
 }
 
 void Replica::handle_preprepare(const Envelope& env, const util::Bytes& raw) {
-  const auto pp = PrePrepare::decode(env.body);
+  auto pp = PrePrepare::decode(env.body);
   if (!pp) return;
   if (!sender_is(env, pp->leader)) return;
   if (pp->view != view_ || pp->leader != leader_of(view_)) return;
@@ -527,45 +728,21 @@ void Replica::handle_preprepare(const Envelope& env, const util::Bytes& raw) {
   const auto start_it = view_start_.find(view_);
   if (start_it != view_start_.end() && pp->order_seq < start_it->second) return;
   if (pp->rows.size() != config_.n()) return;
-  for (ReplicaId r = 0; r < config_.n(); ++r) {
-    const auto& row = pp->rows[r];
-    if (!row) continue;
-    if (row->replica != r || row->aru.size() != config_.n() ||
-        !verify_row(*row, r)) {
-      // Malformed matrix from the leader: treat as misbehavior.
-      suspect(view_ + 1);
-      return;
-    }
-  }
 
-  // Re-proposal constraint: in a view installed by a NewView, the
-  // leading slots must carry exactly the proven matrices (or an empty
-  // no-op matrix for holes) — a leader proposing anything else for
-  // them is misbehaving.
-  if (reproposal_view_ == view_ && pp->order_seq <= reproposal_top_) {
-    const auto expected = expected_rows_.find(pp->order_seq);
-    const crypto::Digest required =
-        expected != expected_rows_.end()
-            ? expected->second
-            : rows_digest(std::vector<std::optional<PoAru>>(config_.n(),
-                                                            std::nullopt));
-    if (rows_digest(pp->rows) != required) {
-      log_.warn("leader deviated from re-proposal constraints at seq ",
-                pp->order_seq, "; suspecting");
-      suspect(view_ + 1);
-      return;
-    }
-  }
-
-  OrderSlot& slot = slots_[pp->order_seq];
+  // The agreement digest derives from the leader's CLAIMED matrix
+  // digest, so equivocation / duplicate / committed checks run before
+  // any row verification or delta reconstruction — a flood of
+  // duplicates costs hashing, not HMACs.
   const crypto::Digest digest = pp->digest();
-  if (slot.committed) {
-    // Final: a re-proposal in a later view changes nothing we did.
-    last_leader_activity_ = sim_.now();
-    return;
-  }
-  if (slot.preprepare) {
-    if (slot.view == pp->view) {
+  const auto slot_it = slots_.find(pp->order_seq);
+  if (slot_it != slots_.end()) {
+    const OrderSlot& slot = slot_it->second;
+    if (slot.committed) {
+      // Final: a re-proposal in a later view changes nothing we did.
+      last_leader_activity_ = sim_.now();
+      return;
+    }
+    if (slot.preprepare && slot.view == pp->view) {
       if (slot.digest != digest) {
         // Equivocation: two conflicting proposals for the same slot.
         log_.warn("conflicting pre-prepares for seq ", pp->order_seq,
@@ -576,34 +753,200 @@ void Replica::handle_preprepare(const Envelope& env, const util::Bytes& raw) {
       }
       return;
     }
-    if (slot.view > pp->view) return;
+    if (slot.preprepare && slot.view > pp->view) return;
+  }
+
+  if (pp->is_delta()) {
+    // Reconstruct tag-2 (unchanged) rows from the proposal this delta
+    // chains onto. If we never accepted that proposal (just recovered,
+    // or it was lost), we cannot reconstruct — fall back to fetching
+    // the full matrix from any replica that did accept it.
+    const bool chain_ok = last_accepted_view_ == pp->view &&
+                          last_accepted_seq_ + 1 == pp->order_seq &&
+                          !last_accepted_rows_.empty();
+    if (!chain_ok) {
+      request_matrix(pp->view, pp->order_seq);
+      return;
+    }
+    for (ReplicaId r = 0; r < config_.n(); ++r) {
+      if (pp->unchanged[r]) pp->rows[r] = last_accepted_rows_[r];
+    }
+  }
+
+  accept_preprepare(std::move(*pp), digest, raw, /*direct_from_leader=*/true);
+}
+
+void Replica::accept_preprepare(PrePrepare pp, const crypto::Digest& digest,
+                                const util::Bytes& raw_envelope,
+                                bool direct_from_leader) {
+  // Verify the inline rows. Rows reconstructed from the previous
+  // accepted proposal (tag-2) were verified when that proposal was
+  // accepted, and verify_row short-circuits rows whose bytes match an
+  // already-accepted latest_aru_ entry.
+  for (ReplicaId r = 0; r < config_.n(); ++r) {
+    const auto& row = pp.rows[r];
+    if (!row) continue;
+    if (r < pp.unchanged.size() && pp.unchanged[r]) continue;
+    if (row->replica != r || row->aru.size() != config_.n() ||
+        !verify_row(*row, r)) {
+      // Malformed matrix straight from the leader is attributable
+      // misbehavior; via a MatrixResp the responder may have tampered
+      // with the attachment, so only drop.
+      if (direct_from_leader) suspect(view_ + 1);
+      return;
+    }
+  }
+
+  // The claimed matrix digest (covered by the agreement digest every
+  // replica prepares on) must match the matrix we actually hold. A
+  // mismatch on the direct path means the leader's delta lies about
+  // unchanged rows — leader-signed, so suspect. On the fetch path the
+  // responder's attachment may be bogus: drop and let retries find an
+  // honest responder.
+  const crypto::Digest computed = PrePrepare::matrix_digest_of(pp.rows);
+  if (computed != pp.matrix_digest) {
+    if (direct_from_leader) {
+      log_.warn("pre-prepare matrix digest mismatch at seq ", pp.order_seq,
+                "; suspecting leader");
+      suspect(view_ + 1);
+    }
+    return;
+  }
+
+  // Re-proposal constraint: in a view installed by a NewView, the
+  // leading slots must carry exactly the proven matrices (or an empty
+  // no-op matrix for holes) — a leader proposing anything else for
+  // them is misbehaving.
+  if (reproposal_view_ == view_ && pp.order_seq <= reproposal_top_) {
+    const auto expected = expected_rows_.find(pp.order_seq);
+    const crypto::Digest required = expected != expected_rows_.end()
+                                        ? expected->second
+                                        : empty_matrix_digest();
+    if (computed != required) {
+      log_.warn("leader deviated from re-proposal constraints at seq ",
+                pp.order_seq, "; suspecting");
+      if (direct_from_leader) suspect(view_ + 1);
+      return;
+    }
+  }
+
+  OrderSlot& slot = slots_[pp.order_seq];
+  if (slot.committed) {
+    last_leader_activity_ = sim_.now();
+    return;
+  }
+  if (slot.preprepare) {
+    if (slot.view == pp.view) {
+      // Raced with another copy (e.g. a MatrixResp landing after the
+      // leader's retransmission); the digest checks ran in
+      // handle_preprepare, nothing more to do.
+      last_leader_activity_ = sim_.now();
+      return;
+    }
+    if (slot.view > pp.view) return;
     // Newer view supersedes an abandoned proposal.
     slot = OrderSlot{};
   }
 
-  slot.preprepare = *pp;
-  slot.preprepare_envelope = raw;
-  slot.digest = digest;
-  slot.view = pp->view;
-  last_leader_activity_ = sim_.now();
-
   // Turnaround check bookkeeping: our row being reflected clears the
   // pending PO-ARUs it covers.
-  if (const auto& my_row = pp->rows[id_]) {
+  if (const auto& my_row = pp.rows[id_]) {
     while (!turnaround_.empty() &&
            turnaround_.front().second <= my_row->aru_seq) {
       turnaround_.pop_front();
     }
   }
 
+  // Track the newest accepted proposal for future delta reconstruction.
+  if (pp.view > last_accepted_view_ ||
+      (pp.view == last_accepted_view_ && pp.order_seq > last_accepted_seq_)) {
+    last_accepted_view_ = pp.view;
+    last_accepted_seq_ = pp.order_seq;
+    last_accepted_rows_ = pp.rows;
+  }
+  outstanding_matrix_fetches_.erase(pp.order_seq);
+
+  const std::uint64_t seq = pp.order_seq;
+  const std::uint64_t pp_view = pp.view;
+  pp.unchanged.clear();  // stored form always carries the full rows
+  slot.preprepare = std::move(pp);
+  slot.preprepare_envelope = raw_envelope;
+  slot.digest = digest;
+  slot.view = pp_view;
+  last_leader_activity_ = sim_.now();
+
   PrepareOrCommit prepare;
   prepare.replica = id_;
-  prepare.view = pp->view;
-  prepare.order_seq = pp->order_seq;
+  prepare.view = pp_view;
+  prepare.order_seq = seq;
   prepare.preprepare_digest = digest;
   send_envelope(MsgType::kPrepare, prepare.encode());
 
-  try_commit(pp->order_seq);
+  try_commit(seq);
+}
+
+void Replica::request_matrix(std::uint64_t view, std::uint64_t order_seq) {
+  const auto it = outstanding_matrix_fetches_.find(order_seq);
+  if (it == outstanding_matrix_fetches_.end()) {
+    if (outstanding_matrix_fetches_.size() >= kMaxMatrixFetches) return;
+    outstanding_matrix_fetches_[order_seq] = view;
+  } else {
+    it->second = view;
+  }
+  MatrixFetch fetch;
+  fetch.view = view;
+  fetch.order_seq = order_seq;
+  ++stats_.matrix_fetches_sent;
+  send_envelope(MsgType::kMatrixFetch, fetch.encode());
+}
+
+void Replica::handle_matrix_fetch(const Envelope& env) {
+  const auto fetch = MatrixFetch::decode(env.body);
+  if (!fetch) return;
+  const auto slot_it = slots_.find(fetch->order_seq);
+  if (slot_it == slots_.end()) return;
+  const OrderSlot& slot = slot_it->second;
+  if (!slot.preprepare || slot.view != fetch->view ||
+      slot.preprepare_envelope.empty()) {
+    return;
+  }
+  const auto r = sender_id(env);
+  if (!r) return;
+  MatrixResp resp;
+  resp.view = fetch->view;
+  resp.order_seq = fetch->order_seq;
+  resp.preprepare_envelope = slot.preprepare_envelope;
+  resp.rows = slot.preprepare->rows;
+  send_envelope(MsgType::kMatrixResp, resp.encode(), *r);
+}
+
+void Replica::handle_matrix_resp(const Envelope& env) {
+  const auto resp = MatrixResp::decode(env.body);
+  if (!resp) return;
+  if (!outstanding_matrix_fetches_.count(resp->order_seq)) return;  // unsolicited
+  const auto inner = Envelope::decode(resp->preprepare_envelope);
+  if (!inner || inner->type != MsgType::kPrePrepare ||
+      !verify_envelope(*inner, resp->preprepare_envelope)) {
+    return;
+  }
+  auto pp = PrePrepare::decode(inner->body);
+  if (!pp) return;
+  if (!sender_is(*inner, pp->leader)) return;
+  if (pp->view != resp->view || pp->order_seq != resp->order_seq) return;
+  if (pp->view != view_ || pp->leader != leader_of(view_)) return;
+  if (pp->order_seq <= applied_seq_) return;
+  if (pp->order_seq > applied_seq_ + (1u << 20)) return;
+  if (pp->rows.size() != config_.n() || resp->rows.size() != config_.n()) {
+    return;
+  }
+  // Substitute the responder's full row attachment for the (possibly
+  // delta-encoded) row set of the stored envelope; the leader-signed
+  // matrix digest check in accept_preprepare catches tampering.
+  pp->rows = resp->rows;
+  pp->unchanged.clear();
+  const crypto::Digest digest = pp->digest();
+  accept_preprepare(std::move(*pp), digest, resp->preprepare_envelope,
+                    /*direct_from_leader=*/false);
 }
 
 void Replica::handle_prepare_or_commit(const Envelope& env,
@@ -655,9 +998,8 @@ void Replica::try_commit(std::uint64_t seq) {
     commit.order_seq = seq;
     commit.preprepare_digest = slot.digest;
     send_envelope(MsgType::kCommit, commit.encode());
-    // send_envelope self-delivers, which may re-enter try_commit and
-    // complete the slot; re-check before falling through.
-    if (slots_.find(seq) == slots_.end()) return;
+    // Self-delivery is deferred to the batched flush, so this cannot
+    // re-enter try_commit synchronously.
   }
   if (!slot.committed && count_matching(slot.commits) >= config_.quorum()) {
     slot.committed = true;
@@ -684,16 +1026,18 @@ std::vector<std::uint64_t> Replica::eligibility(const PrePrepare& pp) const {
   return result;
 }
 
-bool Replica::can_apply(std::uint64_t seq,
-                        std::set<std::pair<ReplicaId, std::uint64_t>>* missing) {
+bool Replica::can_apply(std::uint64_t seq, bool mark_missing) {
   const OrderSlot& slot = slots_.at(seq);
   const auto elig = eligibility(*slot.preprepare);
   bool ok = true;
   for (ReplicaId i = 0; i < config_.n(); ++i) {
     for (std::uint64_t s = exec_aru_[i] + 1; s <= elig[i]; ++s) {
-      if (!po_store_.count(std::make_pair(i, s))) {
+      if (!po_contains(i, s)) {
         ok = false;
-        if (missing) missing->insert(std::make_pair(i, s));
+        if (!mark_missing) return false;
+        // Reconciliation: mark the PO-Requests the matrix made eligible
+        // but we never received (recon_tick drives the fetches).
+        po_mark_wanted(i, s);
       }
     }
   }
@@ -708,14 +1052,10 @@ void Replica::try_apply() {
         slot_it != slots_.end() && slot_it->second.committed;
 
     if (have_committed) {
-      std::set<std::pair<ReplicaId, std::uint64_t>> missing;
-      if (can_apply(next, &missing)) {
+      if (can_apply(next, /*mark_missing=*/true)) {
         apply_matrix(next);
         continue;
       }
-      // Reconciliation: fetch the PO-Requests the matrix made eligible
-      // but we never received (recon_tick drives retransmission).
-      outstanding_fetches_.insert(missing.begin(), missing.end());
       return;
     }
 
@@ -747,7 +1087,8 @@ void Replica::apply_matrix(std::uint64_t seq) {
 
   for (ReplicaId i = 0; i < config_.n(); ++i) {
     for (std::uint64_t s = exec_aru_[i] + 1; s <= elig[i]; ++s) {
-      const auto& stored = po_store_.at(std::make_pair(i, s));
+      // can_apply guaranteed presence just before this call.
+      const StoredPoRequest& stored = *po_get(i, s);
       for (const auto& update : stored.request.updates) {
         auto& executed = executed_clients_[update.client];
         if (update.client_seq <= executed) continue;  // cross-origin dup
@@ -774,11 +1115,17 @@ void Replica::apply_matrix(std::uint64_t seq) {
     slots_.erase(slots_.begin());
   }
   for (ReplicaId i = 0; i < config_.n(); ++i) {
-    while (true) {
-      const auto it = po_store_.lower_bound(std::make_pair(i, 0));
-      if (it == po_store_.end() || it->first.first != i) break;
-      if (it->first.second + kSlotRetention >= exec_aru_[i]) break;
-      po_store_.erase(it);
+    PoLog& log = po_log_[i];
+    while (!log.slots.empty() && log.base + kSlotRetention < exec_aru_[i]) {
+      if (log.slots.front().wanted) --log.wanted_count;
+      log.slots.pop_front();
+      ++log.base;
+    }
+    // An emptied log whose base lags far behind execution (e.g. an
+    // origin that went quiet) jumps forward so fresh sequence numbers
+    // stay inside the insert horizon.
+    if (log.slots.empty() && log.base + kSlotRetention < exec_aru_[i]) {
+      log.base = exec_aru_[i] - kSlotRetention;
     }
   }
 }
@@ -901,10 +1248,13 @@ void Replica::enter_view(std::uint64_t view) {
     if (slot.committed || seq <= applied_seq_ || vs.prepared.size() >= 32) {
       continue;
     }
-    // Assemble the self-certifying prepared proof for this slot.
+    // Assemble the self-certifying prepared proof for this slot. The
+    // stored envelope may be delta-encoded, so the full row set rides
+    // along (checked against the envelope's signed matrix digest).
     PreparedProof proof;
     proof.order_seq = seq;
     proof.preprepare_envelope = slot.preprepare_envelope;
+    proof.rows = slot.preprepare->rows;
     for (const auto& [replica, entry] : slot.prepares) {
       if (entry.first != slot.view || entry.second != slot.digest) continue;
       const auto env_it = slot.prepare_envelopes.find(replica);
@@ -963,14 +1313,9 @@ void Replica::maybe_send_new_view() {
   send_envelope(MsgType::kNewView, nv.encode());
 }
 
-crypto::Digest Replica::rows_digest(
-    const std::vector<std::optional<PoAru>>& rows) {
-  util::ByteWriter w;
-  for (const auto& row : rows) {
-    w.boolean(row.has_value());
-    if (row) row->encode(w);
-  }
-  return crypto::sha256(w.bytes());
+crypto::Digest Replica::empty_matrix_digest() const {
+  return PrePrepare::matrix_digest_of(
+      std::vector<PrePrepare::Row>(config_.n(), nullptr));
 }
 
 std::optional<PrePrepare> Replica::verify_prepared_proof(
@@ -980,20 +1325,29 @@ std::optional<PrePrepare> Replica::verify_prepared_proof(
       !verify_envelope(*env, proof.preprepare_envelope)) {
     return std::nullopt;
   }
-  const auto pp = PrePrepare::decode(env->body);
+  auto pp = PrePrepare::decode(env->body);
   if (!pp || pp->order_seq != proof.order_seq) return std::nullopt;
   if (!sender_is(*env, pp->leader) || pp->leader != leader_of(pp->view)) {
     return std::nullopt;
   }
-  if (pp->rows.size() != config_.n()) return std::nullopt;
+  if (pp->rows.size() != config_.n() || proof.rows.size() != config_.n()) {
+    return std::nullopt;
+  }
+  // The envelope may be delta-encoded; the proof attaches the full row
+  // set, authenticated by the leader-signed matrix digest.
   for (ReplicaId r = 0; r < config_.n(); ++r) {
-    const auto& row = pp->rows[r];
+    const auto& row = proof.rows[r];
     if (!row) continue;
     if (row->replica != r || row->aru.size() != config_.n() ||
         !verify_row(*row, r)) {
       return std::nullopt;
     }
   }
+  if (PrePrepare::matrix_digest_of(proof.rows) != pp->matrix_digest) {
+    return std::nullopt;
+  }
+  pp->rows = proof.rows;
+  pp->unchanged.clear();
   const crypto::Digest digest = pp->digest();
   std::set<ReplicaId> senders;
   for (const auto& prepare_bytes : proof.prepare_envelopes) {
@@ -1061,7 +1415,9 @@ void Replica::handle_new_view(const Envelope& env) {
   reproposal_top_ = chosen.empty() ? nv->start_seq - 1 : chosen.rbegin()->first;
   expected_rows_.clear();
   for (const auto& [seq, viewed_pp] : chosen) {
-    expected_rows_[seq] = rows_digest(viewed_pp.second.rows);
+    // verify_prepared_proof established matrix_digest ==
+    // matrix_digest_of(rows) for every chosen proposal.
+    expected_rows_[seq] = viewed_pp.second.matrix_digest;
   }
 
   if (leader_of(view_) == id_) {
@@ -1078,10 +1434,14 @@ void Replica::handle_new_view(const Envelope& env) {
       if (it != chosen.end()) {
         pp.rows = it->second.second.rows;
       } else {
-        pp.rows.assign(config_.n(), std::nullopt);
+        pp.rows.assign(config_.n(), nullptr);
       }
       ++stats_.preprepares_sent;
       send_envelope(MsgType::kPrePrepare, pp.encode());
+      last_prop_valid_ = true;
+      last_prop_view_ = view_;
+      last_prop_seq_ = seq;
+      last_prop_rows_ = pp.rows;
     }
   }
   try_apply();
@@ -1095,12 +1455,35 @@ void Replica::recon_tick(std::uint64_t epoch) {
                       [this, epoch] { recon_tick(epoch); });
   if (acting_crashed()) return;
 
-  for (const auto& [origin, po_seq] : outstanding_fetches_) {
-    PoReqFetch fetch;
-    fetch.origin = origin;
-    fetch.po_seq = po_seq;
-    ++stats_.fetches_sent;
-    send_envelope(MsgType::kPoReqFetch, fetch.encode());
+  for (ReplicaId origin = 0; origin < config_.n(); ++origin) {
+    const PoLog& log = po_log_[origin];
+    if (log.wanted_count == 0) continue;
+    std::uint32_t sent = 0;
+    for (std::uint64_t idx = 0; idx < log.slots.size() && sent < 64; ++idx) {
+      if (!log.slots[idx].wanted) continue;
+      PoReqFetch fetch;
+      fetch.origin = origin;
+      fetch.po_seq = log.base + idx;
+      ++stats_.fetches_sent;
+      ++sent;
+      send_envelope(MsgType::kPoReqFetch, fetch.encode());
+    }
+  }
+
+  // Delta-matrix fallback retries: keep asking for full matrices we
+  // could not reconstruct until the slot is applied or the view moves.
+  for (auto it = outstanding_matrix_fetches_.begin();
+       it != outstanding_matrix_fetches_.end();) {
+    if (it->first <= applied_seq_ || it->second < view_) {
+      it = outstanding_matrix_fetches_.erase(it);
+      continue;
+    }
+    MatrixFetch fetch;
+    fetch.view = it->second;
+    fetch.order_seq = it->first;
+    ++stats_.matrix_fetches_sent;
+    send_envelope(MsgType::kMatrixFetch, fetch.encode());
+    ++it;
   }
 
   // Catch-up lookahead: when the commit stream is far ahead of our
@@ -1151,14 +1534,15 @@ void Replica::recon_tick(std::uint64_t epoch) {
 void Replica::handle_po_fetch(const Envelope& env) {
   const auto fetch = PoReqFetch::decode(env.body);
   if (!fetch) return;
-  const auto it = po_store_.find(std::make_pair(fetch->origin, fetch->po_seq));
-  if (it == po_store_.end()) return;
+  if (fetch->origin >= config_.n()) return;
+  const StoredPoRequest* stored = po_get(fetch->origin, fetch->po_seq);
+  if (!stored) return;
   // Find the requester's replica id to respond directly.
   if (const auto r = sender_id(env)) {
     PoReqResp resp;
     resp.origin = fetch->origin;
     resp.po_seq = fetch->po_seq;
-    resp.envelope = it->second.envelope;
+    resp.envelope = stored->envelope;
     send_envelope(MsgType::kPoReqResp, resp.encode(), *r);
   }
 }
@@ -1185,6 +1569,9 @@ void Replica::handle_cert_req(const Envelope& env) {
   CommitCertResp resp;
   resp.order_seq = req->order_seq;
   resp.preprepare_envelope = slot.preprepare_envelope;
+  // The stored envelope may be delta-encoded; ship the full row set,
+  // authenticated by the envelope's signed matrix digest.
+  resp.rows = slot.preprepare->rows;
   for (const auto& [replica, entry] : slot.commits) {
     if (entry.first == slot.view && entry.second == slot.digest) {
       const auto env_it = slot.commit_envelopes.find(replica);
@@ -1210,18 +1597,25 @@ void Replica::handle_cert_resp(const Envelope& env) {
       !verify_envelope(*pp_env, resp->preprepare_envelope)) {
     return;
   }
-  const auto pp = PrePrepare::decode(pp_env->body);
+  auto pp = PrePrepare::decode(pp_env->body);
   if (!pp || pp->order_seq != resp->order_seq) return;
   if (!sender_is(*pp_env, pp->leader)) return;
-  if (pp->rows.size() != config_.n()) return;
+  if (pp->rows.size() != config_.n() || resp->rows.size() != config_.n()) {
+    return;
+  }
+  // The envelope may be delta-encoded; the response attaches the full
+  // row set, authenticated by the leader-signed matrix digest.
   for (ReplicaId r = 0; r < config_.n(); ++r) {
-    const auto& row = pp->rows[r];
+    const auto& row = resp->rows[r];
     if (!row) continue;
     if (row->replica != r || row->aru.size() != config_.n() ||
         !verify_row(*row, r)) {
       return;
     }
   }
+  if (PrePrepare::matrix_digest_of(resp->rows) != pp->matrix_digest) return;
+  pp->rows = resp->rows;
+  pp->unchanged.clear();
   const crypto::Digest digest = pp->digest();
 
   std::set<ReplicaId> committers;
@@ -1285,9 +1679,14 @@ void Replica::install_bundle(std::uint64_t applied_seq,
   highest_committed_ = std::max(highest_committed_, applied_seq);
   // Receipt cursors start from the execution state: everything at or
   // below exec_aru is already reflected in the restored snapshot, so
-  // acknowledging it is sound and keeps our PO-ARUs meaningful.
+  // acknowledging it is sound and keeps our PO-ARUs meaningful. The
+  // PO logs re-base onto the installed position — without this, fresh
+  // PO-Requests near exec_aru would land past the insert horizon of a
+  // stale base and be dropped forever.
   for (ReplicaId i = 0; i < config_.n(); ++i) {
     recv_aru_[i] = std::max(recv_aru_[i], exec_aru_[i]);
+    po_log_[i] = PoLog{};
+    po_log_[i].base = exec_aru_[i] + 1;
   }
 }
 

@@ -80,6 +80,13 @@ struct ReplicaStats {
   std::uint64_t dropped_unknown_client = 0;
   std::uint64_t checkpoints_stable = 0;
   std::uint64_t verify_cache_hits = 0;
+  // Ordering fast-path counters (PR 3).
+  std::uint64_t stale_po_arus_dropped = 0;    ///< PO-ARUs older than latest
+  std::uint64_t recon_fetches_queued = 0;     ///< PO-Request gaps marked wanted
+  std::uint64_t recon_fetches_satisfied = 0;  ///< wanted gaps later filled
+  std::uint64_t row_verify_short_circuits = 0;  ///< rows matched byte-for-byte
+  std::uint64_t matrix_fetches_sent = 0;      ///< delta fallbacks to full fetch
+  std::uint64_t batches_sealed = 0;           ///< Merkle-signed send batches
 };
 
 class Replica {
@@ -131,8 +138,15 @@ class Replica {
 
  private:
   // ---- outbound helpers ----
+  /// Queues a unit for the current send tick. All units queued within
+  /// one simulator timestamp are sealed together under a single Merkle
+  /// root signature (batch of one = plain solo seal). Directed sends to
+  /// self stay synchronous.
   void send_envelope(MsgType type, util::Bytes body,
                      std::optional<ReplicaId> to = std::nullopt);
+  /// Drains send_queue_: seals each batch, self-delivers broadcasts,
+  /// hands the wires to the transport by move.
+  void flush_sends();
 
   // ---- identity / verification helpers ----
   /// Precomputed replica identity string (empty for out-of-range ids,
@@ -144,14 +158,19 @@ class Replica {
   [[nodiscard]] std::optional<ReplicaId> sender_id(const Envelope& env) const;
   /// Cached verification of any signed unit whose wire form is
   /// signed-prefix || 32-byte MAC (envelopes, standalone PO-ARUs).
-  /// `unit_bytes` is the full wire form, MAC included.
+  /// `unit_bytes` is the full wire form, MAC included. `cacheable`
+  /// false skips the verified-digest memo (check and insert) for units
+  /// that are consumed exactly once, saving the SHA-256 cache key.
   bool verify_unit(const std::string& identity,
                    std::span<const std::uint8_t> unit_bytes,
-                   const crypto::Signature& sig);
+                   const crypto::Signature& sig, bool cacheable = true);
   /// Envelope verification memoized through verify_cache_. `raw_bytes`
-  /// is the envelope's full wire form (signature included).
+  /// is the envelope's full wire form (signature included). Batched
+  /// envelopes always memoize their root (that is the whole mechanism);
+  /// `cacheable` only governs the solo path.
   bool verify_envelope(const Envelope& env,
-                       std::span<const std::uint8_t> raw_bytes);
+                       std::span<const std::uint8_t> raw_bytes,
+                       bool cacheable = true);
   /// Embedded PO-ARU verification memoized through verify_cache_; rows
   /// re-shipped inside Pre-Prepares hit the entry their standalone
   /// broadcast created.
@@ -160,6 +179,9 @@ class Replica {
   /// update is re-checked at receipt and again inside every PO-Request
   /// that batches it).
   bool verify_client_update(const ClientUpdate& update);
+  /// Memoized responsible-replica lookup for a client identity (pure
+  /// function of the name; only known clients are cached).
+  ReplicaId client_primary(const std::string& client);
   /// on_message body; `pre_verified` is set only for self-delivered
   /// bytes this replica just built and signed itself.
   void process_message(const util::Bytes& envelope_bytes, bool pre_verified);
@@ -187,6 +209,8 @@ class Replica {
   void handle_new_view(const Envelope& env);
   void handle_po_fetch(const Envelope& env);
   void handle_po_resp(const Envelope& env);
+  void handle_matrix_fetch(const Envelope& env);
+  void handle_matrix_resp(const Envelope& env);
   void handle_state_req(const Envelope& env);
   void handle_state_resp(const Envelope& env);
   void handle_snapshot_req(const Envelope& env);
@@ -197,9 +221,23 @@ class Replica {
 
   // ---- protocol steps ----
   void store_po_request(const PoRequest& req, const util::Bytes& raw);
+  /// Final acceptance of a Pre-Prepare whose full row matrix is known:
+  /// verifies rows, checks the leader-signed matrix-digest claim and
+  /// re-proposal constraints, installs the slot, sends Prepare.
+  /// `direct_from_leader` controls blame on failure: a bad matrix in a
+  /// leader-signed delivery suspects the leader; a bad attachment in a
+  /// MatrixResp only discredits the (unauthenticated-rows) responder
+  /// and is dropped.
+  void accept_preprepare(PrePrepare pp, const crypto::Digest& digest,
+                         const util::Bytes& raw_envelope,
+                         bool direct_from_leader);
+  /// Delta fallback: ask peers for the full row matrix of (view, seq).
+  void request_matrix(std::uint64_t view, std::uint64_t order_seq);
   void try_commit(std::uint64_t seq);
   void try_apply();
-  [[nodiscard]] bool can_apply(std::uint64_t seq, std::set<std::pair<ReplicaId, std::uint64_t>>* missing);
+  /// True iff every PO-Request the matrix makes eligible is stored.
+  /// When `mark_missing`, flags each gap in the PO log for recon_tick.
+  [[nodiscard]] bool can_apply(std::uint64_t seq, bool mark_missing);
   void apply_matrix(std::uint64_t seq);
   [[nodiscard]] std::vector<std::uint64_t> eligibility(const PrePrepare& pp) const;
   void maybe_checkpoint();
@@ -210,8 +248,9 @@ class Replica {
   /// Non-const: nested envelope verifications go through verify_cache_.
   [[nodiscard]] std::optional<PrePrepare> verify_prepared_proof(
       const PreparedProof& proof);
-  [[nodiscard]] static crypto::Digest rows_digest(
-      const std::vector<std::optional<PoAru>>& rows);
+  /// Matrix digest of the all-absent matrix (the re-proposal
+  /// constraint for unconstrained slots).
+  [[nodiscard]] crypto::Digest empty_matrix_digest() const;
   void begin_state_transfer();
   [[nodiscard]] util::Bytes snapshot_bundle() const;
   void install_bundle(std::uint64_t applied_seq,
@@ -261,10 +300,30 @@ class Replica {
     PoRequest request;
     util::Bytes envelope;  ///< origin-signed, re-servable
   };
-  std::map<std::pair<ReplicaId, std::uint64_t>, StoredPoRequest> po_store_;
+  /// Per-origin PO-Request log: a deque ring indexed by po_seq - base.
+  /// O(1) contains/get/insert on the per-PO-Request hot path (the old
+  /// std::map keyed by (origin, po_seq) profiled at ~25%). A slot's
+  /// `wanted` flag replaces the old unbounded outstanding_fetches_ set;
+  /// wanted_count caps reconciliation backlog per origin.
+  struct PoSlot {
+    std::unique_ptr<StoredPoRequest> stored;
+    bool wanted = false;
+  };
+  struct PoLog {
+    std::uint64_t base = 1;  ///< po_seq of slots.front()
+    std::deque<PoSlot> slots;
+    std::uint32_t wanted_count = 0;
+  };
+  static constexpr std::uint64_t kPoHorizon = 8192;       ///< max seqs past base
+  static constexpr std::uint32_t kMaxWantedPerOrigin = 512;
+  std::vector<PoLog> po_log_;  ///< one log per origin
+  [[nodiscard]] bool po_contains(ReplicaId origin, std::uint64_t seq) const;
+  [[nodiscard]] const StoredPoRequest* po_get(ReplicaId origin,
+                                              std::uint64_t seq) const;
+  void po_mark_wanted(ReplicaId origin, std::uint64_t seq);
   std::vector<std::uint64_t> recv_aru_;      ///< contiguous receipt per origin
   std::uint64_t my_aru_seq_ = 0;
-  std::vector<std::optional<PoAru>> latest_aru_;  ///< freshest per replica
+  std::vector<PrePrepare::Row> latest_aru_;  ///< freshest verified per replica
   std::deque<std::pair<sim::Time, std::uint64_t>> turnaround_;  ///< (sent, aru_seq)
 
   // ---- ordering state ----
@@ -290,9 +349,34 @@ class Replica {
   std::uint64_t highest_committed_ = 0;
   sim::Time last_leader_activity_ = 0;
   sim::Time last_preprepare_sent_ = 0;
-  crypto::Digest last_matrix_digest_{};
   std::uint64_t last_suspected_view_ = 0;
   std::map<std::uint64_t, int> cert_attempts_;
+
+  // ---- delta-matrix state ----
+  // Leader side: the previous proposal, so the next Pre-Prepare can be
+  // delta-encoded against it (and freshness checked by row pointers).
+  bool last_prop_valid_ = false;
+  std::uint64_t last_prop_view_ = 0;
+  std::uint64_t last_prop_seq_ = 0;
+  std::vector<PrePrepare::Row> last_prop_rows_;
+  // Follower side: the last accepted proposal, for reconstructing
+  // tag-2 (unchanged) rows of the leader's next delta.
+  std::uint64_t last_accepted_view_ = 0;
+  std::uint64_t last_accepted_seq_ = 0;
+  std::vector<PrePrepare::Row> last_accepted_rows_;
+  /// order_seq -> view of pending full-matrix fetches (bounded).
+  std::map<std::uint64_t, std::uint64_t> outstanding_matrix_fetches_;
+  static constexpr std::size_t kMaxMatrixFetches = 16;
+
+  // ---- send batching ----
+  struct PendingSend {
+    MsgType type = MsgType::kClientUpdate;
+    util::Bytes body;
+    std::optional<ReplicaId> to;
+  };
+  std::vector<PendingSend> send_queue_;
+  bool flush_scheduled_ = false;
+  bool flushing_ = false;
 
   // ---- execution state ----
   std::vector<std::uint64_t> exec_aru_;
@@ -323,8 +407,11 @@ class Replica {
   std::uint64_t state_nonce_ = 0;
   std::map<ReplicaId, StateResp> state_resps_;
   std::optional<StateResp> chosen_state_;
-  std::set<std::pair<ReplicaId, std::uint64_t>> outstanding_fetches_;
   std::set<std::uint64_t> outstanding_cert_fetches_;
+
+  /// client identity -> responsible primary (memoized pure function;
+  /// survives recovery on purpose).
+  std::map<std::string, ReplicaId, std::less<>> client_primary_;
 
   ReplicaStats stats_;
   ExecuteObserver observer_;

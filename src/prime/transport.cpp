@@ -6,12 +6,12 @@ class LoopbackFabric::Handle : public ReplicaTransport {
  public:
   Handle(LoopbackFabric& fabric, ReplicaId id) : fabric_(fabric), id_(id) {}
 
-  void send(ReplicaId to, const util::Bytes& envelope) override {
-    fabric_.deliver(id_, to, envelope);
+  void send(ReplicaId to, util::Bytes envelope) override {
+    fabric_.deliver(id_, to, std::move(envelope));
   }
 
-  void broadcast(const util::Bytes& envelope) override {
-    fabric_.deliver_all(id_, envelope);
+  void broadcast(util::Bytes envelope) override {
+    fabric_.deliver_all(id_, std::move(envelope));
   }
 
  private:

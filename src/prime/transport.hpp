@@ -20,11 +20,13 @@ class ReplicaTransport {
  public:
   virtual ~ReplicaTransport() = default;
 
-  /// Sends envelope bytes to one replica (best-effort).
-  virtual void send(ReplicaId to, const util::Bytes& envelope) = 0;
+  /// Sends envelope bytes to one replica (best-effort). Takes the
+  /// bytes by value so hot paths can move freshly sealed wires straight
+  /// into the transport's in-flight storage without a copy.
+  virtual void send(ReplicaId to, util::Bytes envelope) = 0;
 
   /// Sends to every replica except the caller.
-  virtual void broadcast(const util::Bytes& envelope) = 0;
+  virtual void broadcast(util::Bytes envelope) = 0;
 };
 
 /// In-memory transport for tests: delivers through the simulator with a
@@ -61,14 +63,15 @@ class LoopbackFabric {
     }
   }
 
-  void deliver(ReplicaId from, ReplicaId to, const util::Bytes& envelope) {
-    deliver_shared(from, to, std::make_shared<const util::Bytes>(envelope));
+  void deliver(ReplicaId from, ReplicaId to, util::Bytes envelope) {
+    deliver_shared(from, to,
+                   std::make_shared<const util::Bytes>(std::move(envelope)));
   }
 
   /// Fans an envelope out to every replica but `from` with ONE copy of
   /// the bytes, shared by all the in-flight delivery closures.
-  void deliver_all(ReplicaId from, const util::Bytes& envelope) {
-    const auto shared = std::make_shared<const util::Bytes>(envelope);
+  void deliver_all(ReplicaId from, util::Bytes envelope) {
+    const auto shared = std::make_shared<const util::Bytes>(std::move(envelope));
     for (ReplicaId to = 0; to < inboxes_.size(); ++to) {
       if (to != from) deliver_shared(from, to, shared);
     }

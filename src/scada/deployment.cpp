@@ -19,12 +19,12 @@ class SpireDeployment::SpinesReplicaTransport : public prime::ReplicaTransport {
                          prime::ReplicaId self)
       : daemon_(daemon), n_(n), self_(self) {}
 
-  void send(prime::ReplicaId to, const util::Bytes& envelope) override {
+  void send(prime::ReplicaId to, util::Bytes envelope) override {
     daemon_.session_send(kReplicaSession, internal_node(to), kReplicaSession,
                          envelope, spines::Priority::kHigh);
   }
 
-  void broadcast(const util::Bytes& envelope) override {
+  void broadcast(util::Bytes envelope) override {
     // One overlay multicast instead of n-1 unicasts: the internal
     // overlay floods it to every replica daemon.
     daemon_.session_send(kReplicaSession, spines::kBroadcastDst,

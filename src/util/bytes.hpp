@@ -196,6 +196,16 @@ class ByteReader {
     return data_.subspan(pos_);
   }
 
+  /// Current read position; pair with since() to capture the exact wire
+  /// bytes a nested structure was decoded from (encode-once caching).
+  [[nodiscard]] std::size_t offset() const { return pos_; }
+
+  /// The input bytes consumed since `mark` (a prior offset()). Borrowed
+  /// view; same aliasing caveat as blob_span().
+  [[nodiscard]] std::span<const std::uint8_t> since(std::size_t mark) const {
+    return data_.subspan(mark, pos_ - mark);
+  }
+
   void expect_done() const {
     if (!done()) throw SerializationError("trailing bytes after message");
   }

@@ -6,6 +6,7 @@
 #include "crypto/chacha20.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/keyring.hpp"
+#include "crypto/merkle.hpp"
 #include "crypto/sha256.hpp"
 #include "util/hex.hpp"
 
@@ -236,6 +237,55 @@ TEST(SecureChannel, EmptyPayload) {
   const auto opened = channel.open(sealed);
   ASSERT_TRUE(opened.has_value());
   EXPECT_TRUE(opened->empty());
+}
+
+TEST(Merkle, SingleLeafRootIsLeaf) {
+  const Digest leaf = merkle_leaf(util::to_bytes("only"));
+  MerkleTree tree({leaf});
+  EXPECT_EQ(tree.root(), leaf);
+  EXPECT_TRUE(tree.path(0).empty());
+  EXPECT_EQ(MerkleTree::fold(leaf, 0, {}), leaf);
+}
+
+TEST(Merkle, PathsFoldToRootForEveryLeaf) {
+  for (std::size_t n : {2u, 3u, 5u, 8u, 13u}) {
+    std::vector<Digest> leaves;
+    for (std::size_t i = 0; i < n; ++i) {
+      leaves.push_back(merkle_leaf(util::to_bytes("leaf" + std::to_string(i))));
+    }
+    MerkleTree tree(leaves);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(MerkleTree::fold(leaves[i], i, tree.path(i)), tree.root())
+          << "n=" << n << " leaf=" << i;
+    }
+  }
+}
+
+TEST(Merkle, TamperedLeafOrPathChangesRoot) {
+  std::vector<Digest> leaves = {merkle_leaf(util::to_bytes("a")),
+                                merkle_leaf(util::to_bytes("b")),
+                                merkle_leaf(util::to_bytes("c"))};
+  MerkleTree tree(leaves);
+  const Digest wrong_leaf = merkle_leaf(util::to_bytes("x"));
+  EXPECT_NE(MerkleTree::fold(wrong_leaf, 0, tree.path(0)), tree.root());
+  auto path = tree.path(1);
+  path[0][3] ^= 0x01;
+  EXPECT_NE(MerkleTree::fold(leaves[1], 1, path), tree.root());
+  // Wrong index changes the left/right fold order, so it cannot
+  // reproduce the root either.
+  EXPECT_NE(MerkleTree::fold(leaves[1], 0, tree.path(1)), tree.root());
+}
+
+TEST(Merkle, DomainSeparationLeafVsNode) {
+  // A node preimage reinterpreted as leaf data must not collide: the
+  // 0x00/0x01 prefixes keep the two hash domains disjoint.
+  const Digest l = merkle_leaf(util::to_bytes("l"));
+  const Digest r = merkle_leaf(util::to_bytes("r"));
+  const Digest node = merkle_node(l, r);
+  std::vector<std::uint8_t> concat(l.begin(), l.end());
+  concat.insert(concat.end(), r.begin(), r.end());
+  EXPECT_NE(node, merkle_leaf(concat));
+  EXPECT_NE(node, sha256(concat));
 }
 
 }  // namespace

@@ -117,13 +117,13 @@ TEST(PrimeByzantine, EquivocatingLeaderIsEvicted) {
     pp.leader = 0;
     pp.view = 0;
     pp.order_seq = 1;
-    pp.rows.assign(cluster.config.n(), std::nullopt);
-    PoAru row;
-    row.replica = 0;
-    row.aru_seq = aru_marker;  // differs => different digest
-    row.aru.assign(cluster.config.n(), 0);
-    row.sign(signer);
-    pp.rows[0] = row;
+    pp.rows.assign(cluster.config.n(), nullptr);
+    auto row = std::make_shared<PoAru>();
+    row->replica = 0;
+    row->aru_seq = aru_marker;  // differs => different digest
+    row->aru.assign(cluster.config.n(), 0);
+    row->sign(signer);
+    pp.rows[0] = std::move(row);
     return Envelope::make(MsgType::kPrePrepare, signer, pp.encode()).encode();
   };
   cluster.broadcast_raw(make_pp(1));
@@ -157,13 +157,13 @@ TEST(PrimeByzantine, PrePrepareWithForgedRowsRejected) {
   pp.leader = 0;
   pp.view = 0;
   pp.order_seq = 1;
-  pp.rows.assign(cluster.config.n(), std::nullopt);
-  PoAru forged;
-  forged.replica = 2;
-  forged.aru_seq = 99;
-  forged.aru.assign(cluster.config.n(), 5000);
-  forged.sign(leader);  // wrong key for identity "prime/2"
-  pp.rows[2] = forged;
+  pp.rows.assign(cluster.config.n(), nullptr);
+  auto forged = std::make_shared<PoAru>();
+  forged->replica = 2;
+  forged->aru_seq = 99;
+  forged->aru.assign(cluster.config.n(), 5000);
+  forged->sign(leader);  // wrong key for identity "prime/2"
+  pp.rows[2] = std::move(forged);
   cluster.broadcast_raw(
       Envelope::make(MsgType::kPrePrepare, leader, pp.encode()).encode());
 
@@ -172,6 +172,97 @@ TEST(PrimeByzantine, PrePrepareWithForgedRowsRejected) {
   // The malformed proposal itself is treated as misbehavior.
   EXPECT_GE(cluster.replicas[1]->view(), 1u);
   cluster.expect_consistent();
+}
+
+TEST(PrimeByzantine, DeltaWithTamperedMatrixDigestTriggersSuspect) {
+  ByzCluster cluster;
+  cluster.build();
+  // Take over the leader identity; its own protocol traffic stops so
+  // the only Pre-Prepares in flight are the ones we inject.
+  cluster.replicas[0]->set_behavior(ReplicaBehavior::kSilentLeader);
+  cluster.sim.run_until(cluster.sim.now() + 100 * sim::kMillisecond);
+  const auto signer = cluster.replica_signer(0);
+
+  // A well-formed full proposal first, so followers hold the chained
+  // state a delta decodes against.
+  auto row = std::make_shared<PoAru>();
+  row->replica = 0;
+  row->aru_seq = 1000;
+  row->aru.assign(cluster.config.n(), 0);
+  row->sign(signer);
+  PrePrepare pp1;
+  pp1.leader = 0;
+  pp1.view = 0;
+  pp1.order_seq = 100;  // past anything proposed during warm-up
+  pp1.rows.assign(cluster.config.n(), nullptr);
+  pp1.rows[0] = row;
+  cluster.broadcast_raw(
+      Envelope::make(MsgType::kPrePrepare, signer, pp1.encode()).encode());
+  cluster.sim.run_until(cluster.sim.now() + 50 * sim::kMillisecond);
+
+  // Now a delta proposal whose leader-signed full-matrix digest is a
+  // lie. Followers reconstruct the matrix from pp1, the digest check
+  // fails, and — because the envelope is leader-signed — that is proof
+  // of misbehavior, not noise: the leader must be suspected. Checked
+  // well inside the suspect timeout so the view change is attributable
+  // to the tampered digest, not to the leader's silence.
+  PrePrepare pp2;
+  pp2.leader = 0;
+  pp2.view = 0;
+  pp2.order_seq = 101;
+  pp2.rows = pp1.rows;
+  pp2.matrix_digest = crypto::sha256("forged matrix digest");
+  cluster.broadcast_raw(
+      Envelope::make(MsgType::kPrePrepare, signer, pp2.encode_delta(pp1.rows))
+          .encode());
+
+  cluster.sim.run_until(cluster.sim.now() + 700 * sim::kMillisecond);
+  for (ReplicaId i = 1; i < cluster.config.n(); ++i) {
+    EXPECT_GE(cluster.replicas[i]->view(), 1u)
+        << "replica " << i << " did not suspect the lying leader";
+  }
+  cluster.expect_consistent();
+}
+
+TEST(PrimeByzantine, ForgedMerkleInclusionPathRejected) {
+  ByzCluster cluster;
+  cluster.build();
+  const auto mallory = cluster.replica_signer(3);
+
+  // A genuine two-unit send batch: one root signature, each wire
+  // carrying its inclusion proof.
+  PrepareOrCommit a;
+  a.replica = 3;
+  a.view = 0;
+  a.order_seq = 500;
+  a.preprepare_digest = crypto::sha256("slot-500");
+  PrepareOrCommit b = a;
+  b.order_seq = 501;
+  b.preprepare_digest = crypto::sha256("slot-501");
+  const util::Bytes body_a = a.encode();
+  const util::Bytes body_b = b.encode();
+  const std::vector<Envelope::BatchItem> items = {
+      {MsgType::kPrepare, body_a}, {MsgType::kPrepare, body_b}};
+  const auto wires = Envelope::seal_batch(mallory, items);
+  ASSERT_EQ(wires.size(), 2u);
+
+  // Tamper one byte of the second wire's inclusion-path digest (the
+  // proof sits between the body and the trailing 32-byte MAC). The
+  // folded root no longer matches what was signed, so the envelope is
+  // unverifiable — but since anyone can attach a bogus proof to
+  // captured bytes, it must be dropped without suspecting anyone.
+  util::Bytes forged = wires[1];
+  forged[forged.size() - 40] ^= 0x01;
+
+  const auto before = cluster.replicas[1]->stats();
+  cluster.replicas[1]->on_message(wires[0]);  // verifies the root signature
+  cluster.replicas[1]->on_message(forged);    // folds to a wrong root: dropped
+  cluster.replicas[1]->on_message(wires[1]);  // genuine sibling: root memo hit
+  const auto after = cluster.replicas[1]->stats();
+
+  EXPECT_EQ(after.dropped_bad_signature, before.dropped_bad_signature + 1);
+  EXPECT_GE(after.verify_cache_hits, before.verify_cache_hits + 1);
+  EXPECT_EQ(cluster.replicas[1]->view(), 0u) << "forged proof caused a suspect";
 }
 
 TEST(PrimeByzantine, ForgedNewViewRejected) {

@@ -378,6 +378,74 @@ TEST(Prime, TamperedEnvelopeRejectedDespiteWarmCache) {
   EXPECT_EQ(cluster.replicas[0]->stats().dropped_bad_signature, before + 1);
 }
 
+// Delta-matrix fallback: a follower that missed the leader's previous
+// Pre-Prepare cannot reconstruct the next delta (its chain state is
+// stale), so it must fetch the full matrix from a peer and rejoin the
+// fast path — no view change, no state transfer.
+TEST(Prime, StaleFollowerFallsBackToFullMatrixFetch) {
+  Cluster cluster;
+  cluster.build(1, 0);
+  cluster.run_for(500 * sim::kMillisecond);
+  // Quiesce the real leader so the only Pre-Prepares in flight are the
+  // injected ones (the organic workload refreshes every row between
+  // proposals, which degenerates deltas to full encodings).
+  cluster.replicas[0]->set_behavior(ReplicaBehavior::kSilentLeader);
+  cluster.run_for(100 * sim::kMillisecond);
+  const crypto::Signer leader(replica_identity(0),
+                              cluster.keyring.identity_key(replica_identity(0)));
+
+  auto row = std::make_shared<PoAru>();
+  row->replica = 0;
+  row->aru_seq = 1000;
+  row->aru.assign(cluster.config.n(), 0);
+  row->sign(leader);
+  PrePrepare pp1;
+  pp1.leader = 0;
+  pp1.view = 0;
+  pp1.order_seq = 100;  // past anything proposed during warm-up
+  pp1.rows.assign(cluster.config.n(), nullptr);
+  pp1.rows[0] = row;
+  const util::Bytes full =
+      Envelope::make(MsgType::kPrePrepare, leader, pp1.encode()).encode();
+  // Replica 3 never sees the full proposal.
+  cluster.replicas[1]->on_message(full);
+  cluster.replicas[2]->on_message(full);
+  cluster.run_for(50 * sim::kMillisecond);
+
+  // The follow-up arrives delta-encoded (row 0 unchanged) at everyone.
+  PrePrepare pp2 = pp1;
+  pp2.order_seq = 101;
+  pp2.matrix_digest = crypto::Digest{};  // recompute for the new proposal
+  const util::Bytes delta =
+      Envelope::make(MsgType::kPrePrepare, leader, pp2.encode_delta(pp1.rows))
+          .encode();
+  for (ReplicaId i = 1; i < cluster.config.n(); ++i) {
+    cluster.replicas[i]->on_message(delta);
+  }
+  cluster.run_for(50 * sim::kMillisecond);
+  EXPECT_EQ(cluster.replicas[3]->stats().matrix_fetches_sent, 1u)
+      << "stale follower never fell back to a full-matrix fetch";
+  EXPECT_EQ(cluster.replicas[1]->stats().matrix_fetches_sent, 0u)
+      << "chained follower fetched despite holding the previous matrix";
+
+  // The fetched matrix repaired replica 3's chain state: the next delta
+  // decodes locally, with no further fetch.
+  PrePrepare pp3 = pp2;
+  pp3.order_seq = 102;
+  pp3.matrix_digest = crypto::Digest{};
+  const util::Bytes delta2 =
+      Envelope::make(MsgType::kPrePrepare, leader, pp3.encode_delta(pp2.rows))
+          .encode();
+  for (ReplicaId i = 1; i < cluster.config.n(); ++i) {
+    cluster.replicas[i]->on_message(delta2);
+  }
+  cluster.run_for(50 * sim::kMillisecond);
+  EXPECT_EQ(cluster.replicas[3]->stats().matrix_fetches_sent, 1u)
+      << "fetch did not repair the follower's delta chain";
+  for (const auto& r : cluster.replicas) EXPECT_EQ(r->view(), 0u);
+  cluster.expect_logs_consistent();
+}
+
 // Proactive-recovery semantics (paper §III): a rejuvenated replica's
 // pre-takedown acceptances are not trustworthy, so recover() must wipe
 // the verification cache along with the rest of volatile state.
@@ -492,11 +560,11 @@ TEST(PrimeMessages, PrePrepareDigestCoversMatrix) {
   a.leader = 0;
   a.view = 1;
   a.order_seq = 5;
-  a.rows.assign(4, std::nullopt);
+  a.rows.assign(4, nullptr);
   PrePrepare b = a;
-  PoAru row;
-  row.replica = 2;
-  row.aru = {1, 2, 3, 4};
+  auto row = std::make_shared<PoAru>();
+  row->replica = 2;
+  row->aru = {1, 2, 3, 4};
   b.rows[2] = row;
   EXPECT_NE(a.digest(), b.digest());
   const auto decoded = PrePrepare::decode(b.encode());
