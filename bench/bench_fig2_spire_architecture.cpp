@@ -28,6 +28,9 @@ struct Result {
   std::uint64_t row_short_circuits = 0;
   std::uint64_t matrix_fetches = 0;
   std::uint64_t batches_sealed = 0;
+  /// Recovery scheduler observability (kDuringRecovery only).
+  bool has_recovery = false;
+  prime::RecoveryStats recovery_stats;
 };
 
 enum class Condition { kClean, kOneCompromised, kDuringRecovery };
@@ -133,7 +136,11 @@ Result run_config(std::uint32_t f, std::uint32_t k, Condition condition) {
     result.matrix_fetches += s.matrix_fetches_sent;
     result.batches_sealed += s.batches_sealed;
   }
-  if (recovery) recovery->stop();
+  if (recovery) {
+    recovery->stop();
+    result.has_recovery = true;
+    result.recovery_stats = recovery->stats();
+  }
   return result;
 }
 
@@ -186,6 +193,10 @@ int main() {
                   std::to_string(r.recon_satisfied),
                   std::to_string(r.matrix_fetches)});
     if (r.to_hmi.samples < 28 || r.to_hmi.p90_ms > 1000.0) bounded = false;
+    if (r.has_recovery) {
+      bench::print_recovery_stats(config_name, r.recovery_stats);
+      if (r.recovery_stats.in_flight_high_water > c.k) bounded = false;
+    }
   }
   table.print();
 

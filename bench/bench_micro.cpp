@@ -49,6 +49,7 @@
 #include "modbus/pdu.hpp"
 #include "net/network.hpp"
 #include "prime/messages.hpp"
+#include "prime/recovery.hpp"
 #include "prime/replica.hpp"
 #include "prime/transport.hpp"
 #include "scada/topology.hpp"
@@ -508,6 +509,109 @@ MicroResult run_prime_merkle_batch() {
   return MicroResult{units, wall, {}};
 }
 
+/// Full rejuvenation round trips: an f=1,k=1 cluster (n=6) under a
+/// paced client load with the completion-gated scheduler cycling
+/// takedown -> downtime -> recover() -> application state transfer.
+/// Counts completed recoveries (the recovery-done signal), so the
+/// measured path spans shutdown bookkeeping, the rejoin handshake, the
+/// snapshot round trip, and the protocol catch-up that follows.
+MicroResult run_prime_recovery_cycle() {
+  class LogApp : public prime::Application {
+   public:
+    void apply(const prime::ClientUpdate& update,
+               const prime::ExecutionInfo&) override {
+      log_.push_back(update.client_seq);
+    }
+    [[nodiscard]] util::Bytes snapshot() const override {
+      util::ByteWriter w;
+      w.u32(static_cast<std::uint32_t>(log_.size()));
+      for (const std::uint64_t seq : log_) w.u64(seq);
+      return w.take();
+    }
+    void restore(std::span<const std::uint8_t> blob) override {
+      util::ByteReader r(blob);
+      log_.clear();
+      const std::uint32_t n = r.u32();
+      for (std::uint32_t i = 0; i < n; ++i) log_.push_back(r.u64());
+    }
+
+   private:
+    std::vector<std::uint64_t> log_;
+  };
+
+  sim::Simulator sim;
+  crypto::Keyring keyring("bench-recovery");
+  prime::PrimeConfig config;
+  config.f = 1;
+  config.k = 1;
+  config.client_identities = {"client/a"};
+  prime::LoopbackFabric fabric(sim, config.n());
+  std::vector<std::unique_ptr<LogApp>> apps;
+  std::vector<std::unique_ptr<prime::Replica>> replicas;
+  sim::Rng rng(11);
+  for (prime::ReplicaId i = 0; i < config.n(); ++i) {
+    apps.push_back(std::make_unique<LogApp>());
+    replicas.push_back(std::make_unique<prime::Replica>(
+        sim, i, config, keyring, *apps.back(), fabric.transport_for(i),
+        rng.fork()));
+    prime::Replica* replica = replicas.back().get();
+    fabric.attach(i, [replica](const util::Bytes& bytes) {
+      replica->on_message(bytes);
+    });
+  }
+
+  const crypto::Signer client("client/a", keyring.identity_key("client/a"));
+  std::uint64_t client_seq = 0;
+  const auto submit = [&] {
+    prime::ClientUpdate update;
+    update.client = "client/a";
+    update.client_seq = ++client_seq;
+    update.payload = util::to_bytes("cmd");
+    update.sign(client);
+    util::ByteWriter w;
+    update.encode(w);
+    const prime::Envelope env =
+        prime::Envelope::make(prime::MsgType::kClientUpdate, client, w.take());
+    const util::Bytes bytes = env.encode();
+    for (auto& r : replicas) r->on_message(bytes);
+  };
+
+  std::vector<prime::Replica*> targets;
+  for (auto& r : replicas) targets.push_back(r.get());
+  prime::RecoveryConfig rc;
+  rc.period = 250 * sim::kMillisecond;
+  rc.downtime = 50 * sim::kMillisecond;
+  prime::ProactiveRecovery recovery(sim, targets, rc);
+
+  constexpr std::uint64_t kTargetRecoveries = 60;
+  const auto start = Clock::now();
+  for (auto& r : replicas) r->start();
+  sim.run_until(sim.now() + 300 * sim::kMillisecond);  // settle
+  recovery.start();
+  while (recovery.recoveries_completed() < kTargetRecoveries) {
+    submit();
+    sim.run_until(sim.now() + 50 * sim::kMillisecond);
+  }
+  recovery.stop();
+  sim.run_until(sim.now() + 2 * sim::kSecond);  // drain the last rejoin
+  const double wall = seconds_since(start);
+
+  for (const auto& r : replicas) {
+    if (!r->running() || r->recovering()) std::abort();  // bench integrity
+  }
+  MicroResult result{recovery.recoveries_completed(), wall, {}};
+  const prime::RecoveryStats& rs = recovery.stats();
+  result.extra.emplace_back("retries", static_cast<double>(rs.retries));
+  result.extra.emplace_back("in_flight_high_water",
+                            static_cast<double>(rs.in_flight_high_water));
+  result.extra.emplace_back(
+      "mean_recovery_wall_ms",
+      rs.completed > 0 ? static_cast<double>(rs.total_recovery_wall) / 1000.0 /
+                             static_cast<double>(rs.completed)
+                       : 0);
+  return result;
+}
+
 // ---- Spines overlay data-plane microbenches ---------------------------------
 
 /// Hosts on one switch plus an overlay — the same shape the spines tests
@@ -714,6 +818,7 @@ int run_json_mode(const std::string& out_path, const std::string& baseline_path,
       {"prime_update_ordering", "updates_per_sec", run_prime_update_ordering},
       {"prime_preprepare_encode", "encodes_per_sec", run_prime_preprepare_encode},
       {"prime_merkle_batch", "units_per_sec", run_prime_merkle_batch},
+      {"prime_recovery_cycle", "recoveries_per_sec", run_prime_recovery_cycle},
       {"overlay_forward", "msgs_per_sec", run_overlay_forward},
       {"overlay_flood", "msgs_per_sec", run_overlay_flood},
       {"overlay_lsu_churn", "lsus_per_sec", run_overlay_lsu_churn},

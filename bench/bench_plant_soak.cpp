@@ -13,6 +13,7 @@
 //   * the HMI version advances throughout (no blackout window),
 //   * proactive recovery cycles through all replicas repeatedly,
 //   * replica application states stay byte-identical.
+#include <cstring>
 #include <map>
 
 #include "bench_util.hpp"
@@ -20,7 +21,18 @@
 
 using namespace spire;
 
-int main() {
+int main(int argc, char** argv) {
+  bool chaos_mode = false;
+  std::uint64_t chaos_seed = 0xC7A05;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos_mode = true;
+    } else if (std::strncmp(argv[i], "--chaos-seed=", 13) == 0) {
+      chaos_mode = true;
+      chaos_seed = std::strtoull(argv[i] + 13, nullptr, 10);
+    }
+  }
+
   bench::quiet_logs();
   bench::print_header(
       "E6", "§V (six-day deployment)",
@@ -64,6 +76,26 @@ int main() {
   // 10 s to find the largest HMI staleness window.
   const sim::Time soak = 5 * sim::kMinute;
   const sim::Time soak_end = sim.now() + soak;
+
+  // Optional chaos: randomized partitions and link degradation layered
+  // on top of the recovery cycle. Crash-restarts stay off so chaos plus
+  // one in-flight rejuvenation stays within the f=1,k=1 envelope; the
+  // schedule ends 30 s before the soak does, leaving the settle window
+  // fault-free.
+  std::unique_ptr<sim::ChaosInjector> chaos;
+  if (chaos_mode) {
+    chaos = spire_sys.make_chaos();
+    chaos->add_random_schedule(sim::Rng(chaos_seed), sim.now() + 10 * sim::kSecond,
+                               soak_end - 30 * sim::kSecond,
+                               /*mean_gap=*/20 * sim::kSecond,
+                               /*min_duration=*/2 * sim::kSecond,
+                               /*max_duration=*/6 * sim::kSecond, spire_sys.n(),
+                               /*include_crashes=*/false);
+    chaos->arm();
+    std::printf("chaos mode: %zu scheduled fault episodes (seed %llu)\n",
+                chaos->scheduled(),
+                static_cast<unsigned long long>(chaos_seed));
+  }
   std::vector<std::uint64_t> version_samples;
   sim::Time max_stale_window = 0;
   sim::Time stale_since = sim.now();
@@ -82,6 +114,7 @@ int main() {
 
   // Settle, then tally.
   spire_sys.cycler()->stop();
+  if (chaos) chaos->stop();
   recovery->stop();
   sim.run_until(sim.now() + 8 * sim::kSecond);
 
@@ -125,12 +158,17 @@ int main() {
   table.row({"proactive recoveries completed",
              std::to_string(recovery->recoveries_completed()),
              "periodic rejuvenation of all replicas"});
+  table.row({"in-flight recoveries high-water",
+             std::to_string(recovery->stats().in_flight_high_water) + " (k=" +
+                 std::to_string(config.k) + ")",
+             "never exceeds k simultaneous"});
   table.row({"live replicas with byte-identical state",
              std::to_string(max_agree) + "/" + std::to_string(live),
              "all (consistent replication)"});
   table.print();
 
   bool shape = recovery->recoveries_completed() >= 2 * spire_sys.n() &&
+               recovery->stats().in_flight_high_water <= config.k &&
                max_agree == live && live >= 5 && total_field > 200 &&
                max_stale_window <= 20 * sim::kSecond;
   for (std::size_t j = 0; j < config.hmi_count; ++j) {
@@ -139,6 +177,13 @@ int main() {
   std::printf("\n");
   bench::print_overlay_stats("internal", spire_sys.internal_overlay());
   bench::print_overlay_stats("external", spire_sys.external_overlay());
+  bench::print_recovery_stats("soak", recovery->stats());
+  if (chaos) {
+    bench::print_chaos_stats(chaos->stats());
+    shape = shape && chaos->stats().injected > 0 &&
+            chaos->stats().healed >= chaos->stats().injected &&
+            !chaos->fault_active();
+  }
 
   std::printf("\nShape check vs paper: uninterrupted operation across the "
               "scaled soak, through %llu proactive recoveries, with all "

@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "prime/recovery.hpp"
+#include "sim/chaos.hpp"
 #include "sim/simulator.hpp"
 #include "spines/overlay.hpp"
 #include "util/log.hpp"
@@ -128,6 +130,45 @@ inline void print_overlay_stats(const char* label, spines::Overlay& overlay) {
       static_cast<unsigned long long>(max_depth[0]),
       static_cast<unsigned long long>(max_depth[1]),
       static_cast<unsigned long long>(max_depth[2]));
+}
+
+/// Prints the proactive-recovery scheduler's observability counters:
+/// completion-gated slot accounting, per-recovery wall time, and the
+/// state-transfer volume each rejuvenation pulled.
+inline void print_recovery_stats(const char* label,
+                                 const prime::RecoveryStats& s) {
+  std::printf(
+      "%s recovery: %llu takedowns, %llu completed, %llu retries, "
+      "%llu deferred ticks, in-flight high-water %u\n",
+      label, static_cast<unsigned long long>(s.takedowns),
+      static_cast<unsigned long long>(s.completed),
+      static_cast<unsigned long long>(s.retries),
+      static_cast<unsigned long long>(s.deferred_ticks),
+      s.in_flight_high_water);
+  std::printf(
+      "%s recovery: wall last/max/mean = %s / %s / %s, state transfer "
+      "%llu bytes over %llu StateReqs\n",
+      label, fmt_ms(static_cast<double>(s.last_recovery_wall) / 1000.0).c_str(),
+      fmt_ms(static_cast<double>(s.max_recovery_wall) / 1000.0).c_str(),
+      fmt_ms(s.completed > 0 ? static_cast<double>(s.total_recovery_wall) /
+                                   1000.0 / static_cast<double>(s.completed)
+                             : 0.0)
+          .c_str(),
+      static_cast<unsigned long long>(s.transfer_bytes),
+      static_cast<unsigned long long>(s.state_reqs));
+}
+
+/// Prints the fault-injection schedule outcome for a chaos run.
+inline void print_chaos_stats(const sim::ChaosStats& s) {
+  std::printf(
+      "chaos: %llu episodes injected (%llu partitions, %llu link degrades, "
+      "%llu crash-restarts), %llu healed, %.1f s total fault time\n",
+      static_cast<unsigned long long>(s.injected),
+      static_cast<unsigned long long>(s.partitions),
+      static_cast<unsigned long long>(s.link_degrades),
+      static_cast<unsigned long long>(s.crash_restarts),
+      static_cast<unsigned long long>(s.healed),
+      static_cast<double>(s.total_fault_time) / sim::kSecond);
 }
 
 }  // namespace spire::bench

@@ -20,6 +20,11 @@ void Switch::add_tap(std::string network_label, PcapSink sink) {
   taps_.push_back(Tap{std::move(network_label), std::move(sink)});
 }
 
+void Switch::set_chaos(double loss, sim::Time max_jitter) {
+  chaos_loss_ = loss;
+  chaos_jitter_ = max_jitter;
+}
+
 void Switch::receive(PortId ingress, EthernetFrame frame) {
   // Mirror to taps first: a capture port sees traffic even if the
   // switch later drops it (that is what makes DoS visible to MANA).
@@ -65,6 +70,10 @@ void Switch::receive(PortId ingress, EthernetFrame frame) {
 
 void Switch::emit(PortId port, EthernetFrame frame) {
   Port& p = ports_[port];
+  if (chaos_loss_ > 0 && chaos_rng_.chance(chaos_loss_)) {
+    ++stats_.frames_dropped_chaos;
+    return;
+  }
   if (p.queued >= config_.egress_queue_frames) {
     ++stats_.frames_dropped_queue;
     return;

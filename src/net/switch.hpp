@@ -16,6 +16,7 @@
 
 #include "net/frame.hpp"
 #include "net/pcap.hpp"
+#include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "util/log.hpp"
 
@@ -43,6 +44,7 @@ struct SwitchStats {
   std::uint64_t frames_flooded = 0;
   std::uint64_t frames_dropped_queue = 0;
   std::uint64_t frames_dropped_binding = 0;
+  std::uint64_t frames_dropped_chaos = 0;  ///< chaos-injected loss
 };
 
 class Switch {
@@ -64,6 +66,11 @@ class Switch {
 
   /// Registers an out-of-band capture tap mirroring all traffic.
   void add_tap(std::string network_label, PcapSink sink);
+
+  /// Chaos injection (fault-injection harness): independently drops
+  /// each forwarded frame with probability `loss` and delays survivors
+  /// by an extra uniform amount in [0, max_jitter]. (0, 0) heals.
+  void set_chaos(double loss, sim::Time max_jitter);
 
   [[nodiscard]] const SwitchStats& stats() const { return stats_; }
   [[nodiscard]] const SwitchConfig& config() const { return config_; }
@@ -89,6 +96,9 @@ class Switch {
     PcapSink sink;
   };
   std::vector<Tap> taps_;
+  double chaos_loss_ = 0;
+  sim::Time chaos_jitter_ = 0;
+  sim::Rng chaos_rng_{0xC7A0'5BAD'F00D'2019ULL};
   SwitchStats stats_;
 };
 

@@ -1,36 +1,202 @@
 #include "prime/recovery.hpp"
 
+#include <algorithm>
+
 namespace spire::prime {
+
+namespace {
+constexpr std::uint64_t kMaxBackoffMultiple = 8;
+}  // namespace
 
 ProactiveRecovery::ProactiveRecovery(sim::Simulator& sim,
                                      std::vector<Replica*> replicas,
                                      RecoveryConfig config)
-    : sim_(sim), replicas_(std::move(replicas)), config_(config) {}
+    : sim_(sim), replicas_(std::move(replicas)), config_(config) {
+  // The recovery-done signal is the completion gate: a slot reopens
+  // only when the target's state transfer has actually finished.
+  for (Replica* r : replicas_) {
+    r->set_recovery_done_observer([this, r] { finish(r); });
+  }
+}
+
+ProactiveRecovery::~ProactiveRecovery() {
+  for (Replica* r : replicas_) r->set_recovery_done_observer(nullptr);
+}
 
 void ProactiveRecovery::start() {
   if (running_) return;
   running_ = true;
-  sim_.schedule_after(config_.period, [this] { tick(); });
+  ++gen_;  // orphan any tick scheduled by a previous run (stale-tick bug)
+  next_ = 0;
+  tick_pending_ = false;
+  schedule_tick(config_.period);
 }
 
-void ProactiveRecovery::stop() { running_ = false; }
+void ProactiveRecovery::stop() {
+  running_ = false;
+  ++gen_;  // the periodic chain dies; per-recovery lambdas stay valid
+  tick_pending_ = false;
+  // Never leave a replica shut down: a target still in its downtime
+  // window is brought back immediately; one mid-transfer keeps its
+  // deadline/retry chain and completes on its own.
+  for (auto& [target, entry] : in_flight_) {
+    if (entry.down) bring_up(target, entry);
+  }
+}
 
-void ProactiveRecovery::tick() {
-  if (!running_) return;
+std::uint32_t ProactiveRecovery::disturbed() const {
+  std::uint32_t count = static_cast<std::uint32_t>(in_flight_.size());
+  for (Replica* r : replicas_) {
+    if (in_flight_.count(r)) continue;
+    if (!r->running() || r->recovering()) ++count;
+  }
+  return count;
+}
+
+void ProactiveRecovery::schedule_tick(sim::Time delay) {
+  const std::uint64_t gen = gen_;
+  sim_.schedule_after(delay, [this, gen] { tick(gen); });
+}
+
+Replica* ProactiveRecovery::pick_target() {
   // Descending order: with leader = view mod n, ascending order would
   // take down the *current* leader on every single step (each view
   // change hands leadership to the next recovery target). Descending
   // hits the leader at most once per cycle, as in a real deployment.
-  Replica* target = replicas_[replicas_.size() - 1 - next_];
-  next_ = (next_ + 1) % replicas_.size();
+  for (std::size_t probes = 0; probes < replicas_.size(); ++probes) {
+    Replica* candidate = replicas_[replicas_.size() - 1 - next_];
+    next_ = (next_ + 1) % replicas_.size();
+    // Skip replicas already disturbed — in flight with us, externally
+    // crashed, or running their own state transfer. Rejuvenating those
+    // would double-count a slot (or wipe a replica mid-rejoin).
+    if (in_flight_.count(candidate)) continue;
+    if (!candidate->running() || candidate->recovering()) continue;
+    return candidate;
+  }
+  return nullptr;
+}
+
+void ProactiveRecovery::tick(std::uint64_t gen) {
+  if (gen != gen_ || !running_) return;
+  // Completion gate: every disturbed replica — ours or not — occupies
+  // one of the k slots the sizing rule budgets for. If all are taken,
+  // the cycle pauses here and resumes from finish().
+  if (disturbed() >= config_.max_concurrent) {
+    ++stats_.deferred_ticks;
+    tick_pending_ = true;
+    // Fallback re-check: if the slot is held by an *external*
+    // disturbance (crash injection, self-initiated transfer), no
+    // finish() of ours will ever resume the cycle. finish() orphans
+    // this re-check via a generation bump, so one chain always exists.
+    schedule_tick(config_.period);
+    return;
+  }
+  if (Replica* target = pick_target()) begin_recovery(target);
+  schedule_tick(config_.period);
+}
+
+void ProactiveRecovery::begin_recovery(Replica* target) {
+  InFlight entry;
+  entry.down = true;
+  entry.attempt = ++attempt_counter_;
+  entry.taken_down_at = sim_.now();
+  entry.backoff = config_.retry_backoff;
+  entry.bytes_before = target->stats().state_transfer_bytes;
+  entry.reqs_before = target->stats().state_reqs_sent;
+  in_flight_[target] = entry;
+  ++stats_.takedowns;
+  stats_.in_flight_high_water =
+      std::max(stats_.in_flight_high_water, disturbed());
 
   target->shutdown();
-  sim_.schedule_after(config_.downtime, [this, target] {
-    if (!running_) return;
-    target->recover();
-    ++completed_;
+  const std::uint64_t attempt = entry.attempt;
+  // Guarded by the attempt token, not the generation: stop() must not
+  // orphan the pending bring-up (that was the stuck-replica bug). When
+  // stop() recovers the target early, it bumps the attempt instead.
+  sim_.schedule_after(config_.downtime, [this, target, attempt] {
+    const auto it = in_flight_.find(target);
+    if (it == in_flight_.end() || it->second.attempt != attempt) return;
+    if (!it->second.down) return;
+    bring_up(target, it->second);
   });
-  sim_.schedule_after(config_.period, [this] { tick(); });
+}
+
+void ProactiveRecovery::bring_up(Replica* target, InFlight& entry) {
+  entry.down = false;
+  entry.attempt = ++attempt_counter_;  // orphans the pending downtime lambda
+  target->recover();
+  arm_deadline(target, entry.attempt, config_.transfer_deadline);
+}
+
+void ProactiveRecovery::arm_deadline(Replica* target, std::uint64_t attempt,
+                                     sim::Time delay) {
+  sim_.schedule_after(delay, [this, target, attempt] {
+    on_deadline(target, attempt);
+  });
+}
+
+void ProactiveRecovery::on_deadline(Replica* target, std::uint64_t attempt) {
+  const auto it = in_flight_.find(target);
+  if (it == in_flight_.end() || it->second.attempt != attempt) return;
+  if (!target->recovering()) {
+    // Completion raced the deadline, or the replica was restarted fresh
+    // behind our back (external start()). Either way it is up; settle
+    // the entry so the slot reopens.
+    if (target->running()) finish(target);
+    return;
+  }
+  // The transfer stalled (e.g. the replica was partitioned mid-join).
+  // Re-issue recover() after the current backoff: a fresh nonce and a
+  // fresh StateReq round, with exponential spacing so a long partition
+  // does not turn into a retry storm.
+  ++stats_.retries;
+  InFlight& entry = it->second;
+  const std::uint64_t retry_attempt = ++attempt_counter_;
+  entry.attempt = retry_attempt;
+  const sim::Time backoff = entry.backoff;
+  entry.backoff = std::min(entry.backoff * 2,
+                           config_.retry_backoff * kMaxBackoffMultiple);
+  sim_.schedule_after(backoff, [this, target, retry_attempt] {
+    const auto entry_it = in_flight_.find(target);
+    if (entry_it == in_flight_.end() ||
+        entry_it->second.attempt != retry_attempt) {
+      return;
+    }
+    if (!target->recovering()) {
+      if (target->running()) finish(target);
+      return;
+    }
+    target->recover();
+    arm_deadline(target, retry_attempt, config_.transfer_deadline);
+  });
+}
+
+void ProactiveRecovery::finish(Replica* target) {
+  const auto it = in_flight_.find(target);
+  // Completions the scheduler did not initiate (a replica's own
+  // begin_state_transfer) are not ours to account.
+  if (it == in_flight_.end()) return;
+  const InFlight& entry = it->second;
+  const sim::Time wall = sim_.now() - entry.taken_down_at;
+  ++stats_.completed;
+  stats_.last_recovery_wall = wall;
+  stats_.max_recovery_wall = std::max(stats_.max_recovery_wall, wall);
+  stats_.total_recovery_wall += wall;
+  stats_.transfer_bytes +=
+      target->stats().state_transfer_bytes - entry.bytes_before;
+  stats_.state_reqs += target->stats().state_reqs_sent - entry.reqs_before;
+  in_flight_.erase(it);
+
+  if (running_ && tick_pending_) {
+    tick_pending_ = false;
+    // Resume the paused cycle off the simulator, not inside the
+    // replica's own completion path (deterministic ordering; no
+    // takedown reentrancy with a state-transfer message in hand). The
+    // generation bump orphans the fallback re-check tick so the resumed
+    // chain is the only one.
+    ++gen_;
+    schedule_tick(0);
+  }
 }
 
 }  // namespace spire::prime

@@ -1703,6 +1703,7 @@ void Replica::recovery_tick(std::uint64_t epoch) {
   if (epoch != epoch_ || !running_ || !recovering_) return;
   StateReq req;
   req.nonce = state_nonce_;
+  ++stats_.state_reqs_sent;
   send_envelope(MsgType::kStateReq, req.encode());
   sim_.schedule_after(config_.state_retry_interval,
                       [this, epoch] { recovery_tick(epoch); });
@@ -1797,6 +1798,7 @@ void Replica::handle_snapshot_resp(const Envelope& env) {
   view_ = chosen_state_->view;
   recovering_ = false;
   ++stats_.state_transfers;
+  stats_.state_transfer_bytes += resp->blob.size();
   state_resps_.clear();
   chosen_state_.reset();
   checkpoint_blobs_[applied_seq_] = snapshot_bundle();
@@ -1804,6 +1806,9 @@ void Replica::handle_snapshot_resp(const Envelope& env) {
             view_);
   app_.on_state_transfer();
   arm_timers();
+  // Signal last, with the replica fully rejoined: observers may react
+  // by taking other replicas down (the recovery scheduler's gate).
+  if (recovery_done_observer_) recovery_done_observer_();
 }
 
 }  // namespace spire::prime

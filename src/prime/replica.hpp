@@ -87,6 +87,9 @@ struct ReplicaStats {
   std::uint64_t row_verify_short_circuits = 0;  ///< rows matched byte-for-byte
   std::uint64_t matrix_fetches_sent = 0;      ///< delta fallbacks to full fetch
   std::uint64_t batches_sealed = 0;           ///< Merkle-signed send batches
+  // Recovery observability (PR 4).
+  std::uint64_t state_transfer_bytes = 0;  ///< snapshot bytes installed
+  std::uint64_t state_reqs_sent = 0;       ///< StateReq (re)transmissions
 };
 
 class Replica {
@@ -135,6 +138,15 @@ class Replica {
   using ExecuteObserver =
       std::function<void(const ClientUpdate&, const ExecutionInfo&)>;
   void set_execute_observer(ExecuteObserver obs) { observer_ = std::move(obs); }
+
+  /// Observer fired when a recover()'s application-level state transfer
+  /// completes (`recovering_` clears). The ProactiveRecovery scheduler
+  /// uses it as the completion gate that keeps simultaneous recoveries
+  /// within k.
+  using RecoveryDoneObserver = std::function<void()>;
+  void set_recovery_done_observer(RecoveryDoneObserver obs) {
+    recovery_done_observer_ = std::move(obs);
+  }
 
  private:
   // ---- outbound helpers ----
@@ -415,6 +427,7 @@ class Replica {
 
   ReplicaStats stats_;
   ExecuteObserver observer_;
+  RecoveryDoneObserver recovery_done_observer_;
 };
 
 }  // namespace spire::prime

@@ -431,4 +431,36 @@ std::unique_ptr<prime::ProactiveRecovery> SpireDeployment::make_recovery(
                                                     recovery_config);
 }
 
+std::unique_ptr<sim::ChaosInjector> SpireDeployment::make_chaos() {
+  sim::ChaosHooks hooks;
+  hooks.set_link_quality = [this](double loss, sim::Time jitter) {
+    internal_switch_->set_chaos(loss, jitter);
+    external_switch_->set_chaos(loss, jitter);
+  };
+  hooks.set_partitioned = [this](std::uint32_t node, bool cut) {
+    if (node >= n()) return;
+    // Stopping the daemons severs replica `node` from both overlays;
+    // its sessions (replica, proxies' paths through it) survive the
+    // outage and resume when the daemons rejoin.
+    spines::Daemon& internal = internal_->daemon(internal_node(node));
+    spines::Daemon& external = external_->daemon(external_node(node));
+    if (cut) {
+      if (internal.running()) internal.stop();
+      if (external.running()) external.stop();
+    } else {
+      if (!internal.running()) internal.start();
+      if (!external.running()) external.start();
+    }
+  };
+  hooks.crash = [this](std::uint32_t node) {
+    if (node >= n()) return;
+    if (replicas_[node]->running()) replicas_[node]->shutdown();
+  };
+  hooks.restart = [this](std::uint32_t node) {
+    if (node >= n()) return;
+    if (!replicas_[node]->running()) replicas_[node]->recover();
+  };
+  return std::make_unique<sim::ChaosInjector>(sim_, std::move(hooks));
+}
+
 }  // namespace spire::scada

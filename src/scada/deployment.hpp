@@ -24,6 +24,7 @@
 #include "scada/hmi.hpp"
 #include "scada/master.hpp"
 #include "scada/proxy.hpp"
+#include "sim/chaos.hpp"
 #include "spines/overlay.hpp"
 
 namespace spire::scada {
@@ -103,6 +104,14 @@ class SpireDeployment {
   /// Builds a proactive-recovery scheduler over all replicas.
   std::unique_ptr<prime::ProactiveRecovery> make_recovery(
       prime::RecoveryConfig recovery_config);
+
+  /// Builds a fault injector wired to the deployment's fault surfaces:
+  /// link degradation maps to chaos loss/jitter on both switches,
+  /// partitioning replica i stops its internal+external Spines daemons
+  /// (sessions survive; the overlay reroutes around it), crash/restart
+  /// maps to replica shutdown()/recover(). Script or randomize the
+  /// schedule on the returned injector, then arm() it.
+  std::unique_ptr<sim::ChaosInjector> make_chaos();
 
   /// Identities used by the deployment.
   [[nodiscard]] static std::string proxy_identity(const std::string& device) {
