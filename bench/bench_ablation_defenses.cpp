@@ -129,8 +129,8 @@ struct Case {
 
 }  // namespace
 
-int main() {
-  bench::quiet_logs();
+int main(int argc, char** argv) {
+  bench::init_logging(argc, argv);
   bench::print_header(
       "E10", "§III-B / §VI-A",
       "Each low-level hardening measure is individually necessary: the "

@@ -19,8 +19,8 @@
 
 using namespace spire;
 
-int main() {
-  bench::quiet_logs();
+int main(int argc, char** argv) {
+  bench::init_logging(argc, argv);
   bench::print_header(
       "E1", "Fig. 1 + §IV-B",
       "NIST-best-practice commercial SCADA falls to network attacks: PLC "

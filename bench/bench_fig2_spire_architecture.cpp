@@ -18,8 +18,8 @@ using namespace spire;
 namespace {
 
 struct Result {
-  bench::LatencyStats to_plc;
-  bench::LatencyStats to_hmi;
+  std::vector<double> to_plc_ms;
+  std::vector<double> to_hmi_ms;
   double updates_per_sec = 0;
   /// Prime ordering fast-path counters, summed across replicas.
   std::uint64_t stale_po_arus = 0;
@@ -114,8 +114,8 @@ Result run_config(std::uint32_t f, std::uint32_t k, Condition condition) {
   }
 
   Result result;
-  result.to_plc = bench::latency_stats(std::move(to_plc_ms));
-  result.to_hmi = bench::latency_stats(std::move(to_hmi_ms));
+  result.to_plc_ms = std::move(to_plc_ms);
+  result.to_hmi_ms = std::move(to_hmi_ms);
   const double window_s =
       static_cast<double>(sim.now() - window_start) / sim::kSecond;
   std::uint64_t best_delta = 0;
@@ -146,16 +146,15 @@ Result run_config(std::uint32_t f, std::uint32_t k, Condition condition) {
 
 }  // namespace
 
-int main() {
-  bench::quiet_logs();
+int main(int argc, char** argv) {
+  bench::init_logging(argc, argv);
   bench::print_header(
       "E2", "Fig. 2 + §II",
       "Spire sustains bounded-latency SCADA operation with 3f+2k+1 replicas, "
       "through one intrusion and through proactive recoveries");
 
-  bench::Table table({"config", "condition", "cmd->breaker median", "p90",
-                      "cmd->HMI median", "p90", "ordered updates/s",
-                      "samples"});
+  bench::LatencyReporter reporter;
+  bench::Table throughput({"config", "condition", "ordered updates/s"});
 
   struct Case {
     std::uint32_t f, k;
@@ -175,16 +174,17 @@ int main() {
 
   bool bounded = true;
   for (const auto& c : cases) {
-    const Result r = run_config(c.f, c.k, c.condition);
+    Result r = run_config(c.f, c.k, c.condition);
     char config_name[32];
     std::snprintf(config_name, sizeof(config_name), "n=%u (f=%u,k=%u)",
                   3 * c.f + 2 * c.k + 1, c.f, c.k);
+    const std::string label =
+        std::string(config_name) + " " + to_string(c.condition);
     char rate[32];
     std::snprintf(rate, sizeof(rate), "%.1f", r.updates_per_sec);
-    table.row({config_name, to_string(c.condition),
-               bench::fmt_ms(r.to_plc.median_ms), bench::fmt_ms(r.to_plc.p90_ms),
-               bench::fmt_ms(r.to_hmi.median_ms), bench::fmt_ms(r.to_hmi.p90_ms),
-               rate, std::to_string(r.to_hmi.samples)});
+    throughput.row({config_name, to_string(c.condition), rate});
+    reporter.add(label + " cmd->breaker", std::move(r.to_plc_ms));
+    reporter.add(label + " cmd->HMI", std::move(r.to_hmi_ms));
     fastpath.row({config_name, to_string(c.condition),
                   std::to_string(r.row_short_circuits),
                   std::to_string(r.batches_sealed),
@@ -192,13 +192,21 @@ int main() {
                   std::to_string(r.recon_queued),
                   std::to_string(r.recon_satisfied),
                   std::to_string(r.matrix_fetches)});
-    if (r.to_hmi.samples < 28 || r.to_hmi.p90_ms > 1000.0) bounded = false;
+    const bench::LatencyStats* hmi_stats = reporter.find(label + " cmd->HMI");
+    if (hmi_stats->samples < 28 || hmi_stats->p90_ms > 1000.0) bounded = false;
     if (r.has_recovery) {
       bench::print_recovery_stats(config_name, r.recovery_stats);
       if (r.recovery_stats.in_flight_high_water > c.k) bounded = false;
     }
   }
-  table.print();
+  reporter.print("command round-trip");
+  std::printf("\nOrdered-update throughput:\n");
+  throughput.print();
+  if (bench::has_flag(argc, argv, "--json")) {
+    reporter.write_json(
+        bench::flag_value(argc, argv, "--json", "BENCH_fig2_latency.json"),
+        "bench_fig2_spire_architecture");
+  }
 
   std::printf("\nPrime ordering fast-path counters (summed across replicas):\n");
   fastpath.print();

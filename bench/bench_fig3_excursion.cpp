@@ -44,8 +44,8 @@ bool command_round_trip(sim::Simulator& sim, scada::SpireDeployment& spire_sys,
 
 }  // namespace
 
-int main() {
-  bench::quiet_logs();
+int main(int argc, char** argv) {
+  bench::init_logging(argc, argv);
   bench::print_header(
       "E4", "§IV-B excursion",
       "Gradually escalating compromise of one replica — user level, "

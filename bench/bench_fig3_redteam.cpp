@@ -171,8 +171,8 @@ std::string alert_summary(const std::vector<mana::Alert>& alerts) {
 
 }  // namespace
 
-int main() {
-  bench::quiet_logs();
+int main(int argc, char** argv) {
+  bench::init_logging(argc, argv);
   bench::print_header(
       "E3", "Fig. 3 + §IV-B",
       "With the §III-B hardening, none of the red team's network attacks "

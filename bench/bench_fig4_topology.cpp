@@ -14,8 +14,8 @@
 
 using namespace spire;
 
-int main() {
-  bench::quiet_logs();
+int main(int argc, char** argv) {
+  bench::init_logging(argc, argv);
   bench::print_header(
       "E5", "Fig. 4 + §IV-A",
       "The predetermined breaker cycle is executed faithfully: every "

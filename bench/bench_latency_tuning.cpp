@@ -76,8 +76,8 @@ Outcome run_setting(const TimerSetting& setting) {
 
 }  // namespace
 
-int main() {
-  bench::quiet_logs();
+int main(int argc, char** argv) {
+  bench::init_logging(argc, argv);
   bench::print_header(
       "A1 (ablation)", "DESIGN.md §5 / Prime timers",
       "Protocol-timer cadence trades supervisory-command latency against "

@@ -53,8 +53,8 @@ double first_alert_latency_s(const std::vector<mana::Alert>& alerts,
 
 }  // namespace
 
-int main() {
-  bench::quiet_logs();
+int main(int argc, char** argv) {
+  bench::init_logging(argc, argv);
   bench::print_header(
       "E8", "§II / §III-C / §IV",
       "Passive ML-based anomaly detection: quiet on baseline traffic, "

@@ -16,8 +16,8 @@
 
 using namespace spire;
 
-int main() {
-  bench::quiet_logs();
+int main(int argc, char** argv) {
+  bench::init_logging(argc, argv);
   bench::print_header(
       "E7", "§V (measurement device)",
       "Breaker flip -> HMI update: Spire meets the plant's timing "
@@ -119,20 +119,22 @@ int main() {
   }
   recovery->stop();
 
-  const auto spire_stats = bench::latency_stats(spire_ms);
-  const auto commercial_stats = bench::latency_stats(commercial_ms);
-
-  bench::Table table({"system", "min", "median", "p90", "max", "mean",
-                      "samples", "meets req (<3s)"});
-  auto row = [&](const char* name, const bench::LatencyStats& s) {
-    table.row({name, bench::fmt_ms(s.min_ms), bench::fmt_ms(s.median_ms),
-               bench::fmt_ms(s.p90_ms), bench::fmt_ms(s.max_ms),
-               bench::fmt_ms(s.mean_ms), std::to_string(s.samples),
-               s.max_ms < 3000.0 ? "yes" : "NO"});
-  };
-  row("Spire (n=6, f=1, k=1, recoveries active)", spire_stats);
-  row("commercial (primary-backup, 1s polls)", commercial_stats);
-  table.print();
+  const char* kSpireName = "Spire (n=6, f=1, k=1, recoveries active)";
+  const char* kCommercialName = "commercial (primary-backup, 1s polls)";
+  bench::LatencyReporter reporter;
+  reporter.add(kSpireName, std::move(spire_ms));
+  reporter.add(kCommercialName, std::move(commercial_ms));
+  reporter.print("flip -> HMI");
+  const bench::LatencyStats spire_stats = *reporter.find(kSpireName);
+  const bench::LatencyStats commercial_stats = *reporter.find(kCommercialName);
+  std::printf("meets plant requirement (<3s max): Spire %s, commercial %s\n",
+              spire_stats.max_ms < 3000.0 ? "yes" : "NO",
+              commercial_stats.max_ms < 3000.0 ? "yes" : "NO");
+  if (bench::has_flag(argc, argv, "--json")) {
+    reporter.write_json(
+        bench::flag_value(argc, argv, "--json", "BENCH_reaction_time.json"),
+        "bench_plant_reaction_time");
+  }
 
   std::printf("\nBreaker flip -> HMI path, Spire: actuation physics (~40ms) "
               "+ proxy poll (<=200ms) + Prime ordering + f+1 HMI voting.\n");

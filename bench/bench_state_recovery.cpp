@@ -59,8 +59,8 @@ class KvApp : public prime::Application {
 
 }  // namespace
 
-int main() {
-  bench::quiet_logs();
+int main(int argc, char** argv) {
+  bench::init_logging(argc, argv);
   bench::print_header(
       "E9", "§III-A",
       "After a total assumption breach (all replicas crash and lose state), "

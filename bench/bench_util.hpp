@@ -5,6 +5,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -65,7 +67,8 @@ class Table {
 };
 
 struct LatencyStats {
-  double min_ms = 0, median_ms = 0, p90_ms = 0, max_ms = 0, mean_ms = 0;
+  double min_ms = 0, median_ms = 0, p90_ms = 0, p99_ms = 0, max_ms = 0,
+         mean_ms = 0;
   std::size_t samples = 0;
 };
 
@@ -78,6 +81,7 @@ inline LatencyStats latency_stats(std::vector<double> samples_ms) {
   s.max_ms = samples_ms.back();
   s.median_ms = samples_ms[samples_ms.size() / 2];
   s.p90_ms = samples_ms[samples_ms.size() * 9 / 10];
+  s.p99_ms = samples_ms[samples_ms.size() * 99 / 100];
   double sum = 0;
   for (const double v : samples_ms) sum += v;
   s.mean_ms = sum / static_cast<double>(samples_ms.size());
@@ -95,6 +99,102 @@ inline std::string fmt_count(std::uint64_t v) { return std::to_string(v); }
 inline void quiet_logs() {
   util::LogConfig::instance().level = util::LogLevel::kOff;
 }
+
+/// Standard bench logging setup: silent by default, then the SPIRE_LOG
+/// env spec, then any --log-level=SPEC flags (same spec syntax:
+/// "debug", "prime=debug,spines=warn", …). Call first in main().
+inline void init_logging(int argc, char** argv) {
+  auto& config = util::LogConfig::instance();
+  config.level = util::LogLevel::kOff;
+  if (const char* env = std::getenv("SPIRE_LOG")) config.apply_spec(env);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--log-level=", 12) == 0) {
+      config.apply_spec(argv[i] + 12);
+    }
+  }
+}
+
+/// True when `flag` (e.g. "--json") appears in argv, either bare or as
+/// a `--flag=value` prefix.
+inline bool has_flag(int argc, char** argv, const char* flag) {
+  const std::size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Value of a `--flag=value` argument, or `fallback` when absent/bare.
+inline const char* flag_value(int argc, char** argv, const char* flag,
+                              const char* fallback) {
+  const std::size_t len = std::strlen(flag);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], flag, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return fallback;
+}
+
+/// Shared latency reporter: named sample series in, one aligned text
+/// table (min/p50/p90/p99/max/mean/samples) and optionally one JSON
+/// file out. Replaces the per-bench copies of latency_stats printing in
+/// bench_fig2 / bench_plant_reaction_time / bench_plant_soak.
+class LatencyReporter {
+ public:
+  void add(std::string name, std::vector<double> samples_ms) {
+    series_.push_back({std::move(name), latency_stats(std::move(samples_ms))});
+  }
+
+  [[nodiscard]] const LatencyStats* find(const std::string& name) const {
+    for (const auto& s : series_) {
+      if (s.name == name) return &s.stats;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] bool empty() const { return series_.empty(); }
+
+  void print(const char* title = "latency") const {
+    Table table({title, "min", "p50", "p90", "p99", "max", "mean", "samples"});
+    for (const auto& s : series_) {
+      table.row({s.name, fmt_ms(s.stats.min_ms), fmt_ms(s.stats.median_ms),
+                 fmt_ms(s.stats.p90_ms), fmt_ms(s.stats.p99_ms),
+                 fmt_ms(s.stats.max_ms), fmt_ms(s.stats.mean_ms),
+                 std::to_string(s.stats.samples)});
+    }
+    table.print();
+  }
+
+  /// {"bench":name,"series":{"<name>":{min_ms,p50_ms,...,samples},...}}
+  bool write_json(const std::string& path, const char* bench_name) const {
+    std::FILE* out = std::fopen(path.c_str(), "w");
+    if (out == nullptr) return false;
+    std::fprintf(out, "{\"bench\":\"%s\",\"series\":{", bench_name);
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      const auto& s = series_[i];
+      std::fprintf(out,
+                   "%s\"%s\":{\"min_ms\":%.3f,\"p50_ms\":%.3f,"
+                   "\"p90_ms\":%.3f,\"p99_ms\":%.3f,\"max_ms\":%.3f,"
+                   "\"mean_ms\":%.3f,\"samples\":%zu}",
+                   i == 0 ? "" : ",", s.name.c_str(), s.stats.min_ms,
+                   s.stats.median_ms, s.stats.p90_ms, s.stats.p99_ms,
+                   s.stats.max_ms, s.stats.mean_ms, s.stats.samples);
+    }
+    std::fprintf(out, "}}\n");
+    std::fclose(out);
+    return true;
+  }
+
+ private:
+  struct Series {
+    std::string name;
+    LatencyStats stats;
+  };
+  std::vector<Series> series_;
+};
 
 /// Aggregates DaemonStats across an overlay and prints the data-plane
 /// observability counters (route-recompute coalescing, dedup pressure,

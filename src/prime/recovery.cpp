@@ -11,7 +11,22 @@ constexpr std::uint64_t kMaxBackoffMultiple = 8;
 ProactiveRecovery::ProactiveRecovery(sim::Simulator& sim,
                                      std::vector<Replica*> replicas,
                                      RecoveryConfig config)
-    : sim_(sim), replicas_(std::move(replicas)), config_(config) {
+    : sim_(sim),
+      replicas_(std::move(replicas)),
+      config_(config),
+      metrics_("prime.recovery") {
+  metrics_.counter("takedowns", &stats_.takedowns);
+  metrics_.counter("completed", &stats_.completed);
+  metrics_.counter("retries", &stats_.retries);
+  metrics_.counter("deferred_ticks", &stats_.deferred_ticks);
+  metrics_.counter("transfer_bytes", &stats_.transfer_bytes);
+  metrics_.counter("state_reqs", &stats_.state_reqs);
+  metrics_.gauge_fn("in_flight_high_water", [this] {
+    return static_cast<std::int64_t>(stats_.in_flight_high_water);
+  });
+  metrics_.gauge_fn("max_recovery_wall_us", [this] {
+    return static_cast<std::int64_t>(stats_.max_recovery_wall);
+  });
   // The recovery-done signal is the completion gate: a slot reopens
   // only when the target's state transfer has actually finished.
   for (Replica* r : replicas_) {

@@ -133,6 +133,7 @@ class ProactiveRecovery {
   std::uint64_t attempt_counter_ = 0;
   std::map<Replica*, InFlight> in_flight_;
   RecoveryStats stats_;
+  obs::Binder metrics_;  ///< exposes stats_ in the metrics registry
 };
 
 }  // namespace spire::prime

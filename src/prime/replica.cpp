@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "crypto/merkle.hpp"
+#include "obs/trace.hpp"
 
 namespace spire::prime {
 
@@ -22,7 +23,29 @@ Replica::Replica(sim::Simulator& sim, ReplicaId id, PrimeConfig config,
       app_(app),
       transport_(std::move(transport)),
       rng_(rng),
-      log_("prime." + std::to_string(id)) {
+      log_("prime." + std::to_string(id)),
+      metrics_("prime.replica" + std::to_string(id)) {
+  metrics_.counter("updates_executed", &stats_.updates_executed);
+  metrics_.counter("po_requests_sent", &stats_.po_requests_sent);
+  metrics_.counter("preprepares_sent", &stats_.preprepares_sent);
+  metrics_.counter("matrices_applied", &stats_.matrices_applied);
+  metrics_.counter("view_changes", &stats_.view_changes);
+  metrics_.counter("state_transfers", &stats_.state_transfers);
+  metrics_.counter("fetches_sent", &stats_.fetches_sent);
+  metrics_.counter("dropped_bad_signature", &stats_.dropped_bad_signature);
+  metrics_.counter("dropped_unknown_client", &stats_.dropped_unknown_client);
+  metrics_.counter("checkpoints_stable", &stats_.checkpoints_stable);
+  metrics_.counter("verify_cache_hits", &stats_.verify_cache_hits);
+  metrics_.counter("stale_po_arus_dropped", &stats_.stale_po_arus_dropped);
+  metrics_.counter("recon_fetches_queued", &stats_.recon_fetches_queued);
+  metrics_.counter("recon_fetches_satisfied",
+                   &stats_.recon_fetches_satisfied);
+  metrics_.counter("row_verify_short_circuits",
+                   &stats_.row_verify_short_circuits);
+  metrics_.counter("matrix_fetches_sent", &stats_.matrix_fetches_sent);
+  metrics_.counter("batches_sealed", &stats_.batches_sealed);
+  metrics_.counter("state_transfer_bytes", &stats_.state_transfer_bytes);
+  metrics_.counter("state_reqs_sent", &stats_.state_reqs_sent);
   identities_.reserve(config_.n());
   for (ReplicaId r = 0; r < config_.n(); ++r) {
     identities_.push_back(replica_identity(r));
@@ -434,6 +457,9 @@ void Replica::handle_client_update(const Envelope& env) {
   const std::uint32_t offset = (config_.n() + id_ - primary) % config_.n();
   if (offset > config_.f + config_.k) return;
 
+  if (auto* tracer = obs::Tracer::current()) {
+    tracer->replica_recv(update.client, update.client_seq);
+  }
   enqueue_for_preorder(std::move(update));
 }
 
@@ -533,6 +559,11 @@ void Replica::po_flush_tick(std::uint64_t epoch) {
     req.updates = std::move(pending_batch_);
     pending_batch_.clear();
     ++stats_.po_requests_sent;
+    if (auto* tracer = obs::Tracer::current()) {
+      for (const auto& update : req.updates) {
+        tracer->po_request(update.client, update.client_seq);
+      }
+    }
     send_envelope(MsgType::kPoRequest, req.encode());
   }
   sim_.schedule_after(config_.po_request_interval,
@@ -873,6 +904,7 @@ void Replica::accept_preprepare(PrePrepare pp, const crypto::Digest& digest,
   slot.preprepare_envelope = raw_envelope;
   slot.digest = digest;
   slot.view = pp_view;
+  slot.pp_at = sim_.now();
   last_leader_activity_ = sim_.now();
 
   PrepareOrCommit prepare;
@@ -1003,6 +1035,7 @@ void Replica::try_commit(std::uint64_t seq) {
   }
   if (!slot.committed && count_matching(slot.commits) >= config_.quorum()) {
     slot.committed = true;
+    slot.commit_at = sim_.now();
     highest_committed_ = std::max(highest_committed_, seq);
     try_apply();
   }
@@ -1084,6 +1117,7 @@ void Replica::try_apply() {
 void Replica::apply_matrix(std::uint64_t seq) {
   OrderSlot& slot = slots_.at(seq);
   const auto elig = eligibility(*slot.preprepare);
+  auto* tracer = obs::Tracer::current();
 
   for (ReplicaId i = 0; i < config_.n(); ++i) {
     for (std::uint64_t s = exec_aru_[i] + 1; s <= elig[i]; ++s) {
@@ -1096,6 +1130,10 @@ void Replica::apply_matrix(std::uint64_t seq) {
         ++stats_.updates_executed;
         const ExecutionInfo info{seq, i, s};
         app_.apply(update, info);
+        if (tracer != nullptr) {
+          tracer->executed(update.client, update.client_seq, slot.pp_at,
+                           slot.commit_at);
+        }
         if (observer_) observer_(update, info);
       }
     }

@@ -26,6 +26,7 @@
 #include <set>
 
 #include "crypto/verify_cache.hpp"
+#include "obs/metrics.hpp"
 #include "prime/application.hpp"
 #include "prime/messages.hpp"
 #include "prime/transport.hpp"
@@ -355,6 +356,11 @@ class Replica {
     bool prepared = false;
     bool committed = false;
     bool sent_commit = false;
+    // Trace stamps (obs): when this slot's Pre-Prepare was installed
+    // and when it committed locally. Plain stores, kept even with
+    // tracing off.
+    sim::Time pp_at = 0;
+    sim::Time commit_at = 0;
   };
   std::map<std::uint64_t, OrderSlot> slots_;
   std::uint64_t applied_seq_ = 0;
@@ -426,6 +432,9 @@ class Replica {
   std::map<std::string, ReplicaId, std::less<>> client_primary_;
 
   ReplicaStats stats_;
+  /// Exposes stats_ in the metrics registry; declared after it so the
+  /// binder tombstones its entries before the fields go away.
+  obs::Binder metrics_;
   ExecuteObserver observer_;
   RecoveryDoneObserver recovery_done_observer_;
 };

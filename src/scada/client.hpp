@@ -7,6 +7,7 @@
 #include <string>
 
 #include "crypto/keyring.hpp"
+#include "obs/trace.hpp"
 #include "prime/messages.hpp"
 #include "scada/wire.hpp"
 
@@ -43,6 +44,9 @@ class ScadaClient {
     update.encode(w);
     const prime::Envelope env =
         prime::Envelope::make(prime::MsgType::kClientUpdate, signer_, w.take());
+    if (auto* tracer = obs::Tracer::current()) {
+      tracer->client_submit(update.client, update.client_seq);
+    }
     submit_(env.encode());
     return update.client_seq;
   }

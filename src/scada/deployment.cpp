@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace spire::scada {
 
 namespace {
@@ -198,6 +200,15 @@ void SpireDeployment::build_field_devices() {
           sim_, *plc_hosts_[device.name], device.name, std::move(specs),
           rng_.fork());
     }
+    // Field-side trace origin: a breaker moving in the plant starts the
+    // PLC→HMI span the moment it happens, before any poll sees it.
+    const std::string name = device.name;
+    plcs_[device.name]->breakers().add_observer(
+        [name](std::size_t index, bool, sim::Time) {
+          if (auto* tracer = obs::Tracer::current()) {
+            tracer->plc_change(name, index);
+          }
+        });
   }
 }
 

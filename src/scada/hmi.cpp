@@ -10,7 +10,13 @@ Hmi::Hmi(sim::Simulator& sim, HmiConfig config, const crypto::Keyring& keyring,
       config_(std::move(config)),
       log_("scada.hmi." + config_.identity),
       replica_verifier_(std::move(replica_verifier)),
-      client_(config_.identity, keyring, std::move(submit)) {}
+      client_(config_.identity, keyring, std::move(submit)),
+      metrics_("scada.hmi." + config_.identity) {
+  metrics_.counter("updates_received", &stats_.updates_received);
+  metrics_.counter("updates_rejected_sig", &stats_.updates_rejected_sig);
+  metrics_.counter("versions_displayed", &stats_.versions_displayed);
+  metrics_.counter("commands_issued", &stats_.commands_issued);
+}
 
 void Hmi::on_master_output(std::span<const std::uint8_t> data) {
   const auto output = MasterOutput::decode(data);
@@ -23,6 +29,9 @@ void Hmi::on_master_output(std::span<const std::uint8_t> data) {
   if (!update->verify(replica_verifier_, identity)) {
     ++stats_.updates_rejected_sig;
     return;
+  }
+  if (auto* tracer = obs::Tracer::current()) {
+    tracer->hmi_recv(update->version);
   }
   if (update->version <= version_) return;
 
@@ -61,6 +70,9 @@ void Hmi::adopt(std::uint64_t version, const TopologyState& state) {
   display_ = state;
   version_ = version;
   ++stats_.versions_displayed;
+  if (auto* tracer = obs::Tracer::current()) {
+    tracer->hmi_display(version);
+  }
 }
 
 void Hmi::reset_display() {

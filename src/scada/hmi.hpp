@@ -13,6 +13,7 @@
 #include <string>
 
 #include "crypto/keyring.hpp"
+#include "obs/metrics.hpp"
 #include "scada/client.hpp"
 #include "scada/topology.hpp"
 #include "scada/wire.hpp"
@@ -89,6 +90,7 @@ class Hmi {
       votes_;
 
   HmiStats stats_;
+  obs::Binder metrics_;  ///< exposes stats_ in the metrics registry
   std::vector<DisplayObserver> observers_;
 };
 

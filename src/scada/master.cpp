@@ -1,5 +1,6 @@
 #include "scada/master.hpp"
 
+#include "obs/trace.hpp"
 #include "prime/messages.hpp"
 
 namespace spire::scada {
@@ -53,6 +54,13 @@ void ScadaMaster::apply(const prime::ClientUpdate& update,
     }
     default:
       break;
+  }
+  if (last_pushed_version_ == version_) {
+    // This update's version was pushed to the HMIs (not throttled):
+    // link the state version to the update's trace span.
+    if (auto* tracer = obs::Tracer::current()) {
+      tracer->master_publish(version_, update.client, update.client_seq);
+    }
   }
 }
 

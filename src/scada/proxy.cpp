@@ -14,7 +14,15 @@ PlcProxy::PlcProxy(sim::Simulator& sim, ProxyConfig config,
       log_("scada.proxy." + config_.device),
       replica_verifier_(std::move(replica_verifier)),
       client_(config_.identity, keyring, std::move(submit)),
-      field_(std::move(field)) {}
+      field_(std::move(field)),
+      metrics_("scada.proxy." + config_.device) {
+  metrics_.counter("polls", &stats_.polls);
+  metrics_.counter("poll_failures", &stats_.poll_failures);
+  metrics_.counter("reports_sent", &stats_.reports_sent);
+  metrics_.counter("orders_received", &stats_.orders_received);
+  metrics_.counter("orders_rejected_sig", &stats_.orders_rejected_sig);
+  metrics_.counter("commands_forwarded", &stats_.commands_forwarded);
+}
 
 void PlcProxy::start() {
   if (running_) return;
@@ -44,7 +52,14 @@ void PlcProxy::poll_tick() {
         report.breakers = std::move(state->breakers);
         report.readings = std::move(state->readings);
         ++stats_.reports_sent;
-        client_.send(ScadaMsgType::kStatusReport, report.encode());
+        const std::uint64_t seq =
+            client_.send(ScadaMsgType::kStatusReport, report.encode());
+        if (auto* tracer = obs::Tracer::current()) {
+          // Links any pending field-side breaker changes to this
+          // report's span (the PLC→HMI end-to-end leg).
+          tracer->proxy_report(config_.device, client_.identity(), seq,
+                               report.breakers);
+        }
       },
       config_.modbus_timeout);
 

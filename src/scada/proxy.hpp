@@ -16,6 +16,7 @@
 #include <string>
 
 #include "crypto/keyring.hpp"
+#include "obs/metrics.hpp"
 #include "scada/client.hpp"
 #include "scada/field_client.hpp"
 #include "scada/wire.hpp"
@@ -80,6 +81,7 @@ class PlcProxy {
       order_votes_;
   std::set<std::pair<std::string, std::uint64_t>> executed_orders_;
   ProxyStats stats_;
+  obs::Binder metrics_;  ///< exposes stats_ in the metrics registry
 };
 
 }  // namespace spire::scada

@@ -26,7 +26,31 @@ Daemon::Daemon(sim::Simulator& sim, net::Host& host, DaemonConfig config,
       verifier_(std::move(verifier)),
       signer_(config_.id, keyring.identity_key(config_.id)),
       log_("spines." + config_.id),
-      dedup_(config_.dedup_cache_size) {
+      dedup_(config_.dedup_cache_size),
+      metrics_("spines.daemon." + config_.id) {
+  metrics_.counter("data_originated", &stats_.data_originated);
+  metrics_.counter("data_delivered", &stats_.data_delivered);
+  metrics_.counter("data_forwarded", &stats_.data_forwarded);
+  metrics_.counter("dropped_auth", &stats_.dropped_auth);
+  metrics_.counter("dropped_replay", &stats_.dropped_replay);
+  metrics_.counter("dropped_dedup", &stats_.dropped_dedup);
+  metrics_.counter("dropped_queue_full", &stats_.dropped_queue_full);
+  metrics_.counter("dropped_no_route", &stats_.dropped_no_route);
+  metrics_.counter("dropped_ttl", &stats_.dropped_ttl);
+  metrics_.counter("lsu_accepted", &stats_.lsu_accepted);
+  metrics_.counter("lsu_rejected_sig", &stats_.lsu_rejected_sig);
+  metrics_.counter("data_retransmits", &stats_.data_retransmits);
+  metrics_.counter("data_abandoned", &stats_.data_abandoned);
+  metrics_.counter("acks_sent", &stats_.acks_sent);
+  metrics_.counter("route_recomputes", &stats_.route_recomputes);
+  metrics_.counter("route_recomputes_coalesced",
+                   &stats_.route_recomputes_coalesced);
+  metrics_.counter("dedup_evictions", &stats_.dedup_evictions);
+  for (std::size_t p = 0; p < stats_.max_queue_depth.size(); ++p) {
+    metrics_.gauge_fn("max_queue_depth" + std::to_string(p), [this, p] {
+      return static_cast<std::int64_t>(stats_.max_queue_depth[p]);
+    });
+  }
   self_ = admit_node(config_.id);
 }
 

@@ -40,6 +40,7 @@
 #include "spines/message.hpp"
 #include "spines/node_table.hpp"
 #include "spines/replay_window.hpp"
+#include "obs/metrics.hpp"
 #include "util/log.hpp"
 
 namespace spire::spines {
@@ -270,6 +271,7 @@ class Daemon {
   std::vector<NodeHandle> bfs_frontier_;
 
   DaemonStats stats_;
+  obs::Binder metrics_;  ///< exposes stats_ in the metrics registry
 };
 
 }  // namespace spire::spines

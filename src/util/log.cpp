@@ -26,6 +26,72 @@ LogConfig& LogConfig::instance() {
   return config;
 }
 
+std::optional<LogLevel> parse_log_level(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  if (name == "off") return LogLevel::kOff;
+  return std::nullopt;
+}
+
+void LogConfig::set_override(std::string prefix, LogLevel override_level) {
+  overrides_[std::move(prefix)] = override_level;
+  ++generation_;
+}
+
+void LogConfig::clear_overrides() {
+  if (overrides_.empty()) return;
+  overrides_.clear();
+  ++generation_;
+}
+
+std::optional<LogLevel> LogConfig::override_for(
+    std::string_view component) const {
+  std::optional<LogLevel> best;
+  std::size_t best_len = 0;
+  for (const auto& [prefix, lvl] : overrides_) {
+    const bool matches =
+        component == prefix ||
+        (component.size() > prefix.size() &&
+         component[prefix.size()] == '.' &&
+         component.substr(0, prefix.size()) == prefix);
+    if (matches && prefix.size() >= best_len) {
+      best = lvl;
+      best_len = prefix.size();
+    }
+  }
+  return best;
+}
+
+LogLevel LogConfig::level_for(std::string_view component) const {
+  const auto override_level = override_for(component);
+  return override_level ? *override_level : level;
+}
+
+bool LogConfig::apply_spec(std::string_view spec) {
+  bool any = false;
+  while (!spec.empty()) {
+    const std::size_t comma = spec.find(',');
+    std::string_view item = spec.substr(0, comma);
+    spec = comma == std::string_view::npos ? std::string_view{}
+                                           : spec.substr(comma + 1);
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      if (const auto lvl = parse_log_level(item)) {
+        level = *lvl;
+        any = true;
+      }
+    } else if (const auto lvl = parse_log_level(item.substr(eq + 1))) {
+      set_override(std::string(item.substr(0, eq)), *lvl);
+      any = true;
+    }
+  }
+  return any;
+}
+
 void Logger::emit(LogLevel level, const std::string& message) const {
   auto& config = LogConfig::instance();
   std::ostringstream oss;

@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -30,8 +32,38 @@ class LogConfig {
   /// Returns the current time in microseconds (installed by the sim).
   std::function<std::uint64_t()> time_source;
 
+  /// Per-component override: `prefix` matches a component exactly or as
+  /// a dotted prefix ("prime" covers "prime.3"; "scada.proxy" covers
+  /// "scada.proxy.breaker-1"). Longest matching prefix wins.
+  void set_override(std::string prefix, LogLevel override_level);
+  void clear_overrides();
+  [[nodiscard]] bool has_overrides() const { return !overrides_.empty(); }
+
+  /// Effective level for a component: its longest-prefix override, or
+  /// the global `level` when none matches.
+  [[nodiscard]] LogLevel level_for(std::string_view component) const;
+  /// Override for a component if one matches, else nullopt. Loggers use
+  /// this so a direct assignment to `level` still takes effect for
+  /// components without overrides.
+  [[nodiscard]] std::optional<LogLevel> override_for(
+      std::string_view component) const;
+
+  /// Applies a SPIRE_LOG-style spec: a comma-separated list of
+  /// `component=level` overrides and/or a bare `level` that sets the
+  /// global default — e.g. "prime=debug,spines=warn" or "info" or
+  /// "off,scada=debug". Unknown names are ignored. Returns true if any
+  /// element parsed.
+  bool apply_spec(std::string_view spec);
+
+  /// Bumped on every override change; Loggers use it to memoize their
+  /// override lookup.
+  [[nodiscard]] std::uint64_t generation() const { return generation_; }
+
  private:
   LogConfig();
+
+  std::map<std::string, LogLevel, std::less<>> overrides_;
+  std::uint64_t generation_ = 1;
 };
 
 /// Lightweight handle; cheap to copy.
@@ -40,7 +72,17 @@ class Logger {
   explicit Logger(std::string component) : component_(std::move(component)) {}
 
   [[nodiscard]] bool enabled(LogLevel level) const {
-    return static_cast<int>(level) >= static_cast<int>(LogConfig::instance().level);
+    const auto& config = LogConfig::instance();
+    if (!config.has_overrides()) {  // fast path: one compare, no lookup
+      return static_cast<int>(level) >= static_cast<int>(config.level);
+    }
+    if (cached_generation_ != config.generation()) {
+      cached_generation_ = config.generation();
+      cached_override_ = config.override_for(component_);
+    }
+    const LogLevel effective =
+        cached_override_ ? *cached_override_ : config.level;
+    return static_cast<int>(level) >= static_cast<int>(effective);
   }
 
   template <typename... Args>
@@ -78,6 +120,13 @@ class Logger {
   void emit(LogLevel level, const std::string& message) const;
 
   std::string component_;
+  // Memoized override lookup, refreshed when the config generation
+  // moves (0 = never looked up).
+  mutable std::uint64_t cached_generation_ = 0;
+  mutable std::optional<LogLevel> cached_override_;
 };
+
+/// Parses "debug"/"info"/… (as printed by to_string, lowercase).
+[[nodiscard]] std::optional<LogLevel> parse_log_level(std::string_view name);
 
 }  // namespace spire::util

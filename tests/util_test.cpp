@@ -158,5 +158,90 @@ TEST(Log, SinkReceivesFormattedLines) {
   EXPECT_NE(lines[0].find("value=42"), std::string::npos);
 }
 
+TEST(Log, PerComponentOverridesUseLongestDottedPrefix) {
+  auto& config = LogConfig::instance();
+  const auto old_level = config.level;
+  config.level = LogLevel::kWarn;
+  config.set_override("prime", LogLevel::kDebug);
+  config.set_override("prime.replica3", LogLevel::kError);
+
+  EXPECT_EQ(config.level_for("prime"), LogLevel::kDebug);
+  EXPECT_EQ(config.level_for("prime.replica1"), LogLevel::kDebug);
+  EXPECT_EQ(config.level_for("prime.replica3"), LogLevel::kError);
+  EXPECT_EQ(config.level_for("prime.replica3.sub"), LogLevel::kError);
+  // "primer" is not covered by the "prime" prefix (dot boundary).
+  EXPECT_EQ(config.level_for("primer"), LogLevel::kWarn);
+  EXPECT_EQ(config.level_for("spines.daemon"), LogLevel::kWarn);
+
+  config.clear_overrides();
+  EXPECT_EQ(config.level_for("prime"), LogLevel::kWarn);
+  config.level = old_level;
+}
+
+TEST(Log, OverridesGateLoggerOutput) {
+  auto& config = LogConfig::instance();
+  const auto old_level = config.level;
+  auto old_sink = config.sink;
+  std::vector<std::string> lines;
+  config.level = LogLevel::kOff;
+  config.sink = [&lines](const std::string& line) { lines.push_back(line); };
+  config.set_override("spines", LogLevel::kInfo);
+
+  Logger spines_log("spines.daemon.int0");
+  Logger prime_log("prime.replica0");
+  spines_log.info("overlay up");
+  prime_log.info("suppressed: no override, global off");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("overlay up"), std::string::npos);
+
+  // The logger's memoized override refreshes when overrides change.
+  config.set_override("spines", LogLevel::kError);
+  spines_log.info("now suppressed");
+  EXPECT_EQ(lines.size(), 1u);
+
+  // With overrides cleared, direct assignment to the global level still
+  // takes effect (the fast path reads it live).
+  config.clear_overrides();
+  config.level = LogLevel::kInfo;
+  prime_log.info("global info visible");
+  EXPECT_EQ(lines.size(), 2u);
+
+  config.level = old_level;
+  config.sink = std::move(old_sink);
+}
+
+TEST(Log, ApplySpecParsesGlobalAndPerComponentElements) {
+  auto& config = LogConfig::instance();
+  const auto old_level = config.level;
+
+  EXPECT_TRUE(config.apply_spec("prime=debug,spines=warn"));
+  EXPECT_EQ(config.level_for("prime.replica0"), LogLevel::kDebug);
+  EXPECT_EQ(config.level_for("spines.daemon.ext1"), LogLevel::kWarn);
+
+  EXPECT_TRUE(config.apply_spec("error"));  // bare level = global default
+  EXPECT_EQ(config.level, LogLevel::kError);
+  EXPECT_EQ(config.level_for("scada.hmi"), LogLevel::kError);
+  EXPECT_EQ(config.level_for("prime.replica0"), LogLevel::kDebug);
+
+  EXPECT_FALSE(config.apply_spec("bogus"));
+  EXPECT_FALSE(config.apply_spec(""));
+  EXPECT_TRUE(config.apply_spec("off,scada=info"));
+  EXPECT_EQ(config.level, LogLevel::kOff);
+  EXPECT_EQ(config.level_for("scada.proxy.b1"), LogLevel::kInfo);
+
+  config.clear_overrides();
+  config.level = old_level;
+}
+
+TEST(Log, ParseLogLevelNames) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("off"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+}
+
 }  // namespace
 }  // namespace spire::util
