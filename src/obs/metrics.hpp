@@ -12,6 +12,16 @@
 // (human), stamped with simulated time when a time source is
 // installed. Registration order is deterministic for a deterministic
 // run, so two identical sim runs produce byte-identical snapshots.
+//
+// Parallel-kernel contract (DESIGN.md §8): the registry is shard-safe
+// by ownership, not by atomics. Handles are raw pointers owned by the
+// component that registered them, and a component lives on exactly one
+// shard, so every hot-path increment is a plain single-threaded store;
+// the registry only walks the handles at snapshot time, from driver
+// context, after the kernel's window barrier has already ordered all
+// shard writes before the driver's reads. Per-shard instances (fleet
+// benches) each build under their own ScopedRegistry and are merged —
+// or emitted side by side — at snapshot time.
 #pragma once
 
 #include <array>

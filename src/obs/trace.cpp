@@ -39,6 +39,8 @@ const char* to_string(Stage stage) {
 }
 
 Tracer* Tracer::current_ = nullptr;
+Tracer::Router Tracer::router_ = nullptr;
+void* Tracer::router_ctx_ = nullptr;
 
 Tracer::Tracer(std::function<std::uint64_t()> time_source)
     : time_(std::move(time_source)) {

@@ -5,8 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <functional>
+#include <memory>
 #include <new>
 #include <string>
 #include <vector>
@@ -24,17 +28,25 @@ using namespace spire;
 // assert that counter increments and histogram records never allocate.
 // The counter is only meaningful between two reads on the same thread;
 // gtest's own allocations outside the measured window don't matter.
+// Atomic (relaxed) because the parallel-kernel tests below allocate
+// from worker threads too; the hot-path assertions still run their
+// measured window single-threaded.
 
-static std::uint64_t g_alloc_count = 0;
+static std::atomic<std::uint64_t> g_alloc_count{0};
+
+// GCC pairs inlined new-expressions with the std::free inside the
+// replaced operator delete and warns; the pair is matched by
+// construction (operator new allocates with std::malloc).
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
 
 void* operator new(std::size_t size) {
-  ++g_alloc_count;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc();
 }
 
 void* operator new[](std::size_t size) {
-  ++g_alloc_count;
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc();
 }
@@ -188,6 +200,98 @@ TEST(MetricsRegistry, SnapshotDeterministicAcrossIdenticalRuns) {
   EXPECT_EQ(first, second);
 }
 
+namespace {
+
+/// Per-shard observability for the parallel-kernel determinism test:
+/// each shard owns a registry, a tracer, and raw metric handles, and
+/// only that shard's events ever touch them (DESIGN.md §8 ownership
+/// rule — no atomics anywhere on the hot path).
+struct ShardObs {
+  sim::ShardId shard = sim::kMainShard;
+  std::unique_ptr<obs::ScopedRegistry> registry;
+  std::unique_ptr<obs::ScopedTracer> tracer;
+  std::uint64_t* events = nullptr;
+  obs::Histogram* gap = nullptr;
+};
+
+struct ObsRouterCtx {
+  const sim::Simulator* sim = nullptr;
+  std::array<obs::Tracer*, 4> by_shard{};
+};
+
+/// Runs an identical two-shard instrumented workload under `workers`
+/// threads and returns both shards' metrics snapshots. Tracer hooks are
+/// routed to the executing shard's tracer via Tracer::set_router.
+std::vector<std::string> sharded_snapshots(unsigned workers) {
+  sim::Simulator sim;
+  sim.set_workers(workers);
+  auto sim_time = [&sim] { return static_cast<std::uint64_t>(sim.now()); };
+
+  std::vector<std::unique_ptr<ShardObs>> shards;
+  for (int i = 0; i < 2; ++i) {
+    auto so = std::make_unique<ShardObs>();
+    so->shard = sim.register_shard("obs." + std::to_string(i));
+    sim::ShardScope scope(sim, so->shard);
+    so->registry = std::make_unique<obs::ScopedRegistry>(sim_time);
+    so->tracer = std::make_unique<obs::ScopedTracer>(sim_time);
+    so->events = obs::MetricsRegistry::current().counter("shard.events");
+    so->gap = obs::MetricsRegistry::current().histogram("shard.gap");
+    shards.push_back(std::move(so));
+  }
+
+  ObsRouterCtx ctx;
+  ctx.sim = &sim;
+  for (const auto& so : shards) {
+    ctx.by_shard[so->shard] = &so->tracer->tracer();
+  }
+  obs::Tracer::set_router(
+      [](void* raw) -> obs::Tracer* {
+        auto* c = static_cast<ObsRouterCtx*>(raw);
+        return c->by_shard[c->sim->current_shard()];
+      },
+      &ctx);
+
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    ShardObs& so = *shards[i];
+    sim::ShardScope scope(sim, so.shard);
+    const sim::Time period = static_cast<sim::Time>(i + 3) * sim::kMillisecond;
+    auto tick = std::make_shared<std::function<void()>>();
+    *tick = [&sim, &so, tick, period] {
+      ++*so.events;
+      so.gap->record(static_cast<std::uint64_t>(sim.now() % 97));
+      obs::Tracer* t = obs::Tracer::current();
+      t->client_submit("client/x", *so.events);
+      t->executed("client/x", *so.events, sim.now(), sim.now());
+      sim.schedule_after(period, [tick] { (*tick)(); });
+    };
+    sim.schedule_after(period, [tick] { (*tick)(); });
+  }
+  sim.run_until(2 * sim::kSecond);
+
+  std::vector<std::string> out;
+  out.reserve(shards.size());
+  for (const auto& so : shards) {
+    out.push_back(so->registry->registry().snapshot_json());
+  }
+  obs::Tracer::set_router(nullptr, nullptr);
+  // Newest-first so each scope restores the exact previous current().
+  while (!shards.empty()) shards.pop_back();
+  return out;
+}
+
+}  // namespace
+
+TEST(MetricsRegistry, ShardedSnapshotsDeterministicAcrossWorkerCounts) {
+  const std::vector<std::string> base = sharded_snapshots(1);
+  ASSERT_EQ(base.size(), 2u);
+  EXPECT_GT(base[0].size(), 50u);
+  // Distinct tick periods → the two shards' snapshots genuinely differ.
+  EXPECT_NE(base[0], base[1]);
+  for (const unsigned workers : {2u, 4u}) {
+    EXPECT_EQ(sharded_snapshots(workers), base) << "workers=" << workers;
+  }
+}
+
 // ---- zero-allocation hot path -----------------------------------------------
 
 TEST(MetricsHotPath, CounterAndHistogramRecordNeverAllocate) {
@@ -196,12 +300,12 @@ TEST(MetricsHotPath, CounterAndHistogramRecordNeverAllocate) {
   std::uint64_t* counter = registry.counter("hot.counter");
   obs::Histogram* hist = registry.histogram("hot.histogram");
 
-  const std::uint64_t before = g_alloc_count;
+  const std::uint64_t before = g_alloc_count.load();
   for (std::uint64_t i = 0; i < 100000; ++i) {
     ++*counter;
     hist->record(i * 7919);
   }
-  EXPECT_EQ(g_alloc_count, before) << "metric hot path allocated";
+  EXPECT_EQ(g_alloc_count.load(), before) << "metric hot path allocated";
   EXPECT_EQ(*counter, 100000u);
   EXPECT_EQ(hist->count(), 100000u);
 }
@@ -213,13 +317,13 @@ TEST(MetricsHotPath, TracerStageHooksAreAllocationFreeOnExistingSpans) {
   const std::string client = "client/a";  // SSO: fits inline
   tracer.client_submit(client, 1);  // creates the span (may allocate)
 
-  const std::uint64_t before = g_alloc_count;
+  const std::uint64_t before = g_alloc_count.load();
   for (int i = 0; i < 10000; ++i) {
     tracer.replica_recv(client, 1);
     tracer.po_request(client, 1);
     tracer.executed(client, 1, 2, 3);
   }
-  EXPECT_EQ(g_alloc_count, before) << "tracer hook on existing span allocated";
+  EXPECT_EQ(g_alloc_count.load(), before) << "tracer hook on existing span allocated";
   ASSERT_EQ(tracer.spans().size(), 1u);
   EXPECT_EQ(tracer.spans().front().hits[static_cast<std::size_t>(
                 obs::Stage::kExecute)],
