@@ -62,7 +62,9 @@
 #include "prime/recovery.hpp"
 #include "prime/replica.hpp"
 #include "prime/transport.hpp"
+#include "scada/front_door.hpp"
 #include "scada/topology.hpp"
+#include "scada/wire.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "spines/overlay.hpp"
@@ -947,6 +949,83 @@ MicroResult run_obs_overhead() {
   return r;
 }
 
+// ---- fleet_batch_encode -----------------------------------------------------
+// BatchReport wire throughput: encode + decode a fleet-shaped batch
+// (256 device deltas, 2 breakers + 2 readings each). Unit = device
+// reports through the codec. This is the per-ordering-round cost the
+// delta batcher amortizes one signature over.
+
+MicroResult run_fleet_batch_encode() {
+  constexpr std::size_t kBatch = 256;
+  scada::BatchReport batch;
+  batch.reports.reserve(kBatch);
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    scada::StatusReport r;
+    r.device = "fd" + std::to_string(i);
+    r.report_seq = i + 1;
+    r.breakers = {true, (i & 1) != 0};
+    r.readings = {static_cast<std::uint16_t>(500 + i),
+                  static_cast<std::uint16_t>(700 + i)};
+    batch.reports.push_back(std::move(r));
+  }
+
+  constexpr std::uint64_t kTargetReports = 2'000'000;
+  std::uint64_t processed = 0;
+  const auto start = Clock::now();
+  while (processed < kTargetReports) {
+    const util::Bytes wire = batch.encode();
+    const auto decoded = scada::BatchReport::decode(wire);
+    if (!decoded || decoded->reports.size() != kBatch) std::abort();
+    // Touch a decoded field so the round trip can't be elided.
+    if (decoded->reports[processed % kBatch].report_seq == 0) std::abort();
+    processed += kBatch;
+  }
+  const double wall = seconds_since(start);
+  MicroResult r{processed, wall, {}};
+  r.extra.emplace_back("batch_bytes",
+                       static_cast<double>(batch.encode().size()));
+  return r;
+}
+
+// ---- proxy_front_door -------------------------------------------------------
+// Admission hot path: token-bucket refill + priority classification +
+// stats, no allocation (obs_test asserts the zero-alloc property; this
+// measures the throughput headroom over a 20k-report/s fleet).
+
+MicroResult run_proxy_front_door() {
+  scada::FrontDoorConfig config;
+  config.rate_per_sec = 1'000'000;
+  config.burst = 128;
+  config.queue_capacity = 4096;
+  config.shed_watermark = 3072;
+  scada::FrontDoor door(config);
+
+  constexpr std::uint64_t kTargetAdmits = 20'000'000;
+  std::uint64_t offered = 0;
+  sim::Time now = 0;
+  const auto start = Clock::now();
+  while (offered < kTargetAdmits) {
+    // Mixed workload: mostly telemetry, every 7th delta critical,
+    // queue depth sweeping below and above the shed watermark.
+    const auto priority = (offered % 7 == 0) ? scada::DeltaPriority::kCritical
+                                             : scada::DeltaPriority::kTelemetry;
+    const std::size_t queued = offered % 4000;
+    now += 2;  // 2 us between arrivals (500k deltas/sec)
+    benchmark::DoNotOptimize(door.admit(priority, now, queued));
+    ++offered;
+  }
+  const double wall = seconds_since(start);
+  const auto& stats = door.stats();
+  MicroResult r{offered, wall, {}};
+  r.extra.emplace_back(
+      "shed_pct",
+      100.0 *
+          static_cast<double>(stats.shed_rate + stats.shed_overload +
+                              stats.shed_critical) /
+          static_cast<double>(offered));
+  return r;
+}
+
 // ---- JSON emission ----------------------------------------------------------
 
 struct BenchSection {
@@ -996,6 +1075,8 @@ int run_json_mode(const std::string& out_path, const std::string& baseline_path,
       {"overlay_forward", "msgs_per_sec", run_overlay_forward},
       {"overlay_flood", "msgs_per_sec", run_overlay_flood},
       {"overlay_lsu_churn", "lsus_per_sec", run_overlay_lsu_churn},
+      {"fleet_batch_encode", "reports_per_sec", run_fleet_batch_encode},
+      {"proxy_front_door", "admits_per_sec", run_proxy_front_door},
       {"obs_overhead", "retained_pct", run_obs_overhead},
   };
   std::vector<BenchSection> sections;

@@ -318,6 +318,13 @@ SoakResult run_soak(const SoakOptions& opt) {
                std::to_string(completeness.displayed_complete) + "/" +
                    std::to_string(completeness.displayed) + " complete chains",
                "full PLC→HMI spans"});
+    // Count by constituent device delta, not by ordered update: a
+    // batched update that lost one of its member deltas would still
+    // pass the per-update gates above.
+    table.row({"device deltas with complete chains",
+               std::to_string(completeness.deltas_complete) + "/" +
+                   std::to_string(completeness.deltas_expected),
+               "all (zero missed deltas)"});
     table.print();
 
     // Per-stage latency breakdown over every traced update (the paper's
@@ -355,6 +362,8 @@ SoakResult run_soak(const SoakOptions& opt) {
     bool shape = recovery.recoveries_completed() >= min_recoveries &&
                  completeness.executed > 0 &&
                  completeness.executed_complete == completeness.executed &&
+                 completeness.deltas_expected > 0 &&
+                 completeness.deltas_complete == completeness.deltas_expected &&
                  completeness.displayed > 0 &&
                  recovery.stats().in_flight_high_water <= config.k &&
                  max_agree == live && live >= 5 && total_field > min_field &&

@@ -117,7 +117,8 @@ int main() {
     if (!msg || msg->type != scada::CommMsgType::kStateReply) return;
     try {
       const auto state = scada::TopologyState::deserialize(msg->blob);
-      for (const auto& [device, dev_state] : state.devices()) {
+      state.for_each([&](const std::string& device,
+                         const scada::DeviceState& dev_state) {
         const auto* previous = pi_last_state.device(device);
         for (std::size_t b = 0; b < dev_state.breakers.size(); ++b) {
           const bool was = previous && b < previous->breakers.size() &&
@@ -127,7 +128,7 @@ int main() {
                                         sim.now());
           }
         }
-      }
+      });
       pi_last_state = state;
     } catch (const util::SerializationError&) {
     }

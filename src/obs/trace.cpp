@@ -106,6 +106,16 @@ void Tracer::record(Span& span, Stage stage, std::uint64_t at) {
   ++span.hits[i];
 }
 
+void Tracer::record_fan(std::uint32_t index, Stage stage, std::uint64_t at) {
+  Span& span = spans_[index];
+  record(span, stage, at);
+  // Batched updates fan every pipeline stage out to their per-delta
+  // member spans (contiguous, so this is a linear walk).
+  for (std::uint32_t i = 0; i < span.member_count; ++i) {
+    record(spans_[span.first_member + i], stage, at);
+  }
+}
+
 Tracer::DeviceTrace& Tracer::device_trace(const std::string& device) {
   auto [it, inserted] = devices_.try_emplace(device);
   if (inserted) {
@@ -151,37 +161,81 @@ void Tracer::proxy_report(const std::string& device, const std::string& client,
   if (found) record(*span, Stage::kPlcChange, earliest);
 }
 
+void Tracer::proxy_batch_delta(const std::string& device,
+                               const std::string& client,
+                               std::uint64_t client_seq,
+                               const std::vector<bool>& breakers) {
+  const std::uint32_t parent_index = upsert_index(client, client_seq);
+  if (parent_index == kNoSpan) return;
+  if (spans_.size() >= kMaxSpans) {
+    ++dropped_;
+    return;
+  }
+  DeviceTrace& trace = device_trace(device);
+  std::uint64_t earliest = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < breakers.size() && i < trace.pending.size();
+       ++i) {
+    if (!trace.pending[i]) continue;
+    const bool changed = !trace.has_last || i >= trace.last_reported.size() ||
+                         trace.last_reported[i] != breakers[i];
+    if (!changed) continue;
+    if (!found || trace.change_at[i] < earliest) earliest = trace.change_at[i];
+    found = true;
+    trace.pending[i] = 0;
+  }
+  trace.last_reported = breakers;
+  trace.has_last = true;
+
+  const auto member_index = static_cast<std::uint32_t>(spans_.size());
+  {
+    Span& parent = spans_[parent_index];
+    if (parent.member_count == 0) {
+      parent.first_member = member_index;
+    } else if (parent.first_member + parent.member_count != member_index) {
+      return;  // members must be contiguous; drop an interleaved add
+    }
+    ++parent.member_count;
+  }
+  spans_.emplace_back();  // may grow: re-fetch parent afterwards
+  Span& member = spans_.back();
+  const Span& parent = spans_[parent_index];
+  member.parent = parent_index;
+  member.client = parent.client;
+  member.client_seq = parent.client_seq;
+  member.device = trace.id;
+  if (found) record(member, Stage::kPlcChange, earliest);
+}
+
 void Tracer::client_submit(const std::string& client,
                            std::uint64_t client_seq) {
-  if (Span* span = upsert(client, client_seq)) {
-    record(*span, Stage::kSubmit, now());
-  }
+  const std::uint32_t index = upsert_index(client, client_seq);
+  if (index != kNoSpan) record_fan(index, Stage::kSubmit, now());
 }
 
 void Tracer::replica_recv(const std::string& client,
                           std::uint64_t client_seq) {
-  if (Span* span = upsert(client, client_seq)) {
-    record(*span, Stage::kReplicaRecv, now());
-  }
+  const std::uint32_t index = upsert_index(client, client_seq);
+  if (index != kNoSpan) record_fan(index, Stage::kReplicaRecv, now());
 }
 
 void Tracer::po_request(const std::string& client, std::uint64_t client_seq) {
-  if (Span* span = upsert(client, client_seq)) {
-    record(*span, Stage::kPoRequest, now());
-  }
+  const std::uint32_t index = upsert_index(client, client_seq);
+  if (index != kNoSpan) record_fan(index, Stage::kPoRequest, now());
 }
 
 void Tracer::executed(const std::string& client, std::uint64_t client_seq,
                       std::uint64_t pp_at, std::uint64_t commit_at) {
-  Span* span = upsert(client, client_seq);
-  if (span == nullptr) return;
-  if (pp_at != 0) record(*span, Stage::kPrePrepare, pp_at);
-  if (commit_at != 0) record(*span, Stage::kCommit, commit_at);
-  const bool first = !span->has(Stage::kExecute);
+  const std::uint32_t index = upsert_index(client, client_seq);
+  if (index == kNoSpan) return;
+  if (pp_at != 0) record_fan(index, Stage::kPrePrepare, pp_at);
+  if (commit_at != 0) record_fan(index, Stage::kCommit, commit_at);
+  Span& span = spans_[index];
+  const bool first = !span.has(Stage::kExecute);
   const std::uint64_t at = now();
-  record(*span, Stage::kExecute, at);
-  if (first && span->has(Stage::kSubmit) && order_latency_us_ != nullptr) {
-    order_latency_us_->record(at - span->time(Stage::kSubmit));
+  record_fan(index, Stage::kExecute, at);
+  if (first && span.has(Stage::kSubmit) && order_latency_us_ != nullptr) {
+    order_latency_us_->record(at - span.time(Stage::kSubmit));
   }
 }
 
@@ -189,27 +243,33 @@ void Tracer::master_publish(std::uint64_t version, const std::string& client,
                             std::uint64_t client_seq) {
   const std::uint32_t index = upsert_index(client, client_seq);
   if (index == kNoSpan) return;
-  Span& span = spans_[index];
-  record(span, Stage::kPublish, now());
-  span.version = version;
+  record_fan(index, Stage::kPublish, now());
+  spans_[index].version = version;
   by_version_.lookup_or_insert(version, index);
 }
 
 void Tracer::hmi_recv(std::uint64_t version) {
   const std::uint32_t* index = by_version_.find(version);
   if (index == nullptr) return;
-  record(spans_[*index], Stage::kHmiRecv, now());
+  record_fan(*index, Stage::kHmiRecv, now());
+}
+
+void Tracer::record_display(Span& span, std::uint64_t at) {
+  const bool first = !span.has(Stage::kHmiDisplay);
+  record(span, Stage::kHmiDisplay, at);
+  if (first && span.has(Stage::kPlcChange) && e2e_latency_us_ != nullptr) {
+    e2e_latency_us_->record(at - span.time(Stage::kPlcChange));
+  }
 }
 
 void Tracer::hmi_display(std::uint64_t version) {
   const std::uint32_t* index = by_version_.find(version);
   if (index == nullptr) return;
-  Span& span = spans_[*index];
-  const bool first = !span.has(Stage::kHmiDisplay);
   const std::uint64_t at = now();
-  record(span, Stage::kHmiDisplay, at);
-  if (first && span.has(Stage::kPlcChange) && e2e_latency_us_ != nullptr) {
-    e2e_latency_us_->record(at - span.time(Stage::kPlcChange));
+  Span& span = spans_[*index];
+  record_display(span, at);
+  for (std::uint32_t i = 0; i < span.member_count; ++i) {
+    record_display(spans_[span.first_member + i], at);
   }
 }
 
@@ -268,10 +328,28 @@ Tracer::Completeness Tracer::completeness(Stage from) const {
 
   Completeness result;
   for (const Span& span : spans_) {
+    // Member spans are accounted under their batch parent, not as
+    // standalone executed updates.
+    if (span.parent != Span::kNoParent) continue;
     if (span.has(Stage::kExecute)) {
       ++result.executed;
       if (chain_ok(span, kOrderedChain + start, exec_end - start)) {
         ++result.executed_complete;
+      }
+      if (span.member_count > 0) {
+        result.deltas_expected += span.member_count;
+        for (std::uint32_t i = 0; i < span.member_count; ++i) {
+          const Span& member = spans_[span.first_member + i];
+          if (chain_ok(member, kOrderedChain + start, exec_end - start)) {
+            ++result.deltas_complete;
+          }
+        }
+      } else if (span.device != Span::kNoDevice) {
+        // Unbatched device-tagged update: counts as one delta.
+        ++result.deltas_expected;
+        if (chain_ok(span, kOrderedChain + start, exec_end - start)) {
+          ++result.deltas_complete;
+        }
       }
     }
     if (span.has(Stage::kHmiDisplay)) {

@@ -45,13 +45,25 @@ enum class Stage : std::uint8_t {
 // Spans are created once per ordered update on the hot path, so the
 // struct stays trivially copyable (interned ids, no strings): vector
 // growth is a memcpy instead of element-wise moves.
+//
+// A batched client update (many device deltas coalesced into one Prime
+// ordering round) gets one parent span plus one member span per
+// constituent delta. Members are allocated contiguously right after
+// each other, so the parent only stores (first_member, member_count)
+// and stage hooks fan out to members with an indexed loop — no extra
+// map lookups on the hot path. Member spans carry their own device and
+// kPlcChange time; every other stage is inherited from the parent.
 struct Span {
   static constexpr std::uint32_t kNoDevice = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kNoParent = 0xFFFFFFFFu;
 
   std::uint32_t client = 0;     // interned identity, see Tracer::client_name
   std::uint32_t device = kNoDevice;  // interned, see Tracer::device_name
   std::uint64_t client_seq = 0;
   std::uint64_t version = 0;    // SCADA state version that published it
+  std::uint32_t parent = kNoParent;  // span index of the batch parent
+  std::uint32_t first_member = 0;    // first member span index
+  std::uint32_t member_count = 0;    // batched deltas under this span
   // Earliest time per stage; valid only where hits[stage] > 0 (spans
   // can legitimately carry stage timestamps of 0 at sim start).
   std::array<std::uint64_t, static_cast<std::size_t>(Stage::kCount)> at{};
@@ -172,6 +184,14 @@ class Tracer {
   void proxy_report(const std::string& device, const std::string& client,
                     std::uint64_t client_seq,
                     const std::vector<bool>& breakers);
+  /// Proxy coalesced one device delta into the batch that will be
+  /// submitted as (client, client_seq): appends a member span under
+  /// that parent, tagged with the device and any pending field change.
+  /// All members of one batch must be added back-to-back (one flush
+  /// callback), before or after the parent's own stage hooks.
+  void proxy_batch_delta(const std::string& device, const std::string& client,
+                         std::uint64_t client_seq,
+                         const std::vector<bool>& breakers);
   void client_submit(const std::string& client, std::uint64_t client_seq);
   void replica_recv(const std::string& client, std::uint64_t client_seq);
   void po_request(const std::string& client, std::uint64_t client_seq);
@@ -207,6 +227,12 @@ class Tracer {
     std::uint64_t executed_complete = 0;  // … with the full ordered chain
     std::uint64_t displayed = 0;          // spans that reached kHmiDisplay
     std::uint64_t displayed_complete = 0; // … with the full PLC→HMI chain
+    // Per-delta accounting: batching must not mask a lost device
+    // change, so executed updates are also counted by constituent —
+    // each member of a batched span, and each unbatched device-tagged
+    // span, must individually carry a complete ordered chain.
+    std::uint64_t deltas_expected = 0;
+    std::uint64_t deltas_complete = 0;
   };
   /// Chain completeness. `from` is the first required stage for the
   /// executed chain (kSubmit when every client goes through
@@ -226,6 +252,9 @@ class Tracer {
                              std::uint64_t client_seq);
   Span* upsert(const std::string& client, std::uint64_t client_seq);
   void record(Span& span, Stage stage, std::uint64_t at);
+  /// record() on the span at `index` plus all its member spans.
+  void record_fan(std::uint32_t index, Stage stage, std::uint64_t at);
+  void record_display(Span& span, std::uint64_t at);
 
   static constexpr std::size_t kMaxSpans = 1u << 20;  // runaway-soak bound
   static constexpr std::size_t kPrefaultSpans = 1u << 15;  // ~5 MB

@@ -27,6 +27,9 @@ class ScadaClient {
     return signer_.identity();
   }
   [[nodiscard]] std::uint64_t updates_sent() const { return next_seq_ - 1; }
+  /// Sequence number the next send() will use. Lets callers create
+  /// tracer spans for a batch before handing it to send().
+  [[nodiscard]] std::uint64_t peek_seq() const { return next_seq_; }
 
   /// Signs and submits one SCADA payload as a Prime client update.
   std::uint64_t send(ScadaMsgType type, util::Bytes body) {

@@ -231,7 +231,7 @@ void CommercialHmi::handle_reply(const net::Datagram& dgram) {
     return;
   }
 
-  for (const auto& [device, new_state] : state.devices()) {
+  state.for_each([&](const std::string& device, const DeviceState& new_state) {
     const DeviceState* old_state = display_.device(device);
     for (std::size_t i = 0; i < new_state.breakers.size(); ++i) {
       const bool was =
@@ -241,7 +241,7 @@ void CommercialHmi::handle_reply(const net::Datagram& dgram) {
         if (observer_) observer_(device, i, new_state.breakers[i], sim_.now());
       }
     }
-  }
+  });
   display_ = std::move(state);
   version_ = msg->b;
 }

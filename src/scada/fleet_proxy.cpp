@@ -1,0 +1,125 @@
+#include "scada/fleet_proxy.hpp"
+
+#include "prime/messages.hpp"
+
+namespace spire::scada {
+
+FleetProxy::FleetProxy(sim::Simulator& sim, FleetProxyConfig config,
+                       const crypto::Keyring& keyring,
+                       crypto::Verifier replica_verifier,
+                       ScadaClient::SubmitFn submit)
+    : sim_(sim),
+      config_(std::move(config)),
+      log_("scada.fleet." + config_.identity),
+      replica_verifier_(std::move(replica_verifier)),
+      client_(config_.identity, keyring, std::move(submit)),
+      door_(config_.front_door),
+      batcher_(sim, config_.batch,
+               [this](std::vector<StatusReport>&& reports) {
+                 send_batch(std::move(reports));
+               }),
+      metrics_("scada.fleet." + config_.identity),
+      batch_fill_(obs::MetricsRegistry::current().histogram(
+          "scada.fleet." + config_.identity + ".batch_fill")) {
+  metrics_.counter("deltas_offered", &stats_.deltas_offered);
+  metrics_.counter("reports_sent", &stats_.reports_sent);
+  metrics_.counter("batches_sent", &stats_.batches_sent);
+  metrics_.counter("orders_received", &stats_.orders_received);
+  metrics_.counter("orders_rejected_sig", &stats_.orders_rejected_sig);
+  metrics_.counter("commands_forwarded", &stats_.commands_forwarded);
+  door_.bind(metrics_);
+}
+
+void FleetProxy::register_device(const std::string& device,
+                                 CommandFn on_command) {
+  auto& entry = devices_[device];
+  if (on_command) entry.on_command = std::move(on_command);
+}
+
+bool FleetProxy::ingest(const std::string& device, std::vector<bool> breakers,
+                        std::vector<std::uint16_t> readings,
+                        DeltaPriority priority) {
+  ++stats_.deltas_offered;
+  auto it = devices_.find(device);
+  if (it == devices_.end()) return false;
+  if (!door_.admit(priority, sim_.now(), batcher_.pending())) return false;
+
+  StatusReport report;
+  report.device = device;
+  report.report_seq = it->second.next_seq++;
+  report.breakers = std::move(breakers);
+  report.readings = std::move(readings);
+  batcher_.enqueue(std::move(report));
+  return true;
+}
+
+void FleetProxy::send_batch(std::vector<StatusReport>&& reports) {
+  if (reports.empty()) return;
+  batch_fill_->record(reports.size());
+  if (reports.size() == 1) {
+    StatusReport report = std::move(reports.front());
+    ++stats_.reports_sent;
+    const std::uint64_t seq =
+        client_.send(ScadaMsgType::kStatusReport, report.encode());
+    if (auto* tracer = obs::Tracer::current()) {
+      tracer->proxy_report(report.device, client_.identity(), seq,
+                           report.breakers);
+    }
+    return;
+  }
+
+  BatchReport batch;
+  batch.reports = std::move(reports);
+  if (auto* tracer = obs::Tracer::current()) {
+    // Member spans must exist before client_submit fans out to them.
+    const std::uint64_t seq = client_.peek_seq();
+    for (const auto& report : batch.reports) {
+      tracer->proxy_batch_delta(report.device, client_.identity(), seq,
+                                report.breakers);
+    }
+  }
+  stats_.reports_sent += batch.reports.size();
+  ++stats_.batches_sent;
+  client_.send(ScadaMsgType::kBatchReport, batch.encode());
+}
+
+void FleetProxy::on_master_output(std::span<const std::uint8_t> data) {
+  const auto output = MasterOutput::decode(data);
+  if (!output || output->type != ScadaMsgType::kCommandOrder) return;
+  const auto order = CommandOrder::decode(output->body);
+  if (!order) return;
+  handle_order(*order);
+}
+
+void FleetProxy::handle_order(const CommandOrder& order) {
+  ++stats_.orders_received;
+  const std::string identity = prime::replica_identity(order.replica);
+  if (!order.verify(replica_verifier_, identity)) {
+    ++stats_.orders_rejected_sig;
+    return;
+  }
+  const auto device = devices_.find(order.command.device);
+  if (device == devices_.end()) return;
+
+  const auto key = std::make_pair(order.issuer, order.command.command_id);
+  if (executed_orders_.count(key)) return;
+
+  auto& votes = order_votes_[key];
+  votes[order.replica] = order.command;
+
+  std::uint32_t matching = 0;
+  const util::Bytes canonical = order.command.encode();
+  for (const auto& [replica, command] : votes) {
+    if (command.encode() == canonical) ++matching;
+  }
+  if (matching < config_.f + 1) return;
+
+  executed_orders_.insert(key);
+  order_votes_.erase(key);
+  ++stats_.commands_forwarded;
+  if (device->second.on_command) {
+    device->second.on_command(order.command.breaker, order.command.close);
+  }
+}
+
+}  // namespace spire::scada

@@ -6,10 +6,20 @@
 // per breaker — the hook the plant measurement device used (§V): a box
 // on the screen flipped black/white with a breaker, and sensors timed
 // the change.
+//
+// State arrives either as full snapshots or — the steady-state path at
+// fleet scale — as deltas covering only the devices that changed since
+// the previous publication. Delta records carry absolute device
+// states, so a delta is applicable whenever the displayed version is
+// at least its base version. An HMI that missed the base (restart,
+// shed messages) asks the masters for a full snapshot with a
+// rate-limited ResyncRequest and keeps the pending delta votes; they
+// are re-examined after every adoption.
 #pragma once
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 
 #include "crypto/keyring.hpp"
@@ -25,12 +35,17 @@ namespace spire::scada {
 struct HmiConfig {
   std::string identity;  ///< e.g. "client/hmi-control-room"
   std::uint32_t f = 1;
+  /// Minimum spacing between ResyncRequests (masters answer each one
+  /// with a full snapshot — keep a confused HMI from flooding them).
+  sim::Time resync_min_interval = sim::kSecond;
 };
 
 struct HmiStats {
   std::uint64_t updates_received = 0;
   std::uint64_t updates_rejected_sig = 0;
   std::uint64_t versions_displayed = 0;
+  std::uint64_t deltas_applied = 0;
+  std::uint64_t resyncs_requested = 0;
   std::uint64_t commands_issued = 0;
 };
 
@@ -72,7 +87,26 @@ class Hmi {
   void reset_display();
 
  private:
-  void adopt(std::uint64_t version, const TopologyState& state);
+  /// One (version, content) vote bucket. The state bytes are stored
+  /// once per distinct content, not once per replica — at fleet scale
+  /// an update is KBs and f+1 copies per version would dominate HMI
+  /// memory.
+  struct Vote {
+    std::uint8_t kind = StateUpdate::kFull;
+    std::uint64_t base_version = 0;
+    util::Bytes state;
+    std::set<std::uint32_t> replicas;
+  };
+
+  void try_adopt();
+  void adopt_full(std::uint64_t version, const TopologyState& state);
+  bool adopt_delta(std::uint64_t version, const util::Bytes& payload);
+  void finish_adopt(std::uint64_t version);
+  void request_resync();
+
+  /// Pending-vote bound; beyond this the oldest bucket is dropped and a
+  /// resync requested instead of buffering without limit.
+  static constexpr std::size_t kMaxPendingVotes = 512;
 
   sim::Simulator& sim_;
   HmiConfig config_;
@@ -83,11 +117,12 @@ class Hmi {
   TopologyState display_;
   std::uint64_t version_ = 0;
   sim::Time last_change_ = 0;
+  sim::Time last_resync_ = 0;
+  bool resync_requested_ = false;
   std::uint64_t next_command_id_ = 1;
 
-  /// version -> state digest -> replicas that vouched.
-  std::map<std::uint64_t, std::map<crypto::Digest, std::map<std::uint32_t, util::Bytes>>>
-      votes_;
+  /// version -> content digest (over kind+base+state) -> vote.
+  std::map<std::uint64_t, std::map<crypto::Digest, Vote>> votes_;
 
   HmiStats stats_;
   obs::Binder metrics_;  ///< exposes stats_ in the metrics registry

@@ -1,12 +1,24 @@
 // Replicated SCADA master (the application on top of Prime).
 //
 // Each Prime replica hosts one ScadaMaster. Ordered client updates are
-// either field-state reports (from PLC proxies) or supervisory
-// commands (from HMIs / the automatic cycling tool). The master keeps
-// the replicated topology state, emits a signed CommandOrder toward
-// the owning proxy for every ordered command, and pushes a signed,
-// versioned StateUpdate to every HMI after every applied update —
-// outputs that the receivers only act on after f+1 replicas agree.
+// field-state reports (single or batched, from PLC/fleet proxies),
+// supervisory commands (from HMIs / the automatic cycling tool), or
+// HMI resync requests. The master keeps the replicated topology state,
+// emits a signed CommandOrder toward the owning proxy for every
+// ordered command, and publishes signed, versioned StateUpdates to the
+// HMIs — outputs that the receivers only act on after f+1 replicas
+// agree.
+//
+// Publication is delta-first: after the initial full snapshot, a
+// publication serializes only the devices whose shard changed-bits are
+// set since the previous publication (TopologyState::serialize_changes)
+// — at fleet scale this is KBs instead of MBs per push. Because every
+// replica applies the same ordered updates to the same sharded image,
+// the delta bytes are byte-identical across replicas and the HMIs'
+// f+1 output voting works on deltas exactly as it did on full states.
+// The publish decision itself is O(1): a visible-change flag
+// accumulated from apply_report return values replaces the old
+// O(devices) display-digest comparison.
 //
 // Paper §III-A property: the master's state is rebuildable from the
 // field devices. A master restarted with empty state converges to the
@@ -31,6 +43,10 @@ struct MasterConfig {
   std::map<std::string, std::string> device_proxy;
   /// HMI client identities to push state updates to.
   std::vector<std::string> hmis;
+  /// Publish at most once per this many versions (1 = every eligible
+  /// version; larger values let fleet deployments trade HMI freshness
+  /// for fewer signatures).
+  std::uint64_t publish_min_versions = 1;
 };
 
 class ScadaMaster : public prime::Application {
@@ -55,12 +71,26 @@ class ScadaMaster : public prime::Application {
   [[nodiscard]] std::uint64_t commands_ordered() const {
     return commands_ordered_;
   }
+  /// Counts constituent device reports: a batch of 40 deltas counts 40.
   [[nodiscard]] std::uint64_t reports_applied() const {
     return reports_applied_;
+  }
+  [[nodiscard]] std::uint64_t batches_applied() const {
+    return batches_applied_;
+  }
+  [[nodiscard]] std::uint64_t deltas_published() const {
+    return deltas_published_;
+  }
+  [[nodiscard]] std::uint64_t fulls_published() const {
+    return fulls_published_;
+  }
+  [[nodiscard]] std::uint64_t resyncs_served() const {
+    return resyncs_served_;
   }
 
  private:
   void push_state_to_hmis();
+  void send_full_to(const std::string& client);
 
   MasterConfig config_;
   crypto::Signer signer_;
@@ -69,11 +99,18 @@ class ScadaMaster : public prime::Application {
   std::uint64_t version_ = 0;
   std::uint64_t commands_ordered_ = 0;
   std::uint64_t reports_applied_ = 0;
+  std::uint64_t batches_applied_ = 0;
+  std::uint64_t deltas_published_ = 0;
+  std::uint64_t fulls_published_ = 0;
+  std::uint64_t resyncs_served_ = 0;
   // Deterministic HMI push throttle (identical decisions at every
-  // replica because state and version are identical): push when the
-  // rendered state changes, and at least every kPushEvery versions.
+  // replica because state and version are identical): push when an
+  // operator-visible field changed, and at least every kPushEvery
+  // versions as a heartbeat.
   static constexpr std::uint64_t kPushEvery = 8;
-  crypto::Digest last_pushed_digest_{};
+  bool visible_since_push_ = false;
+  bool full_next_push_ = true;  ///< first publication is a full snapshot
+  bool published_this_update_ = false;
   std::uint64_t last_pushed_version_ = 0;
 };
 

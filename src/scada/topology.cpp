@@ -2,6 +2,34 @@
 
 namespace spire::scada {
 
+namespace {
+
+void put_device_record(util::ByteWriter& w, const DeviceState& state) {
+  w.u64(state.last_report_seq);
+  w.boolean(state.online);
+  w.u32(static_cast<std::uint32_t>(state.breakers.size()));
+  for (const bool b : state.breakers) w.boolean(b);
+  w.u32(static_cast<std::uint32_t>(state.readings.size()));
+  for (const auto v : state.readings) w.u16(v);
+}
+
+DeviceState get_device_record(util::ByteReader& r) {
+  DeviceState d;
+  d.last_report_seq = r.u64();
+  d.online = r.boolean();
+  const std::uint32_t nb = r.u32();
+  if (nb > 65536) throw util::SerializationError("absurd breaker count");
+  d.breakers.resize(nb);
+  for (std::uint32_t b = 0; b < nb; ++b) d.breakers[b] = r.boolean();
+  const std::uint32_t nr = r.u32();
+  if (nr > 65536) throw util::SerializationError("absurd reading count");
+  d.readings.resize(nr);
+  for (std::uint32_t v = 0; v < nr; ++v) d.readings[v] = r.u16();
+  return d;
+}
+
+}  // namespace
+
 const DeviceSpec* ScenarioSpec::device(const std::string& name) const {
   for (const auto& d : devices) {
     if (d.name == name) return &d;
@@ -70,20 +98,43 @@ ScenarioSpec ScenarioSpec::power_plant() {
   return spec;
 }
 
-void TopologyState::register_device(const std::string& name,
-                                    std::size_t breaker_count) {
+ScenarioSpec ScenarioSpec::fleet(std::size_t devices,
+                                 std::size_t breakers_per_device) {
+  ScenarioSpec spec;
+  spec.name = "fleet-" + std::to_string(devices);
+  spec.devices.reserve(devices);
+  for (std::size_t i = 0; i < devices; ++i) {
+    DeviceSpec d;
+    d.name = "fd" + std::to_string(i);
+    for (std::size_t b = 0; b < breakers_per_device; ++b) {
+      d.breaker_names.push_back("F" + std::to_string(i) + "-" +
+                                std::to_string(b));
+    }
+    spec.devices.push_back(std::move(d));
+  }
+  return spec;
+}
+
+std::uint32_t TopologyState::register_device(const std::string& name,
+                                             std::size_t breaker_count) {
+  const auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+  const auto handle = static_cast<std::uint32_t>(states_.size());
   DeviceState state;
   state.breakers.assign(breaker_count, false);
   state.readings.assign(breaker_count, 0);
-  devices_.emplace(name, std::move(state));
+  states_.push_back(std::move(state));
+  names_.push_back(name);
+  index_.emplace(name, handle);
+  if ((handle >> kShardBits) >= changed_.size()) changed_.push_back(0);
+  return handle;
 }
 
 TopologyState::TopologyState(const ScenarioSpec& spec) {
+  states_.reserve(spec.devices.size());
+  names_.reserve(spec.devices.size());
   for (const auto& d : spec.devices) {
-    DeviceState state;
-    state.breakers.assign(d.breaker_names.size(), false);
-    state.readings.assign(d.breaker_names.size(), 0);
-    devices_.emplace(d.name, std::move(state));
+    register_device(d.name, d.breaker_names.size());
   }
 }
 
@@ -91,21 +142,28 @@ bool TopologyState::apply_report(const std::string& device,
                                  std::uint64_t report_seq,
                                  const std::vector<bool>& breakers,
                                  const std::vector<std::uint16_t>& readings) {
-  const auto it = devices_.find(device);
-  if (it == devices_.end()) return false;
-  DeviceState& state = it->second;
+  const auto it = index_.find(device);
+  if (it == index_.end()) return false;
+  const std::uint32_t h = it->second;
+  DeviceState& state = states_[h];
   if (report_seq <= state.last_report_seq) return false;
   const bool changed = state.breakers != breakers || !state.online;
   state.breakers = breakers;
   state.readings = readings;
   state.last_report_seq = report_seq;
   state.online = true;
+  changed_[h >> kShardBits] |= std::uint64_t{1} << (h & (kShardSize - 1));
   return changed;
 }
 
 const DeviceState* TopologyState::device(const std::string& name) const {
-  const auto it = devices_.find(name);
-  return it == devices_.end() ? nullptr : &it->second;
+  const auto it = index_.find(name);
+  return it == index_.end() ? nullptr : &states_[it->second];
+}
+
+std::uint32_t TopologyState::handle(const std::string& name) const {
+  const auto it = index_.find(name);
+  return it == index_.end() ? kNoDevice : it->second;
 }
 
 std::optional<bool> TopologyState::breaker(const std::string& device,
@@ -117,15 +175,10 @@ std::optional<bool> TopologyState::breaker(const std::string& device,
 
 util::Bytes TopologyState::serialize() const {
   util::ByteWriter w;
-  w.u32(static_cast<std::uint32_t>(devices_.size()));
-  for (const auto& [name, state] : devices_) {
-    w.str(name);
-    w.u64(state.last_report_seq);
-    w.boolean(state.online);
-    w.u32(static_cast<std::uint32_t>(state.breakers.size()));
-    for (const bool b : state.breakers) w.boolean(b);
-    w.u32(static_cast<std::uint32_t>(state.readings.size()));
-    for (const auto v : state.readings) w.u16(v);
+  w.u32(static_cast<std::uint32_t>(states_.size()));
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    w.str(names_[i]);
+    put_device_record(w, states_[i]);
   }
   return w.take();
 }
@@ -134,21 +187,14 @@ TopologyState TopologyState::deserialize(std::span<const std::uint8_t> data) {
   util::ByteReader r(data);
   TopologyState state;
   const std::uint32_t count = r.u32();
-  if (count > 65536) throw util::SerializationError("absurd device count");
+  if (count > (1u << 20)) throw util::SerializationError("absurd device count");
+  state.states_.reserve(count);
+  state.names_.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
     const std::string name = r.str();
-    DeviceState d;
-    d.last_report_seq = r.u64();
-    d.online = r.boolean();
-    const std::uint32_t nb = r.u32();
-    if (nb > 65536) throw util::SerializationError("absurd breaker count");
-    d.breakers.resize(nb);
-    for (std::uint32_t b = 0; b < nb; ++b) d.breakers[b] = r.boolean();
-    const std::uint32_t nr = r.u32();
-    if (nr > 65536) throw util::SerializationError("absurd reading count");
-    d.readings.resize(nr);
-    for (std::uint32_t v = 0; v < nr; ++v) d.readings[v] = r.u16();
-    state.devices_.emplace(name, std::move(d));
+    const std::uint32_t h = state.register_device(name, 0);
+    if (h != i) throw util::SerializationError("duplicate device name");
+    state.states_[h] = get_device_record(r);
   }
   r.expect_done();
   return state;
@@ -160,12 +206,87 @@ crypto::Digest TopologyState::digest() const {
 
 crypto::Digest TopologyState::display_digest() const {
   util::ByteWriter w;
-  for (const auto& [name, state] : devices_) {
-    w.str(name);
-    w.boolean(state.online);
-    for (const bool b : state.breakers) w.boolean(b);
+  for (std::size_t i = 0; i < states_.size(); ++i) {
+    w.str(names_[i]);
+    w.boolean(states_[i].online);
+    for (const bool b : states_[i].breakers) w.boolean(b);
   }
   return crypto::sha256(w.bytes());
+}
+
+bool TopologyState::has_changes() const {
+  for (const std::uint64_t mask : changed_) {
+    if (mask != 0) return true;
+  }
+  return false;
+}
+
+std::size_t TopologyState::changed_count() const {
+  std::size_t n = 0;
+  for (const std::uint64_t mask : changed_) {
+    n += static_cast<std::size_t>(__builtin_popcountll(mask));
+  }
+  return n;
+}
+
+util::Bytes TopologyState::serialize_changes() const {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(changed_count()));
+  for (std::size_t s = 0; s < changed_.size(); ++s) {
+    std::uint64_t mask = changed_[s];
+    while (mask != 0) {
+      const auto bit = static_cast<std::uint32_t>(__builtin_ctzll(mask));
+      mask &= mask - 1;
+      const auto h = static_cast<std::uint32_t>((s << kShardBits) + bit);
+      w.u32(h);
+      put_device_record(w, states_[h]);
+    }
+  }
+  return w.take();
+}
+
+void TopologyState::clear_changes() {
+  for (std::uint64_t& mask : changed_) mask = 0;
+}
+
+void TopologyState::mark_all_changed() {
+  if (changed_.empty()) return;
+  for (std::uint64_t& mask : changed_) mask = ~std::uint64_t{0};
+  // Trim the final partial shard to registered devices.
+  const std::size_t tail = states_.size() & (kShardSize - 1);
+  if (tail != 0) {
+    changed_.back() = (std::uint64_t{1} << tail) - 1;
+  }
+}
+
+void TopologyState::set_changed_masks(std::vector<std::uint64_t> masks) {
+  masks.resize(changed_.size(), 0);
+  changed_ = std::move(masks);
+}
+
+void TopologyState::apply_delta(std::span<const std::uint8_t> data,
+                                const BreakerChangeFn& on_breaker_change) {
+  util::ByteReader r(data);
+  const std::uint32_t count = r.u32();
+  if (count > (1u << 20)) throw util::SerializationError("absurd delta count");
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t h = r.u32();
+    if (h >= states_.size()) {
+      throw util::SerializationError("unknown device handle in delta");
+    }
+    DeviceState next = get_device_record(r);
+    DeviceState& cur = states_[h];
+    if (on_breaker_change) {
+      const std::size_t n = next.breakers.size();
+      for (std::size_t b = 0; b < n; ++b) {
+        const bool was = b < cur.breakers.size() && cur.breakers[b];
+        if (was != next.breakers[b]) on_breaker_change(h, b, next.breakers[b]);
+      }
+    }
+    cur = std::move(next);
+    changed_[h >> kShardBits] |= std::uint64_t{1} << (h & (kShardSize - 1));
+  }
+  r.expect_done();
 }
 
 }  // namespace spire::scada

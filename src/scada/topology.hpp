@@ -7,12 +7,21 @@
 //  * power plant (§V): the three-breaker subset (B10-1, B57, B56) the
 //    plant engineers wired to real switchgear, the same ten emulated
 //    distribution PLCs, and six new emulated generation PLCs.
+//
+// Plus the fleet scenario (ROADMAP item 2): a grid operator runs tens
+// of thousands of field devices, so the master's device image is
+// sharded — devices are interned to dense handles at registration
+// (same trick as the overlay's NodeTable), fixed-size shards of 64
+// devices carry a changed-device bitmask, and state publication
+// serializes only the shards a delta actually touched instead of the
+// whole image.
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <functional>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "crypto/sha256.hpp"
@@ -41,6 +50,10 @@ struct ScenarioSpec {
   static ScenarioSpec red_team();
   /// The §V power-plant scenario.
   static ScenarioSpec power_plant();
+  /// Synthetic fleet of `devices` emulated field devices ("fd0"…),
+  /// `breakers_per_device` breakers each — the 10k-device scale-out.
+  static ScenarioSpec fleet(std::size_t devices,
+                            std::size_t breakers_per_device = 2);
 };
 
 /// Per-device state as known by the SCADA master.
@@ -54,28 +67,56 @@ struct DeviceState {
 /// The SCADA master's replicated view of the whole topology.
 /// Deterministically serializable so replicas can vote on it and
 /// checkpoint it.
+///
+/// Devices live in a dense handle-indexed array (handle = registration
+/// order). Shards of kShardSize consecutive handles each carry a
+/// changed-device bitmask: apply_report flips one bit, and
+/// serialize_changes() walks only non-zero masks, so building a delta
+/// state publication is O(changed devices), not O(fleet).
 class TopologyState {
  public:
+  static constexpr std::size_t kShardBits = 6;
+  static constexpr std::size_t kShardSize = std::size_t{1} << kShardBits;
+  static constexpr std::uint32_t kNoDevice = 0xFFFFFFFFu;
+
   TopologyState() = default;
   explicit TopologyState(const ScenarioSpec& spec);
 
   /// Registers a device not described by a ScenarioSpec (used by the
-  /// commercial baseline, which is configured by device links).
-  void register_device(const std::string& name, std::size_t breaker_count);
+  /// commercial baseline, which is configured by device links). Returns
+  /// the device's dense handle (existing handle if already registered).
+  std::uint32_t register_device(const std::string& name,
+                                std::size_t breaker_count);
 
-  /// Applies a field report; returns true if anything changed. Reports
-  /// older than the last seen sequence for the device are ignored
-  /// (late/replayed poll results).
+  /// Applies a field report; returns true if anything operator-visible
+  /// changed (breaker positions or online flag). Reports older than the
+  /// last seen sequence for the device are ignored (late/replayed poll
+  /// results). Any accepted report marks the device changed for the
+  /// next delta publication.
   bool apply_report(const std::string& device, std::uint64_t report_seq,
                     const std::vector<bool>& breakers,
                     const std::vector<std::uint16_t>& readings);
 
   [[nodiscard]] const DeviceState* device(const std::string& name) const;
-  [[nodiscard]] const std::map<std::string, DeviceState>& devices() const {
-    return devices_;
+  [[nodiscard]] const DeviceState* device_by_handle(std::uint32_t handle) const {
+    return handle < states_.size() ? &states_[handle] : nullptr;
   }
   [[nodiscard]] std::optional<bool> breaker(const std::string& device,
                                             std::size_t index) const;
+
+  [[nodiscard]] std::uint32_t handle(const std::string& name) const;
+  [[nodiscard]] const std::string& name(std::uint32_t handle) const {
+    return names_[handle];
+  }
+  [[nodiscard]] std::size_t device_count() const { return states_.size(); }
+  [[nodiscard]] std::size_t shard_count() const { return changed_.size(); }
+
+  /// Visits every device in registration order: fn(name, state).
+  void for_each(
+      const std::function<void(const std::string&, const DeviceState&)>& fn)
+      const {
+    for (std::size_t i = 0; i < states_.size(); ++i) fn(names_[i], states_[i]);
+  }
 
   [[nodiscard]] util::Bytes serialize() const;
   static TopologyState deserialize(std::span<const std::uint8_t> data);
@@ -86,8 +127,44 @@ class TopologyState {
   /// decide whether an HMI push is worth sending.
   [[nodiscard]] crypto::Digest display_digest() const;
 
+  // --- delta publication ------------------------------------------------
+  /// True when any device changed since the last clear_changes().
+  [[nodiscard]] bool has_changes() const;
+  /// Number of devices currently marked changed.
+  [[nodiscard]] std::size_t changed_count() const;
+
+  /// Serializes absolute records for every changed device, walking only
+  /// shards whose bitmask is non-zero. Does not clear the marks.
+  [[nodiscard]] util::Bytes serialize_changes() const;
+  void clear_changes();
+  void mark_all_changed();
+
+  /// Per-shard changed bitmasks; exposed so the master can carry them
+  /// through snapshot/restore and a recovered replica resumes emitting
+  /// byte-identical delta publications.
+  [[nodiscard]] const std::vector<std::uint64_t>& changed_masks() const {
+    return changed_;
+  }
+  void set_changed_masks(std::vector<std::uint64_t> masks);
+
+  /// Fired for each breaker whose displayed position a delta flips:
+  /// (handle, breaker index, now closed).
+  using BreakerChangeFn =
+      std::function<void(std::uint32_t, std::size_t, bool)>;
+
+  /// Applies a serialize_changes() payload produced by a state with the
+  /// same registration order (records are absolute, so re-applying an
+  /// already-covered delta is idempotent). Throws SerializationError on
+  /// malformed input or a device handle this state doesn't know — the
+  /// HMI treats that as "my base is stale, request a resync".
+  void apply_delta(std::span<const std::uint8_t> data,
+                   const BreakerChangeFn& on_breaker_change = {});
+
  private:
-  std::map<std::string, DeviceState> devices_;
+  std::vector<DeviceState> states_;  // dense, handle-indexed
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, std::uint32_t> index_;
+  std::vector<std::uint64_t> changed_;  // one bit per device, per shard
 };
 
 }  // namespace spire::scada

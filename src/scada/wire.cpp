@@ -78,6 +78,44 @@ std::optional<SupervisoryCommand> SupervisoryCommand::decode(
   });
 }
 
+util::Bytes BatchReport::encode() const {
+  util::ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(reports.size()));
+  for (const auto& report : reports) w.blob(report.encode());
+  return w.take();
+}
+
+std::optional<BatchReport> BatchReport::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<BatchReport>(data, [](util::ByteReader& r) {
+    BatchReport b;
+    const std::uint32_t n = r.u32();
+    if (n > 65536) throw util::SerializationError("absurd batch count");
+    b.reports.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const auto report = StatusReport::decode(r.blob_span());
+      if (!report) throw util::SerializationError("bad batched report");
+      b.reports.push_back(*report);
+    }
+    return b;
+  });
+}
+
+util::Bytes ResyncRequest::encode() const {
+  util::ByteWriter w;
+  w.u64(displayed_version);
+  return w.take();
+}
+
+std::optional<ResyncRequest> ResyncRequest::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded<ResyncRequest>(data, [](util::ByteReader& r) {
+    ResyncRequest q;
+    q.displayed_version = r.u64();
+    return q;
+  });
+}
+
 util::Bytes ClientPayload::encode() const {
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(type));
@@ -90,7 +128,7 @@ std::optional<ClientPayload> ClientPayload::decode(
   return guarded<ClientPayload>(data, [](util::ByteReader& r) {
     ClientPayload p;
     const std::uint8_t t = r.u8();
-    if (t < 1 || t > 4) throw util::SerializationError("bad scada type");
+    if (t < 1 || t > 6) throw util::SerializationError("bad scada type");
     p.type = static_cast<ScadaMsgType>(t);
     p.body = r.blob();
     return p;
@@ -140,6 +178,8 @@ util::Bytes StateUpdate::signed_bytes() const {
   util::ByteWriter w;
   w.u32(replica);
   w.u64(version);
+  w.u8(kind);
+  w.u64(base_version);
   w.blob(state);
   return w.take();
 }
@@ -166,6 +206,11 @@ std::optional<StateUpdate> StateUpdate::decode(
     StateUpdate s;
     s.replica = r.u32();
     s.version = r.u64();
+    s.kind = r.u8();
+    if (s.kind > StateUpdate::kDelta) {
+      throw util::SerializationError("bad state-update kind");
+    }
+    s.base_version = r.u64();
     s.state = r.blob();
     s.sig = crypto::Signature::decode(r);
     return s;
@@ -184,7 +229,7 @@ std::optional<MasterOutput> MasterOutput::decode(
   return guarded<MasterOutput>(data, [](util::ByteReader& r) {
     MasterOutput m;
     const std::uint8_t t = r.u8();
-    if (t < 1 || t > 4) throw util::SerializationError("bad output type");
+    if (t < 1 || t > 6) throw util::SerializationError("bad output type");
     m.type = static_cast<ScadaMsgType>(t);
     m.body = r.blob();
     return m;

@@ -24,6 +24,8 @@ enum class ScadaMsgType : std::uint8_t {
   kSupervisoryCommand = 2, ///< HMI/cycler -> masters: operator action
   kCommandOrder = 3,       ///< masters -> proxy: forward command to PLC
   kStateUpdate = 4,        ///< masters -> HMI: topology state
+  kBatchReport = 5,        ///< proxy -> masters: many coalesced reports
+  kResyncRequest = 6,      ///< HMI -> masters: delta base missing, full please
 };
 
 /// Field-state report for one device, produced by its proxy each poll.
@@ -46,6 +48,28 @@ struct SupervisoryCommand {
 
   [[nodiscard]] util::Bytes encode() const;
   static std::optional<SupervisoryCommand> decode(
+      std::span<const std::uint8_t> data);
+};
+
+/// Many StatusReports coalesced by a proxy's delta batcher into one
+/// Prime client update: one ordering round and one signature amortized
+/// across every device change that arrived inside the batch window.
+struct BatchReport {
+  std::vector<StatusReport> reports;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<BatchReport> decode(std::span<const std::uint8_t> data);
+};
+
+/// HMI -> masters: the HMI's displayed version is too old to apply a
+/// delta StateUpdate (it missed the base); masters answer the sender
+/// with a full snapshot. Ordered through Prime so every replica serves
+/// the same version and the f+1 vote still works.
+struct ResyncRequest {
+  std::uint64_t displayed_version = 0;
+
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<ResyncRequest> decode(
       std::span<const std::uint8_t> data);
 };
 
@@ -77,10 +101,20 @@ struct CommandOrder {
 
 /// Replica -> HMI: versioned topology state. The HMI renders a version
 /// once f+1 replicas sent byte-identical state at that version.
+///
+/// `kind` selects the payload: kFull carries the whole serialized
+/// TopologyState; kDelta carries TopologyState::serialize_changes()
+/// bytes covering every device that changed since `base_version` (the
+/// previous publication). Delta records are absolute device states, so
+/// any HMI whose displayed version is >= base_version can apply them.
 struct StateUpdate {
+  enum Kind : std::uint8_t { kFull = 0, kDelta = 1 };
+
   std::uint32_t replica = 0;
   std::uint64_t version = 0;
-  util::Bytes state;  ///< serialized TopologyState
+  std::uint8_t kind = kFull;
+  std::uint64_t base_version = 0;  ///< meaningful for kDelta only
+  util::Bytes state;  ///< serialized TopologyState or changes payload
   crypto::Signature sig;
 
   [[nodiscard]] util::Bytes signed_bytes() const;

@@ -18,6 +18,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "scada/deployment.hpp"
+#include "scada/front_door.hpp"
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 
@@ -378,6 +379,97 @@ TEST(Tracer, EveryExecutedUpdateHasACompleteSpanChain) {
       EXPECT_FALSE(leg.samples_ms.empty()) << name;
     }
   }
+}
+
+TEST(MetricsHotPath, FrontDoorAdmitIsAllocationFreeAndSnapshotDeterministic) {
+  auto run_once = [](std::uint64_t* alloc_delta) {
+    obs::ScopedRegistry scope;
+    scada::FrontDoorConfig config;
+    config.rate_per_sec = 1000;
+    config.burst = 16;
+    config.queue_capacity = 64;
+    config.shed_watermark = 32;
+    scada::FrontDoor door(config);
+    obs::Binder binder("scada.proxy.fd0");
+    door.bind(binder);
+
+    const std::uint64_t before = g_alloc_count.load();
+    for (std::uint64_t i = 0; i < 50000; ++i) {
+      const auto priority = (i % 7 == 0) ? scada::DeltaPriority::kCritical
+                                         : scada::DeltaPriority::kTelemetry;
+      door.admit(priority, i, i % 70);
+    }
+    *alloc_delta = g_alloc_count.load() - before;
+    EXPECT_GT(door.stats().admitted, 0u);
+    EXPECT_GT(door.stats().shed_rate, 0u);
+    EXPECT_GT(door.stats().shed_overload, 0u);
+    return obs::MetricsRegistry::current().snapshot_json();
+  };
+  std::uint64_t alloc_a = 0, alloc_b = 0;
+  const std::string snap_a = run_once(&alloc_a);
+  const std::string snap_b = run_once(&alloc_b);
+  EXPECT_EQ(alloc_a, 0u) << "front-door admit path allocated";
+  EXPECT_EQ(alloc_b, 0u);
+  EXPECT_EQ(snap_a, snap_b) << "front-door counters not deterministic";
+  EXPECT_NE(snap_a.find("scada.proxy.fd0.fd_admitted"), std::string::npos);
+  EXPECT_NE(snap_a.find("scada.proxy.fd0.fd_queued_high_water"),
+            std::string::npos);
+}
+
+TEST(Tracer, BatchedDeltasFanStagesToMemberSpans) {
+  obs::ScopedRegistry registry_scope;
+  std::uint64_t now = 0;
+  static std::uint64_t* now_ptr;
+  now_ptr = &now;
+  obs::ScopedTracer scope([] { return *now_ptr; });
+  obs::Tracer& tracer = scope.tracer();
+
+  const std::string client = "client/proxy-fleet0";
+  // Field changes happen first, then the proxy coalesces three device
+  // deltas into the batch submitted as (client, seq 1).
+  now = 10;
+  tracer.plc_change("fd0", 0);
+  tracer.plc_change("fd2", 1);
+  now = 20;
+  tracer.proxy_batch_delta("fd0", client, 1, {false, true});
+  tracer.proxy_batch_delta("fd1", client, 1, {true, true});
+  tracer.proxy_batch_delta("fd2", client, 1, {true, false});
+  tracer.client_submit(client, 1);
+  now = 30;
+  tracer.replica_recv(client, 1);
+  tracer.po_request(client, 1);
+  now = 40;
+  tracer.executed(client, 1, 32, 36);
+  tracer.master_publish(7, client, 1);
+  now = 50;
+  tracer.hmi_recv(7);
+  tracer.hmi_display(7);
+
+  // One parent + three members.
+  ASSERT_EQ(tracer.spans().size(), 4u);
+  const auto& spans = tracer.spans();
+  EXPECT_EQ(spans[0].member_count, 3u);
+  for (std::size_t i = 1; i < 4; ++i) {
+    EXPECT_EQ(spans[i].parent, 0u);
+    // Every pipeline stage fanned out to the member.
+    EXPECT_NE(spans[i].at[static_cast<std::size_t>(obs::Stage::kExecute)], 0u);
+    EXPECT_NE(spans[i].at[static_cast<std::size_t>(obs::Stage::kHmiDisplay)],
+              0u);
+  }
+  // Members with a pending field change carry its timestamp.
+  EXPECT_EQ(spans[1].at[static_cast<std::size_t>(obs::Stage::kPlcChange)], 10u);
+  EXPECT_EQ(spans[2].at[static_cast<std::size_t>(obs::Stage::kPlcChange)], 0u);
+  EXPECT_EQ(spans[3].at[static_cast<std::size_t>(obs::Stage::kPlcChange)], 10u);
+
+  const obs::Tracer::Completeness c = tracer.completeness();
+  // Members never double-count the update-level tallies.
+  EXPECT_EQ(c.executed, 1u);
+  EXPECT_EQ(c.executed_complete, 1u);
+  EXPECT_EQ(c.displayed, 1u);
+  EXPECT_EQ(c.displayed_complete, 1u);
+  // Per-constituent chain accounting: all three deltas completed.
+  EXPECT_EQ(c.deltas_expected, 3u);
+  EXPECT_EQ(c.deltas_complete, 3u);
 }
 
 TEST(Tracer, WriteJsonlEmitsOneObjectPerSpan) {
