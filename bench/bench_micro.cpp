@@ -25,6 +25,10 @@
 //   overlay_lsu_churn      accepted LSUs/sec while overlay links flap,
 //                          plus route recomputations per accepted LSU
 //                          (coalescing quality; lower is better)
+//   overlay_incremental_spf
+//                          route recomputes/sec through SpfEngine under
+//                          single-link churn on a 256-node graph, plus
+//                          the share served incrementally (vs full BFS)
 //   obs_overhead           % of uninstrumented throughput retained with
 //                          the metrics registry + tracer enabled on the
 //                          prime_update_ordering and overlay_forward
@@ -44,6 +48,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -68,6 +73,7 @@
 #include "sim/rng.hpp"
 #include "sim/simulator.hpp"
 #include "spines/overlay.hpp"
+#include "spines/spf.hpp"
 
 using namespace spire;
 
@@ -880,6 +886,77 @@ MicroResult run_overlay_lsu_churn() {
   return r;
 }
 
+/// Incremental-SPF repair rate: drives SpfEngine directly (no network,
+/// no daemons) on a 256-node ring-with-chords, flipping one random
+/// confirmed edge per recompute — the wide-area steady state where a
+/// 500-daemon overlay sees single-link LSU churn. Reports recomputes
+/// per second plus the share that ran incrementally (the ISSUE gate
+/// keeps full-BFS fallbacks <= 0.1 of recomputes) and the mean region
+/// size each repair settled.
+MicroResult run_overlay_spf_incremental() {
+  constexpr std::size_t kNodes = 256;
+  std::vector<std::set<spines::NodeHandle>> adv(kNodes);
+  spines::SpfEngine engine;
+  engine.attach_self(0);
+  engine.ensure_nodes(kNodes);
+
+  sim::Rng rng(20260807);
+  auto connect = [&](spines::NodeHandle a, spines::NodeHandle b) {
+    adv[a].insert(b);
+    adv[b].insert(a);
+  };
+  for (spines::NodeHandle v = 0; v < kNodes; ++v) {
+    connect(v, (v + 1) % kNodes);
+    if (v % 4 == 0) connect(v, (v + 16) % kNodes);
+  }
+  auto push_row = [&](spines::NodeHandle v) {
+    engine.set_adjacency(
+        v, std::vector<spines::NodeHandle>(adv[v].begin(), adv[v].end()));
+  };
+  for (spines::NodeHandle v = 0; v < kNodes; ++v) push_row(v);
+  engine.recompute();  // the one expected full BFS
+
+  const std::uint64_t warm_full = engine.stats().full_runs;
+  constexpr std::uint64_t kTarget = 200'000;
+  std::uint64_t recomputes = 0;
+  const auto start = Clock::now();
+  while (recomputes < kTarget) {
+    for (int i = 0; i < 512; ++i, ++recomputes) {
+      const auto a = static_cast<spines::NodeHandle>(rng.next() % kNodes);
+      const auto b = static_cast<spines::NodeHandle>(rng.next() % kNodes);
+      if (a == b) continue;
+      if (adv[a].count(b) != 0) {
+        adv[a].erase(b);
+        adv[b].erase(a);
+      } else {
+        connect(a, b);
+      }
+      push_row(a);
+      push_row(b);
+      engine.recompute();
+    }
+  }
+  const double wall = seconds_since(start);
+
+  const spines::SpfStats& s = engine.stats();
+  if (!engine.verify_against_full()) std::abort();  // bench integrity
+  MicroResult r{recomputes, wall, {}};
+  const std::uint64_t total = s.full_runs + s.incremental_runs;
+  r.extra.emplace_back("incremental_share",
+                       total > 0 ? static_cast<double>(s.incremental_runs) /
+                                       static_cast<double>(total)
+                                 : 0.0);
+  r.extra.emplace_back("full_runs_after_warmup",
+                       static_cast<double>(s.full_runs - warm_full));
+  r.extra.emplace_back(
+      "settled_per_recompute",
+      s.incremental_runs > 0
+          ? static_cast<double>(s.vertices_settled) /
+                static_cast<double>(s.incremental_runs)
+          : 0.0);
+  return r;
+}
+
 // ---- Observability overhead gate --------------------------------------------
 
 /// Proves the obs instrumentation is near-free: runs the Prime ordering
@@ -1075,6 +1152,8 @@ int run_json_mode(const std::string& out_path, const std::string& baseline_path,
       {"overlay_forward", "msgs_per_sec", run_overlay_forward},
       {"overlay_flood", "msgs_per_sec", run_overlay_flood},
       {"overlay_lsu_churn", "lsus_per_sec", run_overlay_lsu_churn},
+      {"overlay_incremental_spf", "recomputes_per_sec",
+       run_overlay_spf_incremental},
       {"fleet_batch_encode", "reports_per_sec", run_fleet_batch_encode},
       {"proxy_front_door", "admits_per_sec", run_proxy_front_door},
       {"obs_overhead", "retained_pct", run_obs_overhead},

@@ -68,18 +68,28 @@ SpireDeployment::~SpireDeployment() = default;
 void SpireDeployment::build_network() {
   network_ = std::make_unique<net::Network>(sim_);
 
-  net::SwitchConfig internal_config;
-  internal_config.name = "spines-internal";
-  internal_config.static_port_binding = config_.hardening.static_switch_ports;
-  internal_switch_ = &network_->add_switch(internal_config);
+  const std::uint32_t sites = config_.sites.site_count();
+  const std::uint32_t n = config_.prime.n();
+  if (sites > n) {
+    throw std::invalid_argument("more sites than replicas");
+  }
 
-  net::SwitchConfig external_config;
-  external_config.name = "spines-external";
-  external_config.static_port_binding = config_.hardening.static_switch_ports;
-  external_switch_ = &network_->add_switch(external_config);
+  for (std::uint32_t s = 0; s < sites; ++s) {
+    const std::string suffix = sites > 1 ? "-site" + std::to_string(s) : "";
+    net::SwitchConfig internal_config;
+    internal_config.name = "spines-internal" + suffix;
+    internal_config.static_port_binding = config_.hardening.static_switch_ports;
+    internal_switches_.push_back(&network_->add_switch(internal_config));
+
+    net::SwitchConfig external_config;
+    external_config.name = "spines-external" + suffix;
+    external_config.static_port_binding = config_.hardening.static_switch_ports;
+    external_switches_.push_back(&network_->add_switch(external_config));
+  }
+  internal_switch_ = internal_switches_[0];
+  external_switch_ = external_switches_[0];
 
   std::uint32_t mac_id = 1;
-  const std::uint32_t n = config_.prime.n();
 
   for (std::uint32_t i = 0; i < n; ++i) {
     net::Host& host = network_->add_host("replica" + std::to_string(i));
@@ -87,9 +97,39 @@ void SpireDeployment::build_network() {
                        net::IpAddress::make(10, 1, 0, 1 + i), 24);
     host.add_interface(net::MacAddress::from_id(mac_id++),
                        net::IpAddress::make(10, 2, 0, 1 + i), 24);
-    network_->connect(host, 0, *internal_switch_);
-    network_->connect(host, 1, *external_switch_);
+    const std::uint32_t site = site_of_replica(i);
+    network_->connect(host, 0, *internal_switches_[site]);
+    network_->connect(host, 1, *external_switches_[site]);
     replica_hosts_.push_back(&host);
+  }
+
+  // Inter-site WAN mesh: one dedicated 2-port switch per site pair,
+  // whose propagation delay is the wide-area latency. The border host
+  // of site s is replica s (round-robin placement puts it there); it
+  // gets one extra WAN NIC per peer site. Dedicated switches let a
+  // whole-site partition cut exactly that site's links with chaos loss.
+  std::uint8_t wan_subnet = 20;
+  for (std::uint32_t a = 0; a < sites; ++a) {
+    for (std::uint32_t b = a + 1; b < sites; ++b) {
+      net::SwitchConfig wan_config;
+      wan_config.name = "wan-" + std::to_string(a) + "-" + std::to_string(b);
+      wan_config.propagation_delay = config_.sites.wan_latency;
+      wan_config.static_port_binding = config_.hardening.static_switch_ports;
+      net::Switch& sw = network_->add_switch(wan_config);
+
+      net::Host& host_a = *replica_hosts_[a];
+      net::Host& host_b = *replica_hosts_[b];
+      const std::size_t iface_a = host_a.interface_count();
+      host_a.add_interface(net::MacAddress::from_id(mac_id++),
+                           net::IpAddress::make(10, wan_subnet, 0, 1), 24);
+      const std::size_t iface_b = host_b.interface_count();
+      host_b.add_interface(net::MacAddress::from_id(mac_id++),
+                           net::IpAddress::make(10, wan_subnet, 0, 2), 24);
+      network_->connect(host_a, iface_a, sw);
+      network_->connect(host_b, iface_b, sw);
+      wan_links_.push_back(WanLink{a, b, &sw, iface_a, iface_b});
+      ++wan_subnet;
+    }
   }
 
   std::uint8_t device_index = 0;
@@ -141,15 +181,24 @@ void SpireDeployment::build_overlays() {
 
   const std::uint32_t n = config_.prime.n();
 
+  // Multi-site: each site is its own Spines routing area (site == area),
+  // so LSUs stay on the site LAN and only bounded border summaries
+  // cross the WAN links between the sites' border daemons.
   internal_ = std::make_unique<spines::Overlay>(sim_, keyring_, daemon_template);
   for (std::uint32_t i = 0; i < n; ++i) {
     internal_->add_node(internal_node(i), *replica_hosts_[i],
-                        kInternalDaemonPort, 0);
+                        kInternalDaemonPort, 0, site_of_replica(i));
   }
   for (std::uint32_t i = 0; i < n; ++i) {
     for (std::uint32_t j = i + 1; j < n; ++j) {
-      internal_->add_link(internal_node(i), internal_node(j));
+      if (site_of_replica(i) == site_of_replica(j)) {
+        internal_->add_link(internal_node(i), internal_node(j));
+      }
     }
+  }
+  for (const WanLink& wan : wan_links_) {
+    internal_->add_link(internal_node(wan.site_a), internal_node(wan.site_b),
+                        wan.iface_a, wan.iface_b);
   }
   internal_->build();
 
@@ -157,8 +206,10 @@ void SpireDeployment::build_overlays() {
   external_ = std::make_unique<spines::Overlay>(sim_, keyring_, daemon_template);
   for (std::uint32_t i = 0; i < n; ++i) {
     external_->add_node(external_node(i), *replica_hosts_[i],
-                        kExternalDaemonPort, 1);
+                        kExternalDaemonPort, 1, site_of_replica(i));
   }
+  // Field proxies, HMIs and the cycler live at the primary control
+  // center (site 0), exactly as in the single-site layout.
   for (const auto& device : config_.scenario.devices) {
     external_->add_node(proxy_node(device.name), *proxy_hosts_[device.name],
                         kExternalDaemonPort, 0);
@@ -170,10 +221,13 @@ void SpireDeployment::build_overlays() {
 
   for (std::uint32_t i = 0; i < n; ++i) {
     for (std::uint32_t j = i + 1; j < n; ++j) {
-      external_->add_link(external_node(i), external_node(j));
+      if (site_of_replica(i) == site_of_replica(j)) {
+        external_->add_link(external_node(i), external_node(j));
+      }
     }
   }
   for (std::uint32_t i = 0; i < n; ++i) {
+    if (site_of_replica(i) != 0) continue;  // clients are on site 0's LAN
     for (const auto& device : config_.scenario.devices) {
       external_->add_link(external_node(i), proxy_node(device.name));
     }
@@ -182,7 +236,19 @@ void SpireDeployment::build_overlays() {
     }
     external_->add_link(external_node(i), "extc");
   }
+  for (const WanLink& wan : wan_links_) {
+    external_->add_link(external_node(wan.site_a), external_node(wan.site_b),
+                        wan.iface_a, wan.iface_b);
+  }
   external_->build();
+}
+
+void SpireDeployment::partition_site(std::uint32_t site, bool cut) {
+  for (const WanLink& wan : wan_links_) {
+    if (wan.site_a == site || wan.site_b == site) {
+      wan.sw->set_chaos(cut ? 1.0 : 0.0, 0);
+    }
+  }
 }
 
 void SpireDeployment::build_field_devices() {

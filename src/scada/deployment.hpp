@@ -44,10 +44,36 @@ struct HardeningOptions {
   }
 };
 
+/// Wide-area site layout. The default (one control center, no data
+/// centers) reproduces the single-site deployment unchanged. With more
+/// sites, the 3f+2k+1 replicas are spread round-robin across control
+/// and data centers, each site gets its own internal/external switch
+/// pair and its own Spines routing area, and sites are joined by
+/// dedicated WAN links (2-port switches whose propagation delay models
+/// the wide-area latency) between border replica hosts — the paper's
+/// multi-site configuration (2 CC + 2 DC).
+struct SiteTopology {
+  std::uint32_t control_centers = 1;
+  std::uint32_t data_centers = 0;
+  /// One-way propagation delay of every inter-site WAN link.
+  sim::Time wan_latency = 20 * sim::kMillisecond;
+
+  [[nodiscard]] std::uint32_t site_count() const {
+    return control_centers + data_centers;
+  }
+  [[nodiscard]] bool multi_site() const { return site_count() > 1; }
+
+  static SiteTopology single_site() { return {}; }
+  static SiteTopology two_cc_two_dc(sim::Time latency = 20 * sim::kMillisecond) {
+    return SiteTopology{2, 2, latency};
+  }
+};
+
 struct DeploymentConfig {
   std::uint32_t f = 1;
   std::uint32_t k = 0;  ///< 0: red-team config (n=4); 1: plant config (n=6)
   HardeningOptions hardening;  ///< defaults to everything on
+  SiteTopology sites;          ///< defaults to the classic single site
   ScenarioSpec scenario = ScenarioSpec::red_team();
   std::size_t hmi_count = 1;
   sim::Time proxy_poll_interval = 200 * sim::kMillisecond;
@@ -96,6 +122,27 @@ class SpireDeployment {
     return *replica_hosts_[i];
   }
 
+  // --- wide-area site layout ---------------------------------------------
+  [[nodiscard]] std::uint32_t site_count() const {
+    return config_.sites.site_count();
+  }
+  /// Site hosting replica `i` (round-robin spread, so a 2CC+2DC layout
+  /// with n=6 places [2,2,1,1] replicas per site).
+  [[nodiscard]] std::uint32_t site_of_replica(std::size_t i) const {
+    return static_cast<std::uint32_t>(i) % site_count();
+  }
+  /// Cuts (or heals) every WAN link touching `site`: the whole-site
+  /// partition scenario. While cut, the site's replicas only see each
+  /// other; on heal, the border daemons re-advertise and the overlay
+  /// converges without restart.
+  void partition_site(std::uint32_t site, bool cut);
+  [[nodiscard]] net::Switch& internal_site_switch(std::uint32_t site) {
+    return *internal_switches_.at(site);
+  }
+  [[nodiscard]] net::Switch& external_site_switch(std::uint32_t site) {
+    return *external_switches_.at(site);
+  }
+
   /// Actuates a breaker locally at the field device (the plant
   /// measurement device of §V), bypassing SCADA entirely.
   void flip_breaker_at_plc(const std::string& device, std::size_t index,
@@ -138,8 +185,20 @@ class SpireDeployment {
   sim::Rng rng_;
 
   std::unique_ptr<net::Network> network_;
-  net::Switch* internal_switch_ = nullptr;
-  net::Switch* external_switch_ = nullptr;
+  net::Switch* internal_switch_ = nullptr;  ///< site 0 (legacy accessor)
+  net::Switch* external_switch_ = nullptr;  ///< site 0 (legacy accessor)
+  std::vector<net::Switch*> internal_switches_;  ///< one per site
+  std::vector<net::Switch*> external_switches_;  ///< one per site
+  /// Inter-site WAN links: per site pair, the 2-port latency switch and
+  /// the WAN NIC index on each site's border replica host.
+  struct WanLink {
+    std::uint32_t site_a = 0;
+    std::uint32_t site_b = 0;
+    net::Switch* sw = nullptr;
+    std::size_t iface_a = 0;
+    std::size_t iface_b = 0;
+  };
+  std::vector<WanLink> wan_links_;
   std::vector<net::Host*> replica_hosts_;
   std::map<std::string, net::Host*> proxy_hosts_;   ///< by device
   std::map<std::string, net::Host*> plc_hosts_;     ///< by device

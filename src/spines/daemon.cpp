@@ -1,6 +1,7 @@
 #include "spines/daemon.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace spire::spines {
@@ -26,6 +27,7 @@ Daemon::Daemon(sim::Simulator& sim, net::Host& host, DaemonConfig config,
       verifier_(std::move(verifier)),
       signer_(config_.id, keyring.identity_key(config_.id)),
       log_("spines." + config_.id),
+      nodes_(config_.max_overlay_nodes),
       dedup_(config_.dedup_cache_size),
       metrics_("spines.daemon." + config_.id) {
   metrics_.counter("data_originated", &stats_.data_originated);
@@ -46,21 +48,40 @@ Daemon::Daemon(sim::Simulator& sim, net::Host& host, DaemonConfig config,
   metrics_.counter("route_recomputes_coalesced",
                    &stats_.route_recomputes_coalesced);
   metrics_.counter("dedup_evictions", &stats_.dedup_evictions);
+  metrics_.counter("spf_incremental", &stats_.spf_incremental);
+  metrics_.counter("spf_full", &stats_.spf_full);
+  metrics_.counter("border_summaries_sent", &stats_.border_summaries_sent);
+  metrics_.counter("summaries_accepted", &stats_.summaries_accepted);
+  metrics_.counter("summaries_rejected_sig", &stats_.summaries_rejected_sig);
+  metrics_.counter("lsu_bytes_sent", &stats_.lsu_bytes_sent);
+  metrics_.counter("summary_bytes_sent", &stats_.summary_bytes_sent);
+  metrics_.counter("inter_area_control_bytes",
+                   &stats_.inter_area_control_bytes);
+  metrics_.counter("node_table_overflows", &stats_.node_table_overflows);
   for (std::size_t p = 0; p < stats_.max_queue_depth.size(); ++p) {
     metrics_.gauge_fn("max_queue_depth" + std::to_string(p), [this, p] {
       return static_cast<std::int64_t>(stats_.max_queue_depth[p]);
     });
   }
   self_ = admit_node(config_.id);
+  spf_.attach_self(self_);
 }
 
 NodeHandle Daemon::admit_node(std::string_view id) {
   const NodeHandle h = nodes_.intern(id);
-  if (h == kNoHandle) return kNoHandle;
+  if (h == kNoHandle) {
+    // Explicit, counted overflow: an undersized table shows up in the
+    // metrics snapshot instead of silently dropping members.
+    stats_.node_table_overflows = nodes_.overflows();
+    return kNoHandle;
+  }
   if (nodes_.size() > lsdb_.size()) {
     lsdb_.resize(nodes_.size());
-    routes_.resize(nodes_.size(), kNoHandle);
     neighbors_.resize(nodes_.size());
+    remote_vias_.resize(nodes_.size());
+    remote_routes_.resize(nodes_.size(), kNoHandle);
+    control_bytes_by_neighbor_.resize(nodes_.size(), 0);
+    spf_.ensure_nodes(nodes_.size());
   }
   return h;
 }
@@ -88,14 +109,33 @@ void Daemon::make_channels(Neighbor& n, const NodeId& id, bool corrupted) {
 }
 
 void Daemon::add_neighbor(const NodeId& id, net::Endpoint address) {
+  add_neighbor(id, address, config_.area);
+}
+
+void Daemon::add_neighbor(const NodeId& id, net::Endpoint address,
+                          std::uint32_t area) {
   const NodeHandle h = admit_node(id);
   if (h == kNoHandle || neighbors_[h]) return;
   auto n = std::make_unique<Neighbor>();
   n->handle = h;
   n->address = address;
+  n->area = area;
   make_channels(*n, id, keys_corrupted_);
   neighbors_[h] = std::move(n);
   neighbor_order_.push_back(h);
+}
+
+bool Daemon::is_border() const {
+  for (const NodeHandle h : neighbor_order_) {
+    if (!same_area(*neighbors_[h])) return true;
+  }
+  return false;
+}
+
+std::uint64_t Daemon::control_bytes_to(const NodeId& neighbor) const {
+  const NodeHandle h = nodes_.lookup(neighbor);
+  return h < control_bytes_by_neighbor_.size() ? control_bytes_by_neighbor_[h]
+                                               : 0;
 }
 
 void Daemon::start() {
@@ -105,6 +145,7 @@ void Daemon::start() {
                  [this](const net::Datagram& d) { handle_udp(d); });
   hello_tick(epoch_);
   lsu_tick(epoch_);
+  if (is_border()) summary_tick(epoch_);
   if (config_.reliable_data_links &&
       config_.mode == ForwardingMode::kRouted) {
     retransmit_tick(epoch_);
@@ -174,10 +215,16 @@ bool Daemon::link_up(const NodeId& neighbor) const {
 
 std::optional<NodeId> Daemon::next_hop(const NodeId& dst) const {
   const NodeHandle h = nodes_.lookup(dst);
-  if (h == kNoHandle || h >= routes_.size() || routes_[h] == kNoHandle) {
-    return std::nullopt;
-  }
-  return nodes_.name(routes_[h]);
+  if (h == kNoHandle) return std::nullopt;
+  const NodeHandle hop = route_for(h);
+  if (hop == kNoHandle) return std::nullopt;
+  return nodes_.name(hop);
+}
+
+NodeHandle Daemon::route_for(NodeHandle dst) const {
+  const NodeHandle hop = spf_.route(dst);
+  if (hop != kNoHandle) return hop;  // intra-area always wins
+  return dst < remote_routes_.size() ? remote_routes_[dst] : kNoHandle;
 }
 
 bool Daemon::lsdb_contains(const NodeId& origin) const {
@@ -189,6 +236,21 @@ void Daemon::send_packet(NodeHandle neighbor, PacketType type,
                          std::span<const std::uint8_t> body) {
   Neighbor* n = neighbor_slot(neighbor);
   if (n == nullptr || !running_) return;
+
+  // Control-plane byte accounting: the wide-area bench gates LSU +
+  // summary bytes, split by whether the link crosses an area border.
+  if (type == PacketType::kLinkState || type == PacketType::kAreaSummary) {
+    if (type == PacketType::kAreaSummary) {
+      stats_.summary_bytes_sent += body.size();
+      ++stats_.border_summaries_sent;
+    } else {
+      stats_.lsu_bytes_sent += body.size();
+    }
+    if (!same_area(*n)) stats_.inter_area_control_bytes += body.size();
+    if (neighbor < control_bytes_by_neighbor_.size()) {
+      control_bytes_by_neighbor_[neighbor] += body.size();
+    }
+  }
 
   // Inner packet [type u8][link_seq u64][body blob], serialized into the
   // reusable scratch: the hot path allocates nothing.
@@ -318,7 +380,7 @@ void Daemon::handle_udp(const net::Datagram& dgram) {
     util::ByteReader r(inner_bytes);
     raw_type = r.u8();
     // 4 is the legacy debug opcode: intentionally not a valid packet.
-    if (raw_type < 1 || raw_type > 5 || raw_type == 4) {
+    if (raw_type < 1 || raw_type > 6 || raw_type == 4) {
       throw util::SerializationError("bad packet type");
     }
     link_seq = r.u64();
@@ -363,6 +425,11 @@ void Daemon::process_inner(NodeHandle from, PacketType type,
         on_link_state(from, *lsu);
       }
       break;
+    case PacketType::kAreaSummary:
+      if (const auto summary = AreaSummaryBody::decode(body)) {
+        on_area_summary(from, *summary);
+      }
+      break;
     case PacketType::kData:
       if (auto data = DataBody::decode(body)) {
         on_data(from, std::move(*data));
@@ -387,11 +454,24 @@ void Daemon::on_hello(NodeHandle from) {
   if (!n.up) {
     n.up = true;
     log_.debug("link to ", nodes_.name(from), " up");
-    broadcast_own_lsu();  // adjacency changed: marks routes dirty
+    if (same_area(n)) {
+      broadcast_own_lsu();  // adjacency changed: marks routes dirty
+    } else {
+      // A wide link came up (or healed after a partition): re-advertise
+      // immediately instead of waiting out the summary interval, so
+      // remote reachability converges at hello speed.
+      send_summaries();
+      refresh_remote_routes();
+    }
   }
 }
 
 void Daemon::on_link_state(NodeHandle arrival, const LinkStateBody& lsu) {
+  // Fault containment: link-state never crosses an area border, so an
+  // LSU arriving over a wide link is bogus regardless of signature.
+  const Neighbor* arr = neighbor_slot(arrival);
+  if (arr != nullptr && !same_area(*arr)) return;
+
   // Look up — never insert — before the signature verifies: a forged
   // LSU from a non-member must leave no trace in the node table or the
   // LSDB (and stale floods from members skip verification entirely).
@@ -428,16 +508,16 @@ void Daemon::on_link_state(NodeHandle arrival, const LinkStateBody& lsu) {
   }
   entry.seq = lsu.seq;
   // Deferred recomputation: a refresh that does not change the
-  // adjacency (seq bump only) must not trigger a route recompute.
-  if (entry.neighbors != adj) {
-    entry.neighbors = std::move(adj);
-    mark_routes_dirty();
-  }
+  // adjacency (seq bump only) must not trigger a route recompute. The
+  // SPF engine compares against its stored row and accumulates the
+  // confirmed-edge delta for the next incremental repair.
+  if (spf_.set_adjacency(origin, adj)) mark_routes_dirty();
 
-  // Re-flood to all up neighbors except where it came from.
+  // Re-flood to up neighbors in our own area except where it came
+  // from: LSUs never cross an area border.
   const util::Bytes body = lsu.encode();
   for (const NodeHandle h : neighbor_order_) {
-    if (h != arrival && neighbors_[h]->up) {
+    if (h != arrival && neighbors_[h]->up && same_area(*neighbors_[h])) {
       send_packet(h, PacketType::kLinkState, body);
     }
   }
@@ -484,7 +564,7 @@ void Daemon::on_data(NodeHandle arrival, DataBody data) {
       enqueue_data(h, src, unit);
     }
   } else {
-    const NodeHandle hop = dst < routes_.size() ? routes_[dst] : kNoHandle;
+    const NodeHandle hop = route_for(dst);
     if (hop == kNoHandle) {
       ++stats_.dropped_no_route;
       return;
@@ -575,18 +655,24 @@ void Daemon::hello_tick(std::uint64_t epoch) {
   ++hello_seq_;
   const util::Bytes body = HelloBody{hello_seq_}.encode();
   bool topology_changed = false;
+  bool wide_changed = false;
   for (const NodeHandle h : neighbor_order_) {
     Neighbor& n = *neighbors_[h];
     send_packet(h, PacketType::kHello, body);
     if (n.up && sim_.now() - n.last_hello > config_.link_timeout) {
       n.up = false;
-      topology_changed = true;
+      if (same_area(n)) {
+        topology_changed = true;
+      } else {
+        wide_changed = true;  // a wide link died: vias must re-resolve
+      }
       log_.debug("link to ", nodes_.name(h), " down (hello timeout)");
     }
   }
   if (topology_changed) {
     broadcast_own_lsu();  // adjacency changed: marks routes dirty
   }
+  if (wide_changed) refresh_remote_routes();
   sim_.schedule_after(config_.hello_interval,
                       [this, epoch] { hello_tick(epoch); });
 }
@@ -603,7 +689,9 @@ void Daemon::broadcast_own_lsu() {
   lsu.seq = ++own_lsu_seq_;
   std::vector<NodeHandle> adj;
   for (const NodeHandle h : neighbor_order_) {
-    if (neighbors_[h]->up) {
+    // Cross-area adjacency is border-daemon state, not area topology:
+    // it is advertised through summaries, never through LSUs.
+    if (neighbors_[h]->up && same_area(*neighbors_[h])) {
       lsu.neighbors.push_back(nodes_.name(h));
       adj.push_back(h);
     }
@@ -618,14 +706,13 @@ void Daemon::broadcast_own_lsu() {
     ++lsdb_count_;
   }
   entry.seq = lsu.seq;
-  if (entry.neighbors != adj) {
-    entry.neighbors = std::move(adj);
-    mark_routes_dirty();
-  }
+  if (spf_.set_adjacency(self_, adj)) mark_routes_dirty();
 
   const util::Bytes body = lsu.encode();
   for (const NodeHandle h : neighbor_order_) {
-    if (neighbors_[h]->up) send_packet(h, PacketType::kLinkState, body);
+    if (neighbors_[h]->up && same_area(*neighbors_[h])) {
+      send_packet(h, PacketType::kLinkState, body);
+    }
   }
 }
 
@@ -648,51 +735,238 @@ void Daemon::mark_routes_dirty() {
 
 void Daemon::recompute_routes() {
   ++stats_.route_recomputes;
-  const std::size_t n = nodes_.size();
-  const std::size_t words = (n + 63) / 64;
+  // The SPF engine holds the advertised-adjacency rows (fed from
+  // accepted LSUs); edges count only when both endpoints advertise
+  // each other, so a Byzantine origin can only remove itself, not
+  // fabricate paths. The recompute is incremental when the accumulated
+  // confirmed-edge delta allows it, and must be indistinguishable from
+  // a full BFS.
+  spf_.recompute();
+#ifndef NDEBUG
+  assert(spf_.verify_against_full() &&
+         "incremental SPF diverged from the canonical full BFS");
+#endif
+  stats_.spf_full = spf_.stats().full_runs;
+  stats_.spf_incremental = spf_.stats().incremental_runs;
+  // Intra-area distances changed, so the best local border for each
+  // remote destination may have too.
+  refresh_remote_routes();
+}
 
-  // Advertised-adjacency bitsets, one row per node. Edge (a,b) counts
-  // only if both a and b advertise each other: a Byzantine origin can
-  // then only *remove* itself, not fabricate paths.
-  adj_bits_.assign(n * words, 0);
-  for (NodeHandle a = 0; a < n; ++a) {
-    if (!lsdb_[a].present) continue;
-    for (const NodeHandle b : lsdb_[a].neighbors) {
-      adj_bits_[a * words + b / 64] |= 1ULL << (b % 64);
+// ---- hierarchical areas: summaries, vias, remote routes -------------------
+
+void Daemon::summary_tick(std::uint64_t epoch) {
+  if (epoch != epoch_ || !running_) return;
+  sim_.schedule_after(config_.summary_interval,
+                      [this, epoch] { summary_tick(epoch); });
+  send_summaries();
+}
+
+void Daemon::send_summaries() {
+  if (!running_) return;
+  const sim::Time now = sim_.now();
+
+  // Own-area stream: every member the intra-area SPF currently
+  // reaches, plus self. Handles ascend, so the rotation order is
+  // stable across intervals.
+  member_scratch_.clear();
+  for (NodeHandle h = 0; h < nodes_.size(); ++h) {
+    if (h == self_ || spf_.dist(h) != SpfEngine::kInfDist) {
+      member_scratch_.push_back(h);
     }
   }
-  auto advertises = [&](NodeHandle a, NodeHandle b) {
-    return (adj_bits_[a * words + b / 64] >> (b % 64)) & 1ULL;
-  };
+  static const std::vector<std::uint32_t> kEmptyPath;
+  emit_summary_stream(config_.area, kEmptyPath, member_scratch_,
+                      own_area_cursor_);
 
-  // BFS from self over confirmed edges (unit link costs), scanning the
-  // frontier row's bitset words.
-  routes_.assign(n, kNoHandle);
-  bfs_parent_.assign(n, kNoHandle);
-  bfs_frontier_.clear();
-  bfs_parent_[self_] = self_;
-  bfs_frontier_.push_back(self_);
-  for (std::size_t head = 0; head < bfs_frontier_.size(); ++head) {
-    const NodeHandle u = bfs_frontier_[head];
-    for (std::size_t w = 0; w < words; ++w) {
-      std::uint64_t bits = adj_bits_[u * words + w];
-      while (bits != 0) {
-        const auto b = static_cast<std::uint32_t>(std::countr_zero(bits));
-        bits &= bits - 1;
-        const NodeHandle v = static_cast<NodeHandle>(w * 64 + b);
-        if (bfs_parent_[v] != kNoHandle) continue;
-        if (!advertises(v, u)) continue;  // unconfirmed edge
-        bfs_parent_[v] = u;
-        bfs_frontier_.push_back(v);
+  // Transit streams: areas learned across our own wide links, pruned
+  // of members that stopped being re-advertised.
+  for (auto& [area, fa] : foreign_) {
+    for (auto it = fa.members.begin(); it != fa.members.end();) {
+      if (now - it->second > config_.summary_member_timeout) {
+        it = fa.members.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (fa.members.empty()) continue;
+    member_scratch_.clear();
+    for (const auto& [h, seen] : fa.members) member_scratch_.push_back(h);
+    emit_summary_stream(area, fa.path, member_scratch_, fa.cursor);
+  }
+}
+
+void Daemon::emit_summary_stream(std::uint32_t subject_area,
+                                 const std::vector<std::uint32_t>& path,
+                                 const std::vector<NodeHandle>& members,
+                                 std::size_t& cursor) {
+  if (members.empty()) return;
+  AreaSummaryBody body;
+  body.origin = config_.id;
+  body.area = subject_area;
+  body.seq = ++own_summary_seq_;
+  body.area_path = path;
+  if (std::find(body.area_path.begin(), body.area_path.end(), config_.area) ==
+      body.area_path.end()) {
+    body.area_path.push_back(config_.area);
+  }
+  body.total_members = static_cast<std::uint32_t>(members.size());
+  // BATMAN-style originator capping: at most summary_fanout_cap names
+  // per advertisement, rotating through the set so every member is
+  // covered within ceil(n/cap) intervals.
+  const std::size_t count =
+      std::min(config_.summary_fanout_cap, members.size());
+  if (cursor >= members.size()) cursor = 0;
+  body.members.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    body.members.push_back(nodes_.name(members[(cursor + i) % members.size()]));
+  }
+  cursor = (cursor + count) % members.size();
+  body.signature = signer_.sign(body.signed_bytes());
+  const util::Bytes encoded = body.encode();
+
+  for (const NodeHandle h : neighbor_order_) {
+    Neighbor& n = *neighbors_[h];
+    if (!n.up) continue;
+    if (same_area(n)) {
+      // Re-originate foreign reachability into the local area (the
+      // own-area stream is already known intra-area).
+      if (subject_area != config_.area) {
+        send_packet(h, PacketType::kAreaSummary, encoded);
+      }
+    } else {
+      // Across the wide link, unless the far area already carried it.
+      bool seen = n.area == subject_area;
+      for (const std::uint32_t a : body.area_path) seen = seen || a == n.area;
+      if (!seen) send_packet(h, PacketType::kAreaSummary, encoded);
+    }
+  }
+}
+
+void Daemon::on_area_summary(NodeHandle arrival, const AreaSummaryBody& s) {
+  const Neighbor* arr = neighbor_slot(arrival);
+  if (arr == nullptr) return;
+  if (s.origin == config_.id) return;  // our own, reflected back
+  const bool cross = !same_area(*arr);
+
+  // Lookup-before-insert + stale-skip, mirroring the LSU path: forged
+  // summaries from non-members leave no trace, and stale floods skip
+  // signature verification entirely.
+  NodeHandle origin = nodes_.lookup(s.origin);
+  if (origin != kNoHandle) {
+    const auto it = summary_seq_.find({origin, s.area});
+    if (it != summary_seq_.end() && s.seq <= it->second) return;
+  }
+  if (cross) {
+    // Summaries are re-originated at every border ("next-hop-self"):
+    // across a wide link the signer must be the link's far end.
+    if (origin == kNoHandle || origin != arrival) return;
+    if (s.area == config_.area) return;  // our own area, bounced back
+    for (const std::uint32_t a : s.area_path) {
+      if (a == config_.area) return;  // already traversed us: loop
+    }
+  }
+  if (!verifier_.verify(s.origin, s.signed_bytes(), s.signature)) {
+    ++stats_.summaries_rejected_sig;
+    return;
+  }
+  origin = admit_node(s.origin);
+  if (origin == kNoHandle) return;  // node table full
+  ++stats_.summaries_accepted;
+  summary_seq_[{origin, s.area}] = s.seq;
+
+  // Borders merge cross-link summaries into their foreign-area state
+  // (for transit + intra re-origination). Intra-area summaries only
+  // feed the via table — merging them back into foreign state would
+  // let two borders keep each other's ghost entries alive forever.
+  ForeignArea* fa = nullptr;
+  if (cross) {
+    fa = &foreign_[s.area];
+    fa->path = s.area_path;
+  }
+  const sim::Time now = sim_.now();
+  for (const NodeId& name : s.members) {
+    const NodeHandle h = admit_node(name);
+    if (h == kNoHandle || h == self_) continue;
+    if (fa != nullptr) fa->members[h] = now;
+    note_remote_via(h, origin);
+  }
+  refresh_remote_routes();
+
+  if (!cross) {
+    // Flood on within the area so interior daemons two hops from the
+    // border learn the via as well (per-(origin, area) seq dedup above
+    // keeps this loop-free).
+    const util::Bytes body = s.encode();
+    for (const NodeHandle h : neighbor_order_) {
+      Neighbor& n = *neighbors_[h];
+      if (h != arrival && n.up && same_area(n)) {
+        send_packet(h, PacketType::kAreaSummary, body);
       }
     }
   }
-  for (const NodeHandle dst : bfs_frontier_) {
-    if (dst == self_) continue;
-    // Walk back to find the first hop.
-    NodeHandle hop = dst;
-    while (bfs_parent_[hop] != self_) hop = bfs_parent_[hop];
-    routes_[dst] = hop;
+}
+
+void Daemon::note_remote_via(NodeHandle dst, NodeHandle via) {
+  if (dst == kNoHandle || via == kNoHandle || dst == self_) return;
+  if (remote_vias_.size() <= dst) remote_vias_.resize(nodes_.size());
+  auto& vias = remote_vias_[dst];
+  for (RemoteVia& rv : vias) {
+    if (rv.via == via) {
+      rv.last_seen = sim_.now();
+      return;
+    }
+  }
+  constexpr std::size_t kMaxViasPerDst = 8;
+  if (vias.size() >= kMaxViasPerDst) {
+    // Evict the stalest advertiser: the via table stays bounded per
+    // destination no matter how many borders advertise it.
+    auto oldest = std::min_element(
+        vias.begin(), vias.end(), [](const RemoteVia& a, const RemoteVia& b) {
+          return a.last_seen < b.last_seen;
+        });
+    *oldest = RemoteVia{via, sim_.now()};
+    return;
+  }
+  vias.push_back(RemoteVia{via, sim_.now()});
+}
+
+void Daemon::refresh_remote_routes() {
+  const sim::Time now = sim_.now();
+  std::fill(remote_routes_.begin(), remote_routes_.end(), kNoHandle);
+  for (NodeHandle dst = 0; dst < remote_vias_.size(); ++dst) {
+    auto& vias = remote_vias_[dst];
+    if (vias.empty()) continue;
+    std::erase_if(vias, [&](const RemoteVia& rv) {
+      return now - rv.last_seen > config_.summary_member_timeout;
+    });
+    std::uint32_t best_cost = SpfEngine::kInfDist;
+    NodeHandle best_via = kNoHandle;
+    NodeHandle best_hop = kNoHandle;
+    for (const RemoteVia& rv : vias) {
+      std::uint32_t cost = SpfEngine::kInfDist;
+      NodeHandle hop = kNoHandle;
+      const Neighbor* n = neighbor_slot(rv.via);
+      if (n != nullptr && n->up && !same_area(*n)) {
+        // Our own wide link. Strictly cheaper than any border reached
+        // through the area (even one at SPF distance 1): the resolved
+        // cost then decreases strictly at every forwarding hop, which
+        // rules out deflection loops between equal-distance borders.
+        cost = 0;
+        hop = rv.via;
+      } else if (rv.via != self_ &&
+                 spf_.dist(rv.via) != SpfEngine::kInfDist) {
+        cost = spf_.dist(rv.via);  // a local border, via the SPF tree
+        hop = spf_.route(rv.via);
+      }
+      if (hop == kNoHandle) continue;
+      if (cost < best_cost || (cost == best_cost && rv.via < best_via)) {
+        best_cost = cost;
+        best_via = rv.via;
+        best_hop = hop;
+      }
+    }
+    remote_routes_[dst] = best_hop;
   }
 }
 

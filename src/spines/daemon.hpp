@@ -40,6 +40,7 @@
 #include "spines/message.hpp"
 #include "spines/node_table.hpp"
 #include "spines/replay_window.hpp"
+#include "spines/spf.hpp"
 #include "obs/metrics.hpp"
 #include "util/log.hpp"
 
@@ -76,6 +77,24 @@ struct DaemonConfig {
   bool reliable_data_links = true;
   sim::Time retransmit_timeout = 50 * sim::kMillisecond;
   int max_retransmits = 6;
+
+  // --- hierarchical area routing (wide-area overlays) -------------------
+  /// Routing area this daemon belongs to. LSUs flood only within the
+  /// area; reachability crosses area borders as bounded summary
+  /// advertisements from border daemons (daemons with a neighbor in a
+  /// different area). Single-area overlays behave exactly as before.
+  std::uint32_t area = 0;
+  /// Border daemons advertise each summary stream once per interval.
+  sim::Time summary_interval = 1 * sim::kSecond;
+  /// Max member names per summary advertisement; larger sets rotate
+  /// through consecutive advertisements (BATMAN-style originator
+  /// capping), so per-interval fan-out is bounded regardless of area
+  /// size.
+  std::size_t summary_fanout_cap = 64;
+  /// Remote members not re-advertised within this window are dropped.
+  sim::Time summary_member_timeout = 10 * sim::kSecond;
+  /// Node-table capacity (distinct node names this daemon will admit).
+  std::size_t max_overlay_nodes = kMaxOverlayNodes;
 };
 
 struct DaemonStats {
@@ -101,6 +120,18 @@ struct DaemonStats {
   std::uint64_t route_recomputes_coalesced = 0;
   std::uint64_t dedup_evictions = 0;
   std::array<std::uint64_t, 3> max_queue_depth{};  ///< per priority class
+  // Incremental-SPF and wide-area control-plane observability.
+  std::uint64_t spf_incremental = 0;  ///< recomputes repaired incrementally
+  std::uint64_t spf_full = 0;         ///< recomputes that ran the full BFS
+  std::uint64_t border_summaries_sent = 0;
+  std::uint64_t summaries_accepted = 0;
+  std::uint64_t summaries_rejected_sig = 0;
+  std::uint64_t lsu_bytes_sent = 0;
+  std::uint64_t summary_bytes_sent = 0;
+  /// LSU + summary bytes sent over links whose far end is in another
+  /// area — the wide-area control-plane budget bench_wide_area gates.
+  std::uint64_t inter_area_control_bytes = 0;
+  std::uint64_t node_table_overflows = 0;
 };
 
 /// Delivery callback for a local session.
@@ -115,6 +146,11 @@ class Daemon {
 
   /// Declares a neighbor and its underlay address. Call before start().
   void add_neighbor(const NodeId& id, net::Endpoint address);
+  /// Same, for a neighbor in (possibly) another routing area. A
+  /// cross-area neighbor makes this daemon a border daemon: LSUs never
+  /// cross the link; summary advertisements do.
+  void add_neighbor(const NodeId& id, net::Endpoint address,
+                    std::uint32_t area);
 
   /// Binds the UDP port and begins hello/LSU cycles.
   void start();
@@ -146,6 +182,14 @@ class Daemon {
   /// non-member origin must leave no trace).
   [[nodiscard]] std::size_t lsdb_size() const { return lsdb_count_; }
   [[nodiscard]] bool lsdb_contains(const NodeId& origin) const;
+  /// True when any declared neighbor is in another area.
+  [[nodiscard]] bool is_border() const;
+  /// Incremental-SPF engine introspection (equivalence tests, benches).
+  [[nodiscard]] const SpfStats& spf_stats() const { return spf_.stats(); }
+  /// Total LSU + summary bytes this daemon has sent to `neighbor`
+  /// (bench_wide_area sums these over the designated wide links).
+  [[nodiscard]] std::uint64_t control_bytes_to(const NodeId& neighbor) const;
+  [[nodiscard]] const NodeTable& node_table() const { return nodes_; }
 
  private:
   /// One data message staged for transmission. Flood fan-out shares one
@@ -171,6 +215,7 @@ class Daemon {
   struct Neighbor {
     NodeHandle handle = kNoHandle;
     net::Endpoint address;
+    std::uint32_t area = 0;  ///< routing area of the far end
     std::unique_ptr<crypto::SecureChannel> send_channel;
     std::unique_ptr<crypto::SecureChannel> recv_channel;
     std::uint64_t send_link_seq = 0;
@@ -192,7 +237,22 @@ class Daemon {
   struct LsdbEntry {
     bool present = false;
     std::uint64_t seq = 0;
-    std::vector<NodeHandle> neighbors;
+  };
+
+  /// One "dst is reachable via this advertiser" fact from an accepted
+  /// summary. Interior daemons collect local borders as vias; borders
+  /// additionally collect their cross-area neighbors.
+  struct RemoteVia {
+    NodeHandle via = kNoHandle;
+    sim::Time last_seen = 0;
+  };
+
+  /// Border-side state for one remote area whose members this daemon
+  /// has learned across its wide-area links.
+  struct ForeignArea {
+    std::vector<std::uint32_t> path;  ///< areas traversed so far
+    std::map<NodeHandle, sim::Time> members;  ///< member -> last seen
+    std::size_t cursor = 0;  ///< rotation position for capped fan-out
   };
 
   void make_channels(Neighbor& n, const NodeId& id, bool corrupted);
@@ -201,10 +261,12 @@ class Daemon {
                      std::span<const std::uint8_t> body);
   void on_hello(NodeHandle from);
   void on_link_state(NodeHandle arrival, const LinkStateBody& lsu);
+  void on_area_summary(NodeHandle arrival, const AreaSummaryBody& summary);
   /// `arrival` is kNoHandle for locally originated messages.
   void on_data(NodeHandle arrival, DataBody data);
   void hello_tick(std::uint64_t epoch);
   void lsu_tick(std::uint64_t epoch);
+  void summary_tick(std::uint64_t epoch);
   void retransmit_tick(std::uint64_t epoch);
   void send_ack(NodeHandle neighbor, std::uint64_t acked_seq);
   void transmit_inner(NodeHandle neighbor,
@@ -219,6 +281,26 @@ class Daemon {
   /// recompute_routes() per route_coalesce_interval.
   void mark_routes_dirty();
   void recompute_routes();
+  /// Border origination: advertises every summary stream (own area +
+  /// learned foreign areas) across wide links and into the local area.
+  void send_summaries();
+  /// Emits one capped, rotated advertisement for a member set.
+  void emit_summary_stream(std::uint32_t subject_area,
+                           const std::vector<std::uint32_t>& path,
+                           const std::vector<NodeHandle>& members,
+                           std::size_t& cursor);
+  /// Records "dst reachable via `via`" with freshness `now`.
+  void note_remote_via(NodeHandle dst, NodeHandle via);
+  /// Rebuilds remote_routes_ from the via table and the current SPF
+  /// result: best via = min (cost, handle), cost 1 for an up direct
+  /// cross-area neighbor, else the intra-area SPF distance.
+  void refresh_remote_routes();
+  /// Intra-area route if the SPF tree reaches dst, else the summary-
+  /// derived remote route.
+  [[nodiscard]] NodeHandle route_for(NodeHandle dst) const;
+  [[nodiscard]] bool same_area(const Neighbor& n) const {
+    return n.area == config_.area;
+  }
   /// Interns `id`, dropping to kNoHandle when the node table is full;
   /// grows every handle-indexed vector to match.
   NodeHandle admit_node(std::string_view id);
@@ -255,9 +337,20 @@ class Daemon {
 
   std::vector<LsdbEntry> lsdb_;    ///< indexed by origin handle
   std::size_t lsdb_count_ = 0;
-  std::vector<NodeHandle> routes_; ///< dst handle -> next-hop handle
   bool routes_dirty_ = false;
   bool route_recompute_scheduled_ = false;
+  SpfEngine spf_;  ///< intra-area routes (canonical BFS + incremental)
+
+  // --- wide-area state ---------------------------------------------------
+  std::uint64_t own_summary_seq_ = 0;
+  std::size_t own_area_cursor_ = 0;  ///< rotation over own-area members
+  std::map<std::uint32_t, ForeignArea> foreign_;  ///< borders only
+  /// Per-(origin handle, subject area) newest accepted summary seq.
+  std::map<std::pair<NodeHandle, std::uint32_t>, std::uint64_t> summary_seq_;
+  std::vector<std::vector<RemoteVia>> remote_vias_;  ///< by dst handle
+  std::vector<NodeHandle> remote_routes_;            ///< by dst handle
+  std::vector<std::uint64_t> control_bytes_by_neighbor_;  ///< by handle
+  std::vector<NodeHandle> member_scratch_;  ///< summary-stream staging
 
   DedupRing dedup_;
 
@@ -265,10 +358,6 @@ class Daemon {
   // instead of allocating per packet.
   util::ByteWriter inner_scratch_;
   util::ByteWriter env_scratch_;
-  // Route recomputation scratch (adjacency bitset + BFS state).
-  std::vector<std::uint64_t> adj_bits_;
-  std::vector<NodeHandle> bfs_parent_;
-  std::vector<NodeHandle> bfs_frontier_;
 
   DaemonStats stats_;
   obs::Binder metrics_;  ///< exposes stats_ in the metrics registry

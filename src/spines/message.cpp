@@ -64,6 +64,47 @@ std::optional<LinkStateBody> LinkStateBody::decode(
   });
 }
 
+util::Bytes AreaSummaryBody::signed_bytes() const {
+  util::ByteWriter w;
+  w.str(origin);
+  w.u32(area);
+  w.u64(seq);
+  w.u32(static_cast<std::uint32_t>(area_path.size()));
+  for (const std::uint32_t a : area_path) w.u32(a);
+  w.u32(total_members);
+  w.u32(static_cast<std::uint32_t>(members.size()));
+  for (const auto& m : members) w.str(m);
+  return w.take();
+}
+
+util::Bytes AreaSummaryBody::encode() const {
+  util::ByteWriter w;
+  w.raw(signed_bytes());
+  signature.encode(w);
+  return w.take();
+}
+
+std::optional<AreaSummaryBody> AreaSummaryBody::decode(
+    std::span<const std::uint8_t> data) {
+  return guarded_decode<AreaSummaryBody>(data, [](util::ByteReader& r) {
+    AreaSummaryBody b;
+    b.origin = r.str();
+    b.area = r.u32();
+    b.seq = r.u64();
+    const std::uint32_t paths = r.u32();
+    if (paths > 256) throw util::SerializationError("absurd area path");
+    b.area_path.reserve(paths);
+    for (std::uint32_t i = 0; i < paths; ++i) b.area_path.push_back(r.u32());
+    b.total_members = r.u32();
+    const std::uint32_t n = r.u32();
+    if (n > 4096) throw util::SerializationError("absurd member count");
+    b.members.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) b.members.push_back(r.str());
+    b.signature = crypto::Signature::decode(r);
+    return b;
+  });
+}
+
 util::Bytes DataBody::encode() const {
   util::ByteWriter w(4 + src.size() + 4 + dst.size() + 2 + 2 + 1 + 8 + 1 + 4 +
                      payload.size());
@@ -128,7 +169,7 @@ std::optional<InnerPacket> InnerPacket::decode(
     InnerPacket p;
     const std::uint8_t t = r.u8();
     // 4 is the legacy debug opcode: intentionally NOT a valid packet.
-    if (t < 1 || t > 5 || t == 4) {
+    if (t < 1 || t > 6 || t == 4) {
       throw util::SerializationError("bad packet type");
     }
     p.type = static_cast<PacketType>(t);

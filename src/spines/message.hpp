@@ -40,6 +40,7 @@ enum class PacketType : std::uint8_t {
   kData = 3,
   // 4 is the legacy debug opcode (deliberately not a valid InnerPacket).
   kAck = 5,  ///< link-level acknowledgment of a kData link_seq
+  kAreaSummary = 6,  ///< border-daemon inter-area reachability summary
 };
 
 struct HelloBody {
@@ -60,6 +61,33 @@ struct LinkStateBody {
   [[nodiscard]] util::Bytes signed_bytes() const;
   [[nodiscard]] util::Bytes encode() const;
   static std::optional<LinkStateBody> decode(std::span<const std::uint8_t> data);
+};
+
+/// Border-daemon reachability summary (hierarchical area routing).
+///
+/// A border daemon periodically advertises which members of a subject
+/// `area` are reachable, signed under its own identity — summaries are
+/// always re-originated at each border ("next-hop-self"), never
+/// relayed verbatim. `members` is a bounded, rotated subset of the
+/// full set (BATMAN-style originator capping): `total_members` tells
+/// receivers the full cardinality while each advertisement stays
+/// O(cap). `area_path` lists the areas the information has traversed;
+/// a border drops summaries whose path already contains its own area,
+/// which bounds inter-area propagation to simple area paths.
+struct AreaSummaryBody {
+  NodeId origin;
+  std::uint32_t area = 0;  ///< subject area the members belong to
+  std::uint64_t seq = 0;   ///< per-origin, across all its summary streams
+  std::vector<std::uint32_t> area_path;
+  std::uint32_t total_members = 0;
+  std::vector<NodeId> members;
+  crypto::Signature signature;
+
+  /// Bytes covered by the signature (everything but the signature).
+  [[nodiscard]] util::Bytes signed_bytes() const;
+  [[nodiscard]] util::Bytes encode() const;
+  static std::optional<AreaSummaryBody> decode(
+      std::span<const std::uint8_t> data);
 };
 
 /// End-to-end session message, forwarded hop by hop.

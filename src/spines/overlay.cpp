@@ -9,17 +9,19 @@ Overlay::Overlay(sim::Simulator& sim, const crypto::Keyring& keyring,
     : sim_(sim), keyring_(keyring), template_(std::move(config_template)) {}
 
 void Overlay::add_node(const NodeId& id, net::Host& host,
-                       std::uint16_t udp_port, std::size_t iface) {
+                       std::uint16_t udp_port, std::size_t iface,
+                       std::uint32_t area) {
   if (specs_.count(id)) throw std::invalid_argument("duplicate node id " + id);
-  specs_[id] = NodeSpec{&host, udp_port, iface};
+  specs_[id] = NodeSpec{&host, udp_port, iface, area};
   order_.push_back(id);
 }
 
-void Overlay::add_link(const NodeId& a, const NodeId& b) {
+void Overlay::add_link(const NodeId& a, const NodeId& b, std::size_t iface_a,
+                       std::size_t iface_b) {
   if (!specs_.count(a) || !specs_.count(b)) {
     throw std::invalid_argument("link references unknown node");
   }
-  links_.emplace_back(a, b);
+  links_.push_back(LinkSpec{a, b, iface_a, iface_b});
 }
 
 void Overlay::build() {
@@ -33,26 +35,33 @@ void Overlay::build() {
     DaemonConfig config = template_;
     config.id = id;
     config.udp_port = spec.port;
+    config.area = spec.area;
     daemons_[id] = std::make_unique<Daemon>(sim_, *spec.host, config, keyring_,
                                             verifier);
   }
 
-  for (const auto& [a, b] : links_) {
-    const NodeSpec& sa = specs_.at(a);
-    const NodeSpec& sb = specs_.at(b);
-    daemons_.at(a)->add_neighbor(b,
-                                 net::Endpoint{sb.host->ip(sb.iface), sb.port});
-    daemons_.at(b)->add_neighbor(a,
-                                 net::Endpoint{sa.host->ip(sa.iface), sa.port});
+  for (const auto& link : links_) {
+    const NodeSpec& sa = specs_.at(link.a);
+    const NodeSpec& sb = specs_.at(link.b);
+    const std::size_t ifa =
+        link.iface_a == kSameIface ? sa.iface : link.iface_a;
+    const std::size_t ifb =
+        link.iface_b == kSameIface ? sb.iface : link.iface_b;
+    daemons_.at(link.a)->add_neighbor(
+        link.b, net::Endpoint{sb.host->ip(ifb), sb.port}, sb.area);
+    daemons_.at(link.b)->add_neighbor(
+        link.a, net::Endpoint{sa.host->ip(ifa), sa.port}, sa.area);
   }
 }
 
 void Overlay::allow_link_traffic() {
-  for (const auto& [a, b] : links_) {
-    const NodeSpec& sa = specs_.at(a);
-    const NodeSpec& sb = specs_.at(b);
-    const net::IpAddress ip_a = sa.host->ip(sa.iface);
-    const net::IpAddress ip_b = sb.host->ip(sb.iface);
+  for (const auto& link : links_) {
+    const NodeSpec& sa = specs_.at(link.a);
+    const NodeSpec& sb = specs_.at(link.b);
+    const net::IpAddress ip_a = sa.host->ip(
+        link.iface_a == kSameIface ? sa.iface : link.iface_a);
+    const net::IpAddress ip_b = sb.host->ip(
+        link.iface_b == kSameIface ? sb.iface : link.iface_b);
     sa.host->firewall().allow.push_back(
         net::FirewallRule{net::Direction::kInbound, ip_b, sa.port, sb.port});
     sa.host->firewall().allow.push_back(

@@ -23,13 +23,22 @@ class Overlay {
   /// Declares an overlay node running on `host` (which must already
   /// have its interfaces configured). `iface` selects which of the
   /// host's NICs carries this daemon's traffic — replica hosts are
-  /// dual-homed (internal + external networks, §III-B).
+  /// dual-homed (internal + external networks, §III-B). `area` assigns
+  /// the node to a routing area (hierarchical wide-area overlays);
+  /// defaulting everything to area 0 yields the classic flat overlay.
   void add_node(const NodeId& id, net::Host& host,
                 std::uint16_t udp_port = kDefaultDaemonPort,
-                std::size_t iface = 0);
+                std::size_t iface = 0, std::uint32_t area = 0);
 
-  /// Declares a bidirectional overlay link.
-  void add_link(const NodeId& a, const NodeId& b);
+  /// Declares a bidirectional overlay link. `iface_a`/`iface_b`
+  /// override which NIC each endpoint uses for *this* link only —
+  /// border daemons reach their wide-area peer over a WAN-facing
+  /// interface while intra-area links stay on the site network.
+  /// kSameIface keeps the node's default interface.
+  static constexpr std::size_t kSameIface = static_cast<std::size_t>(-1);
+  void add_link(const NodeId& a, const NodeId& b,
+                std::size_t iface_a = kSameIface,
+                std::size_t iface_b = kSameIface);
 
   /// Constructs all daemons. After this, daemon() is usable.
   void build();
@@ -49,6 +58,13 @@ class Overlay {
     net::Host* host = nullptr;
     std::uint16_t port = kDefaultDaemonPort;
     std::size_t iface = 0;
+    std::uint32_t area = 0;
+  };
+  struct LinkSpec {
+    NodeId a;
+    NodeId b;
+    std::size_t iface_a = kSameIface;
+    std::size_t iface_b = kSameIface;
   };
 
   sim::Simulator& sim_;
@@ -56,7 +72,7 @@ class Overlay {
   DaemonConfig template_;
   std::map<NodeId, NodeSpec> specs_;
   std::vector<NodeId> order_;
-  std::vector<std::pair<NodeId, NodeId>> links_;
+  std::vector<LinkSpec> links_;
   std::map<NodeId, std::unique_ptr<Daemon>> daemons_;
 };
 

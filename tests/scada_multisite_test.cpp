@@ -1,0 +1,141 @@
+// Multi-control-center deployment tests: the 2 CC + 2 DC wide-area
+// layout spreads the 3f+2k+1 replicas across four sites joined by
+// latency-bearing WAN links, each site its own Spines routing area.
+// SCADA must keep round-tripping across the WAN, and a whole-site
+// partition must heal through border re-summarization with the HMI
+// converging back to ground truth.
+#include <gtest/gtest.h>
+
+#include "scada/deployment.hpp"
+
+namespace spire::scada {
+namespace {
+
+struct MultiSiteFixture : ::testing::Test {
+  sim::Simulator sim;
+  std::unique_ptr<SpireDeployment> deployment;
+
+  void build(sim::Time wan_latency = 20 * sim::kMillisecond,
+             sim::Time cycler_interval = 0) {
+    DeploymentConfig config;
+    config.f = 1;
+    config.k = 1;  // n = 6: [2, 2, 1, 1] replicas across the four sites
+    config.sites = SiteTopology::two_cc_two_dc(wan_latency);
+    config.scenario = ScenarioSpec::red_team();
+    config.cycler_interval = cycler_interval;
+    deployment = std::make_unique<SpireDeployment>(sim, config);
+    deployment->start();
+  }
+
+  void run_for(sim::Time t) { sim.run_until(sim.now() + t); }
+};
+
+TEST_F(MultiSiteFixture, ReplicasSpreadRoundRobinAcrossSites) {
+  build();
+  EXPECT_EQ(deployment->site_count(), 4u);
+  EXPECT_EQ(deployment->n(), 6u);
+  std::vector<int> per_site(4, 0);
+  for (std::size_t i = 0; i < deployment->n(); ++i) {
+    ++per_site[deployment->site_of_replica(i)];
+  }
+  EXPECT_EQ(per_site, (std::vector<int>{2, 2, 1, 1}));
+}
+
+TEST_F(MultiSiteFixture, HmiCommandRoundTripsAcrossTheWan) {
+  build();
+  run_for(4 * sim::kSecond);
+
+  Hmi& hmi = deployment->hmi(0);
+  ASSERT_GT(hmi.displayed_version(), 0u);
+  ASSERT_EQ(hmi.display().breaker("plc-phys", 1), false);
+
+  hmi.command_breaker("plc-phys", 1, true);
+  run_for(2 * sim::kSecond);
+
+  EXPECT_TRUE(deployment->plc("plc-phys").breakers().closed(1));
+  EXPECT_EQ(hmi.display().breaker("plc-phys", 1), true);
+  // Healthy run: no replica was driven into a view change by WAN
+  // latency alone.
+  for (std::uint32_t i = 0; i < deployment->n(); ++i) {
+    EXPECT_EQ(deployment->replica(i).view(), 0u);
+  }
+}
+
+TEST_F(MultiSiteFixture, FieldUpdatePropagatesWithinLatencyBudget) {
+  // Fig. 2-style bound: a breaker moving at the plant must reach the
+  // HMI display across the multi-site overlay well under a second
+  // (intra-site poll + WAN hops; the paper's wide-area target is
+  // 100-200 ms plus the polling interval).
+  build();
+  run_for(4 * sim::kSecond);
+  const Hmi& hmi = deployment->hmi(0);
+  ASSERT_EQ(hmi.display().breaker("plc-phys", 2), false);
+
+  deployment->flip_breaker_at_plc("plc-phys", 2, true);
+  const sim::Time flipped_at = sim.now();
+  sim::Time seen_at = 0;
+  while (sim.now() < flipped_at + 2 * sim::kSecond) {
+    run_for(10 * sim::kMillisecond);
+    if (hmi.display().breaker("plc-phys", 2)) {
+      seen_at = sim.now();
+      break;
+    }
+  }
+  ASSERT_GT(seen_at, 0u) << "update never reached the HMI";
+  EXPECT_LE(seen_at - flipped_at, 1 * sim::kSecond);
+}
+
+TEST_F(MultiSiteFixture, SitePartitionHealsThroughResummarization) {
+  build(20 * sim::kMillisecond, 500 * sim::kMillisecond);
+  run_for(4 * sim::kSecond);
+
+  // Cut data center site 3 (replica 3) off the WAN. n=6 with f=1, k=1
+  // tolerates one unreachable replica, so SCADA keeps running.
+  deployment->partition_site(3, true);
+  run_for(4 * sim::kSecond);
+  Hmi& hmi = deployment->hmi(0);
+  hmi.command_breaker("dist0", 0, true);
+  run_for(2 * sim::kSecond);
+  EXPECT_TRUE(deployment->plc("dist0").breakers().closed(0));
+
+  // Heal. The border daemons re-advertise, the partitioned replica's
+  // daemons re-learn remote routes, and the HMI converges to ground
+  // truth with zero missed updates.
+  deployment->partition_site(3, false);
+  run_for(6 * sim::kSecond);
+  for (const auto& device : deployment->config().scenario.devices) {
+    const auto& plc = deployment->plc(device.name);
+    for (std::size_t b = 0; b < device.breaker_names.size(); ++b) {
+      EXPECT_EQ(hmi.display().breaker(device.name, b), plc.breakers().closed(b))
+          << device.name << " breaker " << b;
+    }
+  }
+}
+
+TEST_F(MultiSiteFixture, SingleSiteLayoutIsUnchanged) {
+  // The default SiteTopology must reproduce the classic deployment:
+  // one site, no WAN links, no border daemons on either overlay.
+  DeploymentConfig config;
+  config.f = 1;
+  config.k = 0;
+  config.scenario = ScenarioSpec::red_team();
+  deployment = std::make_unique<SpireDeployment>(sim, config);
+  deployment->start();
+  sim.run_until(3 * sim::kSecond);
+
+  EXPECT_EQ(deployment->site_count(), 1u);
+  for (std::uint32_t i = 0; i < deployment->n(); ++i) {
+    EXPECT_FALSE(
+        deployment->internal_overlay().daemon("int" + std::to_string(i))
+            .is_border());
+    EXPECT_EQ(deployment->internal_overlay()
+                  .daemon("int" + std::to_string(i))
+                  .stats()
+                  .border_summaries_sent,
+              0u);
+  }
+  EXPECT_GT(deployment->hmi(0).displayed_version(), 0u);
+}
+
+}  // namespace
+}  // namespace spire::scada
