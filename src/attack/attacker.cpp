@@ -211,4 +211,11 @@ bool apply_exploit(prime::Replica& replica, const Exploit& exploit,
   return true;
 }
 
+bool apply_exploit(prime::Replica& replica, const Exploit& exploit,
+                   prime::ByzantineConfig on_success_byzantine) {
+  if (replica.variant() != exploit.target_variant) return false;
+  replica.set_byzantine(std::move(on_success_byzantine));
+  return true;
+}
+
 }  // namespace spire::attack

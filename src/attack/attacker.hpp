@@ -123,4 +123,11 @@ struct Exploit {
 bool apply_exploit(prime::Replica& replica, const Exploit& exploit,
                    prime::ReplicaBehavior on_success_behavior);
 
+/// Adversary-v2 variant: on success the compromised replica runs the
+/// scripted Byzantine behaviour (delay/reorder/equivocate/withhold/
+/// forge) instead of a coarse ReplicaBehavior. The next proactive
+/// recovery wipes it along with the variant the exploit bound to.
+bool apply_exploit(prime::Replica& replica, const Exploit& exploit,
+                   prime::ByzantineConfig on_success_byzantine);
+
 }  // namespace spire::attack

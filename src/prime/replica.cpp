@@ -46,6 +46,14 @@ Replica::Replica(sim::Simulator& sim, ReplicaId id, PrimeConfig config,
   metrics_.counter("batches_sealed", &stats_.batches_sealed);
   metrics_.counter("state_transfer_bytes", &stats_.state_transfer_bytes);
   metrics_.counter("state_reqs_sent", &stats_.state_reqs_sent);
+  metrics_.counter("suspect_ticks", &stats_.suspect_ticks);
+  metrics_.counter("turnaround_suspects", &stats_.turnaround_suspects);
+  metrics_.counter("equivocation_suspects", &stats_.equivocation_suspects);
+  metrics_.counter("withheld_aru_suspects", &stats_.withheld_aru_suspects);
+  metrics_.counter("byz_preprepares_delayed", &stats_.byz_preprepares_delayed);
+  metrics_.counter("byz_equivocations_sent", &stats_.byz_equivocations_sent);
+  metrics_.counter("byz_rows_withheld", &stats_.byz_rows_withheld);
+  metrics_.counter("byz_merkle_paths_forged", &stats_.byz_merkle_paths_forged);
   identities_.reserve(config_.n());
   for (ReplicaId r = 0; r < config_.n(); ++r) {
     identities_.push_back(replica_identity(r));
@@ -58,10 +66,17 @@ Replica::Replica(sim::Simulator& sim, ReplicaId id, PrimeConfig config,
   recv_aru_.assign(config_.n(), 0);
   exec_aru_.assign(config_.n(), 0);
   latest_aru_.assign(config_.n(), nullptr);
+  latest_aru_view_.assign(config_.n(), 0);
+  peer_turnaround_.resize(config_.n());
   po_log_ = std::vector<PoLog>(config_.n());
 }
 
 void Replica::start() {
+  // A start() while timers are already chained (double start, or start
+  // after a recover() whose state transfer re-armed them) must orphan
+  // the old chain, or every periodic tick runs twice — which halves the
+  // effective suspicion threshold (PR 9 bugfix).
+  ++epoch_;
   running_ = true;
   recovering_ = false;
   variant_ = rng_.next();
@@ -101,7 +116,11 @@ void Replica::shutdown() {
   po_log_ = std::vector<PoLog>(config_.n());
   recv_aru_.assign(config_.n(), 0);
   latest_aru_.assign(config_.n(), nullptr);
+  latest_aru_view_.assign(config_.n(), 0);
   turnaround_.clear();
+  for (auto& pending : peer_turnaround_) pending.clear();
+  turnaround_baseline_ = 0;
+  byz_holdback_.clear();
   send_queue_.clear();
   flush_scheduled_ = false;
   // next_po_seq_ and my_aru_seq_ deliberately survive the wipe: they
@@ -150,6 +169,7 @@ void Replica::recover() {
   variant_ = rng_.next();  // fresh diversity variant (MultiCompiler stand-in)
   state_nonce_ = rng_.next();
   behavior_ = ReplicaBehavior::kCorrect;  // clean code image
+  byz_ = ByzantineConfig{};               // scripted compromise wiped too
   log_.info("recovering with new variant ", variant_);
   const std::uint64_t epoch = epoch_;
   sim_.schedule_after(1, [this, epoch] { recovery_tick(epoch); });
@@ -246,9 +266,11 @@ bool Replica::verify_row(const PoAru& row, ReplicaId r) {
   // already accepted into latest_aru_ needs no crypto at all. Equality
   // of the FULL standalone encoding (signature included) is required —
   // (replica, aru_seq) alone would be unsound, since a Byzantine
-  // replica can sign two different PO-ARUs with the same aru_seq.
+  // replica can sign two different PO-ARUs with the same aru_seq. The
+  // acceptance view must match too: a replayed stale row in a later
+  // view goes through full (memoized) verification again.
   if (r < latest_aru_.size() && latest_aru_[r] && !row.raw.empty() &&
-      latest_aru_[r]->raw == row.raw) {
+      latest_aru_view_[r] == view_ && latest_aru_[r]->raw == row.raw) {
     ++stats_.row_verify_short_circuits;
     return true;
   }
@@ -331,6 +353,17 @@ void Replica::flush_sends() {
       if (epoch != epoch_ || !running_) { flushing_ = false; return; }
     }
     for (std::size_t i = 0; i < batch.size(); ++i) {
+      // Byzantine forger (adversary v2): corrupt the Merkle inclusion
+      // proof of a fraction of outgoing batch-signed wires. The proof
+      // region sits between the signed body and the trailing 32-byte
+      // MAC; flipping a bit there breaks root folding at every
+      // receiver, which must drop the wire without suspecting anyone
+      // (an unauthenticated byte is indistinguishable from line noise).
+      if (byz_.forge_merkle_rate > 0.0 && batch.size() > 1 &&
+          wires[i].size() > 40 && rng_.chance(byz_.forge_merkle_rate)) {
+        wires[i][wires[i].size() - 40] ^= 0x01;
+        ++stats_.byz_merkle_paths_forged;
+      }
       if (batch[i].to) {
         transport_->send(*batch[i].to, std::move(wires[i]));
       } else {
@@ -652,6 +685,7 @@ void Replica::po_aru_tick(std::uint64_t epoch) {
   // followers short-circuit verify_row against them.
   util::Bytes body = aru->raw;
   latest_aru_[id_] = std::move(aru);
+  latest_aru_view_[id_] = view_;
   send_envelope(MsgType::kPoAru, std::move(body));
   sim_.schedule_after(config_.po_aru_interval,
                       [this, epoch] { po_aru_tick(epoch); });
@@ -695,6 +729,16 @@ void Replica::handle_po_aru(const Envelope& env) {
   }
 
   latest = std::make_shared<const PoAru>(std::move(*aru));
+  latest_aru_view_[latest->replica] = view_;
+  // Withheld-ARU aging (adversary v2 defense): remember when we saw
+  // this peer's broadcast row. accept_preprepare drains the samples the
+  // leader's matrices cover; suspect_tick ages whatever the leader
+  // keeps omitting. Bounded per origin — one aged sample is enough to
+  // suspect, precision beyond that buys nothing.
+  auto& pending = peer_turnaround_[latest->replica];
+  if (pending.size() < kPeerTurnaroundCap) {
+    pending.emplace_back(sim_.now(), latest->aru_seq);
+  }
 }
 
 // ---- ordering ---------------------------------------------------------------
@@ -721,6 +765,15 @@ void Replica::preprepare_tick(std::uint64_t epoch) {
   } else {
     pp.rows = latest_aru_;
   }
+  // Byzantine withholding (adversary v2): silently drop the victims'
+  // rows. Each matrix is individually valid — only the aging of the
+  // victims' broadcast PO-ARUs betrays the exclusion.
+  for (const ReplicaId victim : byz_.withhold_victims) {
+    if (victim < pp.rows.size() && pp.rows[victim]) {
+      pp.rows[victim] = nullptr;
+      ++stats_.byz_rows_withheld;
+    }
+  }
 
   // Skip redundant proposals when idle, but heartbeat often enough that
   // correct replicas never suspect a healthy leader. Rows are shared
@@ -730,6 +783,42 @@ void Replica::preprepare_tick(std::uint64_t epoch) {
       sim_.now() - last_preprepare_sent_ >= config_.leader_heartbeat;
   if (!fresh && !heartbeat_due) return;
   last_preprepare_sent_ = sim_.now();
+
+  // Byzantine equivocation (adversary v2): sign two divergent full
+  // matrices for the same (view, seq) — variant B drops the freshest
+  // non-self row — and split the peer set between them. Neither variant
+  // can gather a 2f+k+1 quorum of matching prepares, and any correct
+  // replica that sees f+1 same-view prepares for a digest other than
+  // its own installed one holds proof of equivocation (at most f of
+  // them can be lying) and suspects immediately.
+  if (byz_.equivocate) {
+    PrePrepare alt = pp;
+    bool diverged = false;
+    for (ReplicaId r = config_.n(); r-- > 0;) {
+      if (r != id_ && alt.rows[r]) {
+        alt.rows[r] = nullptr;
+        diverged = true;
+        break;
+      }
+    }
+    if (diverged) {
+      util::Bytes wire_a = Envelope::seal(MsgType::kPrePrepare, signer_,
+                                          pp.encode());
+      const util::Bytes wire_b =
+          Envelope::seal(MsgType::kPrePrepare, signer_, alt.encode());
+      last_prop_valid_ = false;  // no delta chain across the fork
+      ++next_order_seq_;
+      ++stats_.preprepares_sent;
+      ++stats_.byz_equivocations_sent;
+      process_message(wire_a, /*pre_verified=*/true);
+      if (epoch != epoch_ || !running_) return;
+      for (ReplicaId r = 0; r < config_.n(); ++r) {
+        if (r == id_) continue;
+        transport_->send(r, r < (config_.n() + 1) / 2 ? wire_a : wire_b);
+      }
+      return;
+    }
+  }
 
   // Delta-encode against our immediately preceding proposal in this
   // view: unchanged rows ship as a one-byte tag instead of a full
@@ -746,6 +835,31 @@ void Replica::preprepare_tick(std::uint64_t epoch) {
 
   ++next_order_seq_;
   ++stats_.preprepares_sent;
+
+  // Byzantine delay/reorder (adversary v2): Prime's signature
+  // performance attack. Seal and install the proposal locally now (the
+  // attacker looks current to itself and can serve MatrixFetches), but
+  // hold the broadcast back; with reordering, release held proposals
+  // pairwise swapped. Below turnaround_bound this is invisible — that
+  // is the bounded-delay guarantee, the damage is capped, not zero.
+  if (byz_.preprepare_delay > 0 || byz_.reorder_preprepares) {
+    util::Bytes wire = Envelope::seal(MsgType::kPrePrepare, signer_, body);
+    ++stats_.byz_preprepares_delayed;
+    process_message(wire, /*pre_verified=*/true);
+    if (epoch != epoch_ || !running_) return;
+    byz_holdback_.push_back(std::move(wire));
+    if (byz_.reorder_preprepares && byz_holdback_.size() < 2) return;
+    std::vector<util::Bytes> held;
+    held.swap(byz_holdback_);
+    if (byz_.reorder_preprepares) std::swap(held.front(), held.back());
+    sim_.schedule_after(
+        byz_.preprepare_delay, [this, epoch, held = std::move(held)]() mutable {
+          if (epoch != epoch_ || !running_ || acting_crashed()) return;
+          for (auto& wire : held) transport_->broadcast(std::move(wire));
+        });
+    return;
+  }
+
   send_envelope(MsgType::kPrePrepare, std::move(body));
 }
 
@@ -887,6 +1001,17 @@ void Replica::accept_preprepare(PrePrepare pp, const crypto::Digest& digest,
       turnaround_.pop_front();
     }
   }
+  // Likewise for every peer's pending samples (withheld-ARU aging): a
+  // matrix row covering the sample proves the leader is not excluding
+  // that origin.
+  for (ReplicaId r = 0; r < config_.n(); ++r) {
+    const auto& row = pp.rows[r];
+    if (!row) continue;
+    auto& pending = peer_turnaround_[r];
+    while (!pending.empty() && pending.front().second <= row->aru_seq) {
+      pending.pop_front();
+    }
+  }
 
   // Track the newest accepted proposal for future delta reconstruction.
   if (pp.view > last_accepted_view_ ||
@@ -1000,6 +1125,30 @@ void Replica::handle_prepare_or_commit(const Envelope& env,
     } else {
       // Kept to assemble prepared proofs for view changes.
       slot.prepare_envelopes[msg->replica] = raw;
+    }
+  }
+
+  // Equivocation detection via cross-replica digest exchange (adversary
+  // v2 defense): our Prepare digests are what we received leader-signed,
+  // and so are every peer's. f+1 same-view prepares for a digest other
+  // than our installed one mean at least one CORRECT replica holds a
+  // conflicting leader-signed proposal for this slot — attributable
+  // equivocation, suspected immediately instead of waiting for the
+  // turnaround bound. Fewer than f+1 could all be liars framing an
+  // honest leader, so the threshold is exact.
+  if (!is_commit && slot.preprepare && slot.view == view_ &&
+      msg->view == slot.view && msg->preprepare_digest != slot.digest) {
+    std::uint32_t differing = 0;
+    for (const auto& [replica, prepared] : slot.prepares) {
+      if (prepared.first == slot.view && prepared.second != slot.digest) {
+        ++differing;
+      }
+    }
+    if (differing >= config_.f + 1) {
+      ++stats_.equivocation_suspects;
+      log_.warn("f+1 divergent prepares for seq ", msg->order_seq,
+                " in view ", view_, "; leader equivocated");
+      suspect(view_ + 1);
     }
   }
   try_commit(msg->order_seq);
@@ -1215,20 +1364,46 @@ void Replica::suspect_tick(std::uint64_t epoch) {
   sim_.schedule_after(config_.suspect_timeout / 4,
                       [this, epoch] { suspect_tick(epoch); });
   if (acting_crashed()) return;
+  ++stats_.suspect_ticks;
+  if (is_leader()) return;
 
-  if (!is_leader()) {
-    if (sim_.now() - last_leader_activity_ > config_.suspect_timeout) {
-      log_.debug("leader of view ", view_, " silent; suspecting");
+  if (sim_.now() - last_leader_activity_ > config_.suspect_timeout) {
+    log_.debug("leader of view ", view_, " silent; suspecting");
+    suspect(view_ + 1);
+    return;
+  }
+  // All turnaround aging is measured from the later of the sample time
+  // and the current view's install: a freshly seated leader is not
+  // blamed for the previous leader's backlog (PR 9 bugfix).
+  const auto age_of = [&](sim::Time sample) {
+    return sim_.now() - std::max(sample, turnaround_baseline_);
+  };
+  // Turnaround bound (delay-attack defense): our PO-ARU must appear in
+  // the leader's matrices within the bound.
+  if (!turnaround_.empty() &&
+      age_of(turnaround_.front().first) > config_.turnaround_bound) {
+    ++stats_.turnaround_suspects;
+    log_.debug("leader of view ", view_,
+               " not reflecting our PO-ARUs; suspecting");
+    suspect(view_ + 1);
+    return;
+  }
+  // Withheld-ARU aging (adversary v2 defense): the same bound applied
+  // to every peer's broadcast PO-ARUs, relaxed 2x — a peer's last
+  // broadcast before a crash legitimately goes un-included, and under
+  // loss chaos a sample's covering matrix can simply be late, so only
+  // persistent exclusion clears the bar.
+  const sim::Time peer_bound = 2 * config_.turnaround_bound;
+  for (ReplicaId r = 0; r < config_.n(); ++r) {
+    if (r == id_) continue;
+    const auto& pending = peer_turnaround_[r];
+    if (!pending.empty() && age_of(pending.front().first) > peer_bound) {
+      ++stats_.withheld_aru_suspects;
+      log_.warn("leader of view ", view_, " withholding PO-ARUs of replica ",
+                r, "; suspecting");
       suspect(view_ + 1);
       return;
     }
-  }
-  // Turnaround bound (delay-attack defense): our PO-ARU must appear in
-  // the leader's matrices within the bound.
-  if (!is_leader() && !turnaround_.empty() &&
-      sim_.now() - turnaround_.front().first > config_.turnaround_bound) {
-    log_.debug("leader of view ", view_, " not reflecting our PO-ARUs; suspecting");
-    suspect(view_ + 1);
   }
 }
 
@@ -1266,6 +1441,8 @@ void Replica::enter_view(std::uint64_t view) {
   log_.info("entering view ", view, " (leader ", leader_of(view), ")");
   last_leader_activity_ = sim_.now();
   turnaround_.clear();
+  for (auto& pending : peer_turnaround_) pending.clear();
+  turnaround_baseline_ = sim_.now();
   collected_view_states_.clear();
   new_view_sent_ = false;
   while (!new_leader_votes_.empty() &&
@@ -1444,8 +1621,15 @@ void Replica::handle_new_view(const Envelope& env) {
   if (nv->view > view_) {
     view_ = nv->view;
     ++stats_.view_changes;
-    turnaround_.clear();
   }
+  // Re-baseline the delay-attack bookkeeping UNCONDITIONALLY: when we
+  // already entered this view via NewLeader votes, samples queued while
+  // the view change was in flight predate the new leader's tenure, and
+  // aging them against it would spuriously evict a healthy fresh leader
+  // (PR 9 bugfix — previously only done when the view advanced here).
+  turnaround_.clear();
+  for (auto& pending : peer_turnaround_) pending.clear();
+  turnaround_baseline_ = sim_.now();
   view_start_[nv->view] = nv->start_seq;
   last_leader_activity_ = sim_.now();
 
@@ -1553,7 +1737,10 @@ void Replica::recon_tick(std::uint64_t epoch) {
     if (it == slots_.end()) continue;
     OrderSlot& slot = it->second;
     if (!slot.preprepare || slot.committed || slot.view != view_) continue;
-    if (is_leader() && !slot.preprepare_envelope.empty()) {
+    // A delaying/reordering Byzantine leader does not helpfully
+    // retransmit the very proposals it is holding back.
+    if (is_leader() && !slot.preprepare_envelope.empty() &&
+        byz_.preprepare_delay == 0 && !byz_.reorder_preprepares) {
       transport_->broadcast(slot.preprepare_envelope);
     }
     PrepareOrCommit prepare;

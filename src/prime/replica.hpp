@@ -69,6 +69,38 @@ enum class ReplicaBehavior {
   kStaleLeader,  ///< as leader, sends Pre-Prepares with empty matrices
 };
 
+/// Scripted Byzantine behaviours (adversary v2). Attached to a replica
+/// by the attack framework; the replica keeps its own identity and keys
+/// but deviates from the protocol in the configured ways — it still
+/// cannot forge other replicas' signatures. recover() clears the
+/// config: a rejuvenated replica runs a clean code image.
+struct ByzantineConfig {
+  /// (a) Prime's signature performance attack: as leader, hold every
+  /// Pre-Prepare back this long before it reaches the wire. Calibrated
+  /// just under `turnaround_bound` the delay is invisible to the
+  /// suspicion machinery (that is the point of the bounded-delay
+  /// guarantee — the damage is bounded, not zero); above the bound the
+  /// TAT defense must evict the leader.
+  sim::Time preprepare_delay = 0;
+  /// Emit held-back Pre-Prepares pairwise swapped (reordering attack;
+  /// implies holding proposals until a pair has accumulated).
+  bool reorder_preprepares = false;
+  /// (b) Equivocation: as leader, send divergent row matrices for the
+  /// same (view, seq) to the two halves of the peer set.
+  bool equivocate = false;
+  /// (c) Withholding: as leader, never include these replicas' PO-ARU
+  /// rows in proposed matrices (starves the victims' updates).
+  std::vector<ReplicaId> withhold_victims;
+  /// (d) Forged Merkle paths: corrupt the inclusion proof of this
+  /// fraction of outgoing batch-signed wires.
+  double forge_merkle_rate = 0.0;
+
+  [[nodiscard]] bool active() const {
+    return preprepare_delay != 0 || reorder_preprepares || equivocate ||
+           !withhold_victims.empty() || forge_merkle_rate > 0.0;
+  }
+};
+
 struct ReplicaStats {
   std::uint64_t updates_executed = 0;
   std::uint64_t po_requests_sent = 0;
@@ -91,6 +123,16 @@ struct ReplicaStats {
   // Recovery observability (PR 4).
   std::uint64_t state_transfer_bytes = 0;  ///< snapshot bytes installed
   std::uint64_t state_reqs_sent = 0;       ///< StateReq (re)transmissions
+  // Adversary v2 (PR 9): suspicion-machinery observability...
+  std::uint64_t suspect_ticks = 0;            ///< suspicion poll executions
+  std::uint64_t turnaround_suspects = 0;      ///< own-row TAT bound exceeded
+  std::uint64_t equivocation_suspects = 0;    ///< f+1 divergent same-view prepares
+  std::uint64_t withheld_aru_suspects = 0;    ///< peer PO-ARU aged past bound
+  // ...and attacker-side counters (what the Byzantine script did).
+  std::uint64_t byz_preprepares_delayed = 0;
+  std::uint64_t byz_equivocations_sent = 0;
+  std::uint64_t byz_rows_withheld = 0;
+  std::uint64_t byz_merkle_paths_forged = 0;
 };
 
 class Replica {
@@ -134,6 +176,10 @@ class Replica {
   // ---- attack-framework hooks --------------------------------------------
   void set_behavior(ReplicaBehavior behavior) { behavior_ = behavior; }
   [[nodiscard]] ReplicaBehavior behavior() const { return behavior_; }
+  /// Installs a scripted Byzantine behaviour (see ByzantineConfig).
+  /// Survives crash/restart; cleared by recover().
+  void set_byzantine(ByzantineConfig byz) { byz_ = std::move(byz); }
+  [[nodiscard]] const ByzantineConfig& byzantine() const { return byz_; }
 
   /// Observer invoked on every executed update (benches/tests).
   using ExecuteObserver =
@@ -288,6 +334,9 @@ class Replica {
   std::uint64_t epoch_ = 0;  ///< invalidates timers across restarts
   std::uint64_t variant_ = 0;
   ReplicaBehavior behavior_ = ReplicaBehavior::kCorrect;
+  ByzantineConfig byz_;
+  /// Held-back Pre-Prepare wires for the delay/reorder attack.
+  std::vector<util::Bytes> byz_holdback_;
 
   // ---- preordering state ----
   std::uint64_t next_po_seq_ = 1;
@@ -337,7 +386,22 @@ class Replica {
   std::vector<std::uint64_t> recv_aru_;      ///< contiguous receipt per origin
   std::uint64_t my_aru_seq_ = 0;
   std::vector<PrePrepare::Row> latest_aru_;  ///< freshest verified per replica
+  /// View in which latest_aru_[r] was accepted. The raw-byte-equality
+  /// verify short-circuit is only valid within that view: a Byzantine
+  /// leader may otherwise replay a stale signed row across views
+  /// without any re-verification (PR 9 bugfix).
+  std::vector<std::uint64_t> latest_aru_view_;
   std::deque<std::pair<sim::Time, std::uint64_t>> turnaround_;  ///< (sent, aru_seq)
+  /// Per-origin pending-inclusion samples mirroring turnaround_ for
+  /// peers' broadcast PO-ARUs (withheld-ARU aging defense): a leader
+  /// whose matrices keep omitting a peer's rows past the relaxed bound
+  /// is running Prime's exclusion attack and gets suspected.
+  std::vector<std::deque<std::pair<sim::Time, std::uint64_t>>> peer_turnaround_;
+  static constexpr std::size_t kPeerTurnaroundCap = 16;
+  /// Instant the current view was installed. All turnaround aging is
+  /// measured from max(sample time, baseline): a freshly seated leader
+  /// cannot be blamed for backlog the previous leader created.
+  sim::Time turnaround_baseline_ = 0;
 
   // ---- ordering state ----
   std::uint64_t view_ = 0;

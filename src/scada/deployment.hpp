@@ -143,6 +143,13 @@ class SpireDeployment {
     return *external_switches_.at(site);
   }
 
+  /// Models a successful replica compromise (the red-team suite's
+  /// mid-soak stage): installs the scripted Byzantine behaviour on
+  /// replica `i`. A later proactive recovery wipes it.
+  void compromise_replica(std::size_t i, prime::ByzantineConfig byz) {
+    replicas_.at(i)->set_byzantine(std::move(byz));
+  }
+
   /// Actuates a breaker locally at the field device (the plant
   /// measurement device of §V), bypassing SCADA entirely.
   void flip_breaker_at_plc(const std::string& device, std::size_t index,

@@ -382,5 +382,348 @@ TEST(PrimeByzantine, ReplayedEnvelopesAreIdempotent) {
   cluster.expect_consistent();
 }
 
+// ---- adversary v2: scripted Byzantine behaviors (PR 9) ---------------------
+
+TEST(PrimeByzantine, UnderThresholdDelayKeepsLeaderAndLiveness) {
+  ByzCluster cluster;
+  cluster.build();
+
+  // Prime's signature performance attack, calibrated under the
+  // turnaround bound (500 ms < 800 ms): the bounded-delay guarantee
+  // means the damage is capped, not zero — the leader must NOT be
+  // suspected, and every update must still execute everywhere.
+  cluster.replicas[0]->set_byzantine(
+      ByzantineConfig{.preprepare_delay = 500 * sim::kMillisecond});
+  cluster.sim.run_until(cluster.sim.now() + 2 * sim::kSecond);
+  for (int i = 0; i < 10; ++i) {
+    cluster.submit();
+    cluster.sim.run_until(cluster.sim.now() + 100 * sim::kMillisecond);
+  }
+  cluster.sim.run_until(cluster.sim.now() + 3 * sim::kSecond);
+
+  EXPECT_GE(cluster.replicas[0]->stats().byz_preprepares_delayed, 1u);
+  for (const auto& replica : cluster.replicas) {
+    EXPECT_EQ(replica->view(), 0u) << "under-threshold delay evicted leader";
+  }
+  for (const auto& app : cluster.apps) EXPECT_EQ(app->log().size(), 10u);
+  cluster.expect_consistent();
+}
+
+TEST(PrimeByzantine, OverThresholdDelayEvictedWithinSlo) {
+  ByzCluster cluster;
+  cluster.build();
+  cluster.sim.run_until(1 * sim::kSecond);
+
+  const sim::Time t0 = cluster.sim.now();
+  cluster.replicas[0]->set_byzantine(
+      ByzantineConfig{.preprepare_delay = 1200 * sim::kMillisecond});
+  while (cluster.replicas[1]->view() == 0 &&
+         cluster.sim.now() < t0 + 5 * sim::kSecond) {
+    cluster.sim.run_until(cluster.sim.now() + 10 * sim::kMillisecond);
+  }
+  const sim::Time reaction = cluster.sim.now() - t0;
+  EXPECT_GE(cluster.replicas[1]->view(), 1u) << "delay attack never detected";
+  EXPECT_LE(reaction, 2500 * sim::kMillisecond) << "reaction SLO missed";
+
+  // Zero missed updates after recovery: the new leader orders normally.
+  for (int i = 0; i < 5; ++i) {
+    cluster.submit();
+    cluster.sim.run_until(cluster.sim.now() + 100 * sim::kMillisecond);
+  }
+  cluster.sim.run_until(cluster.sim.now() + 3 * sim::kSecond);
+  for (ReplicaId i = 1; i < cluster.config.n(); ++i) {
+    EXPECT_EQ(cluster.apps[i]->log().size(), 5u) << "replica " << i;
+  }
+  cluster.expect_consistent();
+}
+
+void run_equivocation_case(std::uint32_t f) {
+  ByzCluster cluster;
+  cluster.build(f);
+  cluster.sim.run_until(1 * sim::kSecond);
+
+  const sim::Time t0 = cluster.sim.now();
+  cluster.replicas[0]->set_byzantine(ByzantineConfig{.equivocate = true});
+  while (cluster.replicas[1]->view() == 0 &&
+         cluster.sim.now() < t0 + 4 * sim::kSecond) {
+    cluster.sim.run_until(cluster.sim.now() + 10 * sim::kMillisecond);
+  }
+  EXPECT_GE(cluster.replicas[1]->view(), 1u) << "equivocation undetected";
+  EXPECT_LE(cluster.sim.now() - t0, 1500 * sim::kMillisecond)
+      << "equivocation reaction SLO missed";
+  EXPECT_GE(cluster.replicas[0]->stats().byz_equivocations_sent, 1u);
+  std::uint64_t detections = 0;
+  for (ReplicaId i = 1; i < cluster.config.n(); ++i) {
+    detections += cluster.replicas[i]->stats().equivocation_suspects;
+  }
+  EXPECT_GE(detections, 1u)
+      << "view change happened but not via cross-replica digest exchange";
+
+  for (int i = 0; i < 5; ++i) {
+    cluster.submit();
+    cluster.sim.run_until(cluster.sim.now() + 100 * sim::kMillisecond);
+  }
+  cluster.sim.run_until(cluster.sim.now() + 3 * sim::kSecond);
+  for (ReplicaId i = 1; i < cluster.config.n(); ++i) {
+    EXPECT_EQ(cluster.apps[i]->log().size(), 5u) << "replica " << i;
+  }
+  cluster.expect_consistent();
+}
+
+TEST(PrimeByzantine, EquivocationDetectedAtF1) { run_equivocation_case(1); }
+
+TEST(PrimeByzantine, EquivocationDetectedAtF2) { run_equivocation_case(2); }
+
+TEST(PrimeByzantine, WithheldPoAruAgesIntoSuspect) {
+  ByzCluster cluster;
+  cluster.build();
+  cluster.sim.run_until(1 * sim::kSecond);
+
+  // The leader keeps proposing fresh matrices but silently drops
+  // replica 2's rows. The victim trips its own turnaround bound; the
+  // OTHER followers must independently notice the victim's broadcast
+  // PO-ARUs aging un-included (2x relaxed bound) so the view change
+  // reaches quorum even if the victim's votes are discounted.
+  const sim::Time t0 = cluster.sim.now();
+  cluster.replicas[0]->set_byzantine(ByzantineConfig{.withhold_victims = {2}});
+  while (cluster.replicas[1]->view() == 0 &&
+         cluster.sim.now() < t0 + 6 * sim::kSecond) {
+    cluster.sim.run_until(cluster.sim.now() + 10 * sim::kMillisecond);
+  }
+  EXPECT_GE(cluster.replicas[1]->view(), 1u) << "withholding undetected";
+  EXPECT_LE(cluster.sim.now() - t0, 3 * sim::kSecond)
+      << "withheld-ARU reaction SLO missed";
+  EXPECT_GE(cluster.replicas[0]->stats().byz_rows_withheld, 1u);
+  const std::uint64_t aged =
+      cluster.replicas[1]->stats().withheld_aru_suspects +
+      cluster.replicas[3]->stats().withheld_aru_suspects;
+  EXPECT_GE(aged, 1u) << "non-victims never aged the withheld rows";
+
+  for (int i = 0; i < 5; ++i) {
+    cluster.submit();
+    cluster.sim.run_until(cluster.sim.now() + 100 * sim::kMillisecond);
+  }
+  cluster.sim.run_until(cluster.sim.now() + 3 * sim::kSecond);
+  for (ReplicaId i = 1; i < cluster.config.n(); ++i) {
+    EXPECT_EQ(cluster.apps[i]->log().size(), 5u) << "replica " << i;
+  }
+  cluster.expect_consistent();
+}
+
+TEST(PrimeByzantine, ForgedMerklePathsDroppedWithoutSuspects) {
+  ByzCluster cluster;
+  cluster.build();
+
+  // Find a non-leader replica responsible for the client's preordering
+  // (it emits PO-Requests, so it actually seals multi-unit batches —
+  // the only wires a Merkle forger can corrupt).
+  std::vector<std::uint64_t> po_before;
+  for (const auto& r : cluster.replicas) {
+    po_before.push_back(r->stats().po_requests_sent);
+  }
+  for (int i = 0; i < 3; ++i) {
+    cluster.submit();
+    cluster.sim.run_until(cluster.sim.now() + 60 * sim::kMillisecond);
+  }
+  ReplicaId forger = 0;
+  for (ReplicaId i = 1; i < cluster.config.n(); ++i) {
+    if (cluster.replicas[i]->stats().po_requests_sent > po_before[i]) {
+      forger = i;
+    }
+  }
+  ASSERT_NE(forger, 0u) << "no non-leader replica preorders for the client";
+
+  // The forger corrupts the inclusion proof of every batch-signed wire
+  // it sends. Receivers must drop the garbage as unauthenticated noise
+  // — no suspects, no missed updates (the other responsible replica
+  // and the remaining correct replicas carry the quorums). Submits are
+  // timed so the PO-Request shares a flush with the 20 ms PO-ARU tick,
+  // guaranteeing batch-signed (forgeable) wires.
+  cluster.replicas[forger]->set_byzantine(
+      ByzantineConfig{.forge_merkle_rate = 1.0});
+  for (int i = 0; i < 10; ++i) {
+    const sim::Time grid = 20 * sim::kMillisecond;
+    const sim::Time next = ((cluster.sim.now() / grid) + 2) * grid;
+    cluster.sim.run_until(next - 6 * sim::kMillisecond);
+    cluster.submit();
+  }
+  cluster.sim.run_until(cluster.sim.now() + 3 * sim::kSecond);
+
+  EXPECT_GE(cluster.replicas[forger]->stats().byz_merkle_paths_forged, 1u);
+  std::uint64_t dropped = 0;
+  for (ReplicaId i = 0; i < cluster.config.n(); ++i) {
+    if (i != forger) dropped += cluster.replicas[i]->stats().dropped_bad_signature;
+  }
+  EXPECT_GE(dropped, 1u) << "no forged wire was ever dropped";
+  for (const auto& replica : cluster.replicas) {
+    EXPECT_EQ(replica->view(), 0u) << "forged proofs caused a view change";
+  }
+  for (const auto& app : cluster.apps) EXPECT_EQ(app->log().size(), 13u);
+  cluster.expect_consistent();
+}
+
+// ---- PR 9 satellite regressions --------------------------------------------
+
+TEST(PrimeByzantine, TurnaroundRebaselinedOnViewInstall) {
+  ByzCluster cluster;
+  cluster.build();
+  cluster.sim.run_until(1 * sim::kSecond);
+
+  // Crash the leader of view 0 AND the leader of view 1, then push
+  // replicas 2 and 3 into view 1 with a quorum of NewLeader votes. With
+  // leader 1 dead they sit in view 1 accumulating turnaround samples
+  // that nobody drains.
+  cluster.replicas[0]->set_behavior(ReplicaBehavior::kCrashed);
+  cluster.replicas[1]->set_behavior(ReplicaBehavior::kCrashed);
+  cluster.sim.run_until(cluster.sim.now() + 400 * sim::kMillisecond);
+  for (ReplicaId voter = 1; voter < cluster.config.n(); ++voter) {
+    NewLeader vote;
+    vote.replica = voter;
+    vote.proposed_view = 1;
+    const util::Bytes bytes =
+        Envelope::make(MsgType::kNewLeader, cluster.replica_signer(voter),
+                       vote.encode())
+            .encode();
+    cluster.replicas[2]->on_message(bytes);
+    cluster.replicas[3]->on_message(bytes);
+  }
+  ASSERT_EQ(cluster.replicas[2]->view(), 1u);
+  ASSERT_EQ(cluster.replicas[3]->view(), 1u);
+
+  // 500 ms into the stalled view change, the (crafted, validly signed)
+  // NewView finally installs. The samples accumulated in the meantime
+  // predate the new leader's tenure: aging them against it would evict
+  // a leader that was never given a chance — the pre-fix behavior,
+  // where the install-time clear only ran if the view number advanced.
+  cluster.sim.run_until(cluster.sim.now() + 500 * sim::kMillisecond);
+  const std::uint64_t applied = std::max(cluster.replicas[2]->applied_seq(),
+                                         cluster.replicas[3]->applied_seq());
+  NewView nv;
+  nv.leader = 1;
+  nv.view = 1;
+  nv.start_seq = applied + 1;
+  for (ReplicaId r = 1; r < cluster.config.n(); ++r) {
+    ViewState vs;
+    vs.replica = r;
+    vs.view = 1;
+    vs.max_prepared = applied;
+    vs.max_committed = applied;
+    vs.sign(cluster.replica_signer(r));
+    nv.justification.push_back(std::move(vs));
+  }
+  const util::Bytes nv_bytes =
+      Envelope::make(MsgType::kNewView, cluster.replica_signer(1), nv.encode())
+          .encode();
+  cluster.replicas[2]->on_message(nv_bytes);
+  cluster.replicas[3]->on_message(nv_bytes);
+
+  // Inside the window where only the stale samples could trip (new
+  // samples are < 800 ms old, leader silence needs a full 1 s), the
+  // fresh leader must not be blamed.
+  cluster.sim.run_until(cluster.sim.now() + 600 * sim::kMillisecond);
+  for (ReplicaId i = 2; i < cluster.config.n(); ++i) {
+    EXPECT_EQ(cluster.replicas[i]->stats().turnaround_suspects, 0u)
+        << "replica " << i << " blamed the fresh leader for old backlog";
+    EXPECT_EQ(cluster.replicas[i]->stats().withheld_aru_suspects, 0u);
+    EXPECT_EQ(cluster.replicas[i]->view(), 1u);
+  }
+}
+
+TEST(PrimeByzantine, SuspectTickSurvivesStopStartWithoutDoubleChaining) {
+  ByzCluster cluster;
+  cluster.build();
+  cluster.sim.run_until(2 * sim::kSecond);
+
+  // Baseline cadence: one suspicion poll per suspect_timeout / 4.
+  const std::uint64_t s0 = cluster.replicas[3]->stats().suspect_ticks;
+  cluster.sim.run_until(cluster.sim.now() + 2 * sim::kSecond);
+  const std::uint64_t per_window =
+      cluster.replicas[3]->stats().suspect_ticks - s0;
+  ASSERT_GE(per_window, 6u);
+  ASSERT_LE(per_window, 9u);
+
+  // No polls while stopped.
+  cluster.replicas[3]->shutdown();
+  const std::uint64_t down = cluster.replicas[3]->stats().suspect_ticks;
+  cluster.sim.run_until(cluster.sim.now() + 1 * sim::kSecond);
+  EXPECT_EQ(cluster.replicas[3]->stats().suspect_ticks, down);
+
+  // A stop/start cycle plus a redundant double start() must leave ONE
+  // timer chain; without the epoch bump in start() each extra call
+  // chains another timer and the poll rate multiplies — which halves
+  // the effective suspicion threshold.
+  cluster.replicas[3]->start();
+  cluster.replicas[3]->start();
+  cluster.replicas[3]->shutdown();
+  cluster.replicas[3]->start();
+  const std::uint64_t s1 = cluster.replicas[3]->stats().suspect_ticks;
+  cluster.sim.run_until(cluster.sim.now() + 2 * sim::kSecond);
+  const std::uint64_t after = cluster.replicas[3]->stats().suspect_ticks - s1;
+  EXPECT_LE(after, per_window + 2) << "suspect_tick double-chained";
+  EXPECT_GE(after, per_window - 2);
+}
+
+TEST(PrimeByzantine, RowShortCircuitIsKeyedByView) {
+  ByzCluster cluster;
+  cluster.build();
+  Replica& follower = *cluster.replicas[3];
+
+  // A genuine signed PO-ARU from replica 2, delivered standalone, lands
+  // in the follower's latest_aru_ (accepted in view 0).
+  auto row = std::make_shared<PoAru>();
+  row->replica = 2;
+  row->aru_seq = 1000;  // far above anything the warmup produced
+  row->aru.assign(cluster.config.n(), 0);
+  row->sign(cluster.replica_signer(2));
+  follower.on_message(
+      Envelope::make(MsgType::kPoAru, cluster.replica_signer(2), row->raw)
+          .encode());
+
+  // Control: a view-0 Pre-Prepare re-shipping those exact bytes takes
+  // the raw-byte-equality short circuit.
+  auto make_pp = [&](std::uint64_t view, std::uint64_t seq, ReplicaId leader) {
+    PrePrepare pp;
+    pp.leader = leader;
+    pp.view = view;
+    pp.order_seq = seq;
+    pp.rows.assign(cluster.config.n(), nullptr);
+    pp.rows[2] = row;
+    return Envelope::make(MsgType::kPrePrepare, cluster.replica_signer(leader),
+                          pp.encode())
+        .encode();
+  };
+  const auto before_v0 = follower.stats();
+  follower.on_message(make_pp(0, 600, 0));
+  EXPECT_EQ(follower.stats().row_verify_short_circuits,
+            before_v0.row_verify_short_circuits + 1);
+
+  // Move the follower to view 1 with a quorum of NewLeader votes.
+  for (ReplicaId voter = 1; voter < cluster.config.n(); ++voter) {
+    NewLeader vote;
+    vote.replica = voter;
+    vote.proposed_view = 1;
+    follower.on_message(Envelope::make(MsgType::kNewLeader,
+                                       cluster.replica_signer(voter),
+                                       vote.encode())
+                            .encode());
+  }
+  ASSERT_EQ(follower.view(), 1u);
+
+  // The new leader replays the same stale signed row. Pre-fix this took
+  // the short circuit (the cache key ignored the view); now it must go
+  // through full verification again — served by the digest memo, so
+  // the row still verifies and the proposal is still accepted.
+  const auto before_v1 = follower.stats();
+  follower.on_message(make_pp(1, 601, 1));
+  EXPECT_EQ(follower.stats().row_verify_short_circuits,
+            before_v1.row_verify_short_circuits)
+      << "stale row replayed across views took the short circuit";
+  EXPECT_GE(follower.stats().verify_cache_hits,
+            before_v1.verify_cache_hits + 1)
+      << "row was not re-verified via the digest memo";
+  EXPECT_EQ(follower.stats().dropped_bad_signature,
+            before_v1.dropped_bad_signature);
+}
+
 }  // namespace
 }  // namespace spire::prime
