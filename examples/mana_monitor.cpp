@@ -48,7 +48,7 @@ int main() {
       std::printf("  [%7.1fs] %-20s score=%.1f  %s\n",
                   static_cast<double>(alert.at) / sim::kSecond,
                   std::string(mana::to_string(alert.kind)).c_str(), alert.score,
-                  alert.detail.c_str());
+                  alert.detail().c_str());
     }
   };
 

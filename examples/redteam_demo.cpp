@@ -122,7 +122,7 @@ int main() {
     std::printf("[%7.1fs] %-20s %s\n",
                 static_cast<double>(alert.at) / sim::kSecond,
                 std::string(mana::to_string(alert.kind)).c_str(),
-                alert.detail.c_str());
+                alert.detail().c_str());
   }
 
   const bool ok = hmi_matches_field(spire_sys) && !ids.alerts().empty();

@@ -21,6 +21,7 @@ void Attacker::port_scan(net::IpAddress target, std::uint16_t first_port,
   }
   log_.info("port scan of ", target.str(), " ports ", first_port, "-",
             last_port);
+  if (label_) label_("port-scan", sim_.now(), sim_.now() + when);
 }
 
 void Attacker::arp_poison(net::IpAddress victim_ip, net::MacAddress victim_mac,
@@ -28,6 +29,10 @@ void Attacker::arp_poison(net::IpAddress victim_ip, net::MacAddress victim_mac,
                           sim::Time interval) {
   log_.info("ARP poisoning ", victim_ip.str(), ": claiming ",
             impersonated_ip.str());
+  if (label_) {
+    label_("arp-poison", sim_.now(),
+           sim_.now() + interval * static_cast<sim::Time>(count));
+  }
   for (int i = 0; i < count; ++i) {
     sim_.schedule_after(interval * static_cast<sim::Time>(i),
                         [this, victim_ip, victim_mac, impersonated_ip] {
@@ -46,6 +51,8 @@ void Attacker::arp_poison(net::IpAddress victim_ip, net::MacAddress victim_mac,
 }
 
 void Attacker::start_mitm(TamperFn tamper) {
+  mitm_start_ = sim_.now();
+  if (label_) label_("mitm", mitm_start_, 0);  // open until stop_mitm
   tamper_ = std::move(tamper);
   host_.set_packet_interceptor(
       [this](std::size_t iface, const net::Datagram& dgram) {
@@ -64,6 +71,9 @@ void Attacker::start_mitm(TamperFn tamper) {
 }
 
 void Attacker::stop_mitm() {
+  // Re-announces the interval with its real end; a sink that saw the
+  // open-ended begin treats this as the close.
+  if (label_) label_("mitm", mitm_start_, sim_.now());
   tamper_ = nullptr;
   host_.set_packet_interceptor(nullptr);
 }
@@ -92,6 +102,7 @@ void Attacker::ip_spoof_burst(net::IpAddress fake_src_ip,
                               std::uint16_t dst_port, int count) {
   log_.info("IP spoofing burst as ", fake_src_ip.str(), " toward ",
             dst_ip.str(), ":", dst_port);
+  if (label_) label_("ip-spoof", sim_.now(), sim_.now());
   for (int i = 0; i < count; ++i) {
     ++stats_.spoofed_frames_sent;
     net::Datagram dgram;
@@ -113,6 +124,7 @@ void Attacker::dos_flood(net::IpAddress dst_ip, net::MacAddress dst_mac,
             " pps for ", duration / sim::kMillisecond, "ms");
   const sim::Time gap = sim::kSecond / std::max<std::uint32_t>(1, pps);
   const std::uint64_t total = duration / std::max<sim::Time>(1, gap);
+  if (label_) label_("dos-flood", sim_.now(), sim_.now() + duration);
   for (std::uint64_t i = 0; i < total; ++i) {
     sim_.schedule_after(gap * i, [this, dst_ip, dst_mac, dst_port,
                                   payload_size] {

@@ -39,6 +39,15 @@ class Attacker {
  public:
   Attacker(sim::Simulator& sim, net::Host& host, std::size_t iface = 0);
 
+  /// Ground-truth labeling for detection scoring: every traffic
+  /// primitive reports (attack name, start, end) when launched, with
+  /// end computed from its own schedule (0 = open-ended, e.g. MITM).
+  /// The sink carries plain types only, so scoreboards in higher
+  /// layers can subscribe without this library depending on them.
+  using LabelSink =
+      std::function<void(std::string_view name, sim::Time start, sim::Time end)>;
+  void set_label_sink(LabelSink sink) { label_ = std::move(sink); }
+
   // ---- reconnaissance ------------------------------------------------------
   /// UDP port sweep of `target` over [first_port, last_port], paced.
   void port_scan(net::IpAddress target, std::uint16_t first_port,
@@ -94,6 +103,8 @@ class Attacker {
   util::Logger log_;
   std::uint16_t attack_port_ = 47000;
   AttackStats stats_;
+  LabelSink label_;
+  sim::Time mitm_start_ = 0;
   TamperFn tamper_;
   std::function<void(std::optional<plc::PlcConfig>)> pending_dump_;
   sim::EventId dump_timeout_ = 0;

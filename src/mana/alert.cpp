@@ -1,0 +1,102 @@
+#include "mana/alert.hpp"
+
+#include <cstdio>
+
+#include "mana/features.hpp"
+
+namespace spire::mana {
+
+namespace {
+
+std::string format_ip(std::uint64_t ip) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u",
+                static_cast<unsigned>((ip >> 24) & 0xFF),
+                static_cast<unsigned>((ip >> 16) & 0xFF),
+                static_cast<unsigned>((ip >> 8) & 0xFF),
+                static_cast<unsigned>(ip & 0xFF));
+  return buf;
+}
+
+std::string format_mac(std::uint64_t key) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                static_cast<unsigned>((key >> 40) & 0xFF),
+                static_cast<unsigned>((key >> 32) & 0xFF),
+                static_cast<unsigned>((key >> 24) & 0xFF),
+                static_cast<unsigned>((key >> 16) & 0xFF),
+                static_cast<unsigned>((key >> 8) & 0xFF),
+                static_cast<unsigned>(key & 0xFF));
+  return buf;
+}
+
+}  // namespace
+
+std::string_view to_string(DetectorId id) {
+  switch (id) {
+    case DetectorId::kKMeans: return "kmeans";
+    case DetectorId::kOcSvm: return "ocsvm";
+    case DetectorId::kRules: return "rules";
+    case DetectorId::kEnsemble: return "ensemble";
+  }
+  return "?";
+}
+
+std::string_view to_string(AlertKind kind) {
+  switch (kind) {
+    case AlertKind::kAnomalousWindow: return "anomalous-window";
+    case AlertKind::kArpBindingChange: return "arp-binding-change";
+    case AlertKind::kPortScan: return "port-scan";
+    case AlertKind::kTrafficFlood: return "traffic-flood";
+    case AlertKind::kNewSourceMac: return "new-source-mac";
+    case AlertKind::kSubstationFlood: return "substation-flood";
+  }
+  return "?";
+}
+
+std::string Alert::detail() const {
+  switch (kind) {
+    case AlertKind::kAnomalousWindow: {
+      // args: {dominant feature index, 0, 0}
+      const auto idx = static_cast<std::size_t>(args[0]);
+      std::string out = "dominant feature: ";
+      out += idx < WindowFeatures::kDim ? WindowFeatures::names()[idx] : "?";
+      out += " (votes:";
+      for (std::size_t d = 0; d < kVotingDetectors; ++d) {
+        if (votes & (1u << d)) {
+          out += ' ';
+          out += to_string(static_cast<DetectorId>(d));
+        }
+      }
+      out += ')';
+      return out;
+    }
+    case AlertKind::kArpBindingChange:
+      // args: {ip, old mac key (0 = never seen in baseline), new mac key}
+      if (args[1] == 0) {
+        return "new binding " + format_ip(args[0]) + " -> " +
+               format_mac(args[2]) + " never seen in baseline";
+      }
+      return format_ip(args[0]) + " moved from " + format_mac(args[1]) +
+             " to " + format_mac(args[2]);
+    case AlertKind::kPortScan:
+      // args: {src ip, distinct ports, threshold}
+      return format_ip(args[0]) + " probed " + std::to_string(args[1]) +
+             " distinct ports (threshold " + std::to_string(args[2]) + ")";
+    case AlertKind::kTrafficFlood:
+      // args: {window frames, baseline ceiling, 0}
+      return std::to_string(args[0]) + " frames in window (baseline max " +
+             std::to_string(args[1]) + ")";
+    case AlertKind::kNewSourceMac:
+      // args: {mac key, 0, 0}
+      return "source " + format_mac(args[0]) + " never seen in baseline";
+    case AlertKind::kSubstationFlood:
+      // args: {/24 subnet base, window frames, ceiling}
+      return "substation " + format_ip(args[0]) + "/24 sent " +
+             std::to_string(args[1]) + " frames (ceiling " +
+             std::to_string(args[2]) + ")";
+  }
+  return "?";
+}
+
+}  // namespace spire::mana

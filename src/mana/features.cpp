@@ -1,19 +1,87 @@
 #include "mana/features.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 namespace spire::mana {
 
-const std::vector<std::string>& WindowFeatures::names() {
-  static const std::vector<std::string> kNames = {
+namespace {
+
+std::size_t round_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlatPairSet::FlatPairSet(std::size_t min_capacity) {
+  const std::size_t slots = round_pow2(std::max<std::size_t>(8, min_capacity) * 2);
+  slots_.resize(slots);
+  mask_ = slots - 1;
+  limit_ = slots / 2;
+}
+
+bool FlatPairSet::insert(std::uint64_t a, std::uint64_t b) {
+  std::size_t i = index_of(a, b);
+  while (slots_[i].epoch == epoch_) {
+    if (slots_[i].a == a && slots_[i].b == b) return false;
+    i = (i + 1) & mask_;
+  }
+  if (size_ >= limit_) {
+    ++saturated_;
+    return false;
+  }
+  slots_[i] = Slot{a, b, epoch_};
+  ++size_;
+  return true;
+}
+
+FlatCounter::FlatCounter(std::size_t min_capacity) {
+  const std::size_t slots = round_pow2(std::max<std::size_t>(8, min_capacity) * 2);
+  slots_.resize(slots);
+  mask_ = slots - 1;
+  limit_ = slots / 2;
+}
+
+std::uint32_t FlatCounter::increment(std::uint64_t key) {
+  return add(key, 1);
+}
+
+std::uint32_t FlatCounter::add(std::uint64_t key, std::uint32_t delta) {
+  std::size_t i = index_of(key);
+  while (slots_[i].epoch == epoch_) {
+    if (slots_[i].key == key) {
+      slots_[i].count += delta;
+      return slots_[i].count;
+    }
+    i = (i + 1) & mask_;
+  }
+  if (size_ >= limit_) {
+    ++saturated_;
+    return 0;
+  }
+  slots_[i] = Slot{key, delta, epoch_};
+  ++size_;
+  return delta;
+}
+
+const std::array<const char*, WindowFeatures::kDim>& WindowFeatures::names() {
+  static const std::array<const char*, kDim> kNames = {
       "frames",        "bytes",         "mean_size",   "stddev_size",
       "arp_requests",  "arp_replies",   "broadcast",   "unique_src_macs",
       "unique_flows",  "max_ports_per_src"};
   return kNames;
 }
 
-FeatureExtractor::FeatureExtractor(sim::Time window, WindowSink sink)
-    : window_(window), sink_(std::move(sink)) {}
+FeatureExtractor::FeatureExtractor(sim::Time window, WindowSink sink,
+                                   FeatureConfig config)
+    : window_(window),
+      sink_(std::move(sink)),
+      src_macs_(config.max_src_macs),
+      flows_(config.max_flows),
+      port_pairs_(config.max_port_pairs),
+      ports_per_src_(config.max_src_counters) {}
 
 void FeatureExtractor::roll_to(sim::Time t) {
   if (!started_) {
@@ -27,35 +95,32 @@ void FeatureExtractor::roll_to(sim::Time t) {
   }
 }
 
-void FeatureExtractor::ingest(const net::PcapRecord& record) {
-  roll_to(record.time);
+void FeatureExtractor::ingest(const net::FrameSummary& s) {
+  roll_to(s.time);
+  ++stats_.frames_ingested;
 
-  const auto& frame = record.frame;
-  ++frames_;
-  const double size = static_cast<double>(frame.wire_size());
-  bytes_ += frame.wire_size();
-  size_sum_ += size;
-  size_sq_sum_ += size * size;
-  if (frame.dst.is_broadcast()) ++broadcast_;
-  src_macs_.insert(frame.src);
+  const std::uint64_t w = s.weight;
+  frames_ += w;
+  bytes_ += static_cast<std::uint64_t>(s.wire_size) * w;
+  const double size = static_cast<double>(s.wire_size);
+  const double dw = static_cast<double>(w);
+  size_sum_ += size * dw;
+  size_sq_sum_ += size * size * dw;
+  if (s.broadcast()) broadcast_ += w;
+  if (w > 1) sampled_weight_ += w - 1;
+  src_macs_.insert(s.src_mac, 0);
 
-  if (frame.ethertype == net::EtherType::kArp) {
-    if (const auto arp = net::ArpPacket::decode(frame.payload)) {
-      if (arp->op == net::ArpOp::kRequest) {
-        ++arp_requests_;
-      } else {
-        ++arp_replies_;
-      }
+  if (s.kind == net::FrameKind::kArp) {
+    if (s.arp_reply()) {
+      arp_replies_ += w;
+    } else {
+      arp_requests_ += w;
     }
-  } else if (frame.ethertype == net::EtherType::kIpv4) {
-    if (const auto dgram = net::Datagram::decode(frame.payload)) {
-      auto mac_key = [](const net::MacAddress& m) {
-        std::uint64_t v = 0;
-        for (auto b : m.bytes) v = (v << 8) | b;
-        return v;
-      };
-      flows_.insert(std::make_pair(mac_key(frame.src), mac_key(frame.dst)));
-      dst_ports_per_src_[dgram->src_ip.value].insert(dgram->dst_port);
+  } else if (s.kind == net::FrameKind::kIpv4) {
+    flows_.insert(s.src_mac, s.dst_mac);
+    if (port_pairs_.insert(s.src_ip, s.dst_port)) {
+      const std::uint32_t count = ports_per_src_.increment(s.src_ip);
+      if (count > max_ports_per_src_) max_ports_per_src_ = count;
     }
   }
 }
@@ -77,10 +142,6 @@ void FeatureExtractor::emit() {
   const double mean = frames_ ? size_sum_ / n : 0.0;
   const double variance =
       frames_ ? std::max(0.0, size_sq_sum_ / n - mean * mean) : 0.0;
-  std::size_t max_ports = 0;
-  for (const auto& [src, ports] : dst_ports_per_src_) {
-    max_ports = std::max(max_ports, ports.size());
-  }
 
   out.values = {static_cast<double>(frames_),
                 static_cast<double>(bytes_),
@@ -91,9 +152,23 @@ void FeatureExtractor::emit() {
                 static_cast<double>(broadcast_),
                 static_cast<double>(src_macs_.size()),
                 static_cast<double>(flows_.size()),
-                static_cast<double>(max_ports)};
-  sink_(out);
+                static_cast<double>(max_ports_per_src_)};
+  out.sampled_weight = sampled_weight_;
+  const std::uint64_t saturated_now =
+      src_macs_.saturated_inserts() + flows_.saturated_inserts() +
+      port_pairs_.saturated_inserts() + ports_per_src_.saturated_inserts();
+  out.saturated = saturated_now > saturated_at_window_start_;
 
+  ++stats_.windows_emitted;
+  if (out.sampled()) ++stats_.sampled_windows;
+  stats_.saturated_inserts = saturated_now;
+  saturated_at_window_start_ = saturated_now;
+
+  sink_(out);
+  reset_window();
+}
+
+void FeatureExtractor::reset_window() {
   frames_ = 0;
   bytes_ = 0;
   size_sum_ = 0;
@@ -101,9 +176,12 @@ void FeatureExtractor::emit() {
   arp_requests_ = 0;
   arp_replies_ = 0;
   broadcast_ = 0;
+  sampled_weight_ = 0;
+  max_ports_per_src_ = 0;
   src_macs_.clear();
   flows_.clear();
-  dst_ports_per_src_.clear();
+  port_pairs_.clear();
+  ports_per_src_.clear();
 }
 
 }  // namespace spire::mana

@@ -1,4 +1,4 @@
-// MANA feature extraction (paper §II, §III-C).
+// MANA feature extraction (paper §II, §III-C; DESIGN.md §13).
 //
 // MANA consumes a passive packet capture and turns it into fixed-width
 // windowed feature vectors for machine-learning evaluation. The
@@ -6,53 +6,175 @@
 // proprietary and (in Spire's case) encrypted protocols, so MANA looks
 // at traffic *shape* — volumes, sizes, fan-out, ARP behaviour — rather
 // than payload contents.
+//
+// The extractor is streaming and allocation-free on the per-frame
+// path: it ingests fixed-width FrameSummary records (from a
+// CaptureTap ring) and accumulates into flat open-addressing tables
+// whose per-window "clear" is an epoch bump, not a wipe. Additive
+// features honour each summary's sampling weight, so windows scored
+// under capture overload stay calibrated; distinct-count features are
+// observed lower bounds and the window is flagged as sampled.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
-#include <map>
-#include <set>
-#include <string>
 #include <vector>
 
-#include "net/frame.hpp"
 #include "net/pcap.hpp"
 #include "sim/simulator.hpp"
 
 namespace spire::mana {
 
-/// One analysis window's feature vector.
-struct WindowFeatures {
-  sim::Time window_start = 0;
-  sim::Time window_end = 0;
-  std::vector<double> values;
+/// Epoch-cleared open-addressing set of (a, b) u64 pairs. Fixed
+/// capacity: inserts past the load limit are counted as saturation and
+/// skipped (the distinct count becomes an explicit lower bound), never
+/// allocated. clear() is O(1).
+class FlatPairSet {
+ public:
+  explicit FlatPairSet(std::size_t min_capacity);
 
-  static const std::vector<std::string>& names();
-  static constexpr std::size_t kDim = 10;
+  /// True if the pair was newly inserted; false when already present
+  /// or the table is saturated (check saturated_inserts()).
+  bool insert(std::uint64_t a, std::uint64_t b);
+
+  void clear() {
+    ++epoch_;
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::uint64_t saturated_inserts() const { return saturated_; }
+
+ private:
+  struct Slot {
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::uint32_t epoch = 0;
+  };
+
+  [[nodiscard]] std::size_t index_of(std::uint64_t a, std::uint64_t b) const {
+    std::uint64_t h = a * 0x9E3779B97F4A7C15ull;
+    h ^= b + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2);
+    return static_cast<std::size_t>(h >> 32) & mask_;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t limit_ = 0;  // load factor 1/2
+  std::size_t size_ = 0;
+  std::uint32_t epoch_ = 1;
+  std::uint64_t saturated_ = 0;
 };
 
-/// Streams PcapRecords into windowed features.
+/// Epoch-cleared open-addressing u64 → u32 counter map (same bounds
+/// and saturation semantics as FlatPairSet).
+class FlatCounter {
+ public:
+  explicit FlatCounter(std::size_t min_capacity);
+
+  /// Increments `key` and returns its new count (0 when saturated).
+  std::uint32_t increment(std::uint64_t key);
+
+  /// Adds `delta` to `key`; returns the new total (0 when saturated).
+  std::uint32_t add(std::uint64_t key, std::uint32_t delta);
+
+  /// Visits every live (current-epoch) entry as fn(key, count).
+  /// Slow path only (window close): walks the whole table.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_) {
+      if (s.epoch == epoch_) fn(s.key, s.count);
+    }
+  }
+
+  void clear() {
+    ++epoch_;
+    size_ = 0;
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] std::uint64_t saturated_inserts() const { return saturated_; }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    std::uint32_t count = 0;
+    std::uint32_t epoch = 0;
+  };
+
+  [[nodiscard]] std::size_t index_of(std::uint64_t key) const {
+    return static_cast<std::size_t>((key * 0x9E3779B97F4A7C15ull) >> 32) &
+           mask_;
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::size_t limit_ = 0;
+  std::size_t size_ = 0;
+  std::uint32_t epoch_ = 1;
+  std::uint64_t saturated_ = 0;
+};
+
+/// One analysis window's feature vector (flat array: no per-window
+/// allocation on the scoring path).
+struct WindowFeatures {
+  static constexpr std::size_t kDim = 10;
+
+  sim::Time window_start = 0;
+  sim::Time window_end = 0;
+  std::array<double, kDim> values{};
+  /// Frames represented by sampling weights beyond those actually
+  /// captured in this window; > 0 marks the window as sampled.
+  std::uint64_t sampled_weight = 0;
+  /// An accumulator hit its capacity: distinct counts are lower bounds.
+  bool saturated = false;
+
+  [[nodiscard]] bool sampled() const { return sampled_weight > 0; }
+
+  static const std::array<const char*, kDim>& names();
+};
+
+struct FeatureConfig {
+  std::size_t max_src_macs = 2048;       ///< distinct L2 sources per window
+  std::size_t max_flows = 4096;          ///< distinct (src,dst) MAC pairs
+  std::size_t max_port_pairs = 4096;     ///< distinct (src IP, dst port)
+  std::size_t max_src_counters = 2048;   ///< distinct source IPs
+};
+
+struct ExtractorStats {
+  std::uint64_t frames_ingested = 0;
+  std::uint64_t windows_emitted = 0;
+  std::uint64_t sampled_windows = 0;
+  std::uint64_t saturated_inserts = 0;
+};
+
+/// Streams FrameSummary records into windowed features.
 class FeatureExtractor {
  public:
   using WindowSink = std::function<void(const WindowFeatures&)>;
 
-  FeatureExtractor(sim::Time window, WindowSink sink);
+  FeatureExtractor(sim::Time window, WindowSink sink,
+                   FeatureConfig config = {});
 
-  void ingest(const net::PcapRecord& record);
+  void ingest(const net::FrameSummary& summary);
   /// Closes the current window if `now` has passed its end (call
   /// periodically so quiet networks still emit windows).
   void flush_until(sim::Time now);
 
+  [[nodiscard]] const ExtractorStats& stats() const { return stats_; }
+
  private:
   void emit();
   void roll_to(sim::Time t);
+  void reset_window();
 
   sim::Time window_;
   WindowSink sink_;
   sim::Time current_start_ = 0;
   bool started_ = false;
 
-  // Accumulators for the current window.
+  // Scalar accumulators for the current window (sampling-weighted).
   std::uint64_t frames_ = 0;
   std::uint64_t bytes_ = 0;
   double size_sum_ = 0;
@@ -60,9 +182,17 @@ class FeatureExtractor {
   std::uint64_t arp_requests_ = 0;
   std::uint64_t arp_replies_ = 0;
   std::uint64_t broadcast_ = 0;
-  std::set<net::MacAddress> src_macs_;
-  std::set<std::pair<std::uint64_t, std::uint64_t>> flows_;  ///< (src,dst) keys
-  std::map<std::uint32_t, std::set<std::uint16_t>> dst_ports_per_src_;
+  std::uint64_t sampled_weight_ = 0;
+
+  // Distinct-count accumulators (flat, epoch-cleared).
+  FlatPairSet src_macs_;
+  FlatPairSet flows_;
+  FlatPairSet port_pairs_;   // (src IP, dst port) dedupe
+  FlatCounter ports_per_src_;  // src IP → distinct dst ports
+  std::uint32_t max_ports_per_src_ = 0;
+  std::uint64_t saturated_at_window_start_ = 0;
+
+  ExtractorStats stats_;
 };
 
 }  // namespace spire::mana

@@ -1,109 +1,127 @@
 #include "mana/mana.hpp"
 
+#include <bit>
 #include <cmath>
+#include <stdexcept>
+
+#include "obs/trace.hpp"
 
 namespace spire::mana {
 
-std::string_view to_string(AlertKind kind) {
-  switch (kind) {
-    case AlertKind::kAnomalousWindow: return "anomalous-window";
-    case AlertKind::kArpBindingChange: return "arp-binding-change";
-    case AlertKind::kPortScan: return "port-scan";
-    case AlertKind::kTrafficFlood: return "traffic-flood";
-  }
-  return "?";
-}
-
 Mana::Mana(ManaConfig config)
     : config_(std::move(config)),
+      network_id_(net::NetworkLabels::instance().intern(config_.network)),
       log_("mana." + config_.network),
       rng_(config_.seed),
+      tap_(config_.tap),
       extractor_(config_.window,
-                 [this](const WindowFeatures& f) { on_window(f); }) {}
+                 [this](const WindowFeatures& f) { on_window(f); },
+                 config_.features),
+      rules_(
+          [&] {
+            RuleConfig rc = config_.rules;
+            rc.port_scan_threshold = config_.port_scan_threshold;
+            rc.flood_multiplier = config_.flood_multiplier;
+            return rc;
+          }(),
+          [this](const RuleFinding& f) { on_finding(f); }),
+      ocsvm_(WindowFeatures::kDim, config_.ocsvm),
+      metrics_("mana." + config_.network) {
+  normalized_.resize(WindowFeatures::kDim);
+  metrics_.counter("frames_mirrored", &tap_.stats().frames_mirrored);
+  metrics_.counter("dropped_frames", &tap_.stats().frames_dropped);
+  metrics_.counter("frames_sampled_out", &tap_.stats().frames_sampled_out);
+  metrics_.counter("frames_processed", &stats_.frames_processed);
+  metrics_.counter("windows_scored", &stats_.windows_scored);
+  metrics_.counter("windows_anomalous", &stats_.windows_anomalous);
+  metrics_.counter("sampled_windows", &extractor_.stats().sampled_windows);
+  metrics_.counter("alerts_total", &stats_.alerts_total);
+}
+
+void Mana::poll(sim::Time now) {
+  tap_.drain([this](const net::FrameSummary& s) { process_summary(s); });
+  extractor_.flush_until(now);
+}
 
 void Mana::on_capture(const net::PcapRecord& record) {
-  // ARP watch runs on raw frames so it can attribute MITM attempts to a
-  // specific binding flip, independent of the windowed model.
-  if (record.frame.ethertype == net::EtherType::kArp) {
-    if (const auto arp = net::ArpPacket::decode(record.frame.payload)) {
-      const auto it = arp_bindings_.find(arp->sender_ip.value);
-      if (it == arp_bindings_.end()) {
-        if (!trained()) {
-          arp_bindings_[arp->sender_ip.value] = arp->sender_mac;
-        } else if (arp->op == net::ArpOp::kReply) {
-          // A binding never seen in training, asserted via a reply: on
-          // a statically-configured SCADA network this is itself a
-          // poisoning signature.
-          raise(AlertKind::kArpBindingChange,
-                "new binding " + arp->sender_ip.str() + " -> " +
-                    arp->sender_mac.str() + " never seen in baseline",
-                0, record.time);
-        }
-      } else if (it->second != arp->sender_mac) {
-        if (trained()) {
-          raise(AlertKind::kArpBindingChange,
-                arp->sender_ip.str() + " moved from " + it->second.str() +
-                    " to " + arp->sender_mac.str(),
-                0, record.time);
-        } else {
-          it->second = arp->sender_mac;  // churn during training: re-learn
-        }
-      }
-    }
-  }
-  extractor_.ingest(record);
+  process_summary(net::FrameSummary::summarize(record.time, record.frame));
+}
+
+void Mana::process_summary(const net::FrameSummary& s) {
+  stats_.frames_processed += s.weight;
+  // Extractor first: rolling into a new window emits window N (and
+  // closes the rules' window N) before this frame — which belongs to
+  // window N+1 — reaches the rule watchers.
+  extractor_.ingest(s);
+  rules_.on_frame(s);
 }
 
 void Mana::flush_until(sim::Time now) { extractor_.flush_until(now); }
 
 void Mana::on_window(const WindowFeatures& features) {
+  // The rules share the extractor's window cadence: every frame of this
+  // window has already passed through on_frame.
+  rules_.close_window(features.window_start, features.window_end);
+
   if (!trained()) {
-    training_windows_.push_back(features.values);
-    max_training_frames_ = std::max(max_training_frames_, features.values[0]);
+    training_windows_.emplace_back(features.values.begin(),
+                                   features.values.end());
     return;
   }
 
-  ++windows_scored_;
-  const std::vector<double> normalized = normalize(features.values);
-  const double distance = model_->nearest_distance(normalized);
-  if (distance > threshold_) {
-    ++windows_anomalous_;
+  ++stats_.windows_scored;
+  if (features.sampled()) ++stats_.sampled_windows_scored;
+
+  normalize(features.values, normalized_);
+  const double km_distance = model_->nearest_distance(normalized_);
+  const double km_ratio = threshold_ > 0 ? km_distance / threshold_ : 0;
+  const double oc_score = ocsvm_.score(normalized_);
+  const double oc_ratio =
+      ocsvm_.threshold() > 0 ? oc_score / ocsvm_.threshold() : 0;
+
+  std::uint8_t votes = 0;
+  if (km_ratio > 1.0) votes |= vote_bit(DetectorId::kKMeans);
+  if (oc_ratio > 1.0) votes |= vote_bit(DetectorId::kOcSvm);
+  if (rules_.last_window_findings() > 0) votes |= vote_bit(DetectorId::kRules);
+
+  if (static_cast<std::size_t>(std::popcount(votes)) >= config_.min_votes) {
+    ++stats_.windows_anomalous;
     // Attribute the anomaly to the most deviant feature for the
     // operator board.
     std::size_t worst = 0;
-    for (std::size_t i = 1; i < normalized.size(); ++i) {
-      if (std::abs(normalized[i]) > std::abs(normalized[worst])) worst = i;
+    for (std::size_t i = 1; i < normalized_.size(); ++i) {
+      if (std::abs(normalized_[i]) > std::abs(normalized_[worst])) worst = i;
     }
-    raise(AlertKind::kAnomalousWindow,
-          "dominant feature: " + WindowFeatures::names()[worst],
-          threshold_ > 0 ? distance / threshold_ : distance,
-          features.window_end);
-  }
-
-  const double ports = features.values[9];
-  if (ports >= static_cast<double>(config_.port_scan_threshold)) {
-    raise(AlertKind::kPortScan,
-          std::to_string(static_cast<int>(ports)) + " distinct ports probed",
-          ports / static_cast<double>(config_.port_scan_threshold),
-          features.window_end);
-  }
-  if (max_training_frames_ > 0 &&
-      features.values[0] > max_training_frames_ * config_.flood_multiplier) {
-    raise(AlertKind::kTrafficFlood,
-          std::to_string(static_cast<std::uint64_t>(features.values[0])) +
-              " frames in window (baseline max " +
-              std::to_string(static_cast<std::uint64_t>(max_training_frames_)) +
-              ")",
-          features.values[0] / max_training_frames_, features.window_end);
+    Alert alert;
+    alert.at = features.window_end;
+    alert.network = network_id_;
+    alert.kind = AlertKind::kAnomalousWindow;
+    alert.detector = DetectorId::kEnsemble;
+    alert.votes = votes;
+    alert.score = std::max(km_ratio, oc_ratio);
+    alert.args = {worst, 0, 0};
+    raise(alert);
   }
 }
 
-std::vector<double> Mana::normalize(const std::vector<double>& raw) const {
-  std::vector<double> out(raw.size());
+void Mana::on_finding(const RuleFinding& finding) {
+  Alert alert;
+  alert.at = finding.at;
+  alert.network = network_id_;
+  alert.kind = finding.kind;
+  alert.detector = DetectorId::kRules;
+  alert.votes = vote_bit(DetectorId::kRules);
+  alert.score = finding.score;
+  alert.args = finding.args;
+  raise(alert);
+}
+
+void Mana::normalize(const std::array<double, WindowFeatures::kDim>& raw,
+                     std::vector<double>& out) const {
+  out.resize(raw.size());
   for (std::size_t i = 0; i < raw.size(); ++i) {
     out[i] = (raw[i] - mean_[i]) / stddev_[i];
   }
-  return out;
 }
 
 void Mana::finish_training() {
@@ -133,7 +151,11 @@ void Mana::finish_training() {
 
   std::vector<std::vector<double>> normalized;
   normalized.reserve(training_windows_.size());
-  for (const auto& w : training_windows_) normalized.push_back(normalize(w));
+  for (const auto& w : training_windows_) {
+    std::vector<double> n(dim);
+    for (std::size_t i = 0; i < dim; ++i) n[i] = (w[i] - mean_[i]) / stddev_[i];
+    normalized.push_back(std::move(n));
+  }
 
   model_ = kmeans_fit(normalized, config_.clusters, rng_);
   double max_distance = 0;
@@ -141,21 +163,33 @@ void Mana::finish_training() {
     max_distance = std::max(max_distance, model_->nearest_distance(w));
   }
   threshold_ = std::max(1e-6, max_distance) * config_.threshold_slack;
-  log_.info("trained on ", training_windows_.size(), " windows; threshold ",
-            threshold_);
+  ocsvm_.fit(normalized);
+  rules_.finish_training();
+  log_.info("trained on ", training_windows_.size(), " windows; kmeans thr ",
+            threshold_, ", ocsvm thr ", ocsvm_.threshold());
   training_windows_.clear();
 }
 
-void Mana::raise(AlertKind kind, std::string detail, double score,
-                 sim::Time at) {
+void Mana::raise(Alert alert) {
   // Collapse repeats of the same alert kind within one window period.
-  const auto last = last_raised_.find(kind);
-  if (last != last_raised_.end() && at - last->second < config_.window) {
+  const auto last = last_raised_.find(alert.kind);
+  if (last != last_raised_.end() && alert.at - last->second < config_.window) {
     return;
   }
-  last_raised_[kind] = at;
-  alerts_.push_back(Alert{at, config_.network, kind, std::move(detail), score});
-  log_.warn("ALERT ", to_string(kind), ": ", alerts_.back().detail);
+  last_raised_[alert.kind] = alert.at;
+  ++stats_.alerts_total;
+  // Detail text stays deferred: the log line carries only the kind and
+  // score; exporters call detail() when they want the story.
+  log_.warn("ALERT ", to_string(alert.kind), " detector=",
+            to_string(alert.detector), " score=", alert.score);
+  if (obs::Tracer* tracer = obs::Tracer::current()) {
+    tracer->alert_marker(alert.network_name(),
+                         std::string(to_string(alert.kind)),
+                         std::string(to_string(alert.detector)), alert.score,
+                         alert.at);
+  }
+  alerts_.push_back(alert);
+  if (alert_sink_) alert_sink_(alerts_.back());
 }
 
 }  // namespace spire::mana

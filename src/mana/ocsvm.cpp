@@ -1,0 +1,77 @@
+#include "mana/ocsvm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spire::mana {
+
+OcSvm::OcSvm(std::size_t input_dim, OcSvmConfig config)
+    : input_dim_(input_dim), config_(config) {
+  sim::Rng rng(config_.seed);
+  const double sigma = std::sqrt(2.0 * config_.gamma);
+  omega_.resize(config_.features * input_dim_);
+  for (double& w : omega_) w = rng.normal(0.0, sigma);
+  phase_.resize(config_.features);
+  constexpr double kTwoPi = 6.283185307179586;
+  for (double& b : phase_) b = rng.uniform01() * kTwoPi;
+  center_.assign(config_.features, 0.0);
+  scratch_.resize(config_.features);
+}
+
+void OcSvm::lift(std::span<const double> x, std::vector<double>& z) const {
+  const double scale = std::sqrt(2.0 / static_cast<double>(config_.features));
+  for (std::size_t d = 0; d < config_.features; ++d) {
+    const double* row = &omega_[d * input_dim_];
+    double dot = phase_[d];
+    for (std::size_t i = 0; i < input_dim_; ++i) dot += row[i] * x[i];
+    z[d] = scale * std::cos(dot);
+  }
+}
+
+void OcSvm::fit(const std::vector<std::vector<double>>& normalized_windows) {
+  center_.assign(config_.features, 0.0);
+  if (normalized_windows.empty()) {
+    threshold_ = 0;
+    trained_ = true;
+    return;
+  }
+  std::vector<double> z(config_.features);
+  for (const auto& x : normalized_windows) {
+    lift(x, z);
+    for (std::size_t d = 0; d < config_.features; ++d) center_[d] += z[d];
+  }
+  const double inv = 1.0 / static_cast<double>(normalized_windows.size());
+  for (double& c : center_) c *= inv;
+
+  std::vector<double> radii;
+  radii.reserve(normalized_windows.size());
+  for (const auto& x : normalized_windows) {
+    lift(x, z);
+    double dist_sq = 0;
+    for (std::size_t d = 0; d < config_.features; ++d) {
+      const double diff = z[d] - center_[d];
+      dist_sq += diff * diff;
+    }
+    radii.push_back(std::sqrt(dist_sq));
+  }
+  const double q = std::clamp(config_.train_quantile, 0.0, 1.0);
+  const std::size_t at = std::min(
+      radii.size() - 1,
+      static_cast<std::size_t>(q * static_cast<double>(radii.size())));
+  std::nth_element(radii.begin(), radii.begin() + static_cast<std::ptrdiff_t>(at),
+                   radii.end());
+  threshold_ = radii[at] * config_.threshold_slack;
+  trained_ = true;
+}
+
+double OcSvm::score(std::span<const double> normalized) const {
+  lift(normalized, scratch_);
+  double dist_sq = 0;
+  for (std::size_t d = 0; d < config_.features; ++d) {
+    const double diff = scratch_[d] - center_[d];
+    dist_sq += diff * diff;
+  }
+  return std::sqrt(dist_sq);
+}
+
+}  // namespace spire::mana

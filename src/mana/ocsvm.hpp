@@ -1,0 +1,73 @@
+// Streaming one-class SVM scorer (PAPERS.md: Maglaras et al., ensemble
+// OCSVM for SCADA IDS).
+//
+// An RBF-kernel one-class SVM is approximated with random Fourier
+// features: x is lifted to z(x) = sqrt(2/D) * cos(Ωx + b), where the
+// rows of Ω are drawn from N(0, 2γ). In that lifted space the training
+// distribution collapses to a tight cloud, and the model is the cloud's
+// centroid plus a radius threshold — scoring is one D×dim matrix-vector
+// product and a distance, over preallocated scratch: no kernel matrix,
+// no allocation, O(D·dim) per window. Equal-weight centroids are the
+// ν→1 limit of SVDD, which suits MANA: the baseline capture is taken on
+// a finalized network and contains no outliers to down-weight.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace spire::mana {
+
+struct OcSvmConfig {
+  std::size_t features = 64;  ///< random Fourier dimension D
+  /// RBF width (inputs are z-normalized). Kept small on purpose: with
+  /// a wide gamma every pair of windows lifts to near-orthogonal RFF
+  /// vectors, the training radius sits at the kernel's saturation
+  /// ceiling, and no outlier can clear a multiplicative slack. A
+  /// narrow gamma keeps baseline windows correlated (small radius)
+  /// while genuinely anomalous windows still decorrelate.
+  double gamma = 0.01;
+  /// Threshold = this multiple of the training-radius quantile below.
+  double threshold_slack = 1.3;
+  /// Radius quantile the slack multiplies (the ν knob): using the max
+  /// lets a single outlier training window — lifted near the RFF
+  /// saturation ceiling, where every dissimilar point lands — push the
+  /// threshold past any reachable score. Tolerating a small fraction
+  /// of training outliers keeps the boundary inside the reachable
+  /// range.
+  double train_quantile = 0.9;
+  std::uint64_t seed = 0x4F435356;  // "OCSV"
+};
+
+class OcSvm {
+ public:
+  OcSvm(std::size_t input_dim, OcSvmConfig config);
+
+  /// Fits centroid + radius threshold on z-normalized training windows.
+  void fit(const std::vector<std::vector<double>>& normalized_windows);
+
+  /// Distance of the lifted point from the training centroid.
+  [[nodiscard]] double score(std::span<const double> normalized) const;
+
+  [[nodiscard]] bool trained() const { return trained_; }
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] bool anomalous(std::span<const double> normalized) const {
+    return score(normalized) > threshold_;
+  }
+
+ private:
+  void lift(std::span<const double> x, std::vector<double>& z) const;
+
+  std::size_t input_dim_;
+  OcSvmConfig config_;
+  std::vector<double> omega_;   // D × input_dim frequencies, row-major
+  std::vector<double> phase_;   // D
+  std::vector<double> center_;  // D
+  mutable std::vector<double> scratch_;  // D, reused per score
+  double threshold_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace spire::mana

@@ -24,7 +24,12 @@ void Switch::set_port_shard(PortId port, sim::ShardId shard) {
 }
 
 void Switch::add_tap(std::string network_label, PcapSink sink) {
-  taps_.push_back(Tap{std::move(network_label), std::move(sink)});
+  taps_.push_back(
+      Tap{NetworkLabels::instance().intern(network_label), std::move(sink)});
+}
+
+void Switch::add_capture_tap(CaptureTap* tap) {
+  capture_taps_.push_back(tap);
 }
 
 void Switch::set_chaos(double loss, sim::Time max_jitter) {
@@ -35,6 +40,7 @@ void Switch::set_chaos(double loss, sim::Time max_jitter) {
 void Switch::receive(PortId ingress, EthernetFrame frame) {
   // Mirror to taps first: a capture port sees traffic even if the
   // switch later drops it (that is what makes DoS visible to MANA).
+  for (CaptureTap* tap : capture_taps_) tap->capture(sim_.now(), frame);
   for (const auto& tap : taps_) {
     tap.sink(PcapRecord{sim_.now(), tap.label, frame});
   }

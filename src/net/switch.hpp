@@ -73,8 +73,14 @@ class Switch {
   /// scheduled delivery instead of copying the payload.
   void receive(PortId ingress, EthernetFrame frame);
 
-  /// Registers an out-of-band capture tap mirroring all traffic.
+  /// Registers an out-of-band capture tap mirroring all traffic
+  /// (legacy full-copy path; the label is interned once, here).
   void add_tap(std::string network_label, PcapSink sink);
+
+  /// Registers a line-rate capture tap: every mirrored frame is
+  /// summarized straight into the tap's ring with no allocation. The
+  /// tap must outlive the switch (benches own both).
+  void add_capture_tap(CaptureTap* tap);
 
   /// Chaos injection (fault-injection harness): independently drops
   /// each forwarded frame with probability `loss` and delays survivors
@@ -107,10 +113,11 @@ class Switch {
   std::map<MacAddress, PortId> static_table_;
   std::map<MacAddress, PortId> learned_table_;
   struct Tap {
-    std::string label;
+    NetworkId label = 0;  // interned at add_tap time
     PcapSink sink;
   };
   std::vector<Tap> taps_;
+  std::vector<CaptureTap*> capture_taps_;
   double chaos_loss_ = 0;
   sim::Time chaos_jitter_ = 0;
   sim::Rng chaos_rng_{0xC7A0'5BAD'F00D'2019ULL};

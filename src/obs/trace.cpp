@@ -367,6 +367,22 @@ Tracer::Completeness Tracer::completeness(Stage from) const {
   return result;
 }
 
+void Tracer::attack_begin_marker(const std::string& name, std::uint64_t at) {
+  markers_.push_back(
+      Marker{Marker::Kind::kAttackBegin, at, name, {}, {}, 0});
+}
+
+void Tracer::attack_end_marker(const std::string& name, std::uint64_t at) {
+  markers_.push_back(Marker{Marker::Kind::kAttackEnd, at, name, {}, {}, 0});
+}
+
+void Tracer::alert_marker(const std::string& network, const std::string& kind,
+                          const std::string& detector, double score,
+                          std::uint64_t at) {
+  markers_.push_back(
+      Marker{Marker::Kind::kAlert, at, kind, network, detector, score});
+}
+
 bool Tracer::write_jsonl(const std::string& path) const {
   std::FILE* out = std::fopen(path.c_str(), "w");
   if (out == nullptr) return false;
@@ -390,6 +406,21 @@ bool Tracer::write_jsonl(const std::string& path) const {
       first = false;
     }
     std::fputs("}}\n", out);
+  }
+  for (const Marker& m : markers_) {
+    const char* kind = m.kind == Marker::Kind::kAttackBegin ? "attack-begin"
+                       : m.kind == Marker::Kind::kAttackEnd ? "attack-end"
+                                                            : "alert";
+    std::fprintf(out, "{\"marker\":\"%s\",\"us\":%" PRIu64 ",\"label\":\"%s\"",
+                 kind, m.at, m.label.c_str());
+    if (!m.network.empty()) {
+      std::fprintf(out, ",\"network\":\"%s\"", m.network.c_str());
+    }
+    if (!m.detector.empty()) {
+      std::fprintf(out, ",\"detector\":\"%s\",\"score\":%.3f",
+                   m.detector.c_str(), m.score);
+    }
+    std::fputs("}\n", out);
   }
   std::fclose(out);
   return true;

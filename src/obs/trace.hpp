@@ -204,6 +204,28 @@ class Tracer {
   void hmi_recv(std::uint64_t version);
   void hmi_display(std::uint64_t version);
 
+  // --- markers (security timeline) -----------------------------------
+  // Point events interleaved with the update spans in the JSONL export:
+  // red-team attack intervals and IDS alerts, so one trace file shows
+  // the attack → alert chain next to the SCADA data path it rode over.
+  // Markers are rare (per attack / per alert, never per frame), so
+  // they carry owned strings.
+  struct Marker {
+    enum class Kind : std::uint8_t { kAttackBegin, kAttackEnd, kAlert };
+    Kind kind = Kind::kAlert;
+    std::uint64_t at = 0;
+    std::string label;     ///< attack name, or alert kind
+    std::string network;   ///< alert: capture network (else empty)
+    std::string detector;  ///< alert: attributing detector (else empty)
+    double score = 0;
+  };
+  void attack_begin_marker(const std::string& name, std::uint64_t at);
+  void attack_end_marker(const std::string& name, std::uint64_t at);
+  void alert_marker(const std::string& network, const std::string& kind,
+                    const std::string& detector, double score,
+                    std::uint64_t at);
+  [[nodiscard]] const std::vector<Marker>& markers() const { return markers_; }
+
   // --- results -------------------------------------------------------
   [[nodiscard]] const std::vector<Span>& spans() const { return spans_; }
   [[nodiscard]] const std::string& client_name(std::uint32_t id) const {
@@ -261,6 +283,7 @@ class Tracer {
 
   std::function<std::uint64_t()> time_;
   std::vector<Span> spans_;  // hooks address spans by index, never pointer
+  std::vector<Marker> markers_;
   FlatMap64 by_key_;  // client<<40|seq → span index
   std::unordered_map<std::string, std::uint32_t> client_ids_;
   std::vector<std::string> client_names_;

@@ -328,7 +328,70 @@ TEST_F(NetFixture, PcapTapSeesAllTraffic) {
   sim.run();
   // ARP request + reply + data frame at minimum.
   EXPECT_GE(captured.size(), 3u);
-  EXPECT_EQ(captured[0].network, "ops");
+  EXPECT_EQ(NetworkLabels::instance().name(captured[0].network), "ops");
+}
+
+namespace {
+EthernetFrame small_frame(std::uint32_t src_id) {
+  Datagram d;
+  d.src_ip = IpAddress::make(10, 0, 0, 1);
+  d.dst_ip = IpAddress::make(10, 0, 0, 2);
+  d.src_port = 1000;
+  d.dst_port = 502;
+  d.payload = util::to_bytes("poll");
+  return EthernetFrame{MacAddress::from_id(src_id), MacAddress::from_id(2),
+                       EtherType::kIpv4, d.encode()};
+}
+}  // namespace
+
+TEST(CaptureTap, OverflowDropsAreCountedNotSilent) {
+  CaptureTapConfig config;
+  config.ring_slots = 16;
+  CaptureTap tap(config);
+  // Push 10x the ring capacity with no drain: the tap must never lose
+  // a frame without accounting for it.
+  for (int i = 0; i < 160; ++i) tap.capture(i, small_frame(1));
+  const auto& stats = tap.stats();
+  EXPECT_EQ(stats.frames_mirrored, 160u);
+  EXPECT_GT(stats.frames_dropped, 0u);
+  EXPECT_GT(stats.sampling_entered, 0u);
+  EXPECT_GT(stats.stride_escalations, 0u);  // hard-full while sampling
+  // mirrored == queued weights + pending + dropped (nothing drained yet).
+  EXPECT_EQ(stats.frames_mirrored,
+            tap.queued_weight() + tap.pending_weight() + stats.frames_dropped);
+}
+
+TEST(CaptureTap, SamplingFoldsWeightsAndExits) {
+  CaptureTapConfig config;
+  config.ring_slots = 64;
+  config.sample_stride = 4;
+  CaptureTap tap(config);
+  for (int i = 0; i < 60; ++i) tap.capture(i, small_frame(1));
+  EXPECT_TRUE(tap.sampling());
+  std::uint64_t drained = 0;
+  std::uint64_t max_weight = 0;
+  tap.drain([&](const FrameSummary& s) {
+    drained += s.weight;
+    max_weight = std::max<std::uint64_t>(max_weight, s.weight);
+  });
+  // Weight folding: sampled-out frames ride on captured slots.
+  EXPECT_GT(max_weight, 1u);
+  EXPECT_EQ(drained + tap.pending_weight() + tap.stats().frames_dropped, 60u);
+  // Draining below the low watermark ends sampling.
+  EXPECT_FALSE(tap.sampling());
+  EXPECT_EQ(tap.stride(), 1u);
+}
+
+TEST(CaptureTap, SummarizesHeadersWithoutPayload) {
+  const EthernetFrame frame = small_frame(7);
+  const FrameSummary s = FrameSummary::summarize(42, frame);
+  EXPECT_EQ(s.time, 42u);
+  EXPECT_EQ(s.kind, FrameKind::kIpv4);
+  EXPECT_EQ(s.src_mac, FrameSummary::mac_key(MacAddress::from_id(7)));
+  EXPECT_EQ(s.src_ip, IpAddress::make(10, 0, 0, 1).value);
+  EXPECT_EQ(s.dst_port, 502);
+  EXPECT_EQ(s.wire_size, frame.wire_size());
+  EXPECT_FALSE(s.broadcast());
 }
 
 }  // namespace
